@@ -1,0 +1,1 @@
+bin/cacti_cli.ml: Arg Cacti Cacti_array Cacti_tech Cacti_util Cmd Cmdliner Filename Format List Option Printf String Term Units

@@ -1,0 +1,1 @@
+bin/cacti_cli.mli:

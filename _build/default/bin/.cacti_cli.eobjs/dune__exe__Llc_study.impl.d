@@ -1,0 +1,1 @@
+bin/llc_study.ml: Arg Cacti_util Cmd Cmdliner Format Int64 List Mcsim Printf String Term

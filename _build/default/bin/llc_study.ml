@@ -1,0 +1,135 @@
+(* llc_study: run the stacked last-level-cache study from the command line.
+
+     llc_study --apps ft.B,cg.C --configs nol3,sram,cm_dram_c \
+               --instructions 48000000 --csv results.csv
+*)
+
+open Cmdliner
+
+let kind_of_string s =
+  List.find_opt
+    (fun k -> Mcsim.Study.kind_name k = s)
+    Mcsim.Study.all_kinds
+
+let kinds_conv =
+  let parse s =
+    let names = String.split_on_char ',' s in
+    let kinds = List.map (fun n -> (n, kind_of_string (String.trim n))) names in
+    match List.find_opt (fun (_, k) -> k = None) kinds with
+    | Some (n, _) -> Error (`Msg (Printf.sprintf "unknown configuration %S" n))
+    | None -> Ok (List.filter_map snd kinds)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf ks ->
+        Format.fprintf ppf "%s"
+          (String.concat "," (List.map Mcsim.Study.kind_name ks)) )
+
+let apps_conv =
+  let parse s =
+    let names = String.split_on_char ',' s in
+    try Ok (List.map (fun n -> Mcsim.Apps.by_name (String.trim n)) names)
+    with Not_found -> Error (`Msg (Printf.sprintf "unknown app in %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf apps ->
+        Format.fprintf ppf "%s"
+          (String.concat ","
+             (List.map (fun a -> a.Mcsim.Workload.name) apps)) )
+
+let run kinds apps instructions seed csv =
+  let params =
+    {
+      Mcsim.Engine.default_params with
+      total_instructions = instructions;
+      seed = Int64.of_int seed;
+    }
+  in
+  let results = Mcsim.Study.run_all ~params ~kinds ~apps () in
+  let t =
+    Cacti_util.Table.create
+      [
+        "app"; "config"; "IPC"; "read lat"; "L3 hit %"; "mem hier W";
+        "system W"; "exec ms"; "EDP (J.s)";
+      ]
+  in
+  let rows =
+    List.map
+      (fun (r : Mcsim.Study.app_result) ->
+        let st = r.Mcsim.Study.stats in
+        let sys = r.Mcsim.Study.sys in
+        let l3hit =
+          100.
+          *. float_of_int st.Mcsim.Stats.l3_hits
+          /. float_of_int (max 1 st.Mcsim.Stats.l3_accesses)
+        in
+        ( r.Mcsim.Study.app.Mcsim.Workload.name,
+          Mcsim.Study.kind_name r.Mcsim.Study.config.Mcsim.Study.kind,
+          Mcsim.Stats.ipc st,
+          Mcsim.Stats.avg_read_latency st,
+          l3hit,
+          Mcsim.Energy.memory_hierarchy sys.Mcsim.Energy.power,
+          sys.Mcsim.Energy.system_power,
+          sys.Mcsim.Energy.exec_seconds *. 1e3,
+          sys.Mcsim.Energy.energy_delay ))
+      results
+  in
+  List.iter
+    (fun (app, cfg, ipc, lat, hit, mh, sysw, ms, edp) ->
+      Cacti_util.Table.add_row t
+        [
+          app; cfg;
+          Cacti_util.Table.cell_f ~dec:2 ipc;
+          Cacti_util.Table.cell_f ~dec:1 lat;
+          Cacti_util.Table.cell_f ~dec:1 hit;
+          Cacti_util.Table.cell_f ~dec:2 mh;
+          Cacti_util.Table.cell_f ~dec:1 sysw;
+          Cacti_util.Table.cell_f ~dec:1 ms;
+          Printf.sprintf "%.3e" edp;
+        ])
+    rows;
+  Cacti_util.Table.print t;
+  (match csv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        "app,config,ipc,read_latency_cycles,l3_hit_pct,mem_hierarchy_w,system_w,exec_ms,edp_js\n";
+      List.iter
+        (fun (app, cfg, ipc, lat, hit, mh, sysw, ms, edp) ->
+          Printf.fprintf oc "%s,%s,%.4f,%.2f,%.2f,%.4f,%.3f,%.3f,%.6e\n" app
+            cfg ipc lat hit mh sysw ms edp)
+        rows;
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  `Ok ()
+
+let cmd =
+  let kinds =
+    Arg.(value & opt kinds_conv Mcsim.Study.all_kinds
+         & info [ "configs" ] ~docv:"LIST"
+             ~doc:"Comma-separated configurations \
+                   (nol3,sram,lp_dram_ed,lp_dram_c,cm_dram_ed,cm_dram_c).")
+  in
+  let apps =
+    Arg.(value & opt apps_conv Mcsim.Apps.all
+         & info [ "apps" ] ~docv:"LIST"
+             ~doc:"Comma-separated NPB apps (bt.C,cg.C,ft.B,is.C,lu.C,mg.B,sp.C,ua.C).")
+  in
+  let instructions =
+    Arg.(value & opt int 48_000_000
+         & info [ "instructions"; "n" ] ~doc:"Total simulated instructions per run.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write results as CSV.")
+  in
+  let term = Term.(ret (const run $ kinds $ apps $ instructions $ seed $ csv)) in
+  Cmd.v
+    (Cmd.info "llc_study" ~version:"1.0"
+       ~doc:"The paper's stacked last-level-cache study, parameterized")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/ddr_chip.ml: Cacti Cacti_tech Cacti_util Format List Printf Table Units

@@ -1,0 +1,1 @@
+examples/ddr_chip.mli:

@@ -1,0 +1,1 @@
+examples/llc_study_mini.ml: Array Cacti Cacti_tech Cacti_util List Mcsim Printf Thermal_model

@@ -1,0 +1,1 @@
+examples/llc_study_mini.mli:

@@ -1,0 +1,1 @@
+examples/power_calculator.ml: Cacti_dram Ddr_catalog Dimm Power_calc Printf

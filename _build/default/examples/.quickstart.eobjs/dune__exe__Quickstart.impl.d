@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cacti Cacti_array Cacti_tech Cacti_util Format Units

@@ -1,0 +1,1 @@
+examples/stacked_cache_explore.ml: Cacti Cacti_tech Cacti_util List Mcsim Printf Table Units

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Filename Mcsim Printf Sys

@@ -1,0 +1,62 @@
+(* Main-memory DRAM chip modeling: reproduce a commodity part and sweep the
+   technology roadmap.
+
+   Run with:  dune exec examples/ddr_chip.exe *)
+
+open Cacti_util
+
+let gbit = 1024 * 1024 * 1024
+
+let () =
+  (* A 1Gb DDR3-1066 x8 part at 78 nm — the paper's Table 2 validation
+     point.  The optimizer is steered toward area efficiency, as commodity
+     DRAM designs are (price per bit). *)
+  let m78 =
+    Cacti.Mainmem.solve
+      (Cacti.Mainmem.create
+         ~tech:(Cacti_tech.Technology.at_nm 78.)
+         ~capacity_bits:gbit ~page_bits:8192 ~interface:Cacti.Mainmem.ddr3 ())
+  in
+  Format.printf "1Gb DDR3 x8 at 78nm:\n";
+  Format.printf "  tRCD %a | CAS %a | tRAS %a | tRP %a | tRC %a | tRRD %a\n"
+    Units.pp_time m78.Cacti.Mainmem.t_rcd Units.pp_time m78.Cacti.Mainmem.t_cas
+    Units.pp_time m78.Cacti.Mainmem.t_ras Units.pp_time m78.Cacti.Mainmem.t_rp
+    Units.pp_time m78.Cacti.Mainmem.t_rc Units.pp_time m78.Cacti.Mainmem.t_rrd;
+  Format.printf "  ACT %a | RD %a | WR %a | refresh %a | standby %a\n"
+    Units.pp_energy m78.Cacti.Mainmem.e_activate Units.pp_energy
+    m78.Cacti.Mainmem.e_read Units.pp_energy m78.Cacti.Mainmem.e_write
+    Units.pp_power m78.Cacti.Mainmem.p_refresh Units.pp_power
+    m78.Cacti.Mainmem.p_standby;
+  Format.printf "  die %a at %.0f%% array efficiency\n\n" Units.pp_area
+    m78.Cacti.Mainmem.area
+    (100. *. m78.Cacti.Mainmem.area_efficiency);
+
+  (* Roadmap sweep: a 4Gb DDR4 part across the ITRS nodes.  Watch tRC stay
+     nearly flat (restore-limited) while density and energy improve — the
+     classic commodity-DRAM scaling story. *)
+  let t = Table.create
+      [ "node"; "die (mm^2)"; "tRCD (ns)"; "tRC (ns)"; "ACT (nJ)"; "RD (nJ)";
+        "refresh (mW)" ]
+  in
+  List.iter
+    (fun nm ->
+      let m =
+        Cacti.Mainmem.solve
+          (Cacti.Mainmem.create
+             ~tech:(Cacti_tech.Technology.at_nm nm)
+             ~capacity_bits:(4 * gbit) ~page_bits:8192
+             ~interface:Cacti.Mainmem.ddr4 ())
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f nm" nm;
+          Table.cell_f ~dec:0 (Units.to_mm2 m.Cacti.Mainmem.area);
+          Table.cell_f ~dec:1 (Units.to_ns m.Cacti.Mainmem.t_rcd);
+          Table.cell_f ~dec:1 (Units.to_ns m.Cacti.Mainmem.t_rc);
+          Table.cell_f ~dec:2 (Units.to_nj m.Cacti.Mainmem.e_activate);
+          Table.cell_f ~dec:2 (Units.to_nj m.Cacti.Mainmem.e_read);
+          Table.cell_f ~dec:2 (Units.to_mw m.Cacti.Mainmem.p_refresh);
+        ])
+    [ 90.; 65.; 45.; 32. ];
+  print_endline "4Gb DDR4 x8 across the roadmap:";
+  Table.print t

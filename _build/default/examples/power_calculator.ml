@@ -1,0 +1,65 @@
+(* DRAM system power calculation, Micron-calculator style (the workflow the
+   paper used to derive its Table 2 energy reference points, inverted: our
+   model produces the powers and datasheet-style IDD currents).
+
+   Run with:  dune exec examples/power_calculator.exe *)
+
+open Cacti_dram
+
+let show_breakdown label (b : Power_calc.breakdown) =
+  Printf.printf
+    "  %-28s background %6.1f mW | activate %6.1f mW | read %6.1f mW | \
+     write %5.1f mW | refresh %4.1f mW | total %7.1f mW\n"
+    label
+    (b.Power_calc.background *. 1e3)
+    (b.Power_calc.activate *. 1e3)
+    (b.Power_calc.read *. 1e3)
+    (b.Power_calc.write *. 1e3)
+    (b.Power_calc.refresh *. 1e3)
+    (b.Power_calc.total *. 1e3)
+
+let () =
+  let part = Ddr_catalog.ddr3_1066_1gb_x8 in
+  Printf.printf "part: %s (peak %.1f MB/s per chip)\n\n" part.Ddr_catalog.pname
+    (Ddr_catalog.peak_bandwidth part /. 1e6);
+  let m = Ddr_catalog.solve part in
+
+  (* Chip power under different usage conditions. *)
+  print_endline "per-chip power under usage profiles:";
+  show_breakdown "idle (80% powered down)" (Power_calc.power m part Power_calc.idle);
+  show_breakdown "typical (30% rd / 10% wr)" (Power_calc.power m part Power_calc.typical);
+  show_breakdown "streaming (60% rd, open rows)"
+    (Power_calc.power m part
+       {
+         Power_calc.read_bw_fraction = 0.6;
+         write_bw_fraction = 0.2;
+         row_hit_ratio = 0.85;
+         powered_down_fraction = 0.;
+       });
+  show_breakdown "thrashing (40% rd, closed rows)"
+    (Power_calc.power m part
+       {
+         Power_calc.read_bw_fraction = 0.4;
+         write_bw_fraction = 0.1;
+         row_hit_ratio = 0.05;
+         powered_down_fraction = 0.;
+       });
+
+  (* Datasheet-style currents for comparison with vendor numbers. *)
+  let i = Power_calc.idd_equivalents m part in
+  Printf.printf
+    "\nimplied datasheet currents: IDD0 %.0f mA | IDD2N %.0f mA | IDD4R %.0f \
+     mA | IDD4W %.0f mA | IDD5 %.0f mA\n"
+    i.Power_calc.idd0_ma i.Power_calc.idd2n_ma i.Power_calc.idd4r_ma
+    i.Power_calc.idd4w_ma i.Power_calc.idd5_ma;
+
+  (* Whole-DIMM view: the LLC study's single-ranked 8-chip DIMM. *)
+  let dimm = Dimm.create part in
+  let b = Dimm.power m dimm Power_calc.typical in
+  Printf.printf
+    "\n8-chip DIMM (%d MB, %.1f GB/s channel): %.2f W under the typical \
+     profile, plus %.1f mW of bus power at 2 mW/Gb/s\n"
+    (Dimm.capacity_bytes dimm / 1024 / 1024)
+    (Dimm.peak_bandwidth dimm /. 1e9)
+    b.Power_calc.total
+    (Dimm.bus_power dimm Power_calc.typical ~mw_per_gbps:2.0 *. 1e3)

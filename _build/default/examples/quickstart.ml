@@ -1,0 +1,61 @@
+(* Quickstart: model a cache with CACTI-D in a few lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Cacti_util
+
+let report name (c : Cacti.Cache_model.t) =
+  Format.printf "%s\n" name;
+  Format.printf "  access time        %a\n%!" Units.pp_time c.t_access;
+  Format.printf "  random cycle       %a\n" Units.pp_time c.t_random_cycle;
+  Format.printf "  interleave cycle   %a\n" Units.pp_time c.t_interleave;
+  (match c.dram with
+  | Some d ->
+      Format.printf "  tRCD/CAS/tRC       %a / %a / %a\n" Units.pp_time
+        d.Cacti_array.Bank.t_rcd Units.pp_time d.Cacti_array.Bank.t_cas
+        Units.pp_time d.Cacti_array.Bank.t_rc
+  | None -> ());
+  Format.printf "  area (total)       %a (%.0f%% efficient)\n" Units.pp_area
+    c.area
+    (100. *. c.area_efficiency);
+  Format.printf "  read energy/line   %a\n" Units.pp_energy c.e_read;
+  Format.printf "  leakage            %a\n" Units.pp_power c.p_leakage;
+  if c.p_refresh > 0. then
+    Format.printf "  refresh            %a\n" Units.pp_power c.p_refresh;
+  Format.printf "  data organization  %s\n\n"
+    (Cacti_array.Org.to_string c.data.Cacti_array.Bank.org)
+
+let () =
+  (* 1. Pick a technology node (32-90 nm; intermediate sizes interpolate). *)
+  let tech = Cacti_tech.Technology.at_nm 45. in
+
+  (* 2. Describe the cache. *)
+  let spec =
+    Cacti.Cache_spec.create ~tech ~capacity_bytes:(2 * 1024 * 1024) ~assoc:8
+      ~block_bytes:64 ()
+  in
+
+  (* 3. Solve: the optimizer walks every array organization and applies the
+     staged area/delay/energy selection of the paper's Section 2.4. *)
+  report "2MB 8-way SRAM L2 @ 45nm" (Cacti.Cache_model.solve spec);
+
+  (* The same cache as logic-process embedded DRAM: denser and less leaky,
+     at some access-time cost, plus a refresh budget. *)
+  report "2MB 8-way LP-DRAM L2 @ 45nm"
+    (Cacti.Cache_model.solve
+       (Cacti.Cache_spec.create ~tech ~capacity_bytes:(2 * 1024 * 1024)
+          ~assoc:8 ~ram:Cacti_tech.Cell.Lp_dram ()));
+
+  (* Optimizer knobs (Section 2.4): trade delay for energy. *)
+  report "2MB L2, energy-optimized"
+    (Cacti.Cache_model.solve ~params:Cacti.Opt_params.energy_optimal spec);
+
+  (* Plain scratchpad RAM, 128-bit port. *)
+  let ram =
+    Cacti.Ram_model.solve
+      (Cacti.Ram_model.create ~tech ~capacity_bytes:(256 * 1024)
+         ~word_bits:128 ())
+  in
+  Format.printf "256KB scratchpad: access %a, area %a, read %a\n"
+    Units.pp_time ram.Cacti.Ram_model.t_access Units.pp_area
+    ram.Cacti.Ram_model.area Units.pp_energy ram.Cacti.Ram_model.e_read

@@ -1,0 +1,71 @@
+(* Design-space exploration with CACTI-D: what is the best last-level cache
+   one can stack on a fixed-area die at 32 nm?
+
+   For each technology, sweep capacity until the per-bank area budget
+   (6.2 mm^2, 1/8th of the core die as in the paper) is exceeded, and
+   report the achievable capacity with its delay/energy/standby costs —
+   the tradeoff at the heart of the paper's Section 3/4.
+
+   Run with:  dune exec examples/stacked_cache_explore.exe *)
+
+open Cacti_util
+
+let budget = Mcsim.Study_config.llc_bank_area_budget
+
+let () =
+  let tech = Cacti_tech.Technology.at_nm 32. in
+  let t =
+    Table.create
+      [
+        "technology"; "capacity"; "bank area (mm^2)"; "fits?"; "access (ns)";
+        "interleave (ns)"; "read (nJ)"; "leak+refresh (W)";
+      ]
+  in
+  let try_point ram mb assoc =
+    let spec =
+      Cacti.Cache_spec.create ~tech ~capacity_bytes:(mb * 1024 * 1024) ~assoc
+        ~n_banks:8 ~ram
+        ~sleep_tx:(ram = Cacti_tech.Cell.Sram)
+        ()
+    in
+    let params =
+      if ram = Cacti_tech.Cell.Sram then Cacti.Opt_params.default
+      else Cacti.Opt_params.area_optimal
+    in
+    match Cacti.Cache_model.solve ~params spec with
+    | c ->
+        let fits = c.Cacti.Cache_model.area_per_bank <= budget in
+        Table.add_row t
+          [
+            Cacti_tech.Cell.ram_kind_to_string ram;
+            Printf.sprintf "%d MB" mb;
+            Table.cell_f ~dec:2 (Units.to_mm2 c.Cacti.Cache_model.area_per_bank);
+            (if fits then "yes" else "NO");
+            Table.cell_f ~dec:2 (Units.to_ns c.Cacti.Cache_model.t_access);
+            Table.cell_f ~dec:2 (Units.to_ns c.Cacti.Cache_model.t_interleave);
+            Table.cell_f ~dec:2 (Units.to_nj c.Cacti.Cache_model.e_read);
+            Table.cell_f ~dec:3
+              (c.Cacti.Cache_model.p_leakage +. c.Cacti.Cache_model.p_refresh);
+          ]
+    | exception (Not_found | Invalid_argument _) ->
+        Table.add_row t
+          [ Cacti_tech.Cell.ram_kind_to_string ram; Printf.sprintf "%d MB" mb;
+            "-"; "no solution" ]
+  in
+  Printf.printf
+    "LLC candidates for a 2-die stack at 32 nm (8 banks, budget %.1f mm^2 \
+     per bank):\n\n"
+    (Units.to_mm2 budget);
+  List.iter (fun mb -> try_point Cacti_tech.Cell.Sram mb 12) [ 12; 24; 36 ];
+  Table.add_sep t;
+  List.iter (fun mb -> try_point Cacti_tech.Cell.Lp_dram mb 12) [ 48; 72; 96 ];
+  Table.add_sep t;
+  List.iter
+    (fun mb -> try_point Cacti_tech.Cell.Comm_dram mb 12)
+    [ 96; 192; 288 ];
+  Table.print t;
+  print_endline
+    "Reading the table: SRAM runs out of area first; LP-DRAM doubles the\n\
+     capacity at similar speed; COMM-DRAM reaches 4-8x the SRAM capacity\n\
+     with negligible standby power but ~3x the access time - the tradeoff\n\
+     the paper's LLC study quantifies architecturally."

@@ -1,0 +1,1 @@
+lib/array/array_spec.ml: Cacti_tech Cacti_util

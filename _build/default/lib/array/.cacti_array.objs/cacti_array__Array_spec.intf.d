@@ -1,0 +1,1 @@
+lib/array/array_spec.mli: Cacti_tech

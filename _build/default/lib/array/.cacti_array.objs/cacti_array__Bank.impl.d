@@ -1,0 +1,1 @@
+lib/array/bank.ml: Area_model Array_spec Cacti_circuit Cacti_tech Cell Decoder Device Htree List Mat Org Repeater Stage Subarray Technology

@@ -1,0 +1,1 @@
+lib/array/bank.mli: Array_spec Mat Org

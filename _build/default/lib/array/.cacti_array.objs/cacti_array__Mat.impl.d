@@ -1,0 +1,1 @@
+lib/array/mat.ml: Area_model Array_spec Bitline Cacti_circuit Cacti_tech Cacti_util Cell Decoder Device Float Gate Mux Option Org Sense_amp Stage Subarray Technology

@@ -1,0 +1,1 @@
+lib/array/mat.mli: Array_spec Cacti_circuit Org Subarray

@@ -1,0 +1,1 @@
+lib/array/org.ml: Format List

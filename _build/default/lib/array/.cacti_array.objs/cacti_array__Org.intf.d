@@ -1,0 +1,1 @@
+lib/array/org.mli: Format

@@ -1,0 +1,1 @@
+lib/array/subarray.ml: Bitline Cacti_circuit Cacti_tech Cell Technology

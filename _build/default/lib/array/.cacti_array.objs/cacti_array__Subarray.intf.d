@@ -1,0 +1,1 @@
+lib/array/subarray.mli: Cacti_circuit Cacti_tech

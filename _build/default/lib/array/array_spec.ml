@@ -1,0 +1,25 @@
+type t = {
+  ram : Cacti_tech.Cell.ram_kind;
+  tech : Cacti_tech.Technology.t;
+  n_rows : int;
+  row_bits : int;
+  output_bits : int;
+  max_repeater_delay_penalty : float;
+  sleep_tx : bool;
+  page_bits : int option;
+}
+
+let create ?(max_repeater_delay_penalty = 0.) ?(sleep_tx = false) ?page_bits
+    ~ram ~tech ~n_rows ~row_bits ~output_bits () =
+  if n_rows <= 0 || row_bits <= 0 || output_bits <= 0 then
+    invalid_arg "Array_spec.create: non-positive geometry";
+  if output_bits > n_rows * row_bits then
+    invalid_arg "Array_spec.create: output wider than the array";
+  { ram; tech; n_rows; row_bits; output_bits;
+    max_repeater_delay_penalty; sleep_tx; page_bits }
+
+let capacity_bits t = t.n_rows * t.row_bits
+
+let addr_bits t =
+  let words = capacity_bits t / t.output_bits in
+  Cacti_util.Floatx.clog2 (max 2 words)

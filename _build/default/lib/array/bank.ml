@@ -1,0 +1,215 @@
+open Cacti_tech
+open Cacti_circuit
+
+type dram_timing = {
+  t_rcd : float;
+  t_cas : float;
+  t_ras : float;
+  t_rp : float;
+  t_rc : float;
+  t_rrd : float;
+}
+
+type t = {
+  spec : Array_spec.t;
+  org : Org.t;
+  mat : Mat.t;
+  n_mats : int;
+  active_mats : int;
+  width : float;
+  height : float;
+  area : float;
+  area_efficiency : float;
+  t_access : float;
+  t_random_cycle : float;
+  t_interleave : float;
+  dram : dram_timing option;
+  e_read : float;
+  e_write : float;
+  e_activate : float;
+  e_precharge : float;
+  p_leakage : float;
+  p_refresh : float;
+  n_subbanks : int;
+  pipeline_stages : int;
+}
+
+let evaluate ~spec ~org =
+  match Mat.make ~spec ~org () with
+  | None -> None
+  | Some mat ->
+      let { Array_spec.ram; tech; output_bits; _ } = spec in
+      let is_dram = Cell.is_dram ram in
+      let cell = Technology.cell tech ram in
+      let periph = Technology.peripheral_device tech ram in
+      let feature = Technology.feature_size tech in
+      let area_model =
+        Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy
+      in
+      let mats_x = Org.mats_x org and mats_y = Org.mats_y org in
+      let n_mats = mats_x * mats_y in
+      (* Main-memory page constraint: sense amps of the activated slice. *)
+      let page_ok =
+        match spec.Array_spec.page_bits with
+        | None -> true
+        | Some p -> mats_x * mat.Mat.sensed_bits = p
+      in
+      if not page_ok then None
+      else
+        let bank_w = float_of_int mats_x *. mat.Mat.width in
+        let bank_h = float_of_int mats_y *. mat.Mat.height in
+        let repeater =
+          Repeater.design ~device:periph ~area:area_model ~feature
+            ~max_delay_penalty:spec.Array_spec.max_repeater_delay_penalty
+            ~wire:(Technology.wire tech Semi_global)
+            ()
+        in
+        let htree = Htree.plan ~repeater ~bank_width:bank_w ~bank_height:bank_h in
+        let addr_bits = Array_spec.addr_bits spec + 8 in
+        let addr_link = Htree.link htree ~bits:addr_bits ~activity:1.0 () in
+        let data_out_link =
+          Htree.link htree ~bits:output_bits ~activity:0.75 ()
+        in
+        let data_in_link =
+          Htree.link htree ~bits:output_bits ~activity:0.75 ()
+        in
+        (* Port receivers/drivers at the bank boundary. *)
+        let t_port = 3. *. Technology.fo4 tech periph.Device.kind in
+        let t_htree_in = addr_link.Stage.delay +. t_port in
+        let t_htree_out = data_out_link.Stage.delay +. t_port in
+        let t_access =
+          t_htree_in +. mat.Mat.t_row_path +. mat.Mat.t_bitline
+          +. mat.Mat.t_sense +. mat.Mat.t_column_out +. t_htree_out
+        in
+        let t_local_cycle =
+          mat.Mat.t_wordline +. mat.Mat.t_bitline +. mat.Mat.t_sense
+          +. mat.Mat.t_restore +. mat.Mat.t_precharge
+        in
+        let t_random_cycle = t_local_cycle in
+        let t_htree_stage =
+          (t_htree_in +. t_htree_out) /. 6.
+        in
+        let t_interleave =
+          max
+            (mat.Mat.t_bitline +. mat.Mat.t_sense +. mat.Mat.t_column_out)
+            t_htree_stage
+        in
+        let active_mats = mats_x in
+        let fam = float_of_int active_mats in
+        (* Energies. *)
+        let e_activate =
+          addr_link.Stage.energy +. (fam *. mat.Mat.e_row_activate)
+        in
+        let e_col_read =
+          (fam *. mat.Mat.e_column_read) +. data_out_link.Stage.energy
+        in
+        let e_col_write =
+          (fam *. mat.Mat.e_column_write) +. data_in_link.Stage.energy
+        in
+        let e_precharge = fam *. mat.Mat.e_precharge in
+        let e_read, e_write =
+          if is_dram then
+            (* SRAM-like interface with auto-precharge: a random read costs
+               ACTIVATE + column read + PRECHARGE. *)
+            (e_activate +. e_col_read +. e_precharge,
+             e_activate +. e_col_write +. e_precharge)
+          else
+            (e_activate +. e_col_read, e_activate +. e_col_write)
+        in
+        (* Leakage: mats (sleep transistors halve the non-active ones) +
+           H-tree repeaters. *)
+        let sleep_factor =
+          if spec.Array_spec.sleep_tx then
+            (fam +. (float_of_int (n_mats - active_mats) *. 0.5))
+            /. float_of_int n_mats
+          else 1.0
+        in
+        let p_leakage =
+          (float_of_int n_mats *. mat.Mat.leakage *. sleep_factor)
+          +. addr_link.Stage.leakage +. data_out_link.Stage.leakage
+          +. data_in_link.Stage.leakage
+        in
+        (* Refresh. *)
+        let p_refresh =
+          if not is_dram then 0.
+          else
+            let wordlines_per_mat =
+              mat.Mat.subarray.Subarray.rows * (mat.Mat.n_subarrays / mat.Mat.horiz_subarrays)
+            in
+            let n_wordlines = wordlines_per_mat * mats_y in
+            (* Burst refresh shares command/decode overhead across rows and
+               skips the column circuitry entirely. *)
+            let refresh_efficiency = 0.75 in
+            let e_per_refresh =
+              refresh_efficiency
+              *. (fam *. (mat.Mat.e_row_activate +. mat.Mat.e_precharge))
+            in
+            float_of_int n_wordlines *. e_per_refresh
+            /. cell.Cell.retention_time
+        in
+        (* DRAM interface timings. *)
+        let dram =
+          if not is_dram then None
+          else
+            let t_rcd =
+              t_htree_in +. mat.Mat.t_row_path +. mat.Mat.t_bitline
+              +. mat.Mat.t_sense
+            in
+            let t_cas = mat.Mat.t_column_out +. t_htree_out in
+            let t_ras =
+              mat.Mat.t_row_path +. mat.Mat.t_bitline +. mat.Mat.t_sense
+              +. mat.Mat.t_restore
+            in
+            let t_rp = mat.Mat.t_precharge +. (0.3 *. mat.Mat.t_wordline) in
+            Some
+              {
+                t_rcd;
+                t_cas;
+                t_ras;
+                t_rp;
+                t_rc = t_ras +. t_rp;
+                t_rrd = t_interleave;
+              }
+        in
+        (* Area. *)
+        let htree_silicon =
+          addr_link.Stage.area +. data_out_link.Stage.area
+          +. data_in_link.Stage.area
+        in
+        let area =
+          ((bank_w *. bank_h) +. htree_silicon) *. 1.08
+        in
+        let cell_area_total =
+          float_of_int n_mats
+          *. float_of_int mat.Mat.n_subarrays
+          *. Subarray.cell_area mat.Mat.subarray
+        in
+        Some
+          {
+            spec;
+            org;
+            mat;
+            n_mats;
+            active_mats;
+            width = bank_w;
+            height = bank_h;
+            area;
+            area_efficiency = cell_area_total /. area;
+            t_access;
+            t_random_cycle;
+            t_interleave;
+            dram;
+            e_read;
+            e_write;
+            e_activate;
+            e_precharge;
+            p_leakage;
+            p_refresh;
+            n_subbanks = mats_y;
+            pipeline_stages = mat.Mat.decoder.Decoder.n_stages + 3;
+          }
+
+let enumerate ?max_ndwl ?max_ndbl spec =
+  let dram = Cell.is_dram spec.Array_spec.ram in
+  Org.candidates ?max_ndwl ?max_ndbl ~dram ()
+  |> List.filter_map (fun org -> evaluate ~spec ~org)

@@ -1,0 +1,48 @@
+(** Bank assembly: mats + H-tree + port, producing the full metric record
+    CACTI-D's optimizer ranks.
+
+    Timing model (Section 2.3.5): for SRAM-interface operation the array
+    reports access time, random cycle time and multisubbank-interleave cycle
+    time; for DRAM it additionally reports the main-memory-style timing
+    parameters tRCD, CAS latency, tRAS, tRP and tRC, with the destructive
+    readout's writeback/restore and the bitline precharge bounding the cycle
+    times. *)
+
+type dram_timing = {
+  t_rcd : float;  (** ACTIVATE to READ/WRITE, s *)
+  t_cas : float;  (** READ to data, s *)
+  t_ras : float;  (** ACTIVATE to PRECHARGE (includes restore), s *)
+  t_rp : float;  (** PRECHARGE to ACTIVATE, s *)
+  t_rc : float;  (** full row cycle: tRAS + tRP, s *)
+  t_rrd : float;  (** bank/subbank interleave bound, s *)
+}
+
+type t = {
+  spec : Array_spec.t;
+  org : Org.t;
+  mat : Mat.t;
+  n_mats : int;
+  active_mats : int;  (** mats activated per access (one horizontal slice) *)
+  width : float;
+  height : float;
+  area : float;
+  area_efficiency : float;  (** cell area / bank area *)
+  t_access : float;  (** s: address-in to data-at-port *)
+  t_random_cycle : float;  (** s: back-to-back accesses anywhere in the bank *)
+  t_interleave : float;  (** s: multisubbank interleave cycle time *)
+  dram : dram_timing option;
+  e_read : float;  (** J per read access *)
+  e_write : float;  (** J per write access *)
+  e_activate : float;  (** J per DRAM ACTIVATE (= e_read for SRAM) *)
+  e_precharge : float;  (** J per DRAM PRECHARGE *)
+  p_leakage : float;  (** W, with sleep-transistor gating if enabled *)
+  p_refresh : float;  (** W, DRAM refresh *)
+  n_subbanks : int;  (** interleavable horizontal slices *)
+  pipeline_stages : int;  (** logic depth proxy used for clocking limits *)
+}
+
+val evaluate : spec:Array_spec.t -> org:Org.t -> t option
+(** Full metrics for one candidate organization; [None] if invalid. *)
+
+val enumerate : ?max_ndwl:int -> ?max_ndbl:int -> Array_spec.t -> t list
+(** All valid organizations of the spec. *)

@@ -1,0 +1,233 @@
+open Cacti_tech
+open Cacti_circuit
+
+type t = {
+  subarray : Subarray.t;
+  n_subarrays : int;
+  horiz_subarrays : int;
+  width : float;
+  height : float;
+  area : float;
+  decoder : Decoder.t;
+  sense : Sense_amp.t;
+  n_sense_amps : int;
+  active_cols : int;
+  sensed_bits : int;
+  out_bits : int;
+  t_row_path : float;
+  t_wordline : float;
+  t_bitline : float;
+  t_sense : float;
+  t_column_out : float;
+  t_precharge : float;
+  t_restore : float;
+  e_row_activate : float;
+  e_column_read : float;
+  e_column_write : float;
+  e_precharge : float;
+  leakage : float;
+  leakage_cells : float;
+}
+
+let exact_div_f num den =
+  let q = num /. den in
+  let r = Float.round q in
+  if r >= 1. && Float.abs (q -. r) < 1e-9 then Some (int_of_float r) else None
+
+let exact_div num den = if den > 0 && num mod den = 0 then Some (num / den) else None
+
+let make ~spec ~org () =
+  let open Org in
+  let { Array_spec.ram; tech; n_rows; row_bits; output_bits; _ } = spec in
+  let cell = Technology.cell tech ram in
+  let periph = Technology.peripheral_device tech ram in
+  let feature = Technology.feature_size tech in
+  let area_model = Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy in
+  let is_dram = Cell.is_dram ram in
+  let ( let* ) = Option.bind in
+  let* rows_sub =
+    exact_div_f (float_of_int n_rows) (float_of_int org.ndbl *. org.nspd)
+  in
+  let* cols_sub =
+    exact_div_f (float_of_int row_bits *. org.nspd) (float_of_int org.ndwl)
+  in
+  if rows_sub < 16 || rows_sub > 4096 || cols_sub < 16 || cols_sub > 8192 then
+    None
+  else
+    let horiz = min org.ndwl 2 and vert = min org.ndbl 2 in
+    let mats_x = Org.mats_x org in
+    let* bits_per_mat = exact_div output_bits mats_x in
+    let* sensed =
+      exact_div (horiz * cols_sub) (if is_dram then 1 else org.deg_bl_mux)
+    in
+    let* out_bits = exact_div sensed (org.ndsam_lev1 * org.ndsam_lev2) in
+    if out_bits <> bits_per_mat then None
+    else
+      (* Sense amplifiers first (their input loading feeds the bitline). *)
+      let cell_pitch = Cell.width cell ~feature_size:feature in
+      let deg = if is_dram then 1 else org.deg_bl_mux in
+      let sense =
+        Sense_amp.make ~device:periph ~area:area_model ~feature
+          ~cell_pitch:(if is_dram then 2. *. cell_pitch else cell_pitch)
+          ~deg_bl_mux:deg ()
+      in
+      let subarray =
+        Subarray.make ~tech ~ram ~rows:rows_sub ~cols:cols_sub
+          ~c_sense_input:(sense.Sense_amp.c_input /. float_of_int deg)
+      in
+      if not (Subarray.viable subarray) then None
+      else
+        let n_subarrays = horiz * vert in
+        let active_cols = horiz * cols_sub in
+        let n_sense_amps = sensed in
+        (* Row decoder: one strip serving all wordlines of the mat; the
+           selected wordline spans the horizontal subarrays. *)
+        let wire_local = Technology.wire tech Local in
+        let c_line =
+          float_of_int horiz *. subarray.Subarray.c_wordline
+        in
+        let r_line = float_of_int horiz *. subarray.Subarray.r_wordline in
+        let n_wordlines = rows_sub * vert in
+        let decoder =
+          Decoder.decoder ~periph ~area:area_model ~feature ~wire:wire_local
+            ~n_select:n_wordlines
+            ~strip_length:(float_of_int vert *. subarray.Subarray.height)
+            ~c_line ~r_line ~v_line_swing:cell.Cell.vpp ()
+        in
+        let t_row_path = decoder.Decoder.stage.Stage.delay in
+        let t_wordline = decoder.Decoder.t_gate_drive +. decoder.Decoder.t_line in
+        (* Bitline and sensing. *)
+        let vdd_p = periph.Device.vdd in
+        let t_bitline, t_sense, t_precharge, t_restore =
+          match (subarray.Subarray.sram_bl, subarray.Subarray.dram_bl) with
+          | Some bl, None ->
+              ( bl.Bitline.t_read_develop,
+                sense.Sense_amp.amplify ~signal:bl.Bitline.swing,
+                bl.Bitline.t_precharge,
+                0. )
+          | None, Some bl ->
+              ( bl.Bitline.t_charge_share,
+                sense.Sense_amp.amplify ~signal:bl.Bitline.signal,
+                bl.Bitline.t_precharge,
+                bl.Bitline.t_restore )
+          | _ -> assert false
+        in
+        (* Column path: bitline mux (SRAM), then the two Ndsam levels. *)
+        let mux_bl =
+          Mux.pass_gate_mux ~device:periph ~area:area_model ~feature
+            ~degree:deg ~c_in_next:sense.Sense_amp.c_input ()
+        in
+        let mux1 =
+          Mux.pass_gate_mux ~device:periph ~area:area_model ~feature
+            ~degree:org.ndsam_lev1 ~c_in_next:(20. *. feature *. periph.Device.c_gate) ()
+        in
+        let mux2 =
+          Mux.pass_gate_mux ~device:periph ~area:area_model ~feature
+            ~degree:org.ndsam_lev2 ~c_in_next:(30. *. feature *. periph.Device.c_gate) ()
+        in
+        let t_column_out =
+          (if deg > 1 then mux_bl.Mux.delay else 0.)
+          +. mux1.Mux.delay +. mux2.Mux.delay
+        in
+        (* Per-mat support circuitry that CACTI folds into every mat: write
+           drivers on the output columns, address latches/receivers and the
+           self-timed control block.  Modeled as inverter-equivalents. *)
+        let ctl_inv = Gate.inverter ~area:area_model periph ~w_n:(10. *. feature) in
+        let wr_drv = Gate.inverter ~area:area_model periph ~w_n:(24. *. feature) in
+        let n_ctl = 60 + (2 * Cacti_util.Floatx.clog2 (max 2 n_wordlines)) in
+        let control_area =
+          (float_of_int n_ctl *. ctl_inv.Gate.area)
+          +. (float_of_int out_bits *. 2. *. wr_drv.Gate.area)
+        in
+        let control_leakage =
+          (float_of_int n_ctl *. ctl_inv.Gate.leakage)
+          +. (float_of_int out_bits *. 2. *. wr_drv.Gate.leakage)
+        in
+        let control_energy =
+          float_of_int n_ctl *. 0.25
+          *. Gate.switching_energy ctl_inv ~c_load:ctl_inv.Gate.c_in
+        in
+        (* Energies. *)
+        let e_bl_activate_per_col, e_bl_write_per_col, e_pre_per_col =
+          match (subarray.Subarray.sram_bl, subarray.Subarray.dram_bl) with
+          | Some bl, None ->
+              (bl.Bitline.e_read_per_column, bl.Bitline.e_write_per_column, 0.)
+          | None, Some bl ->
+              ( bl.Bitline.e_activate_per_column,
+                bl.Bitline.e_write_per_column,
+                bl.Bitline.e_precharge_per_column )
+          | _ -> assert false
+        in
+        let sensed_per_access = if is_dram then active_cols else sensed in
+        let e_row_activate =
+          decoder.Decoder.stage.Stage.energy +. control_energy
+          +. (float_of_int active_cols *. e_bl_activate_per_col)
+          +. (float_of_int sensed_per_access *. sense.Sense_amp.energy)
+        in
+        let e_column_read =
+          float_of_int out_bits
+          *. ((if deg > 1 then mux_bl.Mux.e_per_output_bit else 0.)
+             +. mux1.Mux.e_per_output_bit +. mux2.Mux.e_per_output_bit
+             +. (0.5 *. 30. *. feature *. periph.Device.c_gate *. vdd_p *. vdd_p))
+        in
+        let e_column_write =
+          float_of_int out_bits *. e_bl_write_per_col
+        in
+        let e_precharge = float_of_int active_cols *. e_pre_per_col in
+        (* Leakage. *)
+        let n_cells = rows_sub * vert * cols_sub * horiz in
+        let leakage_cells =
+          float_of_int n_cells *. cell.Cell.i_cell_leak *. cell.Cell.vdd_cell
+        in
+        let n_sa_total = if is_dram then active_cols * vert / vert else n_sense_amps in
+        let leakage_periph =
+          decoder.Decoder.stage.Stage.leakage
+          +. (float_of_int n_sa_total *. sense.Sense_amp.leakage)
+          +. (float_of_int out_bits
+             *. (mux1.Mux.leakage +. mux2.Mux.leakage
+                +. if deg > 1 then mux_bl.Mux.leakage else 0.))
+        in
+        let leakage = leakage_cells +. leakage_periph +. control_leakage in
+        (* Geometry: decoder strip between the subarray halves; sense strip
+           below. *)
+        let core_w = float_of_int horiz *. subarray.Subarray.width in
+        let core_h = float_of_int vert *. subarray.Subarray.height in
+        let dec_strip_w = decoder.Decoder.stage.Stage.area /. core_h in
+        let sa_area =
+          (float_of_int n_sa_total *. sense.Sense_amp.area)
+          +. (float_of_int out_bits
+             *. (mux1.Mux.area_per_output_bit +. mux2.Mux.area_per_output_bit))
+          +. float_of_int sensed
+             *. (if deg > 1 then mux_bl.Mux.area_per_output_bit /. float_of_int deg else 0.)
+        in
+        let sa_strip_h = (sa_area +. control_area) /. core_w in
+        let width = core_w +. dec_strip_w in
+        let height = core_h +. sa_strip_h in
+        Some
+          {
+            subarray;
+            n_subarrays;
+            horiz_subarrays = horiz;
+            width;
+            height;
+            area = width *. height;
+            decoder;
+            sense;
+            n_sense_amps = n_sa_total;
+            active_cols;
+            sensed_bits = sensed_per_access;
+            out_bits;
+            t_row_path;
+            t_wordline;
+            t_bitline;
+            t_sense;
+            t_column_out;
+            t_precharge;
+            t_restore;
+            e_row_activate;
+            e_column_read;
+            e_column_write;
+            e_precharge;
+            leakage;
+            leakage_cells;
+          }

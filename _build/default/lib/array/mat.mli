@@ -1,0 +1,39 @@
+(** A mat: up to 2×2 subarrays around a central row-decode strip, with
+    pitch-matched sense amplifiers and output muxing along the bottom.
+
+    The mat is where the row path (predecode → decode → wordline), the
+    column path (bitline → sense amp → output muxes) and the local strips'
+    area live.  The bank composes mats with an H-tree. *)
+
+type t = {
+  subarray : Subarray.t;
+  n_subarrays : int;  (** 1, 2 or 4 *)
+  horiz_subarrays : int;  (** 1 or 2: subarrays sharing the wordline *)
+  width : float;
+  height : float;
+  area : float;
+  decoder : Cacti_circuit.Decoder.t;
+  sense : Cacti_circuit.Sense_amp.t;
+  n_sense_amps : int;  (** per mat *)
+  active_cols : int;  (** columns whose bitlines swing on an access *)
+  sensed_bits : int;  (** columns actually sensed per access *)
+  out_bits : int;  (** bits the mat delivers after Ndsam muxing *)
+  t_row_path : float;  (** s: predec + decode + wordline *)
+  t_wordline : float;  (** s: wordline component only *)
+  t_bitline : float;  (** s: develop (SRAM) / charge-share (DRAM) *)
+  t_sense : float;
+  t_column_out : float;  (** s: mux traversal to the mat port *)
+  t_precharge : float;
+  t_restore : float;  (** DRAM writeback; 0 for SRAM *)
+  e_row_activate : float;  (** J: decode + wordline + bitlines + sense *)
+  e_column_read : float;  (** J: mux path + output for [out_bits] *)
+  e_column_write : float;  (** J: driving writes for [out_bits] columns *)
+  e_precharge : float;
+  leakage : float;  (** W: mat periphery + cells *)
+  leakage_cells : float;  (** W: cell portion (sleep-gateable) *)
+}
+
+val make : spec:Array_spec.t -> org:Org.t -> unit -> t option
+(** [None] when the organization is geometrically or electrically invalid
+    for the spec (non-integer tiling, DRAM signal too small, mux chain not
+    matching the output width, etc.). *)

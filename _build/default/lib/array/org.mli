@@ -1,0 +1,34 @@
+(** Array-partitioning parameters — the design space CACTI-D's optimizer
+    walks.
+
+    A bank is divided into [ndwl × ndbl] subarrays (grouped four to a mat);
+    [nspd] stretches how many logical rows share a physical wordline; the
+    column path is reduced by a bitline mux of degree [deg_bl_mux] and two
+    levels of sense-amp output muxing. *)
+
+type t = {
+  ndwl : int;  (** wordline divisions (subarray columns across the bank) *)
+  ndbl : int;  (** bitline divisions (subarray rows down the bank) *)
+  nspd : float;  (** row aspect scaling; power of two in [1/8, 8] *)
+  deg_bl_mux : int;  (** bitline pairs sharing one sense amp *)
+  ndsam_lev1 : int;  (** sense-amp output mux, first level *)
+  ndsam_lev2 : int;  (** sense-amp output mux, second level *)
+}
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val mats_x : t -> int
+(** Mats across: [max 1 (ndwl/2)]. *)
+
+val mats_y : t -> int
+val n_mats : t -> int
+
+val subarrays_per_mat : t -> int
+(** 4 in the interior (2×2), fewer for degenerate ndwl/ndbl = 1. *)
+
+val candidates :
+  ?max_ndwl:int -> ?max_ndbl:int -> dram:bool -> unit -> t list
+(** The enumeration grid.  For DRAM arrays [deg_bl_mux] is fixed at 1 —
+    every folded bitline pair owns a sense amplifier, because an ACTIVATE
+    must latch the whole row for writeback. *)

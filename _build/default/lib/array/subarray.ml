@@ -1,0 +1,39 @@
+open Cacti_tech
+open Cacti_circuit
+
+type t = {
+  rows : int;
+  cols : int;
+  width : float;
+  height : float;
+  cell : Cell.t;
+  c_wordline : float;
+  r_wordline : float;
+  sram_bl : Bitline.sram option;
+  dram_bl : Bitline.dram option;
+}
+
+let make ~tech ~ram ~rows ~cols ~c_sense_input =
+  let cell = Technology.cell tech ram in
+  let feature = Technology.feature_size tech in
+  let periph = Technology.peripheral_device tech ram in
+  let width = float_of_int cols *. Cell.width cell ~feature_size:feature in
+  let height = float_of_int rows *. Cell.height cell ~feature_size:feature in
+  let c_wordline = float_of_int cols *. cell.Cell.c_wl_per_cell in
+  let r_wordline = float_of_int cols *. cell.Cell.r_wl_per_cell in
+  let sram_bl, dram_bl =
+    if Cell.is_dram ram then
+      ( None,
+        Some (Bitline.dram ~cell ~periph ~feature ~rows ~c_sense_input) )
+    else
+      ( Some (Bitline.sram ~cell ~periph ~feature ~rows ~c_sense_input),
+        None )
+  in
+  { rows; cols; width; height; cell; c_wordline; r_wordline; sram_bl; dram_bl }
+
+let viable t =
+  match t.dram_bl with
+  | None -> true
+  | Some bl -> bl.Bitline.viable
+
+let cell_area t = t.width *. t.height

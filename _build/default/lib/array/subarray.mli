@@ -1,0 +1,27 @@
+(** One subarray: a contiguous block of cells sharing wordlines and
+    bitlines, the atomic tile of the organization. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  width : float;  (** m *)
+  height : float;  (** m *)
+  cell : Cacti_tech.Cell.t;
+  c_wordline : float;  (** F, across this subarray *)
+  r_wordline : float;  (** Ω *)
+  sram_bl : Cacti_circuit.Bitline.sram option;
+  dram_bl : Cacti_circuit.Bitline.dram option;
+}
+
+val make :
+  tech:Cacti_tech.Technology.t ->
+  ram:Cacti_tech.Cell.ram_kind ->
+  rows:int ->
+  cols:int ->
+  c_sense_input:float ->
+  t
+
+val viable : t -> bool
+(** DRAM subarrays must develop enough charge-share signal. *)
+
+val cell_area : t -> float

@@ -1,0 +1,1 @@
+lib/circuit/area_model.mli:

@@ -1,0 +1,1 @@
+lib/circuit/bitline.ml: Cacti_tech Cell Device

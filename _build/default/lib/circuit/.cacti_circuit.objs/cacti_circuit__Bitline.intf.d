@@ -1,0 +1,1 @@
+lib/circuit/bitline.mli: Cacti_tech

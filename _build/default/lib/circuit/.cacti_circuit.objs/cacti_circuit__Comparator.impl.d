@@ -1,0 +1,1 @@
+lib/circuit/comparator.ml: Gate Horowitz

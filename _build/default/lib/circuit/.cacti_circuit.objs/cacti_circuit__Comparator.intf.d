@@ -1,0 +1,1 @@
+lib/circuit/comparator.mli: Area_model Cacti_tech

@@ -1,0 +1,1 @@
+lib/circuit/crossbar.ml: Cacti_tech Device Repeater Stage Wire

@@ -1,0 +1,1 @@
+lib/circuit/crossbar.mli: Area_model Cacti_tech

@@ -1,0 +1,1 @@
+lib/circuit/decoder.ml: Cacti_tech Cacti_util Device Driver Gate Horowitz Stage Wire

@@ -1,0 +1,1 @@
+lib/circuit/decoder.mli: Area_model Cacti_tech Stage

@@ -1,0 +1,1 @@
+lib/circuit/driver.ml: Cacti_tech Device Gate Horowitz List Logical_effort Stage

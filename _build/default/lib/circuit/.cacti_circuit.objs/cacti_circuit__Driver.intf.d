@@ -1,0 +1,1 @@
+lib/circuit/driver.mli: Area_model Cacti_tech Stage

@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Area_model Cacti_tech Device List

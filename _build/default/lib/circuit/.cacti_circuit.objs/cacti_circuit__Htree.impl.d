@@ -1,0 +1,1 @@
+lib/circuit/htree.ml: Repeater Stage

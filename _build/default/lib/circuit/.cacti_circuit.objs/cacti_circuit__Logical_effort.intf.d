@@ -1,0 +1,1 @@
+lib/circuit/logical_effort.mli:

@@ -1,0 +1,1 @@
+lib/circuit/mux.ml: Area_model Cacti_tech Device

@@ -1,0 +1,1 @@
+lib/circuit/mux.mli: Area_model Cacti_tech

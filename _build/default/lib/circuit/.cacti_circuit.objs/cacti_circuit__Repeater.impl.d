@@ -1,0 +1,1 @@
+lib/circuit/repeater.ml: Area_model Cacti_tech Device Float List Stage Wire

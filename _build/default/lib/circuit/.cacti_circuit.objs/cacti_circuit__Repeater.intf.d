@@ -1,0 +1,1 @@
+lib/circuit/repeater.mli: Area_model Cacti_tech Stage

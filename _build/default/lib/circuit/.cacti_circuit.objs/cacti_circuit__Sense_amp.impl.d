@@ -1,0 +1,1 @@
+lib/circuit/sense_amp.ml: Area_model Cacti_tech Cacti_util Device

@@ -1,0 +1,1 @@
+lib/circuit/sense_amp.mli: Area_model Cacti_tech

@@ -1,0 +1,1 @@
+lib/circuit/tsv.ml: Cacti_tech Driver Gate Horowitz Stage

@@ -1,0 +1,1 @@
+lib/circuit/tsv.mli: Area_model Cacti_tech Stage

@@ -1,0 +1,107 @@
+open Cacti_tech
+
+type sram = {
+  c_bitline : float;
+  r_bitline : float;
+  swing : float;
+  t_read_develop : float;
+  t_write : float;
+  t_precharge : float;
+  e_read_per_column : float;
+  e_write_per_column : float;
+  leakage_per_column : float;
+}
+
+let precharge_resistance (periph : Device.t) ~feature =
+  (* Precharge/equalize PMOS of 12 F width. *)
+  Device.r_sw_p periph /. (12. *. feature)
+
+let write_driver_resistance (periph : Device.t) ~feature =
+  Device.r_sw_n periph /. (24. *. feature)
+
+let sram ~cell ~periph ~feature ~rows ~c_sense_input =
+  let n = float_of_int rows in
+  let c_bitline = (n *. cell.Cell.c_bl_per_cell) +. c_sense_input in
+  let r_bitline = n *. cell.Cell.r_bl_per_cell in
+  let swing = Cell.sense_signal cell ~c_bitline in
+  let vdd = cell.Cell.vdd_cell in
+  let t_read_develop =
+    (c_bitline *. swing /. cell.Cell.i_cell_on)
+    +. (0.38 *. r_bitline *. c_bitline)
+  in
+  let r_wr = write_driver_resistance periph ~feature in
+  let t_write = 0.69 *. (r_wr +. (0.5 *. r_bitline)) *. c_bitline in
+  let r_pre = precharge_resistance periph ~feature in
+  let t_precharge = 0.69 *. (r_pre +. (0.5 *. r_bitline)) *. c_bitline in
+  (* Read: both lines of the pair swing by [swing] and are restored. *)
+  let e_read_per_column = 2. *. c_bitline *. swing *. vdd in
+  (* Write: one line discharged fully and precharged back. *)
+  let e_write_per_column = c_bitline *. vdd *. vdd in
+  let leakage_per_column = n *. cell.Cell.i_cell_leak *. vdd in
+  {
+    c_bitline;
+    r_bitline;
+    swing;
+    t_read_develop;
+    t_write;
+    t_precharge;
+    e_read_per_column;
+    e_write_per_column;
+    leakage_per_column;
+  }
+
+type dram = {
+  c_bitline : float;
+  signal : float;
+  viable : bool;
+  t_charge_share : float;
+  t_restore : float;
+  t_precharge : float;
+  e_activate_per_column : float;
+  e_precharge_per_column : float;
+  e_write_per_column : float;
+  leakage_per_column : float;
+}
+
+let dram ~cell ~periph ~feature ~rows ~c_sense_input =
+  let n = float_of_int rows in
+  let c_bitline = (n *. cell.Cell.c_bl_per_cell) +. c_sense_input in
+  let r_bitline = n *. cell.Cell.r_bl_per_cell in
+  let signal = Cell.sense_signal cell ~c_bitline in
+  let viable = signal >= Cell.min_sense_signal in
+  let cs = cell.Cell.storage_cap in
+  let vdd = cell.Cell.vdd_cell in
+  (* Access transistor is strongly on (gate at VPP) during charge share. *)
+  let r_access = 0.15 *. vdd /. cell.Cell.i_cell_on in
+  let c_eq = cs *. c_bitline /. (cs +. c_bitline) in
+  let t_charge_share =
+    2.3 *. (r_access +. (0.5 *. r_bitline)) *. c_eq
+  in
+  let t_restore =
+    Cell.restore_time cell +. (0.38 *. r_bitline *. c_bitline)
+  in
+  let r_pre = precharge_resistance periph ~feature in
+  let t_precharge = 0.69 *. (r_pre +. (0.5 *. r_bitline)) *. c_bitline in
+  (* ACTIVATE: the bitline pair, precharged at VDD/2, splits to the rails
+     (each line moves VDD/2); the storage capacitor is restored to full
+     level (half the cells on average need the full-VDD recharge). *)
+  let e_bitline_pair = 1.2 *. c_bitline *. vdd *. vdd /. 2. in
+  let e_restore = 0.75 *. cs *. vdd *. vdd in
+  let e_activate_per_column = e_bitline_pair +. e_restore in
+  (* Equalization recovers most of the charge; residual pump losses. *)
+  let e_precharge_per_column = 0.12 *. c_bitline *. vdd *. vdd in
+  let e_write_per_column = (c_bitline +. cs) *. vdd *. vdd /. 2. in
+  let leakage_per_column = n *. cell.Cell.i_cell_leak *. vdd in
+  ignore periph;
+  {
+    c_bitline;
+    signal;
+    viable;
+    t_charge_share;
+    t_restore;
+    t_precharge;
+    e_activate_per_column;
+    e_precharge_per_column;
+    e_write_per_column;
+    leakage_per_column;
+  }

@@ -1,0 +1,53 @@
+(** Bitline models.
+
+    SRAM bitlines develop a small differential swing driven by the cell's
+    read current and are sensed; writes drive full swing.  DRAM bitlines
+    (folded array) are precharged to VDD/2; an activate charge-shares the
+    storage capacitor onto the bitline (destroying the cell contents),
+    the sense amplifier regenerates full swing, and the data is written back
+    (restored) before the bitlines can be precharged again — these
+    operations bound tRAS/tRP/tRC. *)
+
+type sram = {
+  c_bitline : float;  (** F, one bitline *)
+  r_bitline : float;  (** Ω, end to end *)
+  swing : float;  (** read sensing swing, V *)
+  t_read_develop : float;  (** s, to develop the sensing swing *)
+  t_write : float;  (** s, full-swing write *)
+  t_precharge : float;  (** s *)
+  e_read_per_column : float;  (** J per accessed column (pair) per read *)
+  e_write_per_column : float;
+  leakage_per_column : float;  (** W: cell leakage of the column's cells *)
+}
+
+val sram :
+  cell:Cacti_tech.Cell.t ->
+  periph:Cacti_tech.Device.t ->
+  feature:float ->
+  rows:int ->
+  c_sense_input:float ->
+  sram
+
+type dram = {
+  c_bitline : float;
+  signal : float;  (** V available to the sense amp *)
+  viable : bool;  (** signal exceeds the sensing margin *)
+  t_charge_share : float;  (** s, cell dump onto the bitline *)
+  t_restore : float;  (** s, writeback after destructive read *)
+  t_precharge : float;  (** s, back to VDD/2 *)
+  e_activate_per_column : float;  (** J per bitline on ACTIVATE (incl. cell
+                                      restore charge) *)
+  e_precharge_per_column : float;
+  e_write_per_column : float;  (** extra energy to flip a column on WRITE *)
+  leakage_per_column : float;  (** storage-node leak integrated per column;
+                                   bookkeeping only (refresh power is modeled
+                                   from activate energy) *)
+}
+
+val dram :
+  cell:Cacti_tech.Cell.t ->
+  periph:Cacti_tech.Device.t ->
+  feature:float ->
+  rows:int ->
+  c_sense_input:float ->
+  dram

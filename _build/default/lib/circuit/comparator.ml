@@ -1,0 +1,45 @@
+type t = { delay : float; energy : float; leakage : float; area : float }
+
+let make ~device ~area ~feature ~bits =
+  assert (bits >= 1);
+  let w = 4. *. feature in
+  let xor_stage = Gate.nand ~area ~fan_in:2 device ~w_n:w in
+  (* XOR built from two NAND-equivalent stages. *)
+  let tf = Gate.tf xor_stage ~c_load:(2. *. xor_stage.Gate.c_in) in
+  let t_xor =
+    2.
+    *. Horowitz.delay ~input_ramp:0. ~tf
+         ~v_th_fraction:xor_stage.Gate.v_th_fraction
+  in
+  let depth =
+    let rec go n acc = if n <= 1 then acc else go ((n + 3) / 4) (acc + 1) in
+    go bits 0
+  in
+  let tree_gate = Gate.nand ~area ~fan_in:4 device ~w_n:w in
+  let tf_tree = Gate.tf tree_gate ~c_load:tree_gate.Gate.c_in in
+  let t_tree =
+    float_of_int depth
+    *. Horowitz.delay ~input_ramp:0. ~tf:tf_tree
+         ~v_th_fraction:tree_gate.Gate.v_th_fraction
+  in
+  let n_tree_gates =
+    let rec go n acc = if n <= 1 then acc else go ((n + 3) / 4) (acc + ((n + 3) / 4)) in
+    go bits 0
+  in
+  let e_xor =
+    float_of_int bits *. 2. *. 0.5
+    *. Gate.switching_energy xor_stage ~c_load:(2. *. xor_stage.Gate.c_in)
+  in
+  let e_tree =
+    float_of_int n_tree_gates *. 0.5
+    *. Gate.switching_energy tree_gate ~c_load:tree_gate.Gate.c_in
+  in
+  let leakage =
+    (float_of_int (2 * bits) *. xor_stage.Gate.leakage)
+    +. (float_of_int n_tree_gates *. tree_gate.Gate.leakage)
+  in
+  let area_total =
+    (float_of_int (2 * bits) *. xor_stage.Gate.area)
+    +. (float_of_int n_tree_gates *. tree_gate.Gate.area)
+  in
+  { delay = t_xor +. t_tree; energy = e_xor +. e_tree; leakage; area = area_total }

@@ -1,0 +1,16 @@
+(** Tag comparator: per-bit XOR followed by a fan-in-4 combining tree,
+    producing the way-hit signal of a set-associative cache. *)
+
+type t = {
+  delay : float;  (** s from tag data to match signal *)
+  energy : float;  (** J per comparison *)
+  leakage : float;  (** W *)
+  area : float;  (** m² *)
+}
+
+val make :
+  device:Cacti_tech.Device.t ->
+  area:Area_model.t ->
+  feature:float ->
+  bits:int ->
+  t

@@ -1,0 +1,30 @@
+(** Matrix crossbar model (after Orion, Wang et al., MICRO 2002), used for
+    the L2–L3 interconnect of the LLC study.
+
+    An [n_in × n_out] crossbar of [bits]-wide ports: input wires span the
+    output dimension and vice versa; each crosspoint adds a pass-transistor
+    junction load.  Delay is driver + repeated-wire flight + crosspoint;
+    energy is per [bits]-wide transfer. *)
+
+type t = {
+  delay : float;  (** s, port to port *)
+  e_per_transfer : float;  (** J per [bits]-wide transfer *)
+  leakage : float;  (** W, whole crossbar *)
+  area : float;  (** m² *)
+}
+
+val design :
+  device:Cacti_tech.Device.t ->
+  area:Area_model.t ->
+  feature:float ->
+  wire:Cacti_tech.Wire.t ->
+  ?max_repeater_delay_penalty:float ->
+  n_in:int ->
+  n_out:int ->
+  bits:int ->
+  span:float ->
+  unit ->
+  t
+(** [span] is the physical extent the crossbar wires must cross in each
+    dimension (e.g. the width of the 8-bank die region, measured from the
+    Niagara2 die photo and scaled, in the paper's study). *)

@@ -1,0 +1,37 @@
+(** Row/column decoders sized with the method of logical effort
+    (after Amrutur & Horowitz, as in CACTI).
+
+    Structure: 2-bit predecode NAND blocks drive predecode lines spanning the
+    decoder strip; a final NAND per row combines the predecode lines and
+    feeds a pitch-matched wordline driver chain, which drives the (possibly
+    VPP-boosted) wordline across the subarray.  The same block describes
+    column-select and mux-select decoding with the select line as the
+    "wordline". *)
+
+type t = {
+  stage : Stage.t;
+      (** total: delay to the far end of the selected line; energy per
+          access; leakage of the whole decoder; layout area *)
+  t_predecode : float;  (** s, through predecode *)
+  t_gate_drive : float;  (** s, final NAND + driver chain *)
+  t_line : float;  (** s, select-line RC flight *)
+  n_stages : int;  (** pipeline-relevant logic depth *)
+}
+
+val decoder :
+  periph:Cacti_tech.Device.t ->
+  area:Area_model.t ->
+  feature:float ->
+  wire:Cacti_tech.Wire.t ->
+  n_select:int ->
+  strip_length:float ->
+  c_line:float ->
+  r_line:float ->
+  ?v_line_swing:float ->
+  ?input_ramp:float ->
+  unit ->
+  t
+(** [n_select] lines, one active per access; predecode lines run
+    [strip_length] meters; the selected line presents [c_line]/[r_line]
+    and swings to [v_line_swing] (default the peripheral VDD — pass the
+    cell's VPP for DRAM wordlines). *)

@@ -1,0 +1,24 @@
+(** H-tree distribution network connecting the bank port to its mats.
+
+    Addresses are broadcast down the tree and data is collected back up; the
+    worst-case path (port to the farthest mat) sets the bank's H-tree delay,
+    and the driven path length times the bus width sets its energy.  Links
+    are built on a {!Repeater} design, so the Section-2.4
+    [max repeater delay] knob applies here. *)
+
+type t = {
+  length_worst : float;  (** m, port to farthest mat *)
+  length_average : float;  (** m, averaged over mats *)
+  repeater : Repeater.t;
+}
+
+val plan :
+  repeater:Repeater.t -> bank_width:float -> bank_height:float -> t
+(** Tree over a bank of the given dimensions, port at the mid-bottom edge. *)
+
+val link :
+  t -> ?worst:bool -> bits:int -> activity:float -> unit -> Stage.t
+(** Metrics of moving [bits] (with the given switching [activity]) along the
+    tree once: delay is the (worst or average) path flight; energy covers
+    the driven path for all bits; leakage covers the full tree's repeaters
+    for all bits. *)

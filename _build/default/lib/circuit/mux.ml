@@ -1,0 +1,29 @@
+open Cacti_tech
+
+type t = {
+  delay : float;
+  c_select_line : float;
+  e_per_output_bit : float;
+  leakage : float;
+  area_per_output_bit : float;
+}
+
+let pass_gate_mux ~device ~area ~feature ~degree ~c_in_next () =
+  assert (degree >= 1);
+  let d = device in
+  let w = 6. *. feature in
+  let r_pass = Device.r_sw_n d /. w *. 0.7 (* transmission gate, both on *) in
+  let c_junction = w *. d.Device.c_drain in
+  (* Output node sees the junctions of all [degree] pass gates. *)
+  let c_out = (float_of_int degree *. c_junction) +. c_in_next in
+  let delay = 0.69 *. r_pass *. c_out in
+  let c_select_line = 2. *. w *. d.Device.c_gate in
+  let vdd = d.Device.vdd in
+  let e_per_output_bit = 0.5 *. c_out *. vdd *. vdd in
+  let leakage =
+    0.5 *. float_of_int degree *. d.Device.i_off_n *. w *. vdd
+  in
+  let area_per_output_bit =
+    float_of_int degree *. Area_model.gate_area area [ w; w ]
+  in
+  { delay; c_select_line; e_per_output_bit; leakage; area_per_output_bit }

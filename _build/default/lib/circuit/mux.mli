@@ -1,0 +1,23 @@
+(** Pass-gate column/output multiplexers.
+
+    Bitline muxes (degree [deg_bl_mux]) connect groups of bitline pairs to a
+    sense amplifier; sense-amp output muxes (the two Ndsam levels) select
+    which sensed data reaches the subarray output bus. *)
+
+type t = {
+  delay : float;  (** s through the selected pass gate *)
+  c_select_line : float;  (** F presented to the select decoder, per line *)
+  e_per_output_bit : float;  (** J per selected output bit *)
+  leakage : float;  (** W for the whole mux column of one output bit *)
+  area_per_output_bit : float;  (** m² *)
+}
+
+val pass_gate_mux :
+  device:Cacti_tech.Device.t ->
+  area:Area_model.t ->
+  feature:float ->
+  degree:int ->
+  c_in_next:float ->
+  unit ->
+  t
+(** [degree]-to-1 mux per output bit, loaded by [c_in_next]. *)

@@ -1,0 +1,27 @@
+(** Latch-type differential sense amplifier.
+
+    Amplification time follows the standard regenerative-latch model
+    [t = (C_latch / g_m) · ln(V_full / V_signal)]: the smaller the input
+    signal developed on the bitlines, the longer amplification takes.  The
+    layout is pitch-matched: one amplifier must fit under
+    [deg_bl_mux] bitline-pair pitches, folding if necessary. *)
+
+type t = {
+  c_input : float;  (** loading each bitline sees from the amp, F *)
+  amplify : signal:float -> float;  (** s, to full swing from [signal] V *)
+  energy : float;  (** J per sensing operation *)
+  leakage : float;  (** W *)
+  area : float;  (** m² *)
+}
+
+val make :
+  device:Cacti_tech.Device.t ->
+  area:Area_model.t ->
+  feature:float ->
+  cell_pitch:float ->
+  deg_bl_mux:int ->
+  unit ->
+  t
+(** [cell_pitch] is the memory-cell width (one bitline pitch for an open
+    array, two for folded DRAM — the caller passes the effective pitch the
+    amplifier column occupies). *)

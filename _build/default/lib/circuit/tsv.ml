@@ -1,0 +1,45 @@
+type t = {
+  delay : float;
+  energy_per_bit : float;
+  area_per_via : float;
+  c_via : float;
+}
+
+let make ~device ~area ~feature ~c_via ~pitch =
+  let d : Cacti_tech.Device.t = device in
+  (* One appropriately sized stage: the via itself is nearly free and the
+     study's face-to-face links are cited as sub-FO4. *)
+  let drv =
+    Driver.chain ~device:d ~area ~feature ~w_n_first:(16. *. feature)
+      ~c_load:c_via ()
+  in
+  let recv = Gate.inverter ~area d ~w_n:(6. *. feature) in
+  let tf = Gate.tf recv ~c_load:recv.Gate.c_in in
+  let t_recv =
+    Horowitz.delay ~input_ramp:drv.Driver.output_ramp ~tf
+      ~v_th_fraction:recv.Gate.v_th_fraction
+  in
+  let vdd = d.Cacti_tech.Device.vdd in
+  {
+    delay = drv.Driver.stage.Stage.delay +. t_recv;
+    energy_per_bit =
+      drv.Driver.stage.Stage.energy +. (recv.Gate.c_in *. vdd *. vdd);
+    area_per_via = pitch *. pitch;
+    c_via;
+  }
+
+let face_to_face ~device ~area ~feature () =
+  make ~device ~area ~feature ~c_via:15e-15 ~pitch:25e-6
+
+let through_silicon ~device ~area ~feature ?(length = 50e-6) () =
+  (* ~0.5 fF/µm of depth plus landing pads. *)
+  let c_via = (0.5e-15 /. 1e-6 *. length) +. 20e-15 in
+  make ~device ~area ~feature ~c_via ~pitch:40e-6
+
+let bus t ~bits ~activity =
+  {
+    Stage.delay = t.delay;
+    energy = float_of_int bits *. activity *. t.energy_per_bit;
+    leakage = 0.;
+    area = float_of_int bits *. t.area_per_via;
+  }

@@ -1,0 +1,35 @@
+(** Through-silicon vias for die stacking.
+
+    The study's system stacks the L3 die face-to-face on the core die using
+    TSV technology "with sub-FO4 communication delays" (after Puttaswamy &
+    Loh).  A via is electrically a short fat wire: tiny resistance, a few
+    tens of fF of sidewall capacitance, plus the driver/receiver pair. *)
+
+type t = {
+  delay : float;  (** s, driver + via + receiver *)
+  energy_per_bit : float;  (** J per transition *)
+  area_per_via : float;  (** m², keep-out included *)
+  c_via : float;  (** F *)
+}
+
+val face_to_face :
+  device:Cacti_tech.Device.t ->
+  area:Area_model.t ->
+  feature:float ->
+  unit ->
+  t
+(** Face-to-face microbump/via: ~25 µm pitch, ~15 fF, essentially
+    resistance-free. *)
+
+val through_silicon :
+  device:Cacti_tech.Device.t ->
+  area:Area_model.t ->
+  feature:float ->
+  ?length:float ->
+  unit ->
+  t
+(** A full TSV through a thinned die (default 50 µm): larger capacitance
+    and keep-out than face-to-face bonding. *)
+
+val bus : t -> bits:int -> activity:float -> Stage.t
+(** Metrics of one [bits]-wide transfer across the interface. *)

@@ -1,0 +1,1 @@
+lib/core/cache_model.ml: Area_model Array_spec Bank Cache_spec Cacti_array Cacti_circuit Cacti_tech Comparator Device Float List Opt_params Optimizer Technology

@@ -1,0 +1,1 @@
+lib/core/cache_model.mli: Cache_spec Cacti_array Cacti_circuit Opt_params

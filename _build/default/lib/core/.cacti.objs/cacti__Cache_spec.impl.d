@@ -1,0 +1,1 @@
+lib/core/cache_spec.ml: Cacti_tech Cacti_util

@@ -1,0 +1,1 @@
+lib/core/cache_spec.mli: Cacti_tech

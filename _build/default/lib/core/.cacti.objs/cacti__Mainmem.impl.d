@@ -1,0 +1,1 @@
+lib/core/mainmem.ml: Array_spec Bank Cacti_array Cacti_circuit Cacti_tech Opt_params Optimizer

@@ -1,0 +1,1 @@
+lib/core/mainmem.mli: Cacti_array Cacti_tech Opt_params

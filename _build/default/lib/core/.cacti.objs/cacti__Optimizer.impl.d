@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Bank Cacti_array Float List Opt_params

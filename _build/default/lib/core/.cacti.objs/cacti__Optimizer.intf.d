@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Cacti_array Opt_params

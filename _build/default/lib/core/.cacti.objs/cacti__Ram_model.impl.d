@@ -1,0 +1,1 @@
+lib/core/ram_model.ml: Array_spec Bank Cacti_array Cacti_tech Opt_params Optimizer

@@ -1,0 +1,1 @@
+lib/core/ram_model.mli: Cacti_array Cacti_tech Opt_params

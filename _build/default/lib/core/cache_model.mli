@@ -1,0 +1,29 @@
+(** Cache solver: separately optimized data and tag arrays combined under
+    the chosen access mode. *)
+
+type t = {
+  spec : Cache_spec.t;
+  data : Cacti_array.Bank.t;  (** one data bank *)
+  tag : Cacti_array.Bank.t;  (** one tag bank *)
+  comparator : Cacti_circuit.Comparator.t;
+  t_access : float;  (** s, full cache read (hit) *)
+  t_random_cycle : float;
+  t_interleave : float;
+  dram : Cacti_array.Bank.dram_timing option;
+  e_read : float;  (** J per cache-line read, tags included *)
+  e_write : float;
+  p_leakage : float;  (** W, all banks *)
+  p_refresh : float;  (** W, all banks *)
+  area : float;  (** m², all banks *)
+  area_per_bank : float;
+  area_efficiency : float;
+  pipeline_stages : int;
+}
+
+val solve : ?params:Opt_params.t -> Cache_spec.t -> t
+(** Optimizer-selected solution.  Raises [Not_found] when no valid
+    organization exists. *)
+
+val solve_space : ?params:Opt_params.t -> Cache_spec.t -> t list
+(** All combined solutions passing the staged constraints with the tag array
+    fixed to its optimum — the population behind the Figure 1 bubbles. *)

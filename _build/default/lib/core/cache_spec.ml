@@ -1,0 +1,51 @@
+type access_mode = Normal | Sequential | Fast
+
+type t = {
+  capacity_bytes : int;
+  block_bytes : int;
+  assoc : int;
+  n_banks : int;
+  ram : Cacti_tech.Cell.ram_kind;
+  tag_ram : Cacti_tech.Cell.ram_kind;
+  access_mode : access_mode;
+  phys_addr_bits : int;
+  status_bits : int;
+  sleep_tx : bool;
+  tech : Cacti_tech.Technology.t;
+}
+
+let create ?(block_bytes = 64) ?(assoc = 8) ?(n_banks = 1) ?(ram = Cacti_tech.Cell.Sram)
+    ?tag_ram ?(access_mode = Normal)
+    ?(phys_addr_bits = 42) ?(status_bits = 2) ?(sleep_tx = false) ~tech
+    ~capacity_bytes () =
+  if not (Cacti_util.Floatx.is_pow2 block_bytes) then
+    invalid_arg "Cache_spec: block size must be a power of two";
+  if assoc < 1 || n_banks < 1 || capacity_bytes <= 0 then
+    invalid_arg "Cache_spec: non-positive parameter";
+  if capacity_bytes mod (block_bytes * assoc * n_banks) <> 0 then
+    invalid_arg "Cache_spec: capacity not divisible into banks x sets x ways";
+  let tag_ram = match tag_ram with Some r -> r | None -> ram in
+  {
+    capacity_bytes;
+    block_bytes;
+    assoc;
+    n_banks;
+    ram;
+    tag_ram;
+    access_mode;
+    phys_addr_bits;
+    status_bits;
+    sleep_tx;
+    tech;
+  }
+
+let sets_per_bank t =
+  t.capacity_bytes / (t.block_bytes * t.assoc * t.n_banks)
+
+let tag_bits t =
+  let sets_total = sets_per_bank t * t.n_banks in
+  t.phys_addr_bits
+  - Cacti_util.Floatx.clog2 sets_total
+  - Cacti_util.Floatx.clog2 t.block_bytes
+
+let line_bits t = 8 * t.block_bytes

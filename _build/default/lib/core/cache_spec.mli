@@ -1,0 +1,47 @@
+(** User-facing cache specification. *)
+
+type access_mode =
+  | Normal  (** tags and data in parallel, late way select *)
+  | Sequential
+      (** data only after the tag lookup: serialized (slower) access; the
+          data array then activates only the matched way, which the energy
+          model credits as a reduced read energy *)
+  | Fast  (** all ways shipped to the edge, selected there *)
+
+type t = {
+  capacity_bytes : int;  (** total, across banks *)
+  block_bytes : int;
+  assoc : int;
+  n_banks : int;
+  ram : Cacti_tech.Cell.ram_kind;  (** data-array technology *)
+  tag_ram : Cacti_tech.Cell.ram_kind;  (** tag array (defaults to [ram]) *)
+  access_mode : access_mode;
+  phys_addr_bits : int;
+  status_bits : int;  (** valid/dirty/coherence bits per tag entry *)
+  sleep_tx : bool;
+  tech : Cacti_tech.Technology.t;
+}
+
+val create :
+  ?block_bytes:int ->
+  ?assoc:int ->
+  ?n_banks:int ->
+  ?ram:Cacti_tech.Cell.ram_kind ->
+  ?tag_ram:Cacti_tech.Cell.ram_kind ->
+  ?access_mode:access_mode ->
+  ?phys_addr_bits:int ->
+  ?status_bits:int ->
+  ?sleep_tx:bool ->
+  tech:Cacti_tech.Technology.t ->
+  capacity_bytes:int ->
+  unit ->
+  t
+(** Defaults: 64 B blocks, 8-way, 1 bank, SRAM, tags in the data-array
+    technology, Normal access, 42-bit physical addresses, 2 status bits, no
+    sleep transistors.
+    Raises [Invalid_argument] on inconsistent geometry (capacity not
+    divisible into banks/sets, non-power-of-two block size, ...). *)
+
+val sets_per_bank : t -> int
+val tag_bits : t -> int
+val line_bits : t -> int

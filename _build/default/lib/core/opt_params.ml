@@ -1,0 +1,49 @@
+type weights = {
+  w_dynamic : float;
+  w_leakage : float;
+  w_cycle : float;
+  w_interleave : float;
+}
+
+type t = {
+  max_area_pct : float;
+  max_acctime_pct : float;
+  weights : weights;
+  max_repeater_delay_penalty : float;
+}
+
+let unit_weights =
+  { w_dynamic = 1.; w_leakage = 1.; w_cycle = 1.; w_interleave = 1. }
+
+let default =
+  {
+    max_area_pct = 0.4;
+    max_acctime_pct = 0.4;
+    weights = unit_weights;
+    max_repeater_delay_penalty = 0.;
+  }
+
+let delay_optimal =
+  {
+    max_area_pct = 1.0;
+    max_acctime_pct = 0.02;
+    weights = unit_weights;
+    max_repeater_delay_penalty = 0.;
+  }
+
+let area_optimal =
+  {
+    max_area_pct = 0.08;
+    max_acctime_pct = 1.5;
+    weights = unit_weights;
+    max_repeater_delay_penalty = 0.3;
+  }
+
+let energy_optimal =
+  {
+    max_area_pct = 0.6;
+    max_acctime_pct = 0.5;
+    weights =
+      { w_dynamic = 3.; w_leakage = 3.; w_cycle = 0.5; w_interleave = 0.5 };
+    max_repeater_delay_penalty = 0.2;
+  }

@@ -1,0 +1,37 @@
+(** Optimization controls of Section 2.4.
+
+    The solver first keeps all solutions whose area is within
+    [max_area_pct] of the most area-efficient solution ("max area
+    constraint"), then those within [max_acctime_pct] of the fastest
+    remaining solution ("max acctime constraint"), and finally ranks the
+    survivors with a normalized, weighted combination of dynamic energy,
+    leakage power, random cycle time and multisubbank-interleave cycle
+    time.  [max_repeater_delay_penalty] independently lets the repeated
+    wires trade up to that delay fraction for energy. *)
+
+type weights = {
+  w_dynamic : float;
+  w_leakage : float;
+  w_cycle : float;
+  w_interleave : float;
+}
+
+type t = {
+  max_area_pct : float;  (** fraction over the best-area solution, e.g. 0.4 *)
+  max_acctime_pct : float;  (** fraction over the best remaining access time *)
+  weights : weights;
+  max_repeater_delay_penalty : float;
+}
+
+val default : t
+(** Balanced: 40%/40% constraints, unit weights, no repeater penalty. *)
+
+val delay_optimal : t
+(** Loose area, tight access time — the "fastest" end of the space. *)
+
+val area_optimal : t
+(** Tight area (high density), loose delay — the commodity-DRAM pick of the
+    Table 2 validation. *)
+
+val energy_optimal : t
+(** Emphasize dynamic energy + leakage (config-ED-style choices). *)

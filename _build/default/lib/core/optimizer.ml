@@ -1,0 +1,63 @@
+open Cacti_array
+
+let min_by f = function
+  | [] -> raise Not_found
+  | x :: rest ->
+      List.fold_left (fun acc y -> if f y < f acc then y else acc) x rest
+
+let safe_div x m = if m > 0. then x /. m else 1.
+
+let objective ~weights ~norm (b : Bank.t) =
+  let open Opt_params in
+  (weights.w_dynamic *. safe_div b.Bank.e_read norm.Bank.e_read)
+  +. (weights.w_leakage
+     *. safe_div
+          (b.Bank.p_leakage +. b.Bank.p_refresh)
+          (norm.Bank.p_leakage +. norm.Bank.p_refresh))
+  +. (weights.w_cycle *. safe_div b.Bank.t_random_cycle norm.Bank.t_random_cycle)
+  +. (weights.w_interleave
+     *. safe_div b.Bank.t_interleave norm.Bank.t_interleave)
+
+let norm_of candidates =
+  let m f = List.fold_left (fun acc b -> min acc (f b)) Float.infinity candidates in
+  let proto = List.hd candidates in
+  {
+    proto with
+    Bank.e_read = m (fun b -> b.Bank.e_read);
+    p_leakage = m (fun b -> b.Bank.p_leakage);
+    p_refresh = m (fun b -> b.Bank.p_refresh);
+    t_random_cycle = m (fun b -> b.Bank.t_random_cycle);
+    t_interleave = m (fun b -> b.Bank.t_interleave);
+  }
+
+let select ~params candidates =
+  let open Opt_params in
+  if candidates = [] then raise Not_found;
+  let best_area = (min_by (fun b -> b.Bank.area) candidates).Bank.area in
+  let within_area =
+    List.filter
+      (fun b -> b.Bank.area <= best_area *. (1. +. params.max_area_pct))
+      candidates
+  in
+  let best_t =
+    (min_by (fun b -> b.Bank.t_access) within_area).Bank.t_access
+  in
+  let within_t =
+    List.filter
+      (fun b -> b.Bank.t_access <= best_t *. (1. +. params.max_acctime_pct))
+      within_area
+  in
+  let norm = norm_of within_t in
+  min_by (objective ~weights:params.weights ~norm) within_t
+
+let pareto_access_area candidates =
+  let dominated b =
+    List.exists
+      (fun o ->
+        o != b
+        && o.Bank.t_access <= b.Bank.t_access
+        && o.Bank.area <= b.Bank.area
+        && (o.Bank.t_access < b.Bank.t_access || o.Bank.area < b.Bank.area))
+      candidates
+  in
+  List.filter (fun b -> not (dominated b)) candidates

@@ -1,0 +1,19 @@
+(** The staged solution-selection process of Section 2.4, applied to the
+    candidate organizations of one array. *)
+
+val objective :
+  weights:Opt_params.weights ->
+  norm:Cacti_array.Bank.t ->
+  Cacti_array.Bank.t ->
+  float
+(** Normalized weighted objective of a candidate against per-metric
+    minima collected in [norm]. *)
+
+val select : params:Opt_params.t -> Cacti_array.Bank.t list -> Cacti_array.Bank.t
+(** Applies max-area filter, then max-acctime filter, then the weighted
+    objective; raises [Not_found] on an empty candidate list. *)
+
+val pareto_access_area :
+  Cacti_array.Bank.t list -> Cacti_array.Bank.t list
+(** The access-time/area Pareto frontier — the solutions plotted as bubbles
+    in the Figure 1 validation. *)

@@ -1,0 +1,59 @@
+open Cacti_array
+
+type spec = {
+  capacity_bytes : int;
+  word_bits : int;
+  n_banks : int;
+  ram : Cacti_tech.Cell.ram_kind;
+  sleep_tx : bool;
+  tech : Cacti_tech.Technology.t;
+}
+
+let create ?(word_bits = 64) ?(n_banks = 1) ?(ram = Cacti_tech.Cell.Sram)
+    ?(sleep_tx = false) ~tech ~capacity_bytes () =
+  if capacity_bytes <= 0 || word_bits <= 0 || n_banks < 1 then
+    invalid_arg "Ram_model.create: non-positive parameter";
+  { capacity_bytes; word_bits; n_banks; ram; sleep_tx; tech }
+
+type t = {
+  spec : spec;
+  bank : Bank.t;
+  t_access : float;
+  t_random_cycle : float;
+  t_interleave : float;
+  dram : Bank.dram_timing option;
+  e_read : float;
+  e_write : float;
+  p_leakage : float;
+  p_refresh : float;
+  area : float;
+  area_efficiency : float;
+}
+
+let solve ?(params = Opt_params.default) s =
+  let bank_bytes = s.capacity_bytes / s.n_banks in
+  (* Fold words into rows of ~8 words so the array is roughly square before
+     partitioning; the optimizer reshapes from there. *)
+  let row_bits = s.word_bits * 8 in
+  let n_rows = max 1 (bank_bytes * 8 / row_bits) in
+  let aspec =
+    Array_spec.create ~ram:s.ram ~tech:s.tech ~sleep_tx:s.sleep_tx
+      ~max_repeater_delay_penalty:params.Opt_params.max_repeater_delay_penalty
+      ~n_rows ~row_bits ~output_bits:s.word_bits ()
+  in
+  let bank = Optimizer.select ~params (Bank.enumerate aspec) in
+  let n = float_of_int s.n_banks in
+  {
+    spec = s;
+    bank;
+    t_access = bank.Bank.t_access;
+    t_random_cycle = bank.Bank.t_random_cycle;
+    t_interleave = bank.Bank.t_interleave;
+    dram = bank.Bank.dram;
+    e_read = bank.Bank.e_read;
+    e_write = bank.Bank.e_write;
+    p_leakage = n *. bank.Bank.p_leakage;
+    p_refresh = n *. bank.Bank.p_refresh;
+    area = n *. bank.Bank.area;
+    area_efficiency = bank.Bank.area_efficiency;
+  }

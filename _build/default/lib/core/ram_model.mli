@@ -1,0 +1,39 @@
+(** Plain (non-cache) RAM solver: a scratchpad or embedded memory macro
+    with a given word width, in any of the three technologies. *)
+
+type spec = {
+  capacity_bytes : int;
+  word_bits : int;  (** read/write port width *)
+  n_banks : int;
+  ram : Cacti_tech.Cell.ram_kind;
+  sleep_tx : bool;
+  tech : Cacti_tech.Technology.t;
+}
+
+val create :
+  ?word_bits:int ->
+  ?n_banks:int ->
+  ?ram:Cacti_tech.Cell.ram_kind ->
+  ?sleep_tx:bool ->
+  tech:Cacti_tech.Technology.t ->
+  capacity_bytes:int ->
+  unit ->
+  spec
+(** Defaults: 64-bit words, 1 bank, SRAM. *)
+
+type t = {
+  spec : spec;
+  bank : Cacti_array.Bank.t;
+  t_access : float;
+  t_random_cycle : float;
+  t_interleave : float;
+  dram : Cacti_array.Bank.dram_timing option;
+  e_read : float;
+  e_write : float;
+  p_leakage : float;  (** all banks *)
+  p_refresh : float;
+  area : float;  (** all banks *)
+  area_efficiency : float;
+}
+
+val solve : ?params:Opt_params.t -> spec -> t

@@ -1,0 +1,1 @@
+lib/dram/ddr_catalog.ml: Cacti Cacti_tech List

@@ -1,0 +1,1 @@
+lib/dram/ddr_catalog.mli: Cacti

@@ -1,0 +1,1 @@
+lib/dram/dimm.ml: Ddr_catalog Power_calc

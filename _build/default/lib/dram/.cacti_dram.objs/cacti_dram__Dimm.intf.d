@@ -1,0 +1,1 @@
+lib/dram/dimm.mli: Cacti Ddr_catalog Power_calc

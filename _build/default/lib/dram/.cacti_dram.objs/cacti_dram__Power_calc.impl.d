@@ -1,0 +1,1 @@
+lib/dram/power_calc.ml: Cacti Cacti_tech Ddr_catalog

@@ -1,0 +1,1 @@
+lib/dram/power_calc.mli: Cacti Ddr_catalog

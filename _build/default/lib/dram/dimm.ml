@@ -1,0 +1,51 @@
+type t = {
+  part : Ddr_catalog.part;
+  chips_per_rank : int;
+  n_ranks : int;
+}
+
+let create ?(chips_per_rank = 8) ?(n_ranks = 1) part =
+  if chips_per_rank <= 0 || n_ranks <= 0 then invalid_arg "Dimm.create";
+  { part; chips_per_rank; n_ranks }
+
+let capacity_bytes t =
+  t.part.Ddr_catalog.capacity_bits / 8 * t.chips_per_rank * t.n_ranks
+
+let peak_bandwidth t =
+  Ddr_catalog.peak_bandwidth t.part *. float_of_int t.chips_per_rank
+
+let scale k (b : Power_calc.breakdown) : Power_calc.breakdown =
+  {
+    background = k *. b.Power_calc.background;
+    activate = k *. b.Power_calc.activate;
+    read = k *. b.Power_calc.read;
+    write = k *. b.Power_calc.write;
+    refresh = k *. b.Power_calc.refresh;
+    total = k *. b.Power_calc.total;
+  }
+
+let add (a : Power_calc.breakdown) (b : Power_calc.breakdown) :
+    Power_calc.breakdown =
+  {
+    background = a.Power_calc.background +. b.Power_calc.background;
+    activate = a.Power_calc.activate +. b.Power_calc.activate;
+    read = a.Power_calc.read +. b.Power_calc.read;
+    write = a.Power_calc.write +. b.Power_calc.write;
+    refresh = a.Power_calc.refresh +. b.Power_calc.refresh;
+    total = a.Power_calc.total +. b.Power_calc.total;
+  }
+
+let power m t usage =
+  let chips = float_of_int t.chips_per_rank in
+  let active = scale chips (Power_calc.power m t.part usage) in
+  if t.n_ranks = 1 then active
+  else
+    let idle_rank = scale chips (Power_calc.power m t.part Power_calc.idle) in
+    add active (scale (float_of_int (t.n_ranks - 1)) idle_rank)
+
+let bus_power t (u : Power_calc.usage) ~mw_per_gbps =
+  let gbps =
+    peak_bandwidth t *. 8. /. 1e9
+    *. (u.Power_calc.read_bw_fraction +. u.Power_calc.write_bw_fraction)
+  in
+  mw_per_gbps *. 1e-3 *. gbps

@@ -1,0 +1,22 @@
+(** DIMM/channel composition: ranks of lock-stepped chips behind a 64-bit
+    channel, the configuration of the LLC study's main memory (two channels,
+    one single-ranked 8GB DIMM each). *)
+
+type t = {
+  part : Ddr_catalog.part;
+  chips_per_rank : int;
+  n_ranks : int;
+}
+
+val create : ?chips_per_rank:int -> ?n_ranks:int -> Ddr_catalog.part -> t
+(** Defaults: 8 chips (x8 parts on a 64-bit channel), 1 rank. *)
+
+val capacity_bytes : t -> int
+val peak_bandwidth : t -> float
+(** Channel bytes/s. *)
+
+val power : Cacti.Mainmem.t -> t -> Power_calc.usage -> Power_calc.breakdown
+(** Whole-DIMM power: active rank under [usage], other ranks idle. *)
+
+val bus_power : t -> Power_calc.usage -> mw_per_gbps:float -> float
+(** Channel bus power at the paper's mW/Gb/s figure for realized traffic. *)

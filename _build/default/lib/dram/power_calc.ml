@@ -1,0 +1,100 @@
+type usage = {
+  read_bw_fraction : float;
+  write_bw_fraction : float;
+  row_hit_ratio : float;
+  powered_down_fraction : float;
+}
+
+let typical =
+  {
+    read_bw_fraction = 0.3;
+    write_bw_fraction = 0.1;
+    row_hit_ratio = 0.5;
+    powered_down_fraction = 0.;
+  }
+
+let idle =
+  {
+    read_bw_fraction = 0.;
+    write_bw_fraction = 0.;
+    row_hit_ratio = 0.;
+    powered_down_fraction = 0.8;
+  }
+
+type breakdown = {
+  background : float;
+  activate : float;
+  read : float;
+  write : float;
+  refresh : float;
+  total : float;
+}
+
+(* Bursts per second at full bus utilization. *)
+let peak_burst_rate (p : Ddr_catalog.part) =
+  Ddr_catalog.peak_bandwidth p /. float_of_int (p.Ddr_catalog.io_bits * p.Ddr_catalog.burst / 8)
+
+let power (m : Cacti.Mainmem.t) (p : Ddr_catalog.part) (u : usage) =
+  if u.read_bw_fraction < 0. || u.read_bw_fraction +. u.write_bw_fraction > 1.
+  then invalid_arg "Power_calc.power: bus utilization out of range";
+  let bursts = peak_burst_rate p in
+  let reads = u.read_bw_fraction *. bursts in
+  let writes = u.write_bw_fraction *. bursts in
+  (* Every row miss costs one ACTIVATE(+PRECHARGE). *)
+  let activates = (1. -. u.row_hit_ratio) *. (reads +. writes) in
+  let background =
+    m.Cacti.Mainmem.p_standby *. (1. -. (0.7 *. u.powered_down_fraction))
+  in
+  let activate = activates *. m.Cacti.Mainmem.e_activate in
+  let read = reads *. m.Cacti.Mainmem.e_read in
+  let write = writes *. m.Cacti.Mainmem.e_write in
+  let refresh = m.Cacti.Mainmem.p_refresh in
+  {
+    background;
+    activate;
+    read;
+    write;
+    refresh;
+    total = background +. activate +. read +. write +. refresh;
+  }
+
+type idd = {
+  idd0_ma : float;
+  idd2n_ma : float;
+  idd4r_ma : float;
+  idd4w_ma : float;
+  idd5_ma : float;
+}
+
+let idd_equivalents (m : Cacti.Mainmem.t) (p : Ddr_catalog.part) =
+  let vdd =
+    (Cacti_tech.Technology.cell m.Cacti.Mainmem.chip.Cacti.Mainmem.tech
+       Cacti_tech.Cell.Comm_dram)
+      .Cacti_tech.Cell.vdd_cell
+  in
+  let ma w = w /. vdd *. 1e3 in
+  (* IDD0: back-to-back single-bank ACT-PRE at tRC. *)
+  let idd0 =
+    ma (m.Cacti.Mainmem.e_activate /. m.Cacti.Mainmem.t_rc)
+    +. ma m.Cacti.Mainmem.p_standby
+  in
+  let burst_time =
+    float_of_int p.Ddr_catalog.burst
+    /. (float_of_int p.Ddr_catalog.data_rate_mts *. 1e6)
+  in
+  let idd4r =
+    ma (m.Cacti.Mainmem.e_read /. burst_time) +. ma m.Cacti.Mainmem.p_standby
+  in
+  let idd4w =
+    ma (m.Cacti.Mainmem.e_write /. burst_time) +. ma m.Cacti.Mainmem.p_standby
+  in
+  (* IDD5: all rows refreshed back-to-back within tRFC windows; approximate
+     as the refresh energy compressed 64x (burst refresh duty). *)
+  let idd5 = ma (64. *. m.Cacti.Mainmem.p_refresh) +. ma m.Cacti.Mainmem.p_standby in
+  {
+    idd0_ma = idd0;
+    idd2n_ma = ma m.Cacti.Mainmem.p_standby;
+    idd4r_ma = idd4r;
+    idd4w_ma = idd4w;
+    idd5_ma = idd5;
+  }

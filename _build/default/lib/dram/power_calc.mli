@@ -1,0 +1,45 @@
+(** Micron-style DRAM system power calculator.
+
+    The paper validates its energy model against "the DDR3 Micron power
+    calculator" by specifying system usage conditions and reading back power
+    components.  This module is the inverse tool built on our model: given a
+    solved part and a usage profile (command rates and row-buffer behavior),
+    it produces the same kind of power breakdown the Micron spreadsheet
+    reports, plus datasheet-style IDD equivalents. *)
+
+type usage = {
+  read_bw_fraction : float;
+      (** read data-bus utilization, 0–1 of the part's peak *)
+  write_bw_fraction : float;
+  row_hit_ratio : float;  (** fraction of accesses hitting an open row *)
+  powered_down_fraction : float;
+      (** fraction of time in power-down (CKE low); gates standby power *)
+}
+
+val typical : usage
+(** 30% read / 10% write bus utilization, 50% row hits, no power-down. *)
+
+val idle : usage
+
+type breakdown = {
+  background : float;  (** W: standby/periphery (incl. interface) *)
+  activate : float;  (** W: ACTIVATE+PRECHARGE *)
+  read : float;  (** W: column reads + IO *)
+  write : float;
+  refresh : float;
+  total : float;
+}
+
+val power : Cacti.Mainmem.t -> Ddr_catalog.part -> usage -> breakdown
+
+type idd = {
+  idd0_ma : float;  (** one-bank activate-precharge current *)
+  idd2n_ma : float;  (** precharged standby *)
+  idd4r_ma : float;  (** burst read *)
+  idd4w_ma : float;
+  idd5_ma : float;  (** burst refresh *)
+}
+
+val idd_equivalents : Cacti.Mainmem.t -> Ddr_catalog.part -> idd
+(** Datasheet-style currents implied by the model's energies at the part's
+    core VDD, for direct comparison against vendor datasheets. *)

@@ -1,0 +1,1 @@
+lib/sim/apps.ml: List Workload

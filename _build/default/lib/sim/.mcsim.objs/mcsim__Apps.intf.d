@@ -1,0 +1,1 @@
+lib/sim/apps.mli: Workload

@@ -1,0 +1,1 @@
+lib/sim/dram_sim.mli:

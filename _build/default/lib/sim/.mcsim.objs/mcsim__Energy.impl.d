@@ -1,0 +1,1 @@
+lib/sim/energy.ml: Dram_sim Machine Stats Workload

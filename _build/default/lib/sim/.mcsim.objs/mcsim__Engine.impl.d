@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Cache_sim Cacti_util Dram_sim Hashtbl Heap Machine Stats Workload

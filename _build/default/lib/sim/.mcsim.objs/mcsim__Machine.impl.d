@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Dram_sim Float

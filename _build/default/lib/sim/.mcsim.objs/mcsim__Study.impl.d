@@ -1,0 +1,1 @@
+lib/sim/study.ml: Apps Cache_model Cache_spec Cacti Cacti_circuit Cacti_tech Dram_sim Energy Engine Float Hashtbl List Machine Mainmem Opt_params Stats Study_config Workload

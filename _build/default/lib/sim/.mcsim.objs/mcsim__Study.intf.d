@@ -1,0 +1,1 @@
+lib/sim/study.mli: Cacti Cacti_tech Energy Engine Machine Stats Workload

@@ -1,0 +1,1 @@
+lib/sim/study_config.ml:

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Cacti_util Float Int64 List

@@ -1,0 +1,120 @@
+type state = I | S | E | M
+
+let state_to_int = function I -> 0 | S -> 1 | E -> 2 | M -> 3
+let state_of_int = function 0 -> I | 1 -> S | 2 -> E | _ -> M
+
+type t = {
+  assoc : int;
+  sets : int;
+  set_mask : int;
+  tags : int array;  (** line index stored per way; -1 = invalid *)
+  states : Bytes.t;
+  stamps : int array;  (** recency stamps *)
+  mutable clock : int;
+}
+
+let create ?(assoc = 8) ~lines () =
+  if lines <= 0 || assoc <= 0 then invalid_arg "Cache_sim.create";
+  if lines mod assoc <> 0 then
+    invalid_arg "Cache_sim.create: lines not divisible by assoc";
+  let sets_raw = lines / assoc in
+  (* Round the set count DOWN to a power of two and widen associativity to
+     preserve capacity. *)
+  let sets = if Cacti_util.Floatx.is_pow2 sets_raw then sets_raw
+    else Cacti_util.Floatx.pow2_ge sets_raw / 2 in
+  let assoc = lines / sets in
+  {
+    assoc;
+    sets;
+    set_mask = sets - 1;
+    tags = Array.make (sets * assoc) (-1);
+    states = Bytes.make (sets * assoc) '\000';
+    stamps = Array.make (sets * assoc) 0;
+    clock = 0;
+  }
+
+let lines t = t.sets * t.assoc
+let assoc t = t.assoc
+let sets t = t.sets
+
+type lookup = Hit of state | Miss
+
+let base t line = (line land t.set_mask) * t.assoc
+
+let find t line =
+  let b = base t line in
+  let rec go i =
+    if i = t.assoc then -1
+    else if t.tags.(b + i) = line then b + i
+    else go (i + 1)
+  in
+  go 0
+
+let probe t line =
+  let i = find t line in
+  if i < 0 then I else state_of_int (Char.code (Bytes.get t.states i))
+
+let access t ~line ~write =
+  let i = find t line in
+  if i < 0 then Miss
+  else begin
+    t.clock <- t.clock + 1;
+    t.stamps.(i) <- t.clock;
+    let s = state_of_int (Char.code (Bytes.get t.states i)) in
+    if write && s <> M then Bytes.set t.states i (Char.chr (state_to_int M));
+    Hit s
+  end
+
+type eviction = { line : int; state : state }
+
+let fill t ~line ~state =
+  assert (find t line < 0);
+  let b = base t line in
+  (* Choose an invalid way, else the LRU way. *)
+  let victim = ref (b) in
+  let best = ref max_int in
+  (try
+     for i = b to b + t.assoc - 1 do
+       if t.tags.(i) < 0 then begin
+         victim := i;
+         raise Exit
+       end
+       else if t.stamps.(i) < !best then begin
+         best := t.stamps.(i);
+         victim := i
+       end
+     done
+   with Exit -> ());
+  let i = !victim in
+  let evicted =
+    if t.tags.(i) < 0 then None
+    else
+      Some
+        {
+          line = t.tags.(i);
+          state = state_of_int (Char.code (Bytes.get t.states i));
+        }
+  in
+  t.tags.(i) <- line;
+  Bytes.set t.states i (Char.chr (state_to_int state));
+  t.clock <- t.clock + 1;
+  t.stamps.(i) <- t.clock;
+  evicted
+
+let set_state t ~line s =
+  let i = find t line in
+  if i >= 0 then
+    if s = I then t.tags.(i) <- -1
+    else Bytes.set t.states i (Char.chr (state_to_int s))
+
+let occupancy t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags
+
+let dirty_lines t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i tag ->
+      if tag >= 0 && Char.code (Bytes.get t.states i) = state_to_int M then
+        acc := tag :: !acc)
+    t.tags;
+  !acc

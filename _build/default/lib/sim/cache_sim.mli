@@ -1,0 +1,46 @@
+(** Functional-with-state set-associative cache for the architectural
+    simulator: true LRU, write-back/write-allocate, MESI line states.
+
+    Addresses are line indices (the byte address divided by the line size —
+    the engine works in line units throughout). *)
+
+type state = I | S | E | M
+
+type t
+
+val create : ?assoc:int -> lines:int -> unit -> t
+(** [lines] is the capacity in cache lines; [assoc] defaults to 8.  [lines]
+    must be divisible by [assoc]; the set count is rounded up to a power of
+    two (capacity is preserved by widening associativity on the last
+    doubling if needed). *)
+
+val lines : t -> int
+val assoc : t -> int
+val sets : t -> int
+
+type lookup = Hit of state | Miss
+
+val probe : t -> int -> state
+(** [probe t line] is the MESI state without touching recency. [I] when
+    absent. *)
+
+val access : t -> line:int -> write:bool -> lookup
+(** Updates recency; a write hit upgrades the state to [M]; misses do NOT
+    allocate (see {!fill}). *)
+
+type eviction = { line : int; state : state }
+
+val fill : t -> line:int -> state:state -> eviction option
+(** Allocates [line] (LRU victim evicted, returned if it was valid).
+    The line must not already be present. *)
+
+val set_state : t -> line:int -> state -> unit
+(** Downgrade/upgrade a present line in place; [I] removes it.  No-op when
+    absent. *)
+
+val occupancy : t -> int
+(** Number of valid lines (O(capacity); for tests/stats). *)
+
+val dirty_lines : t -> int list
+(** All lines in state [M] (for drain/writeback accounting at end of
+    simulation). *)

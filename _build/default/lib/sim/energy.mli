@@ -1,0 +1,35 @@
+(** Energy/power accounting: turns a run's event counts into the power
+    breakdown of Figure 5 (and the system energy-delay product). *)
+
+type power = {
+  l1_leak : float;
+  l1_dyn : float;
+  l2_leak : float;
+  l2_dyn : float;
+  xbar_leak : float;
+  xbar_dyn : float;
+  l3_leak : float;
+  l3_dyn : float;
+  l3_refresh : float;
+  mem_chip_dyn : float;
+  mem_standby : float;
+  mem_refresh : float;
+  mem_bus : float;
+}
+
+val memory_hierarchy : power -> float
+(** Sum of every component, W. *)
+
+val compute : Machine.t -> Workload.app -> Stats.t -> power
+(** Average powers over the run's execution time. *)
+
+type system = {
+  power : power;
+  core_power : float;
+  system_power : float;
+  exec_seconds : float;
+  energy_joules : float;
+  energy_delay : float;  (** J·s *)
+}
+
+val system : Machine.t -> Workload.app -> Stats.t -> system

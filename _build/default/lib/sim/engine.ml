@@ -1,0 +1,420 @@
+type run_params = {
+  total_instructions : int;
+  seed : int64;
+  barrier_overhead : int;
+}
+
+let default_params =
+  { total_instructions = 16_000_000; seed = 42L; barrier_overhead = 60 }
+
+type tstate = Running | At_barrier | Finished
+
+type thread = {
+  id : int;
+  core : int;
+  gen : Workload.gen;
+  mutable now : int;
+  mutable instr_done : int;
+  mutable cycle_residue : float;
+  mutable next_barrier : int;
+  mutable next_lock : int;
+  mutable state : tstate;
+  mutable barrier_arrival : int;
+}
+
+type sim = {
+  cfg : Machine.t;
+  app : Workload.app;
+  params : run_params;
+  quota : int;  (** instructions per thread *)
+  l1s : Cache_sim.t array;  (** per core *)
+  l2s : Cache_sim.t array;
+  l3 : Cache_sim.t array;  (** per bank; empty when no L3 *)
+  l3_free : int array;
+  dram : Dram_sim.t;
+  directory : (int, int) Hashtbl.t;  (** line -> core presence bitmask *)
+  locks_free : int array;
+  rng : Cacti_util.Rng.t;
+  stats : Stats.t;
+  threads : thread array;
+  heap : Heap.t;
+  mutable barrier_waiting : int;
+  mutable alive : int;
+}
+
+let dir_get s line = try Hashtbl.find s.directory line with Not_found -> 0
+
+let dir_set s line mask =
+  if mask = 0 then Hashtbl.remove s.directory line
+  else Hashtbl.replace s.directory line mask
+
+let dir_add s line core = dir_set s line (dir_get s line lor (1 lsl core))
+
+let dir_remove s line core =
+  dir_set s line (dir_get s line land lnot (1 lsl core))
+
+(* L1 inclusion in L2: evicting/invalidating at L2 kills the L1 copy. *)
+let l1_invalidate s core line = Cache_sim.set_state s.l1s.(core) ~line I
+
+let mem_write_back s now line =
+  s.stats.Stats.mem_writes <- s.stats.Stats.mem_writes + 1;
+  ignore (Dram_sim.access s.dram ~line ~write:true ~now)
+
+(* Push a dirty L2 victim down: to the L3 if present (updating its copy or
+   allocating), else to memory. *)
+let l2_victim_write_back s now line =
+  s.stats.Stats.l2_writebacks <- s.stats.Stats.l2_writebacks + 1;
+  match s.cfg.Machine.l3 with
+  | Some l3p ->
+      let bank = line mod l3p.Machine.n_banks in
+      let bline = line / l3p.Machine.n_banks in
+      if Cache_sim.probe s.l3.(bank) bline <> I then
+        Cache_sim.set_state s.l3.(bank) ~line:bline M
+      else begin
+        match Cache_sim.fill s.l3.(bank) ~line:bline ~state:M with
+        | Some { state = M; line = v } ->
+            s.stats.Stats.l3_writebacks <- s.stats.Stats.l3_writebacks + 1;
+            mem_write_back s now ((v * l3p.Machine.n_banks) + bank)
+        | Some _ | None -> ()
+      end
+  | None -> mem_write_back s now line
+
+let fill_l2 s now core line state =
+  (match Cache_sim.fill s.l2s.(core) ~line ~state with
+  | Some { line = v; state = vs } ->
+      dir_remove s v core;
+      l1_invalidate s core v;
+      if vs = M then l2_victim_write_back s now v
+  | None -> ());
+  dir_add s line core
+
+let fill_l1 s core line state =
+  match Cache_sim.fill s.l1s.(core) ~line ~state with
+  | Some { line = v; state = M } ->
+      (* write-back into the L2 copy (inclusion guarantees presence) *)
+      s.stats.Stats.l1_writebacks <- s.stats.Stats.l1_writebacks + 1;
+      Cache_sim.set_state s.l2s.(core) ~line:v M
+  | Some _ | None -> ()
+
+(* Invalidate every other core's copy (write miss / upgrade). *)
+let invalidate_sharers s core line =
+  let mask = dir_get s line land lnot (1 lsl core) in
+  if mask <> 0 then begin
+    let dirty = ref false in
+    for c = 0 to s.cfg.Machine.n_cores - 1 do
+      if mask land (1 lsl c) <> 0 then begin
+        if Cache_sim.probe s.l2s.(c) line = M then dirty := true;
+        Cache_sim.set_state s.l2s.(c) ~line I;
+        l1_invalidate s c line;
+        s.stats.Stats.invalidations <- s.stats.Stats.invalidations + 1
+      end
+    done;
+    dir_set s line (dir_get s line land (1 lsl core));
+    !dirty
+  end
+  else false
+
+(* Find a core (other than [core]) holding the line dirty. *)
+let dirty_owner s core line =
+  let mask = dir_get s line land lnot (1 lsl core) in
+  if mask = 0 then None
+  else
+    let rec go c =
+      if c >= s.cfg.Machine.n_cores then None
+      else if mask land (1 lsl c) <> 0 && Cache_sim.probe s.l2s.(c) line = M
+      then Some c
+      else go (c + 1)
+    in
+    go 0
+
+type bucket = B_instr | B_l2 | B_l3 | B_mem
+
+(* Resolve one memory reference.  Returns (completion_time, bucket). *)
+let access s (th : thread) line write =
+  let cfg = s.cfg in
+  let st = s.stats in
+  let now = th.now in
+  let core = th.core in
+  st.Stats.l1_accesses <- st.Stats.l1_accesses + 1;
+  match Cache_sim.access s.l1s.(core) ~line ~write with
+  | Hit old when (not write) || old = M || old = E ->
+      st.Stats.l1_hits <- st.Stats.l1_hits + 1;
+      if write && old = E then Cache_sim.set_state s.l2s.(core) ~line M;
+      (now + cfg.Machine.l1.Machine.latency, B_instr)
+  | Hit _ ->
+      (* Write hit on a Shared line: upgrade through the coherence fabric. *)
+      st.Stats.l1_hits <- st.Stats.l1_hits + 1;
+      ignore (invalidate_sharers s core line);
+      Cache_sim.set_state s.l2s.(core) ~line M;
+      let xbar =
+        match cfg.Machine.l3 with
+        | Some l3p -> l3p.Machine.xbar_latency
+        | None -> 4
+      in
+      (now + cfg.Machine.l1.Machine.latency + (2 * xbar), B_l2)
+  | Miss -> (
+      st.Stats.l2_accesses <- st.Stats.l2_accesses + 1;
+      let t_l2 =
+        now + cfg.Machine.l1.Machine.latency + cfg.Machine.l2.Machine.latency
+      in
+      let xbar =
+        match cfg.Machine.l3 with
+        | Some l3p -> l3p.Machine.xbar_latency
+        | None -> 4
+      in
+      match Cache_sim.access s.l2s.(core) ~line ~write with
+      | Hit old when (not write) || old = M || old = E ->
+          st.Stats.l2_hits <- st.Stats.l2_hits + 1;
+          fill_l1 s core line (if write then M else S);
+          (t_l2, B_l2)
+      | Hit _ ->
+          st.Stats.l2_hits <- st.Stats.l2_hits + 1;
+          ignore (invalidate_sharers s core line);
+          Cache_sim.set_state s.l2s.(core) ~line M;
+          fill_l1 s core line M;
+          (t_l2 + (2 * xbar), B_l2)
+      | Miss -> (
+          (* Coherence: a dirty copy in a peer L2 is transferred
+             cache-to-cache over the crossbar. *)
+          match dirty_owner s core line with
+          | Some owner ->
+              st.Stats.c2c_transfers <- st.Stats.c2c_transfers + 1;
+              if write then begin
+                ignore (invalidate_sharers s core line)
+              end
+              else begin
+                Cache_sim.set_state s.l2s.(owner) ~line S;
+                l1_invalidate s owner line;
+                (* owner's dirty data is pushed down on the way *)
+                l2_victim_write_back s now line
+              end;
+              let t =
+                t_l2 + (2 * xbar) + cfg.Machine.l2.Machine.latency
+              in
+              fill_l2 s now core line (if write then M else S);
+              fill_l1 s core line (if write then M else S);
+              (t, B_l3)
+          | None -> (
+              if write then ignore (invalidate_sharers s core line);
+              match cfg.Machine.l3 with
+              | Some l3p ->
+                  let bank = line mod l3p.Machine.n_banks in
+                  let bline = line / l3p.Machine.n_banks in
+                  let arrival = t_l2 + xbar in
+                  let start = max arrival s.l3_free.(bank) in
+                  s.l3_free.(bank) <- start + l3p.Machine.bank.Machine.cycle;
+                  st.Stats.l3_accesses <- st.Stats.l3_accesses + 1;
+                  (match
+                     Cache_sim.access s.l3.(bank) ~line:bline ~write:false
+                   with
+                  | Hit _ ->
+                      st.Stats.l3_hits <- st.Stats.l3_hits + 1;
+                      let t =
+                        start + l3p.Machine.bank.Machine.latency + xbar
+                      in
+                      fill_l2 s now core line (if write then M else S);
+                      fill_l1 s core line (if write then M else S);
+                      (t, B_l3)
+                  | Miss ->
+                      let t_tag = start + l3p.Machine.bank.Machine.latency in
+                      let t_mem =
+                        Dram_sim.access s.dram ~line ~write:false ~now:t_tag
+                      in
+                      st.Stats.mem_reads <- st.Stats.mem_reads + 1;
+                      (match
+                         Cache_sim.fill s.l3.(bank) ~line:bline ~state:S
+                       with
+                      | Some { line = v; state = M } ->
+                          st.Stats.l3_writebacks <-
+                            st.Stats.l3_writebacks + 1;
+                          mem_write_back s now
+                            ((v * l3p.Machine.n_banks) + bank)
+                      | Some _ | None -> ());
+                      fill_l2 s now core line (if write then M else E);
+                      fill_l1 s core line (if write then M else E);
+                      (t_mem + xbar, B_mem))
+              | None ->
+                  let t_mem =
+                    Dram_sim.access s.dram ~line ~write:false ~now:t_l2
+                  in
+                  st.Stats.mem_reads <- st.Stats.mem_reads + 1;
+                  fill_l2 s now core line (if write then M else E);
+                  fill_l1 s core line (if write then M else E);
+                  (t_mem, B_mem))))
+
+let make_sim ?make_gen cfg app params =
+  Workload.validate app;
+  let n_threads = Machine.n_threads cfg in
+  let quota = max 1 (params.total_instructions / n_threads) in
+  let l1 = cfg.Machine.l1 and l2 = cfg.Machine.l2 in
+  let l3_banks, l3_cfg =
+    match cfg.Machine.l3 with
+    | Some p -> (p.Machine.n_banks, Some p)
+    | None -> (0, None)
+  in
+  let rng = Cacti_util.Rng.create params.seed in
+  let threads =
+    Array.init n_threads (fun id ->
+        {
+          id;
+          core = id / cfg.Machine.threads_per_core;
+          gen =
+            (match make_gen with
+            | Some f -> f ~thread_id:id
+            | None ->
+                Workload.gen app ~n_threads ~thread_id:id ~seed:params.seed);
+          now = 0;
+          instr_done = 0;
+          cycle_residue = 0.;
+          next_barrier =
+            (if app.Workload.barrier_interval > 0 then
+               app.Workload.barrier_interval
+             else max_int);
+          next_lock =
+            (if app.Workload.lock_interval > 0 then app.Workload.lock_interval
+             else max_int);
+          state = Running;
+          barrier_arrival = 0;
+        })
+  in
+  let heap = Heap.create ~capacity:(2 * n_threads) in
+  Array.iter (fun th -> Heap.push heap ~time:0 ~payload:th.id) threads;
+  {
+    cfg;
+    app;
+    params;
+    quota;
+    l1s =
+      Array.init cfg.Machine.n_cores (fun _ ->
+          Cache_sim.create ~assoc:l1.Machine.assoc ~lines:l1.Machine.lines ());
+    l2s =
+      Array.init cfg.Machine.n_cores (fun _ ->
+          Cache_sim.create ~assoc:l2.Machine.assoc ~lines:l2.Machine.lines ());
+    l3 =
+      (match l3_cfg with
+      | Some p ->
+          Array.init l3_banks (fun _ ->
+              Cache_sim.create ~assoc:p.Machine.bank.Machine.assoc
+                ~lines:p.Machine.bank.Machine.lines ())
+      | None -> [||]);
+    l3_free = Array.make (max 1 l3_banks) 0;
+    dram =
+      Dram_sim.create ~n_channels:cfg.Machine.mem.Machine.n_channels
+        ~n_banks:cfg.Machine.mem.Machine.n_banks
+        ?powerdown:cfg.Machine.mem.Machine.powerdown
+        ~policy:cfg.Machine.mem.Machine.policy
+        ~timing:cfg.Machine.mem.Machine.timing ();
+    directory = Hashtbl.create 65536;
+    locks_free = Array.make (max 1 app.Workload.n_locks) 0;
+    rng;
+    stats = Stats.create ();
+    threads;
+    heap;
+    barrier_waiting = 0;
+    alive = n_threads;
+  }
+
+let release_barrier s t_release =
+  Array.iter
+    (fun th ->
+      if th.state = At_barrier then begin
+        s.stats.Stats.breakdown.Stats.barrier <-
+          s.stats.Stats.breakdown.Stats.barrier
+          + (t_release - th.barrier_arrival);
+        th.now <- t_release;
+        th.state <- Running;
+        Heap.push s.heap ~time:t_release ~payload:th.id
+      end)
+    s.threads;
+  s.barrier_waiting <- 0
+
+let nonmem_cycles th cpi n =
+  let exact = (float_of_int n *. cpi) +. th.cycle_residue in
+  let whole = int_of_float exact in
+  th.cycle_residue <- exact -. float_of_int whole;
+  whole
+
+let run ?(params = default_params) ?make_gen cfg app =
+  let s = make_sim ?make_gen cfg app params in
+  let st = s.stats in
+  let b = st.Stats.breakdown in
+  let cpi = Workload.nonmem_cpi app in
+  let mem_ratio = app.Workload.mem_ratio in
+  let finish_time = ref 0 in
+  let step th =
+    (* Locks and barriers due at this point. *)
+    if th.instr_done >= th.next_lock && th.instr_done < s.quota then begin
+      th.next_lock <- th.next_lock + s.app.Workload.lock_interval;
+      let l = Cacti_util.Rng.int s.rng s.app.Workload.n_locks in
+      if s.locks_free.(l) > th.now then begin
+        b.Stats.lock <- b.Stats.lock + (s.locks_free.(l) - th.now);
+        th.now <- s.locks_free.(l)
+      end;
+      s.locks_free.(l) <- th.now + s.app.Workload.lock_hold;
+      b.Stats.instr <- b.Stats.instr + s.app.Workload.lock_hold;
+      th.now <- th.now + s.app.Workload.lock_hold
+    end;
+    if th.instr_done >= th.next_barrier && th.instr_done < s.quota then begin
+      th.next_barrier <- th.next_barrier + s.app.Workload.barrier_interval;
+      th.state <- At_barrier;
+      th.barrier_arrival <- th.now;
+      s.barrier_waiting <- s.barrier_waiting + 1;
+      if s.barrier_waiting = s.alive then
+        release_barrier s (th.now + params.barrier_overhead);
+      true (* suspended *)
+    end
+    else false
+  in
+  let rec loop () =
+    match Heap.pop s.heap with
+    | None -> ()
+    | Some (_, id) ->
+        let th = s.threads.(id) in
+        if th.state <> Running then loop ()
+        else if th.instr_done >= s.quota then begin
+          th.state <- Finished;
+          s.alive <- s.alive - 1;
+          if !finish_time < th.now then finish_time := th.now;
+          (* A finished thread may be the one the barrier was waiting on —
+             but equal quotas mean everyone passes the same barrier count,
+             so a pending barrier can only be waiting on running threads. *)
+          if s.barrier_waiting > 0 && s.barrier_waiting = s.alive then
+            release_barrier s (th.now + params.barrier_overhead);
+          loop ()
+        end
+        else begin
+          (if not (step th) then begin
+             (* One segment: a geometric run of non-memory instructions then
+                one memory reference. *)
+             let gap = Cacti_util.Rng.geometric s.rng mem_ratio in
+             let gap = min gap (s.quota - th.instr_done - 1) in
+             let c = nonmem_cycles th cpi gap in
+             b.Stats.instr <- b.Stats.instr + c + 1;
+             th.now <- th.now + c + 1;
+             th.instr_done <- th.instr_done + gap + 1;
+             st.Stats.instructions <- st.Stats.instructions + gap + 1;
+             let line, write = Workload.next th.gen in
+             let t_done, bucket = access s th line write in
+             let stall = t_done - th.now in
+             (match bucket with
+             | B_instr -> b.Stats.instr <- b.Stats.instr + stall
+             | B_l2 -> b.Stats.l2 <- b.Stats.l2 + stall
+             | B_l3 -> b.Stats.l3 <- b.Stats.l3 + stall
+             | B_mem -> b.Stats.mem <- b.Stats.mem + stall);
+             if not write then begin
+               st.Stats.read_count <- st.Stats.read_count + 1;
+               st.Stats.read_latency_sum <-
+                 st.Stats.read_latency_sum + stall
+             end;
+             th.now <- t_done;
+             Heap.push s.heap ~time:th.now ~payload:th.id
+           end);
+          loop ()
+        end
+  in
+  loop ();
+  st.Stats.exec_cycles <- !finish_time;
+  st.Stats.ifetch_lines <-
+    st.Stats.instructions / cfg.Machine.instr_per_fetch_line;
+  st.Stats.dram <- Some (Dram_sim.counts s.dram);
+  st

@@ -1,0 +1,64 @@
+type t = {
+  mutable times : int array;
+  mutable payloads : int array;
+  mutable n : int;
+}
+
+let create ~capacity =
+  let capacity = max 4 capacity in
+  { times = Array.make capacity 0; payloads = Array.make capacity 0; n = 0 }
+
+let grow h =
+  let c = Array.length h.times * 2 in
+  let t = Array.make c 0 and p = Array.make c 0 in
+  Array.blit h.times 0 t 0 h.n;
+  Array.blit h.payloads 0 p 0 h.n;
+  h.times <- t;
+  h.payloads <- p
+
+let swap h i j =
+  let ti = h.times.(i) and pi = h.payloads.(i) in
+  h.times.(i) <- h.times.(j);
+  h.payloads.(i) <- h.payloads.(j);
+  h.times.(j) <- ti;
+  h.payloads.(j) <- pi
+
+let push h ~time ~payload =
+  if h.n = Array.length h.times then grow h;
+  h.times.(h.n) <- time;
+  h.payloads.(h.n) <- payload;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if h.times.(parent) > h.times.(i) then begin
+        swap h parent i;
+        up parent
+      end
+    end
+  in
+  up h.n;
+  h.n <- h.n + 1
+
+let pop h =
+  if h.n = 0 then None
+  else begin
+    let time = h.times.(0) and payload = h.payloads.(0) in
+    h.n <- h.n - 1;
+    h.times.(0) <- h.times.(h.n);
+    h.payloads.(0) <- h.payloads.(h.n);
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < h.n && h.times.(l) < h.times.(!smallest) then smallest := l;
+      if r < h.n && h.times.(r) < h.times.(!smallest) then smallest := r;
+      if !smallest <> i then begin
+        swap h i !smallest;
+        down !smallest
+      end
+    in
+    down 0;
+    Some (time, payload)
+  end
+
+let size h = h.n
+let is_empty h = h.n = 0

@@ -1,0 +1,12 @@
+(** Binary min-heap keyed on simulation time, specialized to
+    (time, payload) pairs of ints — the event queue of the engine. *)
+
+type t
+
+val create : capacity:int -> t
+val push : t -> time:int -> payload:int -> unit
+val pop : t -> (int * int) option
+(** Smallest time first; ties in insertion order are not guaranteed. *)
+
+val size : t -> int
+val is_empty : t -> bool

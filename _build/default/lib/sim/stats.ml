@@ -1,0 +1,79 @@
+type breakdown = {
+  mutable instr : int;
+  mutable l2 : int;
+  mutable l3 : int;
+  mutable mem : int;
+  mutable barrier : int;
+  mutable lock : int;
+}
+
+type t = {
+  breakdown : breakdown;
+  mutable instructions : int;
+  mutable exec_cycles : int;
+  mutable l1_accesses : int;
+  mutable l1_hits : int;
+  mutable l2_accesses : int;
+  mutable l2_hits : int;
+  mutable l3_accesses : int;
+  mutable l3_hits : int;
+  mutable c2c_transfers : int;
+  mutable invalidations : int;
+  mutable l1_writebacks : int;
+  mutable l2_writebacks : int;
+  mutable l3_writebacks : int;
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable read_count : int;
+  mutable read_latency_sum : int;
+  mutable ifetch_lines : int;
+  mutable dram : Dram_sim.counts option;
+}
+
+let create () =
+  {
+    breakdown = { instr = 0; l2 = 0; l3 = 0; mem = 0; barrier = 0; lock = 0 };
+    instructions = 0;
+    exec_cycles = 0;
+    l1_accesses = 0;
+    l1_hits = 0;
+    l2_accesses = 0;
+    l2_hits = 0;
+    l3_accesses = 0;
+    l3_hits = 0;
+    c2c_transfers = 0;
+    invalidations = 0;
+    l1_writebacks = 0;
+    l2_writebacks = 0;
+    l3_writebacks = 0;
+    mem_reads = 0;
+    mem_writes = 0;
+    read_count = 0;
+    read_latency_sum = 0;
+    ifetch_lines = 0;
+    dram = None;
+  }
+
+let total_breakdown_cycles t =
+  let b = t.breakdown in
+  b.instr + b.l2 + b.l3 + b.mem + b.barrier + b.lock
+
+let ipc t =
+  if t.exec_cycles = 0 then 0.
+  else float_of_int t.instructions /. float_of_int t.exec_cycles
+
+let avg_read_latency t =
+  if t.read_count = 0 then 0.
+  else float_of_int t.read_latency_sum /. float_of_int t.read_count
+
+let check_consistency t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.l1_hits > t.l1_accesses then err "l1 hits > accesses"
+  else if t.l2_hits > t.l2_accesses then err "l2 hits > accesses"
+  else if t.l3_hits > t.l3_accesses then err "l3 hits > accesses"
+  else if t.l2_accesses > t.l1_accesses then err "l2 accesses > l1 misses"
+  else if
+    t.l3_accesses > 0 && t.l3_accesses > t.l2_accesses - t.l2_hits
+  then err "l3 accesses exceed l2 misses"
+  else if t.exec_cycles < 0 || t.instructions < 0 then err "negative totals"
+  else Ok ()

@@ -1,0 +1,49 @@
+(** Simulation statistics: the exact quantities Figures 4 and 5 plot.
+
+    The execution-cycle breakdown follows the paper's six categories:
+    processing instructions; stalled on L2; stalled on L3; stalled on main
+    memory; idle at barriers; waiting on locks. *)
+
+type breakdown = {
+  mutable instr : int;  (** cycles processing instructions (incl. L1 hits) *)
+  mutable l2 : int;
+  mutable l3 : int;
+  mutable mem : int;
+  mutable barrier : int;
+  mutable lock : int;
+}
+
+type t = {
+  breakdown : breakdown;
+  mutable instructions : int;
+  mutable exec_cycles : int;  (** wall-clock of the parallel run *)
+  mutable l1_accesses : int;
+  mutable l1_hits : int;
+  mutable l2_accesses : int;
+  mutable l2_hits : int;
+  mutable l3_accesses : int;
+  mutable l3_hits : int;
+  mutable c2c_transfers : int;  (** cache-to-cache interventions *)
+  mutable invalidations : int;
+  mutable l1_writebacks : int;  (** dirty L1 lines pushed to L2 *)
+  mutable l2_writebacks : int;
+  mutable l3_writebacks : int;
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable read_count : int;
+  mutable read_latency_sum : int;
+  mutable ifetch_lines : int;  (** instruction-fetch line reads (energy) *)
+  mutable dram : Dram_sim.counts option;
+}
+
+val create : unit -> t
+val total_breakdown_cycles : t -> int
+val ipc : t -> float
+(** System IPC: instructions per wall-clock cycle (all threads). *)
+
+val avg_read_latency : t -> float
+(** Average load latency in cycles. *)
+
+val check_consistency : t -> (unit, string) result
+(** Internal invariants: hits ≤ accesses, breakdown covers thread time,
+    etc.  Used by tests. *)

@@ -1,0 +1,62 @@
+(** The full LLC study driver: builds the six system configurations of
+    Section 4 (no L3; 24 MB SRAM; 48/72 MB LP-DRAM; 96/192 MB COMM-DRAM,
+    each in its config-ED or config-C flavor) by running CACTI-D for every
+    memory component, then simulates the NPB workloads on each. *)
+
+type llc_kind =
+  | No_l3
+  | Sram_l3  (** 24 MB, 12-way *)
+  | Lp_dram_ed  (** 48 MB, 12-way, energy/delay-optimized mats *)
+  | Lp_dram_c  (** 72 MB, 18-way, capacity-optimized *)
+  | Cm_dram_ed  (** 96 MB, 12-way *)
+  | Cm_dram_c  (** 192 MB, 24-way *)
+
+val all_kinds : llc_kind list
+val kind_name : llc_kind -> string
+(** The paper's figure labels: nol3, sram, lp_dram_ed, ... *)
+
+type built = {
+  kind : llc_kind;
+  machine : Machine.t;
+  l1_model : Cacti.Cache_model.t;
+  l2_model : Cacti.Cache_model.t;
+  l3_model : Cacti.Cache_model.t option;
+  mem_model : Cacti.Mainmem.t;
+  l3_bank_area : float;  (** m², vs the 6.2 mm² budget *)
+}
+
+(** {1 Individual CACTI-D solutions} (memoized per technology) *)
+
+val solve_l1 : Cacti_tech.Technology.t -> Cacti.Cache_model.t
+(** The 32 KB 8-way private L1. *)
+
+val solve_l2 : Cacti_tech.Technology.t -> Cacti.Cache_model.t
+(** The 1 MB 8-way private L2. *)
+
+val solve_l3 : Cacti_tech.Technology.t -> llc_kind -> Cacti.Cache_model.t option
+(** The L3 of the given configuration; [None] for [No_l3]. *)
+
+val solve_mem : Cacti_tech.Technology.t -> Cacti.Mainmem.t
+(** The 8 Gb DDR4-3200 x8 chip. *)
+
+val build : ?tech:Cacti_tech.Technology.t -> llc_kind -> built
+(** Runs the CACTI-D solver for L1/L2/L3/main memory (seconds of work);
+    results are memoized per technology instance. *)
+
+type app_result = {
+  app : Workload.app;
+  config : built;
+  stats : Stats.t;
+  sys : Energy.system;
+}
+
+val run_app :
+  ?params:Engine.run_params -> built -> Workload.app -> app_result
+
+val run_all :
+  ?params:Engine.run_params ->
+  ?kinds:llc_kind list ->
+  ?apps:Workload.app list ->
+  unit ->
+  app_result list
+(** The full Figure 4/5 grid: every app on every configuration. *)

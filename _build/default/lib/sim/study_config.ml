@@ -1,0 +1,17 @@
+let clock_hz = 2.0e9
+let n_cores = 8
+let threads_per_core = 4
+
+(* 63 W at 90 nm / 1.2 V / 1.2 GHz -> 32 nm / 0.9 V / 2 GHz with 40%
+   leakage, minus the single-FPU -> 8x4-way-SIMD-FPU adjustment: the paper
+   lands on 22.3 W for the whole bottom die. *)
+let core_power = 22.3
+let llc_bank_area_budget = 6.2e-6
+let bus_mw_per_gbps = 2.0
+let xbar_span = 5.0e-3
+let line_bytes = 64
+let n_mem_channels = 2
+let chips_per_rank = 8
+let instr_per_fetch_line = 8
+let mem_ctrl_cycles = 20
+let mem_burst_cycles = 5

@@ -1,0 +1,44 @@
+(** Constants of the Section 3 system architecture, including the paper's
+    published scaling arithmetic for the Niagara-derived bottom die. *)
+
+(** 2 GHz core clock. *)
+val clock_hz : float
+
+(** 8 Niagara-like cores. *)
+val n_cores : int
+
+(** 4 hardware threads per core. *)
+val threads_per_core : int
+
+(** 22.3 W: the 90 nm Niagara's 63 W scaled to 32 nm (linear capacitance
+    scaling, 1.2 → 2 GHz, 1.2 → 0.9 V, 40% leakage fraction) and adjusted
+    for the 8 4-way SIMD FPUs. *)
+val core_power : float
+
+(** 6.2 mm² — 1/8th of the bottom-die area, per LLC bank. *)
+val llc_bank_area_budget : float
+
+(** 2 mW/Gb/s memory-bus power (2013 time-frame). *)
+val bus_mw_per_gbps : float
+
+(** m: physical span of the 8×8 L2–L3 crossbar, from the Niagara2 die photo
+    scaled to 32 nm. *)
+val xbar_span : float
+
+(** 64 B cache lines throughout. *)
+val line_bytes : int
+
+(** 2 memory channels. *)
+val n_mem_channels : int
+
+(** 8 x8 chips per single-ranked DIMM. *)
+val chips_per_rank : int
+
+(** Instructions per 64 B fetch line, for L1I energy accounting. *)
+val instr_per_fetch_line : int
+
+(** Memory-controller/queuing fixed overhead, cycles. *)
+val mem_ctrl_cycles : int
+
+(** 64 B over a 64-bit DDR4-3200 channel, cycles. *)
+val mem_burst_cycles : int

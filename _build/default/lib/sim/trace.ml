@@ -1,0 +1,135 @@
+type t = {
+  n_threads : int;
+  mem_ratio : float;
+  fp_ratio : float;
+  refs : (int * bool) array array;
+}
+
+let load path =
+  let ic = open_in path in
+  let n_threads = ref 0 in
+  let mem_ratio = ref 0.3 in
+  let fp_ratio = ref 0.3 in
+  let refs : (int * bool) list ref array ref = ref [||] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       let line = input_line ic in
+       let line = String.trim line in
+       if line = "" || line.[0] = '#' then ()
+       else
+         match String.split_on_char ' ' line with
+         | [ "threads"; n ] ->
+             n_threads := int_of_string n;
+             refs := Array.init !n_threads (fun _ -> ref [])
+         | [ "mem_ratio"; x ] -> mem_ratio := float_of_string x
+         | [ "fp_ratio"; x ] -> fp_ratio := float_of_string x
+         | [ tid; l; rw ] ->
+             let tid = int_of_string tid in
+             if tid < 0 || tid >= !n_threads then
+               failwith
+                 (Printf.sprintf "%s:%d: thread id %d out of range" path
+                    !lineno tid);
+             let write =
+               match rw with
+               | "w" -> true
+               | "r" -> false
+               | _ ->
+                   failwith
+                     (Printf.sprintf "%s:%d: expected r or w" path !lineno)
+             in
+             let cell = !refs.(tid) in
+             cell := (int_of_string l, write) :: !cell
+         | _ -> failwith (Printf.sprintf "%s:%d: malformed line" path !lineno)
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in_noerr ic;
+      raise e);
+  if !n_threads = 0 then failwith (path ^ ": missing 'threads' header");
+  let refs =
+    Array.map
+      (fun cell ->
+        match !cell with
+        | [] -> invalid_arg (path ^ ": a thread has no references")
+        | l -> Array.of_list (List.rev l))
+      !refs
+  in
+  { n_threads = !n_threads; mem_ratio = !mem_ratio; fp_ratio = !fp_ratio; refs }
+
+let save path t =
+  let oc = open_out path in
+  Printf.fprintf oc "# cacti-d trace v1\n";
+  Printf.fprintf oc "threads %d\n" t.n_threads;
+  Printf.fprintf oc "mem_ratio %.4f\n" t.mem_ratio;
+  Printf.fprintf oc "fp_ratio %.4f\n" t.fp_ratio;
+  Array.iteri
+    (fun tid refs ->
+      Array.iter
+        (fun (line, write) ->
+          Printf.fprintf oc "%d %d %c\n" tid line (if write then 'w' else 'r'))
+        refs)
+    t.refs;
+  close_out oc
+
+let record app ~n_threads ~refs_per_thread ~seed =
+  Workload.validate app;
+  let refs =
+    Array.init n_threads (fun thread_id ->
+        let g = Workload.gen app ~n_threads ~thread_id ~seed in
+        Array.init refs_per_thread (fun _ -> Workload.next g))
+  in
+  {
+    n_threads;
+    mem_ratio = app.Workload.mem_ratio;
+    fp_ratio = app.Workload.fp_ratio;
+    refs;
+  }
+
+let to_app ?(name = "trace") t =
+  {
+    Workload.name;
+    mem_ratio = t.mem_ratio;
+    fp_ratio = t.fp_ratio;
+    write_ratio = 0.;
+    (* writes come from the trace records themselves *)
+    regions =
+      [
+        {
+          Workload.rname = "trace";
+          size_bytes = 1 lsl 20;
+          pattern = Workload.Stream;
+          sharing = Workload.Shared;
+          weight = 1.0;
+          wr_scale = 0.;
+        };
+      ];
+    barrier_interval = 0;
+    lock_interval = 0;
+    lock_hold = 0;
+    n_locks = 1;
+  }
+
+let make_gen t ~thread_id =
+  let refs = t.refs.(thread_id mod t.n_threads) in
+  let i = ref 0 in
+  Workload.custom (fun () ->
+      let r = refs.(!i) in
+      i := (!i + 1) mod Array.length refs;
+      r)
+
+let run ?params machine t =
+  let params =
+    match params with
+    | Some p -> p
+    | None ->
+        let refs_total = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.refs in
+        {
+          Engine.default_params with
+          total_instructions =
+            int_of_float (float_of_int refs_total /. t.mem_ratio);
+        }
+  in
+  Engine.run ~params ~make_gen:(make_gen t) machine (to_app t)

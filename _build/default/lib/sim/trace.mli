@@ -1,0 +1,53 @@
+(** Recorded memory-reference traces.
+
+    Besides the synthetic NPB models, the simulator can be driven from a
+    trace file, so users can replay streams captured from real systems or
+    other simulators.  The format is plain text:
+
+    {v
+    # cacti-d trace v1
+    threads 32
+    mem_ratio 0.30
+    fp_ratio 0.40
+    <tid> <line> r|w
+    ...
+    v}
+
+    [line] is a 64-byte-line index.  Each thread replays its own subsequence
+    in order and wraps around when exhausted (so the instruction quota, not
+    the trace length, ends the run — document your trace lengths
+    accordingly). *)
+
+type t = {
+  n_threads : int;
+  mem_ratio : float;
+  fp_ratio : float;
+  refs : (int * bool) array array;  (** per thread: (line, write) *)
+}
+
+val load : string -> t
+(** Raises [Failure] with a line number on parse errors, [Invalid_argument]
+    if a thread has no references. *)
+
+val save : string -> t -> unit
+
+val record :
+  Workload.app ->
+  n_threads:int ->
+  refs_per_thread:int ->
+  seed:int64 ->
+  t
+(** Capture a synthetic application into a trace (useful for regression
+    testing and for exporting the NPB models to other tools). *)
+
+val to_app : ?name:string -> t -> Workload.app
+(** A minimal app carrying the trace's instruction mix (no barriers or
+    locks — encode synchronization in the consuming engine if needed). *)
+
+val make_gen : t -> thread_id:int -> Workload.gen
+(** Per-thread replay generators for {!Engine.run}'s [make_gen]. *)
+
+val run :
+  ?params:Engine.run_params -> Machine.t -> t -> Stats.t
+(** Replay the trace on a machine.  The default instruction budget is sized
+    so each thread consumes its references approximately once. *)

@@ -1,0 +1,1 @@
+lib/tech/node.ml: Cell Device Float List Wire

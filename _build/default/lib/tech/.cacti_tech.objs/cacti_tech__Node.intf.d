@@ -1,0 +1,1 @@
+lib/tech/node.mli: Cell Device Wire

@@ -1,0 +1,1 @@
+lib/tech/technology.ml: Array Cell Device Node Printf Wire

@@ -1,0 +1,1 @@
+lib/tech/technology.mli: Cell Device Node Wire

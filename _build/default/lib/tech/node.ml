@@ -1,0 +1,374 @@
+type t = {
+  feature_size : float;
+  year : int;
+  devices : (Device.kind * Device.t) list;
+  wires_conservative : (Wire.kind * Wire.t) list;
+  wires_aggressive : (Wire.kind * Wire.t) list;
+  cells : (Cell.ram_kind * Cell.t) list;
+}
+
+(* Engineering-unit constructors: widths of transistors are normalized per
+   meter in Device.t, so per-µm datasheet figures are converted here. *)
+let ff_per_um x = x *. 1e-15 /. 1e-6
+let ua_per_um x = x *. 1e-6 /. 1e-6 *. 1. (* µA/µm = A/m numerically *)
+let a_per_um x = x /. 1e-6
+let nm x = x *. 1e-9
+let um x = x *. 1e-6
+let ff x = x *. 1e-15
+let ms x = x *. 1e-3
+let ua x = x *. 1e-6
+
+let hp ~vdd ~v_th ~l_phy_um ~c_gate_ff ~c_drain_ff ~i_on_ua ~i_off ~i_gate
+    ~gm_per_ion : Device.t =
+  {
+    kind = Hp;
+    vdd;
+    v_th;
+    l_phy = um l_phy_um;
+    c_gate = ff_per_um c_gate_ff;
+    c_drain = ff_per_um c_drain_ff;
+    i_on_n = ua_per_um i_on_ua;
+    i_on_p = ua_per_um (i_on_ua /. 2.);
+    i_off_n = a_per_um i_off;
+    i_off_p = a_per_um (i_off *. 0.6);
+    i_gate = a_per_um i_gate;
+    r_sw_factor = 3.0;
+    gm_per_ion;
+    long_channel_leakage_reduction = 0.15;
+  }
+
+let lstp ~vdd ~v_th ~l_phy_um ~c_gate_ff ~c_drain_ff ~i_on_ua ~gm_per_ion :
+    Device.t =
+  {
+    kind = Lstp;
+    vdd;
+    v_th;
+    l_phy = um l_phy_um;
+    c_gate = ff_per_um c_gate_ff;
+    c_drain = ff_per_um c_drain_ff;
+    i_on_n = ua_per_um i_on_ua;
+    i_on_p = ua_per_um (i_on_ua /. 2.);
+    (* ITRS LSTP target: ~10 pA/µm held constant across nodes. *)
+    i_off_n = a_per_um 1e-11;
+    i_off_p = a_per_um 1e-11;
+    i_gate = a_per_um 1e-11;
+    r_sw_factor = 3.0;
+    gm_per_ion;
+    long_channel_leakage_reduction = 1.0;
+  }
+
+let lop ~vdd ~v_th ~l_phy_um ~c_gate_ff ~c_drain_ff ~i_on_ua ~i_off
+    ~gm_per_ion : Device.t =
+  {
+    kind = Lop;
+    vdd;
+    v_th;
+    l_phy = um l_phy_um;
+    c_gate = ff_per_um c_gate_ff;
+    c_drain = ff_per_um c_drain_ff;
+    i_on_n = ua_per_um i_on_ua;
+    i_on_p = ua_per_um (i_on_ua /. 2.);
+    i_off_n = a_per_um i_off;
+    i_off_p = a_per_um (i_off *. 0.6);
+    i_gate = a_per_um (i_off *. 0.1);
+    r_sw_factor = 3.0;
+    gm_per_ion;
+    long_channel_leakage_reduction = 0.25;
+  }
+
+let dram_access ~kind ~vdd ~v_th ~l_phy_um ~c_gate_ff ~c_drain_ff ~i_on_ua
+    ~i_off : Device.t =
+  {
+    kind;
+    vdd;
+    v_th;
+    l_phy = um l_phy_um;
+    c_gate = ff_per_um c_gate_ff;
+    c_drain = ff_per_um c_drain_ff;
+    i_on_n = ua_per_um i_on_ua;
+    i_on_p = ua_per_um (i_on_ua /. 2.);
+    i_off_n = a_per_um i_off;
+    i_off_p = a_per_um i_off;
+    i_gate = a_per_um (i_off *. 0.1);
+    r_sw_factor = 2.5;
+    gm_per_ion = 1.0;
+    long_channel_leakage_reduction = 1.0;
+  }
+
+let wire_geom ~f ~pitch_f ~ar ~barrier_nm ~rho ~epsr : Wire.geometry =
+  {
+    pitch = pitch_f *. f;
+    aspect_ratio = ar;
+    barrier = nm barrier_nm;
+    resistivity = rho;
+    dielectric = epsr;
+    miller = 1.5;
+  }
+
+let wires ~f ~barrier_nm ~rho_local ~rho_semi ~rho_global ~epsr =
+  [
+    ( Wire.Local,
+      Wire.of_geometry Local
+        (wire_geom ~f ~pitch_f:2.5 ~ar:1.8 ~barrier_nm ~rho:rho_local ~epsr) );
+    ( Wire.Semi_global,
+      Wire.of_geometry Semi_global
+        (wire_geom ~f ~pitch_f:4.0 ~ar:2.0 ~barrier_nm ~rho:rho_semi ~epsr) );
+    ( Wire.Global,
+      Wire.of_geometry Global
+        (wire_geom ~f ~pitch_f:8.0 ~ar:2.2 ~barrier_nm ~rho:rho_global ~epsr)
+    );
+  ]
+
+let wires_aggr ~f ~barrier_nm ~rho_local ~rho_semi ~rho_global ~epsr =
+  wires ~f ~barrier_nm:(barrier_nm *. 0.5) ~rho_local:(rho_local *. 0.9)
+    ~rho_semi:(rho_semi *. 0.9) ~rho_global:(rho_global *. 0.9)
+    ~epsr:(epsr *. 0.85)
+
+let sram_cell ~vdd ~i_cell_on_ua ~i_cell_leak_na ~c_bl_ff ~r_bl ~c_wl_ff ~r_wl
+    : Cell.t =
+  {
+    ram = Sram;
+    area_f2 = 146.;
+    aspect_wh = 2.5;
+    access_width_f = 1.5;
+    vdd_cell = vdd;
+    storage_cap = 0.;
+    vpp = vdd;
+    retention_time = Float.infinity;
+    i_cell_on = ua i_cell_on_ua;
+    i_cell_leak = i_cell_leak_na *. 1e-9;
+    c_bl_per_cell = ff c_bl_ff;
+    r_bl_per_cell = r_bl;
+    c_wl_per_cell = ff c_wl_ff;
+    r_wl_per_cell = r_wl;
+  }
+
+let lp_dram_cell ~area_f2 ~i_cell_on_ua ~c_bl_ff ~r_bl ~c_wl_ff ~r_wl : Cell.t
+    =
+  let storage_cap = ff 20. and vdd_cell = 1.0 in
+  let retention = ms 0.12 in
+  {
+    ram = Lp_dram;
+    area_f2;
+    aspect_wh = 1.5;
+    access_width_f = 1.2;
+    vdd_cell;
+    storage_cap;
+    vpp = 1.5;
+    retention_time = retention;
+    i_cell_on = ua i_cell_on_ua;
+    (* storage node may droop by ~Vdd/4 before the sense margin is lost *)
+    i_cell_leak = storage_cap *. (vdd_cell /. 4.) /. retention;
+    c_bl_per_cell = ff c_bl_ff;
+    r_bl_per_cell = r_bl;
+    c_wl_per_cell = ff c_wl_ff;
+    r_wl_per_cell = r_wl;
+  }
+
+let comm_dram_cell ~area_f2 ~vdd_cell ~vpp ~i_cell_on_ua ~c_bl_ff ~r_bl
+    ~c_wl_ff ~r_wl : Cell.t =
+  let storage_cap = ff 30. in
+  let retention = ms 64. in
+  {
+    ram = Comm_dram;
+    area_f2;
+    aspect_wh = 1.5;
+    access_width_f = 1.0;
+    vdd_cell;
+    storage_cap;
+    vpp;
+    retention_time = retention;
+    i_cell_on = ua i_cell_on_ua;
+    i_cell_leak = storage_cap *. (vdd_cell /. 4.) /. retention;
+    c_bl_per_cell = ff c_bl_ff;
+    r_bl_per_cell = r_bl;
+    c_wl_per_cell = ff c_wl_ff;
+    r_wl_per_cell = r_wl;
+  }
+
+let devices_of ~hp_d ~lstp_d ~lop_d ~lp_acc ~comm_acc =
+  [
+    (Device.Hp, hp_d);
+    (Device.Lstp, lstp_d);
+    (Device.Lop, lop_d);
+    (Device.Hp_long_channel, Device.scale_long_channel hp_d);
+    (Device.Dram_access_lp, lp_acc);
+    (Device.Dram_access_comm, comm_acc);
+  ]
+
+let make ~f_nm ~year ~hp_d ~lstp_d ~lop_d ~lp_acc ~comm_acc ~barrier_nm
+    ~rho_local ~rho_semi ~rho_global ~epsr ~cells =
+  let f = nm f_nm in
+  {
+    feature_size = f;
+    year;
+    devices = devices_of ~hp_d ~lstp_d ~lop_d ~lp_acc ~comm_acc;
+    wires_conservative =
+      wires ~f ~barrier_nm ~rho_local ~rho_semi ~rho_global ~epsr;
+    wires_aggressive =
+      wires_aggr ~f ~barrier_nm ~rho_local ~rho_semi ~rho_global ~epsr;
+    cells;
+  }
+
+let n90 =
+  make ~f_nm:90. ~year:2004
+    ~hp_d:
+      (hp ~vdd:1.2 ~v_th:0.24 ~l_phy_um:0.037 ~c_gate_ff:0.78 ~c_drain_ff:0.60
+         ~i_on_ua:1080. ~i_off:2.0e-7 ~i_gate:1.0e-8 ~gm_per_ion:1.6)
+    ~lstp_d:
+      (lstp ~vdd:1.2 ~v_th:0.53 ~l_phy_um:0.075 ~c_gate_ff:1.00
+         ~c_drain_ff:0.70 ~i_on_ua:465. ~gm_per_ion:1.3)
+    ~lop_d:
+      (lop ~vdd:0.9 ~v_th:0.32 ~l_phy_um:0.053 ~c_gate_ff:0.85 ~c_drain_ff:0.65
+         ~i_on_ua:550. ~i_off:1.0e-9 ~gm_per_ion:1.7)
+    ~lp_acc:
+      (dram_access ~kind:Dram_access_lp ~vdd:1.2 ~v_th:0.44 ~l_phy_um:0.09
+         ~c_gate_ff:1.0 ~c_drain_ff:0.55 ~i_on_ua:120. ~i_off:1e-13)
+    ~comm_acc:
+      (dram_access ~kind:Dram_access_comm ~vdd:1.8 ~v_th:0.80 ~l_phy_um:0.135
+         ~c_gate_ff:1.2 ~c_drain_ff:0.60 ~i_on_ua:80. ~i_off:1e-15)
+    ~barrier_nm:8. ~rho_local:2.7e-8 ~rho_semi:2.5e-8 ~rho_global:2.3e-8
+    ~epsr:3.3
+    ~cells:
+      [
+        ( Cell.Sram,
+          sram_cell ~vdd:1.2 ~i_cell_on_ua:120. ~i_cell_leak_na:7.0
+            ~c_bl_ff:0.20 ~r_bl:2.0 ~c_wl_ff:0.28 ~r_wl:2.0 );
+        ( Cell.Lp_dram,
+          lp_dram_cell ~area_f2:24. ~i_cell_on_ua:15. ~c_bl_ff:0.14 ~r_bl:3.0
+            ~c_wl_ff:0.12 ~r_wl:6.0 );
+        ( Cell.Comm_dram,
+          comm_dram_cell ~area_f2:8.0 ~vdd_cell:1.7 ~vpp:3.0 ~i_cell_on_ua:3.6
+            ~c_bl_ff:0.22 ~r_bl:10.0 ~c_wl_ff:0.07 ~r_wl:8.0 );
+      ]
+
+let n65 =
+  make ~f_nm:65. ~year:2007
+    ~hp_d:
+      (hp ~vdd:1.1 ~v_th:0.21 ~l_phy_um:0.025 ~c_gate_ff:0.70 ~c_drain_ff:0.52
+         ~i_on_ua:1200. ~i_off:3.0e-7 ~i_gate:1.5e-8 ~gm_per_ion:1.7)
+    ~lstp_d:
+      (lstp ~vdd:1.2 ~v_th:0.52 ~l_phy_um:0.045 ~c_gate_ff:0.92
+         ~c_drain_ff:0.62 ~i_on_ua:520. ~gm_per_ion:1.35)
+    ~lop_d:
+      (lop ~vdd:0.8 ~v_th:0.30 ~l_phy_um:0.032 ~c_gate_ff:0.77 ~c_drain_ff:0.55
+         ~i_on_ua:600. ~i_off:2.0e-9 ~gm_per_ion:1.8)
+    ~lp_acc:
+      (dram_access ~kind:Dram_access_lp ~vdd:1.2 ~v_th:0.44 ~l_phy_um:0.065
+         ~c_gate_ff:1.0 ~c_drain_ff:0.50 ~i_on_ua:100. ~i_off:1e-13)
+    ~comm_acc:
+      (dram_access ~kind:Dram_access_comm ~vdd:1.4 ~v_th:0.80 ~l_phy_um:0.10
+         ~c_gate_ff:1.2 ~c_drain_ff:0.55 ~i_on_ua:70. ~i_off:1e-15)
+    ~barrier_nm:6. ~rho_local:3.0e-8 ~rho_semi:2.7e-8 ~rho_global:2.4e-8
+    ~epsr:3.0
+    ~cells:
+      [
+        ( Cell.Sram,
+          sram_cell ~vdd:1.1 ~i_cell_on_ua:110. ~i_cell_leak_na:10.0
+            ~c_bl_ff:0.16 ~r_bl:2.5 ~c_wl_ff:0.22 ~r_wl:2.5 );
+        ( Cell.Lp_dram,
+          lp_dram_cell ~area_f2:26. ~i_cell_on_ua:12. ~c_bl_ff:0.12 ~r_bl:4.0
+            ~c_wl_ff:0.10 ~r_wl:7.0 );
+        ( Cell.Comm_dram,
+          comm_dram_cell ~area_f2:7.0 ~vdd_cell:1.4 ~vpp:2.8 ~i_cell_on_ua:3.0
+            ~c_bl_ff:0.18 ~r_bl:14.0 ~c_wl_ff:0.06 ~r_wl:10.0 );
+      ]
+
+let n45 =
+  make ~f_nm:45. ~year:2010
+    ~hp_d:
+      (hp ~vdd:1.0 ~v_th:0.19 ~l_phy_um:0.018 ~c_gate_ff:0.65 ~c_drain_ff:0.45
+         ~i_on_ua:1350. ~i_off:4.5e-7 ~i_gate:2.0e-8 ~gm_per_ion:1.9)
+    ~lstp_d:
+      (lstp ~vdd:1.1 ~v_th:0.50 ~l_phy_um:0.028 ~c_gate_ff:0.85
+         ~c_drain_ff:0.55 ~i_on_ua:580. ~gm_per_ion:1.4)
+    ~lop_d:
+      (lop ~vdd:0.7 ~v_th:0.28 ~l_phy_um:0.022 ~c_gate_ff:0.70 ~c_drain_ff:0.48
+         ~i_on_ua:680. ~i_off:3.0e-9 ~gm_per_ion:1.9)
+    ~lp_acc:
+      (dram_access ~kind:Dram_access_lp ~vdd:1.1 ~v_th:0.44 ~l_phy_um:0.045
+         ~c_gate_ff:1.0 ~c_drain_ff:0.45 ~i_on_ua:90. ~i_off:1e-13)
+    ~comm_acc:
+      (dram_access ~kind:Dram_access_comm ~vdd:1.2 ~v_th:0.80 ~l_phy_um:0.068
+         ~c_gate_ff:1.2 ~c_drain_ff:0.50 ~i_on_ua:60. ~i_off:1e-15)
+    ~barrier_nm:5. ~rho_local:3.4e-8 ~rho_semi:3.0e-8 ~rho_global:2.5e-8
+    ~epsr:2.7
+    ~cells:
+      [
+        ( Cell.Sram,
+          sram_cell ~vdd:1.0 ~i_cell_on_ua:100. ~i_cell_leak_na:14.0
+            ~c_bl_ff:0.13 ~r_bl:3.0 ~c_wl_ff:0.18 ~r_wl:3.0 );
+        ( Cell.Lp_dram,
+          lp_dram_cell ~area_f2:28. ~i_cell_on_ua:10. ~c_bl_ff:0.10 ~r_bl:5.0
+            ~c_wl_ff:0.09 ~r_wl:8.0 );
+        ( Cell.Comm_dram,
+          comm_dram_cell ~area_f2:6.5 ~vdd_cell:1.2 ~vpp:2.7 ~i_cell_on_ua:2.6
+            ~c_bl_ff:0.15 ~r_bl:18.0 ~c_wl_ff:0.05 ~r_wl:12.0 );
+      ]
+
+let n32 =
+  make ~f_nm:32. ~year:2013
+    ~hp_d:
+      (hp ~vdd:0.9 ~v_th:0.17 ~l_phy_um:0.013 ~c_gate_ff:0.60 ~c_drain_ff:0.40
+         ~i_on_ua:1510. ~i_off:6.0e-7 ~i_gate:1.5e-8 ~gm_per_ion:2.1)
+    ~lstp_d:
+      (lstp ~vdd:1.0 ~v_th:0.48 ~l_phy_um:0.020 ~c_gate_ff:0.78
+         ~c_drain_ff:0.48 ~i_on_ua:650. ~gm_per_ion:1.5)
+    ~lop_d:
+      (lop ~vdd:0.6 ~v_th:0.25 ~l_phy_um:0.016 ~c_gate_ff:0.65 ~c_drain_ff:0.42
+         ~i_on_ua:760. ~i_off:5.0e-9 ~gm_per_ion:2.0)
+    ~lp_acc:
+      (dram_access ~kind:Dram_access_lp ~vdd:1.0 ~v_th:0.44 ~l_phy_um:0.032
+         ~c_gate_ff:1.0 ~c_drain_ff:0.40 ~i_on_ua:80. ~i_off:1e-13)
+    ~comm_acc:
+      (dram_access ~kind:Dram_access_comm ~vdd:1.0 ~v_th:0.80 ~l_phy_um:0.048
+         ~c_gate_ff:1.2 ~c_drain_ff:0.45 ~i_on_ua:50. ~i_off:1e-15)
+    ~barrier_nm:4. ~rho_local:3.9e-8 ~rho_semi:3.4e-8 ~rho_global:2.6e-8
+    ~epsr:2.4
+    ~cells:
+      [
+        ( Cell.Sram,
+          sram_cell ~vdd:0.9 ~i_cell_on_ua:90. ~i_cell_leak_na:20.0
+            ~c_bl_ff:0.11 ~r_bl:3.5 ~c_wl_ff:0.15 ~r_wl:3.5 );
+        ( Cell.Lp_dram,
+          lp_dram_cell ~area_f2:30. ~i_cell_on_ua:8. ~c_bl_ff:0.09 ~r_bl:6.0
+            ~c_wl_ff:0.08 ~r_wl:9.0 );
+        ( Cell.Comm_dram,
+          comm_dram_cell ~area_f2:6.0 ~vdd_cell:1.0 ~vpp:2.6 ~i_cell_on_ua:2.2
+            ~c_bl_ff:0.13 ~r_bl:22.0 ~c_wl_ff:0.045 ~r_wl:14.0 );
+      ]
+
+let all = [ n90; n65; n45; n32 ]
+
+let device t k = List.assoc k t.devices
+
+let wire t proj k =
+  match (proj : Wire.projection) with
+  | Conservative -> List.assoc k t.wires_conservative
+  | Aggressive -> List.assoc k t.wires_aggressive
+
+let cell t k = List.assoc k t.cells
+
+let interp_assoc interp_one a b t =
+  List.map
+    (fun (k, va) ->
+      let vb = List.assoc k b in
+      (k, interp_one va vb t))
+    a
+
+let interpolate a b t =
+  {
+    feature_size =
+      a.feature_size +. ((b.feature_size -. a.feature_size) *. t);
+    year =
+      int_of_float
+        (Float.round
+           (float_of_int a.year +. (float_of_int (b.year - a.year) *. t)));
+    devices = interp_assoc Device.interpolate a.devices b.devices t;
+    wires_conservative =
+      interp_assoc Wire.interpolate a.wires_conservative b.wires_conservative
+        t;
+    wires_aggressive =
+      interp_assoc Wire.interpolate a.wires_aggressive b.wires_aggressive t;
+    cells = interp_assoc Cell.interpolate a.cells b.cells t;
+  }

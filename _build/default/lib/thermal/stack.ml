@@ -1,0 +1,35 @@
+type result = {
+  max_core_temp : float;
+  max_l3_temp : float;
+  grid : Grid.t;
+}
+
+let simulate ?(ambient = 318.) ?(sink_conductance = 4.0) ~core_die_power
+    ~l3_bank_powers ~die_w ~die_h () =
+  let nb = Array.length l3_bank_powers in
+  if nb <> 8 then invalid_arg "Stack.simulate: expected 8 bank powers";
+  (* 8x4 grid: each bank covers a 2x2 patch. *)
+  let nx = 8 and ny = 4 in
+  let layers =
+    [ Grid.silicon (* core die *); Grid.die_bond; Grid.silicon (* L3 die *);
+      Grid.tim; Grid.copper_spreader ]
+  in
+  let g =
+    Grid.create ~nx ~ny ~cell_w:(die_w /. float_of_int nx)
+      ~cell_h:(die_h /. float_of_int ny) ~layers ~sink_conductance ~ambient
+  in
+  let per_cell_core = core_die_power /. float_of_int (nx * ny) in
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      Grid.set_power g ~layer:0 ~x ~y per_cell_core;
+      (* bank index: 4 columns x 2 rows of banks *)
+      let bank = (x / 2) + (4 * (y / 2)) in
+      Grid.set_power g ~layer:2 ~x ~y (l3_bank_powers.(bank) /. 4.)
+    done
+  done;
+  Grid.solve g;
+  {
+    max_core_temp = Grid.max_in_layer g ~layer:0;
+    max_l3_temp = Grid.max_in_layer g ~layer:2;
+    grid = g;
+  }

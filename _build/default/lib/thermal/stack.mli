@@ -1,0 +1,25 @@
+(** The LLC study's 2-die stack scenario (Section 4.3): the core die at the
+    bottom (face-to-face bonded), the L3 die above it, then TIM, spreader
+    and heat sink.  Used to check the paper's claim that the maximum
+    temperature difference between the candidate L3 technologies is small
+    (< 1.5 K). *)
+
+type result = {
+  max_core_temp : float;  (** K *)
+  max_l3_temp : float;  (** K *)
+  grid : Grid.t;
+}
+
+val simulate :
+  ?ambient:float ->
+  ?sink_conductance:float ->
+  core_die_power : float ->
+  l3_bank_powers : float array ->
+  die_w:float ->
+  die_h:float ->
+  unit ->
+  result
+(** [l3_bank_powers] are the 8 per-bank powers (leakage + refresh + average
+    dynamic), laid out 4×2 over the die; core power is spread uniformly over
+    the bottom die.  Defaults: 318 K ambient (45 °C case), 4 W/K sink (a server-class
+    heatsink, θ ≈ 0.25 K/W). *)

@@ -1,0 +1,35 @@
+let log2 x = log x /. log 2.
+
+let clog2 n =
+  assert (n > 0);
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let pow2_ge n =
+  assert (n > 0);
+  let rec go v = if v >= n then v else go (v * 2) in
+  go 1
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let rel_err ~actual ~model =
+  if actual = 0. then if model = 0. then 0. else Float.infinity
+  else (model -. actual) /. actual
+
+let approx ?(tol = 1e-9) a b =
+  let scale = max (Float.abs a) (Float.abs b) in
+  scale = 0. || Float.abs (a -. b) <= tol *. scale
+
+let sum = List.fold_left ( +. ) 0.
+
+let mean = function
+  | [] -> invalid_arg "Floatx.mean: empty"
+  | l -> sum l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> invalid_arg "Floatx.geomean: empty"
+  | l ->
+      List.iter (fun x -> if x <= 0. then invalid_arg "Floatx.geomean: nonpositive") l;
+      exp (mean (List.map log l))

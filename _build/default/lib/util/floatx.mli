@@ -1,0 +1,25 @@
+(** Small floating-point helpers shared across the modeling code. *)
+
+val log2 : float -> float
+
+val clog2 : int -> int
+(** [clog2 n] is the ceiling of log2 of [n]; [clog2 1 = 0]. [n] must be
+    positive. *)
+
+val is_pow2 : int -> bool
+val pow2_ge : int -> int
+(** Smallest power of two greater than or equal to a positive [n]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val rel_err : actual:float -> model:float -> float
+(** [(model - actual) / actual]; the sign convention used by the paper's
+    validation tables (negative = model underestimates). *)
+
+val approx : ?tol:float -> float -> float -> bool
+(** Relative comparison with default tolerance [1e-9]. *)
+
+val sum : float list -> float
+val mean : float list -> float
+val geomean : float list -> float
+(** Geometric mean of positive values; raises [Invalid_argument] on empty. *)

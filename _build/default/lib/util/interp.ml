@@ -1,0 +1,31 @@
+let linear ~x0 ~y0 ~x1 ~y1 x =
+  if x1 = x0 then y0 else y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+
+let geometric ~x0 ~y0 ~x1 ~y1 x =
+  assert (y0 > 0. && y1 > 0.);
+  exp (linear ~x0 ~y0:(log y0) ~x1 ~y1:(log y1) x)
+
+let bracket xs x =
+  let n = Array.length xs in
+  if n = 0 || x < xs.(0) || x > xs.(n - 1) then None
+  else
+    let rec go i =
+      if i >= n - 1 then Some (n - 2, n - 1, 1.0)
+      else if x <= xs.(i + 1) then
+        let x0 = xs.(i) and x1 = xs.(i + 1) in
+        let t = if x1 = x0 then 0. else (x -. x0) /. (x1 -. x0) in
+        Some (i, i + 1, t)
+      else go (i + 1)
+    in
+    if n = 1 then Some (0, 0, 0.) else go 0
+
+let piecewise pts x =
+  let n = Array.length pts in
+  assert (n > 0);
+  if x <= fst pts.(0) then snd pts.(0)
+  else if x >= fst pts.(n - 1) then snd pts.(n - 1)
+  else
+    let xs = Array.map fst pts in
+    match bracket xs x with
+    | None -> snd pts.(n - 1)
+    | Some (i, j, t) -> ((1. -. t) *. snd pts.(i)) +. (t *. snd pts.(j))

@@ -1,0 +1,24 @@
+(** Interpolation helpers used by the technology tables.
+
+    CACTI-D ships device/wire data for the ITRS nodes 90/65/45/32 nm and
+    linearly interpolates between adjacent nodes when asked for an
+    intermediate feature size (e.g. the 78 nm Micron DDR3 validation
+    point). *)
+
+val linear : x0:float -> y0:float -> x1:float -> y1:float -> float -> float
+(** [linear ~x0 ~y0 ~x1 ~y1 x] linearly interpolates/extrapolates. *)
+
+val geometric : x0:float -> y0:float -> x1:float -> y1:float -> float -> float
+(** Interpolates on a log scale (suited to quantities that scale
+    multiplicatively across nodes, e.g. leakage currents). Requires
+    [y0, y1 > 0]. *)
+
+val piecewise : (float * float) array -> float -> float
+(** [piecewise pts x] interpolates linearly on the sorted abscissae of
+    [pts]; clamps outside the covered range. [pts] must be sorted by
+    increasing abscissa and non-empty. *)
+
+val bracket : float array -> float -> (int * int * float) option
+(** [bracket xs x] returns [(i, j, t)] such that [xs.(i) <= x <= xs.(j)],
+    [j = i+1] and [t] is the interpolation weight toward [j]; [None] when [x]
+    lies outside [xs] (callers then clamp). [xs] must be sorted ascending. *)

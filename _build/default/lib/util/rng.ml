@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64, Steele et al., "Fast splittable pseudorandom number
+   generators". *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+(* 53 random bits mapped to [0,1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bernoulli t p = unit_float t < p
+
+let geometric t p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 0
+  else
+    let u = max (unit_float t) 1e-300 in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let exponential t mean =
+  let u = max (unit_float t) 1e-300 in
+  -.mean *. log u
+
+let pareto_bounded t ~alpha ~lo ~hi =
+  assert (lo > 0. && hi >= lo && alpha > 0.);
+  let u = unit_float t in
+  let la = lo ** alpha and ha = hi ** alpha in
+  ((-.(u *. ha -. u *. la -. ha) /. (ha *. la)) ** (-1. /. alpha))
+
+let choose_weighted t arr =
+  assert (Array.length arr > 0);
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0. arr in
+  assert (total > 0.);
+  let x = float t total in
+  let n = Array.length arr in
+  let rec go i acc =
+    if i = n - 1 then snd arr.(i)
+    else
+      let acc = acc +. fst arr.(i) in
+      if x < acc then snd arr.(i) else go (i + 1) acc
+  in
+  go 0 0.

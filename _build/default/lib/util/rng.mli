@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    The architectural simulator and the synthetic workload generators must be
+    reproducible run-to-run and independent of OCaml's stdlib [Random] state,
+    so they use this small self-contained generator.  Streams can be [split]
+    so that every thread of a simulated workload draws from an independent
+    deterministic sequence. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of the remainder of [t]'s stream. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2^64 bit patterns. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success of a
+    Bernoulli([p]) trial; mean [(1-p)/p]. [p] must be in (0, 1]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val pareto_bounded : t -> alpha:float -> lo:float -> hi:float -> float
+(** Bounded Pareto draw in [\[lo, hi\]]; heavier tail for smaller [alpha].
+    Used to model reuse-distance distributions of workloads. *)
+
+val choose_weighted : t -> (float * 'a) array -> 'a
+(** Picks an element with probability proportional to its weight.  The array
+    must be non-empty with non-negative weights summing to a positive value. *)

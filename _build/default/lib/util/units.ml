@@ -1,0 +1,82 @@
+let nano = 1e-9
+let micro = 1e-6
+let milli = 1e-3
+let pico = 1e-12
+let femto = 1e-15
+let kilo = 1e3
+let mega = 1e6
+let giga = 1e9
+
+let ns x = x *. nano
+let ps x = x *. pico
+let us x = x *. micro
+let ms x = x *. milli
+let nm x = x *. nano
+let um x = x *. micro
+let mm x = x *. milli
+let ff x = x *. femto
+let pf x = x *. pico
+let nj x = x *. nano
+let pj x = x *. pico
+let mw x = x *. milli
+let uw x = x *. micro
+let mm2 x = x *. 1e-6
+let um2 x = x *. 1e-12
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+let to_ns x = x /. nano
+let to_ps x = x /. pico
+let to_ms x = x /. milli
+let to_nm x = x /. nano
+let to_um x = x /. micro
+let to_mm x = x /. milli
+let to_ff x = x /. femto
+let to_nj x = x /. nano
+let to_pj x = x /. pico
+let to_mw x = x /. milli
+let to_w x = x
+let to_mm2 x = x /. 1e-6
+let to_um2 x = x /. 1e-12
+
+let pp_scaled units base ppf x =
+  (* [units] are (suffix, magnitude) pairs in increasing magnitude order;
+     pick the largest magnitude not exceeding |x| (or the smallest unit). *)
+  let ax = Float.abs x in
+  let rec pick = function
+    | [] -> ("", base)
+    | [ (s, m) ] -> (s, m)
+    | (s, m) :: ((_, m') :: _ as rest) ->
+        if ax < m' then (s, m) else pick rest
+  in
+  let suffix, magnitude = pick units in
+  Format.fprintf ppf "%.4g %s" (x /. magnitude) suffix
+
+let pp_time ppf x =
+  pp_scaled
+    [ ("ps", 1e-12); ("ns", 1e-9); ("us", 1e-6); ("ms", 1e-3); ("s", 1.0) ]
+    1e-12 ppf x
+
+let pp_area ppf x =
+  if x < 1e-8 then Format.fprintf ppf "%.4g um^2" (to_um2 x)
+  else Format.fprintf ppf "%.4g mm^2" (to_mm2 x)
+
+let pp_energy ppf x =
+  pp_scaled
+    [ ("fJ", 1e-15); ("pJ", 1e-12); ("nJ", 1e-9); ("uJ", 1e-6); ("J", 1.0) ]
+    1e-15 ppf x
+
+let pp_power ppf x =
+  pp_scaled
+    [ ("nW", 1e-9); ("uW", 1e-6); ("mW", 1e-3); ("W", 1.0) ]
+    1e-9 ppf x
+
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if n < 1024 then Format.fprintf ppf "%d B" n
+  else if n < 1024 * 1024 then Format.fprintf ppf "%.4g KB" (f /. 1024.)
+  else if n < 1024 * 1024 * 1024 then
+    Format.fprintf ppf "%.4g MB" (f /. 1024. /. 1024.)
+  else Format.fprintf ppf "%.4g GB" (f /. 1024. /. 1024. /. 1024.)

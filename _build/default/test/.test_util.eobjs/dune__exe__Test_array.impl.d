@@ -1,0 +1,1 @@
+test/test_array.ml: Alcotest Array_spec Bank Cacti_array Cacti_tech Cell Float List Mat Org QCheck QCheck_alcotest Subarray Technology

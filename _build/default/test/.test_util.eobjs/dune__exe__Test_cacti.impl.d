@@ -1,0 +1,1 @@
+test/test_cacti.ml: Alcotest Array_spec Bank Cache_model Cache_spec Cacti Cacti_array Cacti_tech Cacti_util Float Lazy List Mainmem Mat Opt_params Optimizer Printf Ram_model

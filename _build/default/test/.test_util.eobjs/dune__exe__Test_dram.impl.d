@@ -1,0 +1,1 @@
+test/test_dram.ml: Alcotest Cacti Cacti_dram Ddr_catalog Dimm Lazy List Power_calc Printf

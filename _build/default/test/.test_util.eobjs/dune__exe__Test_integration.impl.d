@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Apps Array Dram_sim Energy Engine Lazy List Machine Mcsim Printf Stats Study Study_config Thermal_model

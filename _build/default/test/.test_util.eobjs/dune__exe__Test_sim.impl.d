@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Apps Cache_sim Cacti_util Dram_sim Energy Engine Filename Float Gen Hashtbl Heap Int64 List Machine Mcsim Printf QCheck QCheck_alcotest Stats Sys Trace Workload

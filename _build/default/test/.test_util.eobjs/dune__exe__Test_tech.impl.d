@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Cacti_tech Cell Device Float List Node QCheck QCheck_alcotest Technology Wire

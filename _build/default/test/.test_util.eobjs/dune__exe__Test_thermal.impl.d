@@ -1,0 +1,1 @@
+test/test_thermal.ml: Alcotest Array Float Grid Printf QCheck QCheck_alcotest Stack Thermal_model

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Cacti_util Float Floatx Format Hashtbl Int64 Interp Printf QCheck QCheck_alcotest Rng String Table Units

@@ -1,0 +1,241 @@
+open Cacti_tech
+open Cacti_array
+
+let t32 = Technology.at_nm 32.
+
+let spec ?(ram = Cell.Sram) ?(sleep = false) ?page_bits ~rows ~row_bits ~out () =
+  Array_spec.create ?page_bits ~sleep_tx:sleep ~ram ~tech:t32 ~n_rows:rows
+    ~row_bits ~output_bits:out ()
+
+let small_sram = spec ~rows:256 ~row_bits:2048 ~out:512 ()
+
+let org ~ndwl ~ndbl ?(nspd = 1.) ?(mux = 1) ?(ns1 = 1) ?(ns2 = 1) () =
+  {
+    Org.ndwl;
+    ndbl;
+    nspd;
+    deg_bl_mux = mux;
+    ndsam_lev1 = ns1;
+    ndsam_lev2 = ns2;
+  }
+
+let test_spec_validation () =
+  Alcotest.check_raises "zero rows"
+    (Invalid_argument "Array_spec.create: non-positive geometry") (fun () ->
+      ignore (spec ~rows:0 ~row_bits:64 ~out:64 ()));
+  Alcotest.(check bool) "output wider than array rejected" true
+    (try ignore (spec ~rows:1 ~row_bits:64 ~out:128 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "capacity" (256 * 2048)
+    (Array_spec.capacity_bits small_sram)
+
+let test_org_helpers () =
+  let o = org ~ndwl:8 ~ndbl:4 () in
+  Alcotest.(check int) "mats_x" 4 (Org.mats_x o);
+  Alcotest.(check int) "mats_y" 2 (Org.mats_y o);
+  Alcotest.(check int) "n_mats" 8 (Org.n_mats o);
+  Alcotest.(check int) "subarrays 2x2" 4 (Org.subarrays_per_mat o);
+  let o1 = org ~ndwl:1 ~ndbl:1 () in
+  Alcotest.(check int) "degenerate single" 1 (Org.subarrays_per_mat o1)
+
+let test_candidates_dram_mux_fixed () =
+  let cands = Org.candidates ~max_ndwl:4 ~max_ndbl:4 ~dram:true () in
+  Alcotest.(check bool) "all deg_bl_mux = 1" true
+    (List.for_all (fun o -> o.Org.deg_bl_mux = 1) cands);
+  let sram_cands = Org.candidates ~max_ndwl:4 ~max_ndbl:4 ~dram:false () in
+  Alcotest.(check bool) "sram explores muxes" true
+    (List.exists (fun o -> o.Org.deg_bl_mux = 8) sram_cands)
+
+let test_mat_invalid_orgs_rejected () =
+  (* 256 rows cannot be split into 64 bitline divisions of >=16 rows. *)
+  Alcotest.(check bool) "too many ndbl" true
+    (Mat.make ~spec:small_sram ~org:(org ~ndwl:1 ~ndbl:64 ()) () = None);
+  (* Output width must tile across mats. *)
+  let bad = org ~ndwl:2 ~ndbl:2 ~ns1:16 ~ns2:16 () in
+  Alcotest.(check bool) "mux mismatch rejected" true
+    (Mat.make ~spec:small_sram ~org:bad () = None)
+
+let test_mat_valid () =
+  match Mat.make ~spec:small_sram ~org:(org ~ndwl:2 ~ndbl:2 ~mux:4 ()) () with
+  | None -> Alcotest.fail "expected a valid mat"
+  | Some m ->
+      Alcotest.(check int) "rows" 128 m.Mat.subarray.Subarray.rows;
+      Alcotest.(check int) "cols" 1024 m.Mat.subarray.Subarray.cols;
+      Alcotest.(check int) "out bits" 512 m.Mat.out_bits;
+      Alcotest.(check bool) "positive metrics" true
+        (m.Mat.t_row_path > 0. && m.Mat.t_bitline > 0.
+        && m.Mat.e_row_activate > 0. && m.Mat.leakage > 0.
+        && m.Mat.area > 0.)
+
+let test_dram_mat_has_restore () =
+  let dspec = spec ~ram:Cell.Lp_dram ~rows:2048 ~row_bits:4096 ~out:512 () in
+  match Mat.make ~spec:dspec ~org:(org ~ndwl:2 ~ndbl:8 ~ns1:2 ~ns2:4 ()) () with
+  | None -> Alcotest.fail "expected valid LP-DRAM mat"
+  | Some m ->
+      Alcotest.(check bool) "restore time set" true (m.Mat.t_restore > 0.);
+      Alcotest.(check bool) "precharge set" true (m.Mat.t_precharge > 0.)
+
+let enumerate s = Bank.enumerate ~max_ndwl:16 ~max_ndbl:16 s
+
+let test_bank_enumerate_nonempty () =
+  let sols = enumerate small_sram in
+  Alcotest.(check bool) "solutions exist" true (List.length sols > 10)
+
+let test_bank_metrics_positive () =
+  let sols = enumerate small_sram in
+  List.iter
+    (fun (b : Bank.t) ->
+      Alcotest.(check bool) "access > 0" true (b.Bank.t_access > 0.);
+      Alcotest.(check bool) "cycle > 0" true (b.Bank.t_random_cycle > 0.);
+      Alcotest.(check bool) "energy > 0" true (b.Bank.e_read > 0.);
+      Alcotest.(check bool) "leak > 0" true (b.Bank.p_leakage > 0.);
+      Alcotest.(check bool) "area > 0" true (b.Bank.area > 0.);
+      Alcotest.(check bool) "eff in (0,1)" true
+        (b.Bank.area_efficiency > 0. && b.Bank.area_efficiency < 1.))
+    sols
+
+let test_bank_sram_no_refresh () =
+  let sols = enumerate small_sram in
+  List.iter
+    (fun (b : Bank.t) ->
+      Alcotest.(check (float 0.)) "no refresh" 0. b.Bank.p_refresh;
+      Alcotest.(check bool) "no dram timing" true (b.Bank.dram = None))
+    sols
+
+let test_bank_dram_timing_invariants () =
+  let dspec = spec ~ram:Cell.Comm_dram ~rows:8192 ~row_bits:8192 ~out:64 () in
+  let sols = enumerate dspec in
+  Alcotest.(check bool) "dram solutions exist" true (sols <> []);
+  List.iter
+    (fun (b : Bank.t) ->
+      match b.Bank.dram with
+      | None -> Alcotest.fail "dram timing missing"
+      | Some d ->
+          Alcotest.(check bool) "tRC = tRAS + tRP" true
+            (Float.abs (d.Bank.t_rc -. (d.Bank.t_ras +. d.Bank.t_rp))
+            < 1e-15);
+          Alcotest.(check bool) "tRAS >= tRCD - htree" true
+            (d.Bank.t_ras > 0.9 *. (d.Bank.t_rcd -. b.Bank.t_access));
+          Alcotest.(check bool) "refresh power positive" true
+            (b.Bank.p_refresh > 0.);
+          Alcotest.(check bool) "tRRD <= tRC" true (d.Bank.t_rrd <= d.Bank.t_rc))
+    sols
+
+let test_page_constraint_filters () =
+  let base = spec ~ram:Cell.Comm_dram ~rows:8192 ~row_bits:8192 ~out:64 in
+  let unconstrained = enumerate (base ()) in
+  let constrained = enumerate (base ~page_bits:8192 ()) in
+  Alcotest.(check bool) "constraint prunes" true
+    (List.length constrained < List.length unconstrained);
+  List.iter
+    (fun (b : Bank.t) ->
+      let slice_sense = b.Bank.active_mats * b.Bank.mat.Mat.sensed_bits in
+      Alcotest.(check int) "page = slice sense amps" 8192 slice_sense)
+    constrained
+
+let test_sleep_tx_reduces_leakage () =
+  let awake = enumerate (spec ~rows:2048 ~row_bits:4096 ~out:512 ()) in
+  let asleep =
+    enumerate (spec ~sleep:true ~rows:2048 ~row_bits:4096 ~out:512 ())
+  in
+  let pick l = List.nth l (List.length l / 2) in
+  let a = pick awake and s = pick asleep in
+  Alcotest.(check bool) "same org" true (a.Bank.org = s.Bank.org);
+  Alcotest.(check bool) "sleep leaks less" true
+    (s.Bank.p_leakage < a.Bank.p_leakage)
+
+let test_repeater_penalty_saves_energy () =
+  let fast = spec ~rows:4096 ~row_bits:8192 ~out:512 () in
+  let eco = { fast with Array_spec.max_repeater_delay_penalty = 0.4 } in
+  let pick sols =
+    List.fold_left
+      (fun acc (b : Bank.t) -> if b.Bank.t_access < acc.Bank.t_access then b else acc)
+      (List.hd sols) sols
+  in
+  let f = pick (enumerate fast) and e = pick (enumerate eco) in
+  Alcotest.(check bool) "penalty never speeds up" true
+    (e.Bank.t_access >= f.Bank.t_access *. 0.999)
+
+let test_capacity_monotone_area () =
+  let solve rows =
+    let sols = enumerate (spec ~rows ~row_bits:4096 ~out:512 ()) in
+    List.fold_left (fun acc (b : Bank.t) -> min acc b.Bank.area) Float.infinity
+      sols
+  in
+  let a1 = solve 512 and a2 = solve 2048 and a3 = solve 8192 in
+  Alcotest.(check bool) "4x capacity bigger area" true (a2 > a1 *. 2.);
+  Alcotest.(check bool) "16x capacity bigger still" true (a3 > a2 *. 2.)
+
+let test_dram_denser_than_sram () =
+  let best_area ram =
+    let sols = enumerate (spec ~ram ~rows:4096 ~row_bits:4096 ~out:64 ()) in
+    List.fold_left (fun acc (b : Bank.t) -> min acc b.Bank.area) Float.infinity
+      sols
+  in
+  let sram = best_area Cell.Sram in
+  let lp = best_area Cell.Lp_dram in
+  let comm = best_area Cell.Comm_dram in
+  Alcotest.(check bool) "LP-DRAM denser than SRAM" true (lp < sram);
+  Alcotest.(check bool) "COMM-DRAM densest" true (comm < lp)
+
+let test_comm_lowest_leakage () =
+  let best_leak ram =
+    let sols = enumerate (spec ~ram ~rows:4096 ~row_bits:4096 ~out:64 ()) in
+    List.fold_left (fun acc (b : Bank.t) -> min acc b.Bank.p_leakage)
+      Float.infinity sols
+  in
+  Alcotest.(check bool) "COMM (LSTP periphery) leaks least" true
+    (best_leak Cell.Comm_dram < 0.05 *. best_leak Cell.Sram)
+
+let prop_subarray_geometry =
+  QCheck.Test.make ~name:"subarray area = w x h" ~count:50
+    QCheck.(pair (int_range 16 1024) (int_range 16 1024))
+    (fun (rows, cols) ->
+      let s = Subarray.make ~tech:t32 ~ram:Cell.Sram ~rows ~cols ~c_sense_input:2e-15 in
+      Float.abs (Subarray.cell_area s -. (s.Subarray.width *. s.Subarray.height))
+      < 1e-18)
+
+let prop_bank_energy_scales_with_output =
+  QCheck.Test.make ~name:"wider output never cheaper to read" ~count:10
+    (QCheck.int_range 6 8)
+    (fun log_out ->
+      let out = 1 lsl log_out in
+      let sols = enumerate (spec ~rows:1024 ~row_bits:4096 ~out ()) in
+      let sols2 = enumerate (spec ~rows:1024 ~row_bits:4096 ~out:(out * 2) ()) in
+      let best l =
+        List.fold_left (fun acc (b : Bank.t) -> min acc b.Bank.e_read)
+          Float.infinity l
+      in
+      sols = [] || sols2 = [] || best sols2 >= best sols *. 0.8)
+
+let () =
+  Alcotest.run "array"
+    [
+      ( "spec and org",
+        [
+          Alcotest.test_case "spec validation" `Quick test_spec_validation;
+          Alcotest.test_case "org helpers" `Quick test_org_helpers;
+          Alcotest.test_case "dram candidates" `Quick test_candidates_dram_mux_fixed;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "invalid orgs" `Quick test_mat_invalid_orgs_rejected;
+          Alcotest.test_case "valid mat" `Quick test_mat_valid;
+          Alcotest.test_case "dram restore" `Quick test_dram_mat_has_restore;
+          QCheck_alcotest.to_alcotest prop_subarray_geometry;
+        ] );
+      ( "bank",
+        [
+          Alcotest.test_case "enumerate" `Quick test_bank_enumerate_nonempty;
+          Alcotest.test_case "metrics positive" `Slow test_bank_metrics_positive;
+          Alcotest.test_case "sram no refresh" `Quick test_bank_sram_no_refresh;
+          Alcotest.test_case "dram timing invariants" `Slow test_bank_dram_timing_invariants;
+          Alcotest.test_case "page constraint" `Slow test_page_constraint_filters;
+          Alcotest.test_case "sleep transistors" `Quick test_sleep_tx_reduces_leakage;
+          Alcotest.test_case "repeater penalty" `Slow test_repeater_penalty_saves_energy;
+          Alcotest.test_case "capacity vs area" `Slow test_capacity_monotone_area;
+          Alcotest.test_case "density ordering" `Slow test_dram_denser_than_sram;
+          Alcotest.test_case "comm leakage" `Slow test_comm_lowest_leakage;
+          QCheck_alcotest.to_alcotest prop_bank_energy_scales_with_output;
+        ] );
+    ]

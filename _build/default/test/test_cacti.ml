@@ -1,0 +1,307 @@
+open Cacti
+open Cacti_array
+
+let t32 = Cacti_tech.Technology.at_nm 32.
+
+let l1_spec = Cache_spec.create ~tech:t32 ~capacity_bytes:(32 * 1024) ()
+
+let test_cache_spec_defaults () =
+  Alcotest.(check int) "block" 64 l1_spec.Cache_spec.block_bytes;
+  Alcotest.(check int) "assoc" 8 l1_spec.Cache_spec.assoc;
+  Alcotest.(check int) "sets" 64 (Cache_spec.sets_per_bank l1_spec);
+  Alcotest.(check int) "line bits" 512 (Cache_spec.line_bits l1_spec);
+  (* 42 - log2(64 sets) - log2(64B) = 30 tag bits *)
+  Alcotest.(check int) "tag bits" 30 (Cache_spec.tag_bits l1_spec)
+
+let test_cache_spec_validation () =
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "non-pow2 block" true
+    (bad (fun () ->
+         ignore (Cache_spec.create ~tech:t32 ~capacity_bytes:4096 ~block_bytes:48 ())));
+  Alcotest.(check bool) "indivisible capacity" true
+    (bad (fun () ->
+         ignore
+           (Cache_spec.create ~tech:t32 ~capacity_bytes:(100 * 1000) ())))
+
+let test_cache_spec_tag_ram_follows_data () =
+  let s =
+    Cache_spec.create ~tech:t32 ~capacity_bytes:(1024 * 1024)
+      ~ram:Cacti_tech.Cell.Comm_dram ()
+  in
+  Alcotest.(check bool) "tags default to data technology" true
+    (s.Cache_spec.tag_ram = Cacti_tech.Cell.Comm_dram)
+
+(* Shared small solves (exercised by several tests). *)
+let l1 = lazy (Cache_model.solve l1_spec)
+
+let l2 =
+  lazy
+    (Cache_model.solve (Cache_spec.create ~tech:t32 ~capacity_bytes:(1024 * 1024) ()))
+
+let test_solve_l1_plausible () =
+  let c = Lazy.force l1 in
+  Alcotest.(check bool) "access in [0.2, 2] ns" true
+    (c.Cache_model.t_access > 0.2e-9 && c.Cache_model.t_access < 2e-9);
+  Alcotest.(check bool) "area in [0.05, 0.5] mm2" true
+    (c.Cache_model.area > 0.05e-6 && c.Cache_model.area < 0.5e-6);
+  Alcotest.(check bool) "read energy < 0.3 nJ" true
+    (c.Cache_model.e_read < 0.3e-9);
+  Alcotest.(check bool) "leakage in [1, 50] mW" true
+    (c.Cache_model.p_leakage > 1e-3 && c.Cache_model.p_leakage < 50e-3)
+
+let test_l2_slower_bigger_than_l1 () =
+  let a = Lazy.force l1 and b = Lazy.force l2 in
+  Alcotest.(check bool) "slower" true
+    (b.Cache_model.t_access > a.Cache_model.t_access);
+  Alcotest.(check bool) "bigger" true (b.Cache_model.area > a.Cache_model.area);
+  Alcotest.(check bool) "leakier" true
+    (b.Cache_model.p_leakage > a.Cache_model.p_leakage);
+  Alcotest.(check bool) "costlier reads" true
+    (b.Cache_model.e_read > a.Cache_model.e_read)
+
+let test_sequential_mode_slower () =
+  let mk m =
+    Cache_model.solve
+      (Cache_spec.create ~tech:t32 ~capacity_bytes:(256 * 1024) ~access_mode:m ())
+  in
+  let n = mk Cache_spec.Normal and s = mk Cache_spec.Sequential in
+  Alcotest.(check bool) "sequential slower" true
+    (s.Cache_model.t_access > n.Cache_model.t_access);
+  Alcotest.(check bool) "sequential saves read energy" true
+    (s.Cache_model.e_read < n.Cache_model.e_read)
+
+
+let test_fast_mode_ships_all_ways () =
+  (* Fast mode reads all ways to the edge: no slower than Normal, but more
+     read energy. *)
+  let mk m =
+    Cache_model.solve
+      (Cache_spec.create ~tech:t32 ~capacity_bytes:(256 * 1024) ~assoc:4
+         ~access_mode:m ())
+  in
+  let n = mk Cache_spec.Normal and f = mk Cache_spec.Fast in
+  Alcotest.(check bool) "fast costs more energy" true
+    (f.Cache_model.e_read > n.Cache_model.e_read)
+
+let test_optimizer_staged_filters () =
+  let spec =
+    Array_spec.create ~ram:Cacti_tech.Cell.Sram ~tech:t32 ~n_rows:1024
+      ~row_bits:4096 ~output_bits:512 ()
+  in
+  let cands = Bank.enumerate ~max_ndwl:16 ~max_ndbl:16 spec in
+  let best_area =
+    List.fold_left (fun acc b -> min acc b.Bank.area) Float.infinity cands
+  in
+  let params = { Opt_params.default with max_area_pct = 0.2 } in
+  let chosen = Optimizer.select ~params cands in
+  Alcotest.(check bool) "area constraint respected" true
+    (chosen.Bank.area <= best_area *. 1.2 +. 1e-15);
+  (* And the access-time constraint relative to the area-feasible subset. *)
+  let feasible =
+    List.filter (fun b -> b.Bank.area <= best_area *. 1.2) cands
+  in
+  let best_t =
+    List.fold_left (fun acc b -> min acc b.Bank.t_access) Float.infinity
+      feasible
+  in
+  Alcotest.(check bool) "acctime constraint respected" true
+    (chosen.Bank.t_access
+    <= best_t *. (1. +. params.Opt_params.max_acctime_pct) +. 1e-15)
+
+let test_optimizer_weights_steer () =
+  let spec =
+    Array_spec.create ~ram:Cacti_tech.Cell.Sram ~tech:t32 ~n_rows:1024
+      ~row_bits:4096 ~output_bits:512 ()
+  in
+  let cands = Bank.enumerate ~max_ndwl:16 ~max_ndbl:16 spec in
+  let loose = { Opt_params.default with max_area_pct = 1.0; max_acctime_pct = 1.5 } in
+  let energy_first =
+    {
+      loose with
+      Opt_params.weights =
+        { w_dynamic = 10.; w_leakage = 10.; w_cycle = 0.1; w_interleave = 0.1 };
+    }
+  in
+  let cycle_first =
+    {
+      loose with
+      Opt_params.weights =
+        { w_dynamic = 0.1; w_leakage = 0.1; w_cycle = 10.; w_interleave = 10. };
+    }
+  in
+  let e = Optimizer.select ~params:energy_first cands in
+  let c = Optimizer.select ~params:cycle_first cands in
+  Alcotest.(check bool) "energy pick no worse on energy" true
+    (e.Bank.e_read <= c.Bank.e_read +. 1e-15);
+  Alcotest.(check bool) "cycle pick no worse on cycle" true
+    (c.Bank.t_random_cycle <= e.Bank.t_random_cycle +. 1e-15)
+
+let test_pareto_frontier () =
+  let spec =
+    Array_spec.create ~ram:Cacti_tech.Cell.Sram ~tech:t32 ~n_rows:512
+      ~row_bits:2048 ~output_bits:256 ()
+  in
+  let cands = Bank.enumerate ~max_ndwl:8 ~max_ndbl:8 spec in
+  let front = Optimizer.pareto_access_area cands in
+  Alcotest.(check bool) "frontier non-empty and smaller" true
+    (front <> [] && List.length front <= List.length cands);
+  (* No frontier point dominates another. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a != b then
+            Alcotest.(check bool) "no domination" false
+              (a.Bank.t_access < b.Bank.t_access && a.Bank.area < b.Bank.area
+               && not
+                    (List.exists (fun c -> c == b) front && false)))
+        front)
+    front
+
+let test_solve_space_nonempty () =
+  let sols = Cache_model.solve_space l1_spec in
+  Alcotest.(check bool) "space has solutions" true (List.length sols > 3)
+
+let test_ram_model () =
+  let spec = Ram_model.create ~tech:t32 ~capacity_bytes:(64 * 1024) () in
+  let r = Ram_model.solve spec in
+  Alcotest.(check bool) "plausible access" true
+    (r.Ram_model.t_access > 0.1e-9 && r.Ram_model.t_access < 3e-9);
+  Alcotest.(check bool) "efficiency sane" true
+    (r.Ram_model.area_efficiency > 0.1 && r.Ram_model.area_efficiency < 0.95)
+
+let test_ram_model_dram_refresh () =
+  let spec =
+    Ram_model.create ~tech:t32 ~ram:Cacti_tech.Cell.Lp_dram
+      ~capacity_bytes:(2 * 1024 * 1024) ()
+  in
+  let r = Ram_model.solve spec in
+  Alcotest.(check bool) "refresh power > 0" true (r.Ram_model.p_refresh > 0.);
+  Alcotest.(check bool) "dram timing present" true (r.Ram_model.dram <> None)
+
+
+let test_all_nodes_solvable () =
+  List.iter
+    (fun nm ->
+      let tech = Cacti_tech.Technology.at_nm nm in
+      let c =
+        Cache_model.solve
+          (Cache_spec.create ~tech ~capacity_bytes:(64 * 1024) ~assoc:4 ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%.0fnm solves" nm)
+        true
+        (c.Cache_model.t_access > 0.))
+    [ 90.; 78.; 65.; 45.; 32. ]
+
+let test_scaling_improves_delay_and_energy () =
+  let solve nm =
+    Cache_model.solve
+      (Cache_spec.create
+         ~tech:(Cacti_tech.Technology.at_nm nm)
+         ~capacity_bytes:(256 * 1024) ())
+  in
+  let c90 = solve 90. and c32 = solve 32. in
+  Alcotest.(check bool) "32nm faster" true
+    (c32.Cache_model.t_access < c90.Cache_model.t_access);
+  Alcotest.(check bool) "32nm smaller" true (c32.Cache_model.area < c90.Cache_model.area);
+  Alcotest.(check bool) "32nm cheaper reads" true
+    (c32.Cache_model.e_read < c90.Cache_model.e_read)
+
+let mm_chip =
+  lazy
+    (Mainmem.solve
+       (Mainmem.create ~tech:(Cacti_tech.Technology.at_nm 78.)
+          ~capacity_bits:(1024 * 1024 * 1024) ~page_bits:8192 ()))
+
+let test_mainmem_timing_order () =
+  let m = Lazy.force mm_chip in
+  Alcotest.(check bool) "tRC = tRAS + tRP" true
+    (Float.abs (m.Mainmem.t_rc -. (m.Mainmem.t_ras +. m.Mainmem.t_rp)) < 1e-15);
+  Alcotest.(check bool) "tRAS > tRCD (restore included)" true
+    (m.Mainmem.t_ras > m.Mainmem.t_rcd);
+  Alcotest.(check bool) "access = tRCD + CAS" true
+    (Float.abs (m.Mainmem.t_access -. (m.Mainmem.t_rcd +. m.Mainmem.t_cas))
+    < 1e-15);
+  Alcotest.(check bool) "tRRD << tRC (multibank interleaving)" true
+    (m.Mainmem.t_rrd < m.Mainmem.t_rc /. 2.)
+
+let test_mainmem_vs_micron_band () =
+  (* The Table 2 validation: stay within a generous ±45% of the 78 nm Micron
+     DDR3-1066 datasheet numbers (the paper's own errors reach 33%). *)
+  let m = Lazy.force mm_chip in
+  let within x target band =
+    Float.abs (Cacti_util.Floatx.rel_err ~actual:target ~model:x) <= band
+  in
+  Alcotest.(check bool) "tRCD ~13.1ns" true (within m.Mainmem.t_rcd 13.1e-9 0.45);
+  Alcotest.(check bool) "CAS ~13.1ns" true (within m.Mainmem.t_cas 13.1e-9 0.45);
+  Alcotest.(check bool) "tRC ~52.5ns" true (within m.Mainmem.t_rc 52.5e-9 0.45);
+  Alcotest.(check bool) "ACT ~3.1nJ" true (within m.Mainmem.e_activate 3.1e-9 0.45);
+  Alcotest.(check bool) "RD ~1.6nJ" true (within m.Mainmem.e_read 1.6e-9 0.45);
+  Alcotest.(check bool) "refresh ~3.5mW" true
+    (within m.Mainmem.p_refresh 3.5e-3 1.2);
+  Alcotest.(check bool) "area efficiency ~56%" true
+    (within m.Mainmem.area_efficiency 0.56 0.25)
+
+let test_mainmem_page_size_respected () =
+  let m = Lazy.force mm_chip in
+  let bank = m.Mainmem.bank in
+  Alcotest.(check int) "slice sense amps = page" 8192
+    (bank.Bank.active_mats * bank.Bank.mat.Mat.sensed_bits)
+
+let test_mainmem_burst_energy_scales () =
+  let mk burst =
+    Mainmem.solve
+      (Mainmem.create ~tech:t32 ~capacity_bits:(1024 * 1024 * 1024)
+         ~page_bits:8192 ~prefetch:4 ~burst ())
+  in
+  let b4 = mk 4 and b8 = mk 8 in
+  Alcotest.(check bool) "longer burst, more read energy" true
+    (b8.Mainmem.e_read > b4.Mainmem.e_read)
+
+let test_mainmem_create_validation () =
+  Alcotest.(check bool) "indivisible" true
+    (try
+       ignore (Mainmem.create ~tech:t32 ~capacity_bits:12345 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "cacti"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "defaults" `Quick test_cache_spec_defaults;
+          Alcotest.test_case "validation" `Quick test_cache_spec_validation;
+          Alcotest.test_case "tag ram default" `Quick test_cache_spec_tag_ram_follows_data;
+        ] );
+      ( "cache solver",
+        [
+          Alcotest.test_case "L1 plausible" `Slow test_solve_l1_plausible;
+          Alcotest.test_case "L2 vs L1" `Slow test_l2_slower_bigger_than_l1;
+          Alcotest.test_case "sequential mode" `Slow test_sequential_mode_slower;
+          Alcotest.test_case "fast mode" `Slow test_fast_mode_ships_all_ways;
+          Alcotest.test_case "solve space" `Slow test_solve_space_nonempty;
+          Alcotest.test_case "all nodes solvable" `Slow test_all_nodes_solvable;
+          Alcotest.test_case "roadmap scaling" `Slow test_scaling_improves_delay_and_energy;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "staged filters" `Slow test_optimizer_staged_filters;
+          Alcotest.test_case "weights steer" `Slow test_optimizer_weights_steer;
+          Alcotest.test_case "pareto" `Quick test_pareto_frontier;
+        ] );
+      ( "plain ram",
+        [
+          Alcotest.test_case "sram macro" `Slow test_ram_model;
+          Alcotest.test_case "lp-dram macro" `Slow test_ram_model_dram_refresh;
+        ] );
+      ( "main memory",
+        [
+          Alcotest.test_case "timing ordering" `Slow test_mainmem_timing_order;
+          Alcotest.test_case "Micron band" `Slow test_mainmem_vs_micron_band;
+          Alcotest.test_case "page constraint" `Slow test_mainmem_page_size_respected;
+          Alcotest.test_case "burst energy" `Slow test_mainmem_burst_energy_scales;
+          Alcotest.test_case "validation" `Quick test_mainmem_create_validation;
+        ] );
+    ]

@@ -1,0 +1,686 @@
+open Mcsim
+
+(* A small hand-built machine so the simulator is tested independently of
+   the CACTI solver. *)
+let tiny_cache ~lines ~assoc ~latency : Machine.cache_params =
+  {
+    Machine.lines;
+    assoc;
+    latency;
+    cycle = 1;
+    e_read = 0.1e-9;
+    e_write = 0.12e-9;
+    p_leak = 0.01;
+    p_refresh = 0.;
+  }
+
+let timing : Dram_sim.timing =
+  Dram_sim.basic_timing ~t_rcd:24 ~t_cas:26 ~t_rp:12 ~t_rc:82 ~t_rrd:8
+    ~t_burst:5 ~t_ctrl:20
+
+let mem_params policy : Machine.mem_params =
+  {
+    Machine.timing;
+    policy;
+    powerdown = None;
+    n_channels = 2;
+    n_banks = 8;
+    n_chips_per_rank = 8;
+    e_activate = 16e-9;
+    e_read = 6e-9;
+    e_write = 7e-9;
+    p_standby = 0.7;
+    p_refresh = 0.08;
+    bus_mw_per_gbps = 2.0;
+    line_transfer_gbits = 512e-9;
+  }
+
+let machine ?(l3 = true) () : Machine.t =
+  {
+    Machine.name = "test";
+    n_cores = 4;
+    threads_per_core = 2;
+    clock_hz = 2e9;
+    l1 = tiny_cache ~lines:128 ~assoc:4 ~latency:2;
+    l2 = tiny_cache ~lines:2048 ~assoc:8 ~latency:5;
+    l3 =
+      (if l3 then
+         Some
+           {
+             Machine.bank = tiny_cache ~lines:16384 ~assoc:8 ~latency:6;
+             n_banks = 4;
+             xbar_latency = 3;
+             e_xbar = 0.3e-9;
+             p_xbar_leak = 0.05;
+           }
+       else None);
+    mem = mem_params Dram_sim.Open_page;
+    core_power = 10.;
+    instr_per_fetch_line = 8;
+  }
+
+let small_app : Workload.app =
+  {
+    Workload.name = "unit";
+    mem_ratio = 0.3;
+    fp_ratio = 0.3;
+    write_ratio = 0.3;
+    regions =
+      [
+        {
+          Workload.rname = "hot";
+          size_bytes = 64 * 1024;
+          pattern = Workload.Random_burst 4;
+          sharing = Workload.Shared;
+          weight = 0.7;
+          wr_scale = 1.0;
+        };
+        {
+          Workload.rname = "big";
+          size_bytes = 16 * 1024 * 1024;
+          pattern = Workload.Stream;
+          sharing = Workload.Private_slice;
+          weight = 0.3;
+          wr_scale = 1.0;
+        };
+      ];
+    barrier_interval = 20_000;
+    lock_interval = 20_000;
+    lock_hold = 100;
+    n_locks = 4;
+  }
+
+let run ?(instr = 400_000) ?(l3 = true) () =
+  let params =
+    { Engine.default_params with total_instructions = instr }
+  in
+  Engine.run ~params (machine ~l3 ()) small_app
+
+(* -------------------- cache_sim -------------------- *)
+
+let test_cache_hit_after_fill () =
+  let c = Cache_sim.create ~assoc:4 ~lines:64 () in
+  Alcotest.(check bool) "initially miss" true
+    (Cache_sim.access c ~line:42 ~write:false = Cache_sim.Miss);
+  ignore (Cache_sim.fill c ~line:42 ~state:Cache_sim.S);
+  Alcotest.(check bool) "hit after fill" true
+    (Cache_sim.access c ~line:42 ~write:false = Cache_sim.Hit Cache_sim.S)
+
+let test_cache_write_upgrades () =
+  let c = Cache_sim.create ~assoc:4 ~lines:64 () in
+  ignore (Cache_sim.fill c ~line:7 ~state:Cache_sim.E);
+  ignore (Cache_sim.access c ~line:7 ~write:true);
+  Alcotest.(check bool) "state is M" true (Cache_sim.probe c 7 = Cache_sim.M)
+
+let test_cache_lru_eviction () =
+  let c = Cache_sim.create ~assoc:2 ~lines:4 () in
+  (* two sets; lines 0,2,4 map to set 0 *)
+  ignore (Cache_sim.fill c ~line:0 ~state:Cache_sim.S);
+  ignore (Cache_sim.fill c ~line:2 ~state:Cache_sim.S);
+  ignore (Cache_sim.access c ~line:0 ~write:false);
+  (* 2 is now LRU *)
+  match Cache_sim.fill c ~line:4 ~state:Cache_sim.S with
+  | Some { Cache_sim.line = v; _ } -> Alcotest.(check int) "evicts LRU" 2 v
+  | None -> Alcotest.fail "expected an eviction"
+
+let test_cache_set_state_invalidate () =
+  let c = Cache_sim.create ~assoc:2 ~lines:4 () in
+  ignore (Cache_sim.fill c ~line:9 ~state:Cache_sim.M);
+  Cache_sim.set_state c ~line:9 Cache_sim.I;
+  Alcotest.(check bool) "gone" true (Cache_sim.probe c 9 = Cache_sim.I);
+  Alcotest.(check int) "occupancy zero" 0 (Cache_sim.occupancy c)
+
+let test_cache_dirty_lines () =
+  let c = Cache_sim.create ~assoc:4 ~lines:16 () in
+  ignore (Cache_sim.fill c ~line:1 ~state:Cache_sim.M);
+  ignore (Cache_sim.fill c ~line:2 ~state:Cache_sim.S);
+  ignore (Cache_sim.fill c ~line:3 ~state:Cache_sim.M);
+  Alcotest.(check int) "two dirty" 2 (List.length (Cache_sim.dirty_lines c))
+
+let prop_cache_occupancy_bounded =
+  QCheck.Test.make ~name:"occupancy never exceeds capacity" ~count:50
+    QCheck.(list_of_size (Gen.return 200) (int_range 0 500))
+    (fun lines ->
+      let c = Cache_sim.create ~assoc:4 ~lines:32 () in
+      List.iter
+        (fun l ->
+          match Cache_sim.access c ~line:l ~write:false with
+          | Cache_sim.Miss -> ignore (Cache_sim.fill c ~line:l ~state:Cache_sim.S)
+          | Cache_sim.Hit _ -> ())
+        lines;
+      Cache_sim.occupancy c <= 32)
+
+(* -------------------- heap -------------------- *)
+
+let test_heap_orders () =
+  let h = Heap.create ~capacity:4 in
+  List.iter (fun (t, p) -> Heap.push h ~time:t ~payload:p)
+    [ (5, 50); (1, 10); (3, 30); (2, 20); (4, 40) ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (t, _) ->
+        order := t :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in time order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 10_000))
+    (fun times ->
+      let h = Heap.create ~capacity:4 in
+      List.iteri (fun i t -> Heap.push h ~time:t ~payload:i) times;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain min_int)
+
+(* -------------------- dram_sim -------------------- *)
+
+let test_dram_row_hit_faster () =
+  let d = Dram_sim.create ~policy:Dram_sim.Open_page ~timing () in
+  let l1 = Dram_sim.latency d ~line:0 ~write:false ~now:0 in
+  let l2 = Dram_sim.latency d ~line:1 ~write:false ~now:10_000 in
+  (* lines 0 and 1 are on different channels; use same-channel same-row *)
+  let l3 = Dram_sim.latency d ~line:2 ~write:false ~now:20_000 in
+  Alcotest.(check bool) "row hit faster than activate" true (l3 < l1);
+  ignore l2;
+  Alcotest.(check bool) "row hits counted" true
+    ((Dram_sim.counts d).Dram_sim.row_hits >= 1)
+
+let test_dram_closed_page_precharges () =
+  let d = Dram_sim.create ~policy:Dram_sim.Closed_page ~timing () in
+  ignore (Dram_sim.access d ~line:0 ~write:false ~now:0);
+  ignore (Dram_sim.access d ~line:2 ~write:false ~now:10_000);
+  let c = Dram_sim.counts d in
+  Alcotest.(check int) "no row hits under closed page" 0 c.Dram_sim.row_hits;
+  Alcotest.(check bool) "precharges issued" true (c.Dram_sim.precharges >= 2)
+
+let test_dram_bank_conflict_queues () =
+  let d = Dram_sim.create ~policy:Dram_sim.Closed_page ~timing () in
+  let t1 = Dram_sim.access d ~line:0 ~write:false ~now:0 in
+  (* same channel/bank, different row: must wait for tRC *)
+  let row_stride = 2 * 128 * 8 in
+  let t2 = Dram_sim.access d ~line:row_stride ~write:false ~now:0 in
+  Alcotest.(check bool) "second access queued" true (t2 > t1)
+
+let test_dram_counts_consistency () =
+  let d = Dram_sim.create ~policy:Dram_sim.Open_page ~timing () in
+  let rng = Cacti_util.Rng.create 5L in
+  for i = 0 to 999 do
+    ignore
+      (Dram_sim.access d
+         ~line:(Cacti_util.Rng.int rng 100_000)
+         ~write:(i mod 3 = 0) ~now:(i * 50))
+  done;
+  let c = Dram_sim.counts d in
+  Alcotest.(check int) "reads+writes = accesses" 1000
+    (c.Dram_sim.reads + c.Dram_sim.writes);
+  Alcotest.(check bool) "activates = misses <= accesses" true
+    (c.Dram_sim.activates + c.Dram_sim.row_hits = 1000);
+  Alcotest.(check int) "bus cycles = 5 per access" 5000 c.Dram_sim.busy_cycles
+
+
+
+let prop_dram_completion_after_issue =
+  QCheck.Test.make ~name:"dram completion never precedes issue" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let d = Dram_sim.create ~policy:Dram_sim.Open_page ~timing () in
+      let rng = Cacti_util.Rng.create (Int64.of_int seed) in
+      let ok = ref true in
+      let now = ref 0 in
+      for _ = 1 to 200 do
+        now := !now + Cacti_util.Rng.int rng 100;
+        let fin =
+          Dram_sim.access d
+            ~line:(Cacti_util.Rng.int rng 1_000_000)
+            ~write:(Cacti_util.Rng.bool rng) ~now:!now
+        in
+        if fin < !now then ok := false
+      done;
+      !ok)
+
+let prop_engine_instruction_conservation =
+  QCheck.Test.make ~name:"engine executes exactly the quota" ~count:5
+    QCheck.(int_range 50_000 200_000)
+    (fun n ->
+      let params = { Engine.default_params with total_instructions = n } in
+      let st = Engine.run ~params (machine ()) small_app in
+      let threads = 8 in
+      let quota = n / threads in
+      st.Stats.instructions = quota * threads)
+
+(* -------------------- trace -------------------- *)
+
+let test_trace_roundtrip () =
+  let t = Trace.record small_app ~n_threads:4 ~refs_per_thread:500 ~seed:9L in
+  let path = Filename.temp_file "cacti_trace" ".txt" in
+  Trace.save path t;
+  let t2 = Trace.load path in
+  Sys.remove path;
+  Alcotest.(check int) "threads" t.Trace.n_threads t2.Trace.n_threads;
+  Alcotest.(check bool) "refs identical" true (t.Trace.refs = t2.Trace.refs);
+  Alcotest.(check (float 1e-6)) "mem ratio" t.Trace.mem_ratio t2.Trace.mem_ratio
+
+let test_trace_drives_engine () =
+  let t = Trace.record small_app ~n_threads:8 ~refs_per_thread:2_000 ~seed:9L in
+  let st = Trace.run (machine ()) t in
+  Alcotest.(check bool) "executes" true (st.Stats.instructions > 10_000);
+  Alcotest.(check bool) "references replayed" true (st.Stats.l1_accesses > 8_000);
+  match Stats.check_consistency st with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_trace_replay_matches_synthetic_locality () =
+  (* Replaying a recorded synthetic app must hit the caches like the
+     original generator did (same addresses). *)
+  let n_threads = 8 in
+  let t = Trace.record small_app ~n_threads ~refs_per_thread:5_000 ~seed:9L in
+  let st = Trace.run (machine ()) t in
+  let hit_rate =
+    float_of_int st.Stats.l1_hits /. float_of_int (max 1 st.Stats.l1_accesses)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "L1 hit rate %.2f plausible" hit_rate)
+    true
+    (hit_rate > 0.3 && hit_rate < 0.999)
+
+let test_trace_load_errors () =
+  let path = Filename.temp_file "cacti_trace" ".txt" in
+  let oc = open_out path in
+  output_string oc "0 12 r\n";
+  close_out oc;
+  Alcotest.(check bool) "missing header rejected" true
+    (try ignore (Trace.load path); false with Failure _ -> true);
+  Sys.remove path
+
+(* -------------------- dram extras -------------------- *)
+
+let timing_full : Dram_sim.timing =
+  {
+    timing with
+    Dram_sim.t_faw = 60;
+    t_wtr = 15;
+    t_refi = 2000;
+    t_rfc = 300;
+  }
+
+let test_dram_tfaw_throttles_activates () =
+  let d = Dram_sim.create ~n_channels:1 ~policy:Dram_sim.Closed_page ~timing:timing_full () in
+  (* Five activates to five different banks on one channel: the fifth must
+     wait for the four-activate window. *)
+  let row_stride = 128 in
+  let times =
+    List.map
+      (fun b -> Dram_sim.access d ~line:(b * row_stride) ~write:false ~now:0)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let t5 = List.nth times 4 and t4 = List.nth times 3 in
+  Alcotest.(check bool) "fifth activate delayed by tFAW" true (t5 - t4 > 8)
+
+let test_dram_refresh_blackout () =
+  let d = Dram_sim.create ~n_channels:1 ~policy:Dram_sim.Closed_page ~timing:timing_full () in
+  (* An access issued inside a refresh blackout window is pushed past it. *)
+  let t_in_blackout = Dram_sim.access d ~line:0 ~write:false ~now:2010 in
+  Alcotest.(check bool) "pushed past tRFC" true (t_in_blackout >= 2300)
+
+let test_dram_wtr_turnaround () =
+  let d = Dram_sim.create ~n_channels:1 ~policy:Dram_sim.Open_page ~timing:timing_full () in
+  ignore (Dram_sim.access d ~line:0 ~write:true ~now:0);
+  (* a read right after a write on the same channel pays tWTR *)
+  let t_rd = Dram_sim.latency d ~line:1024 ~write:false ~now:0 in
+  let d2 = Dram_sim.create ~n_channels:1 ~policy:Dram_sim.Open_page ~timing:timing_full () in
+  ignore (Dram_sim.access d2 ~line:1024 ~write:false ~now:0);
+  ignore d2;
+  Alcotest.(check bool) "turnaround adds delay" true (t_rd > 0)
+
+let test_dram_powerdown_accounting () =
+  let pd = { Dram_sim.idle_threshold = 100; wake_penalty = 10 } in
+  let d =
+    Dram_sim.create ~n_channels:1 ~powerdown:pd ~policy:Dram_sim.Open_page
+      ~timing ()
+  in
+  ignore (Dram_sim.access d ~line:0 ~write:false ~now:0);
+  (* long idle gap -> power-down entered, wake penalty paid *)
+  let lat_after_idle = Dram_sim.latency d ~line:2 ~write:false ~now:100_000 in
+  let c = Dram_sim.counts d in
+  Alcotest.(check bool) "powerdown cycles accrued" true
+    (c.Dram_sim.powerdown_cycles > 50_000);
+  Alcotest.(check int) "one wakeup" 1 c.Dram_sim.wakeups;
+  Alcotest.(check bool) "wake penalty visible" true (lat_after_idle > 20);
+  Alcotest.(check bool) "fraction in (0,1)" true
+    (let f = Dram_sim.powerdown_fraction d ~total_cycles:110_000 in
+     f > 0. && f < 1.)
+
+(* -------------------- workload -------------------- *)
+
+let test_workload_determinism () =
+  let g1 = Workload.gen small_app ~n_threads:8 ~thread_id:3 ~seed:9L in
+  let g2 = Workload.gen small_app ~n_threads:8 ~thread_id:3 ~seed:9L in
+  for _ = 1 to 500 do
+    Alcotest.(check (pair int bool)) "same stream" (Workload.next g1)
+      (Workload.next g2)
+  done
+
+let test_workload_thread_isolation () =
+  (* Private slices of different threads never overlap. *)
+  let app =
+    {
+      small_app with
+      Workload.regions =
+        [
+          {
+            Workload.rname = "p";
+            size_bytes = 1024 * 1024;
+            pattern = Workload.Stream;
+            sharing = Workload.Private_slice;
+            weight = 1.0;
+            wr_scale = 1.0;
+          };
+        ];
+    }
+  in
+  let lines tid =
+    let g = Workload.gen app ~n_threads:4 ~thread_id:tid ~seed:1L in
+    let s = Hashtbl.create 64 in
+    for _ = 1 to 2000 do
+      Hashtbl.replace s (fst (Workload.next g)) ()
+    done;
+    s
+  in
+  let s0 = lines 0 and s1 = lines 1 in
+  Hashtbl.iter
+    (fun l () ->
+      Alcotest.(check bool) "disjoint" false (Hashtbl.mem s1 l))
+    s0
+
+let test_workload_write_ratio () =
+  let g = Workload.gen small_app ~n_threads:8 ~thread_id:0 ~seed:2L in
+  let n = 20_000 in
+  let writes = ref 0 in
+  for _ = 1 to n do
+    if snd (Workload.next g) then incr writes
+  done;
+  let frac = float_of_int !writes /. float_of_int n in
+  Alcotest.(check bool) "write ratio ~0.3" true (Float.abs (frac -. 0.3) < 0.02)
+
+let test_workload_validation () =
+  let bad = { small_app with Workload.mem_ratio = 1.5 } in
+  Alcotest.(check bool) "bad mem ratio rejected" true
+    (try Workload.validate bad; false with Invalid_argument _ -> true);
+  let bad_weights =
+    {
+      small_app with
+      Workload.regions =
+        [
+          {
+            Workload.rname = "w";
+            size_bytes = 1024 * 1024;
+            pattern = Workload.Stream;
+            sharing = Workload.Shared;
+            weight = 0.5;
+            wr_scale = 1.0;
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "non-normalized weights rejected" true
+    (try Workload.validate bad_weights; false with Invalid_argument _ -> true)
+
+let test_apps_all_valid () =
+  List.iter Workload.validate Apps.all;
+  Alcotest.(check int) "eight apps" 8 (List.length Apps.all);
+  Alcotest.(check bool) "lookup" true
+    ((Apps.by_name "cg.C").Workload.name = "cg.C")
+
+
+let test_workload_strided_pattern () =
+  let app =
+    {
+      small_app with
+      Workload.regions =
+        [
+          {
+            Workload.rname = "strided";
+            size_bytes = 1024 * 1024;
+            pattern = Workload.Strided 16;
+            sharing = Workload.Private_slice;
+            weight = 1.0;
+            wr_scale = 1.0;
+          };
+        ];
+    }
+  in
+  let g = Workload.gen app ~n_threads:4 ~thread_id:0 ~seed:3L in
+  let l1, _ = Workload.next g in
+  let l2, _ = Workload.next g in
+  (* 16-word stride = 2 lines per step *)
+  Alcotest.(check int) "stride of two lines" 2 (l2 - l1)
+
+let test_workload_random_burst_locality () =
+  let app =
+    {
+      small_app with
+      Workload.regions =
+        [
+          {
+            Workload.rname = "bursty";
+            size_bytes = 64 * 1024 * 1024;
+            pattern = Workload.Random_burst 8;
+            sharing = Workload.Shared;
+            weight = 1.0;
+            wr_scale = 1.0;
+          };
+        ];
+    }
+  in
+  let g = Workload.gen app ~n_threads:4 ~thread_id:0 ~seed:4L in
+  (* Bursts of 8 words touch the same line ~7 times in each 8-access
+     window, so consecutive-equal-line pairs must be common. *)
+  let same = ref 0 and n = 20_000 in
+  let prev = ref (-1) in
+  for _ = 1 to n do
+    let l, _ = Workload.next g in
+    if l = !prev then incr same;
+    prev := l
+  done;
+  let frac = float_of_int !same /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "spatial locality %.2f > 0.5" frac)
+    true (frac > 0.5)
+
+let test_nonmem_cpi () =
+  (* With no FP at all, every non-memory instruction takes 4 cycles. *)
+  let a = { small_app with Workload.fp_ratio = 0. } in
+  Alcotest.(check (float 1e-9)) "all-integer cpi" 4. (Workload.nonmem_cpi a);
+  let b = { small_app with Workload.fp_ratio = 0.7; mem_ratio = 0.3 } in
+  Alcotest.(check (float 1e-9)) "all-FP cpi" 1. (Workload.nonmem_cpi b)
+
+
+let test_apps_structure_matches_paper_grouping () =
+  let mb n = n * 1024 * 1024 in
+  (* ft/lu working sets fit the big L3s (<= 72MB total footprint). *)
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (a.Workload.name ^ " fits DRAM L3s")
+        true
+        (Workload.footprint_bytes a <= mb 72))
+    [ Apps.ft_b; Apps.lu_c ];
+  (* bt/is/mg/sp exceed every L3. *)
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (a.Workload.name ^ " exceeds 192MB")
+        true
+        (Workload.footprint_bytes a > mb 192))
+    [ Apps.bt_c; Apps.is_c; Apps.mg_b; Apps.sp_c ];
+  (* ua is the low-memory-intensity app; is.C the integer one. *)
+  Alcotest.(check bool) "ua low mem ratio" true
+    (Apps.ua_c.Workload.mem_ratio <= 0.15);
+  Alcotest.(check bool) "is integer-heavy" true
+    (Apps.is_c.Workload.fp_ratio < 0.1);
+  Alcotest.(check bool) "ua has locks" true (Apps.ua_c.Workload.lock_interval > 0)
+
+let test_apps_deterministic_streams () =
+  List.iter
+    (fun a ->
+      let g1 = Workload.gen a ~n_threads:32 ~thread_id:5 ~seed:11L in
+      let g2 = Workload.gen a ~n_threads:32 ~thread_id:5 ~seed:11L in
+      for _ = 1 to 200 do
+        Alcotest.(check (pair int bool)) (a.Workload.name ^ " deterministic")
+          (Workload.next g1) (Workload.next g2)
+      done)
+    Apps.all
+
+(* -------------------- engine -------------------- *)
+
+let test_engine_completes_and_consistent () =
+  let st = run () in
+  Alcotest.(check bool) "instructions executed" true
+    (st.Stats.instructions >= 400_000 - 8 * 2);
+  Alcotest.(check bool) "wall clock positive" true (st.Stats.exec_cycles > 0);
+  (match Stats.check_consistency st with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "some L1 hits" true (st.Stats.l1_hits > 0);
+  Alcotest.(check bool) "dram counts recorded" true (st.Stats.dram <> None)
+
+let test_engine_deterministic () =
+  let a = run () and b = run () in
+  Alcotest.(check int) "same cycles" a.Stats.exec_cycles b.Stats.exec_cycles;
+  Alcotest.(check int) "same l1 accesses" a.Stats.l1_accesses b.Stats.l1_accesses;
+  Alcotest.(check int) "same mem reads" a.Stats.mem_reads b.Stats.mem_reads
+
+let test_engine_l3_filters_memory () =
+  let with_l3 = run () and without = run ~l3:false () in
+  Alcotest.(check bool) "L3 reduces memory reads" true
+    (with_l3.Stats.mem_reads < without.Stats.mem_reads);
+  Alcotest.(check bool) "nol3 has no L3 accesses" true
+    (without.Stats.l3_accesses = 0)
+
+let test_engine_breakdown_covers_time () =
+  let st = run () in
+  let total = Stats.total_breakdown_cycles st in
+  let threads = 8 in
+  (* Total per-thread busy time can't exceed wall clock x threads (barrier
+     idle included in the breakdown). *)
+  Alcotest.(check bool) "breakdown <= threads x wall" true
+    (total <= st.Stats.exec_cycles * threads);
+  Alcotest.(check bool) "breakdown > 60% of thread time" true
+    (float_of_int total
+    > 0.6 *. float_of_int (st.Stats.exec_cycles * threads) *. 0.5);
+  Alcotest.(check bool) "some barrier time" true (st.Stats.breakdown.Stats.barrier > 0);
+  Alcotest.(check bool) "some lock time" true (st.Stats.breakdown.Stats.lock >= 0)
+
+let test_engine_coherence_traffic () =
+  (* The shared hot region with 30% writes must create invalidations. *)
+  let st = run () in
+  Alcotest.(check bool) "invalidations occur" true (st.Stats.invalidations > 0)
+
+let test_engine_read_latency_reasonable () =
+  let st = run () in
+  let lat = Stats.avg_read_latency st in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg read latency %.1f in [2, 500]" lat)
+    true
+    (lat >= 2. && lat < 500.)
+
+let test_energy_accounting () =
+  let cfg = machine () in
+  let st = run () in
+  let p = Energy.compute cfg small_app st in
+  Alcotest.(check bool) "all components nonnegative" true
+    (p.Energy.l1_leak >= 0. && p.Energy.l1_dyn >= 0. && p.Energy.l2_dyn >= 0.
+   && p.Energy.l3_dyn >= 0. && p.Energy.mem_chip_dyn >= 0.
+   && p.Energy.mem_bus >= 0.);
+  let sys = Energy.system cfg small_app st in
+  Alcotest.(check bool) "system > core" true
+    (sys.Energy.system_power > cfg.Machine.core_power);
+  Alcotest.(check bool) "edp = E*t" true
+    (Float.abs
+       (sys.Energy.energy_delay
+       -. (sys.Energy.energy_joules *. sys.Energy.exec_seconds))
+    < 1e-12)
+
+let test_energy_leakage_constant_terms () =
+  let cfg = machine () in
+  let st = run () in
+  let p = Energy.compute cfg small_app st in
+  (* 2 L1s per core x 4 cores x 0.01 W *)
+  Alcotest.(check (float 1e-9)) "l1 leak" 0.08 p.Energy.l1_leak;
+  Alcotest.(check (float 1e-9)) "l2 leak" 0.04 p.Energy.l2_leak;
+  Alcotest.(check (float 1e-9)) "l3 leak" 0.04 p.Energy.l3_leak;
+  Alcotest.(check (float 1e-9)) "mem standby" 1.4 p.Energy.mem_standby
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "cache_sim",
+        [
+          Alcotest.test_case "hit after fill" `Quick test_cache_hit_after_fill;
+          Alcotest.test_case "write upgrades" `Quick test_cache_write_upgrades;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "invalidate" `Quick test_cache_set_state_invalidate;
+          Alcotest.test_case "dirty lines" `Quick test_cache_dirty_lines;
+          QCheck_alcotest.to_alcotest prop_cache_occupancy_bounded;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "orders" `Quick test_heap_orders;
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+        ] );
+      ( "dram_sim",
+        [
+          Alcotest.test_case "row hit faster" `Quick test_dram_row_hit_faster;
+          Alcotest.test_case "closed page" `Quick test_dram_closed_page_precharges;
+          Alcotest.test_case "bank conflict" `Quick test_dram_bank_conflict_queues;
+          Alcotest.test_case "counts" `Quick test_dram_counts_consistency;
+          Alcotest.test_case "tFAW" `Quick test_dram_tfaw_throttles_activates;
+          Alcotest.test_case "refresh blackout" `Quick test_dram_refresh_blackout;
+          Alcotest.test_case "write turnaround" `Quick test_dram_wtr_turnaround;
+          Alcotest.test_case "powerdown" `Quick test_dram_powerdown_accounting;
+          QCheck_alcotest.to_alcotest prop_dram_completion_after_issue;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "determinism" `Quick test_workload_determinism;
+          Alcotest.test_case "slice isolation" `Quick test_workload_thread_isolation;
+          Alcotest.test_case "write ratio" `Quick test_workload_write_ratio;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+          Alcotest.test_case "presets valid" `Quick test_apps_all_valid;
+          Alcotest.test_case "strided pattern" `Quick test_workload_strided_pattern;
+          Alcotest.test_case "burst locality" `Quick test_workload_random_burst_locality;
+          Alcotest.test_case "paper grouping" `Quick test_apps_structure_matches_paper_grouping;
+          Alcotest.test_case "preset determinism" `Quick test_apps_deterministic_streams;
+          Alcotest.test_case "cpi model" `Quick test_nonmem_cpi;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "completes" `Quick test_engine_completes_and_consistent;
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "L3 filters" `Quick test_engine_l3_filters_memory;
+          Alcotest.test_case "breakdown" `Quick test_engine_breakdown_covers_time;
+          Alcotest.test_case "coherence" `Quick test_engine_coherence_traffic;
+          Alcotest.test_case "read latency" `Quick test_engine_read_latency_reasonable;
+          QCheck_alcotest.to_alcotest prop_engine_instruction_conservation;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "drives engine" `Quick test_trace_drives_engine;
+          Alcotest.test_case "locality preserved" `Quick test_trace_replay_matches_synthetic_locality;
+          Alcotest.test_case "load errors" `Quick test_trace_load_errors;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "accounting" `Quick test_energy_accounting;
+          Alcotest.test_case "constant terms" `Quick test_energy_leakage_constant_terms;
+        ] );
+    ]

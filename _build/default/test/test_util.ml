@@ -1,0 +1,210 @@
+open Cacti_util
+
+let approx = Alcotest.(check (float 1e-9))
+
+let test_units_roundtrip () =
+  approx "ns roundtrip" 3.2 (Units.to_ns (Units.ns 3.2));
+  approx "nm roundtrip" 32. (Units.to_nm (Units.nm 32.));
+  approx "fF roundtrip" 20. (Units.to_ff (Units.ff 20.));
+  approx "nJ roundtrip" 1.6 (Units.to_nj (Units.nj 1.6));
+  approx "mW roundtrip" 3.5 (Units.to_mw (Units.mw 3.5));
+  approx "mm2 roundtrip" 6.2 (Units.to_mm2 (Units.mm2 6.2));
+  Alcotest.(check int) "KiB" 32768 (Units.kib 32);
+  Alcotest.(check int) "MiB" (1024 * 1024) (Units.mib 1)
+
+let test_units_pp () =
+  let s pp v = Format.asprintf "%a" pp v in
+  Alcotest.(check string) "time ns" "1.5 ns" (s Units.pp_time 1.5e-9);
+  Alcotest.(check string) "time ps" "800 ps" (s Units.pp_time 0.8e-9);
+  Alcotest.(check string) "power W" "3.6 W" (s Units.pp_power 3.6);
+  Alcotest.(check string) "energy nJ" "1.6 nJ" (s Units.pp_energy 1.6e-9);
+  Alcotest.(check string) "bytes" "24 MB" (s Units.pp_bytes (24 * 1024 * 1024))
+
+let test_clog2 () =
+  Alcotest.(check int) "clog2 1" 0 (Floatx.clog2 1);
+  Alcotest.(check int) "clog2 2" 1 (Floatx.clog2 2);
+  Alcotest.(check int) "clog2 3" 2 (Floatx.clog2 3);
+  Alcotest.(check int) "clog2 4096" 12 (Floatx.clog2 4096);
+  Alcotest.(check int) "clog2 4097" 13 (Floatx.clog2 4097)
+
+let test_pow2 () =
+  Alcotest.(check bool) "1024 is pow2" true (Floatx.is_pow2 1024);
+  Alcotest.(check bool) "12 is not" false (Floatx.is_pow2 12);
+  Alcotest.(check bool) "0 is not" false (Floatx.is_pow2 0);
+  Alcotest.(check int) "pow2_ge 12" 16 (Floatx.pow2_ge 12);
+  Alcotest.(check int) "pow2_ge 16" 16 (Floatx.pow2_ge 16)
+
+let test_rel_err () =
+  approx "under" (-0.25) (Floatx.rel_err ~actual:4. ~model:3.);
+  approx "over" 0.10 (Floatx.rel_err ~actual:10. ~model:11.)
+
+let test_geomean () =
+  approx "geomean" 2. (Floatx.geomean [ 1.; 2.; 4. ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Floatx.geomean: empty")
+    (fun () -> ignore (Floatx.geomean []))
+
+let test_rng_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let c = Rng.split a in
+  let x = Rng.next_int64 a and y = Rng.next_int64 c in
+  Alcotest.(check bool) "distinct streams" true (x <> y)
+
+let test_rng_bounds () =
+  let r = Rng.create 11L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 17);
+    let f = Rng.float r 3.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 3.5)
+  done
+
+let test_rng_geometric_mean () =
+  let r = Rng.create 13L in
+  let n = 50_000 in
+  let p = 0.3 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric r p
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  let expected = (1. -. p) /. p in
+  Alcotest.(check bool)
+    (Printf.sprintf "geometric mean %.3f vs %.3f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 0.1)
+
+let test_rng_bernoulli () =
+  let r = Rng.create 17L in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.25 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "bernoulli rate" true (Float.abs (frac -. 0.25) < 0.02)
+
+
+let test_rng_choose_weighted () =
+  let r = Rng.create 23L in
+  let arr = [| (1.0, "a"); (3.0, "b") |] in
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 20_000 do
+    let v = Rng.choose_weighted r arr in
+    Hashtbl.replace counts v (1 + try Hashtbl.find counts v with Not_found -> 0)
+  done;
+  let b = float_of_int (Hashtbl.find counts "b") /. 20_000. in
+  Alcotest.(check bool) "weighted ~0.75" true (Float.abs (b -. 0.75) < 0.02)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 29L in
+  let n = 30_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r 5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "exp mean ~5" true (Float.abs (mean -. 5.0) < 0.2)
+
+let test_rng_copy_preserves_stream () =
+  let a = Rng.create 31L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies continue identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_interp_linear () =
+  approx "midpoint" 5. (Interp.linear ~x0:0. ~y0:0. ~x1:10. ~y1:10. 5.);
+  approx "extrapolate" 20. (Interp.linear ~x0:0. ~y0:0. ~x1:10. ~y1:10. 20.);
+  approx "geometric mid" 2.
+    (Interp.geometric ~x0:0. ~y0:1. ~x1:2. ~y1:4. 1.)
+
+let test_interp_piecewise () =
+  let pts = [| (0., 0.); (1., 10.); (2., 20.) |] in
+  approx "inside" 15. (Interp.piecewise pts 1.5);
+  approx "clamp low" 0. (Interp.piecewise pts (-1.));
+  approx "clamp high" 20. (Interp.piecewise pts 3.)
+
+let test_table_render () =
+  let t = Table.create [ "name"; "v" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "bb" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  Alcotest.(check bool) "pads short rows" true
+    (String.length (Table.render t) > 10)
+
+let test_table_cells () =
+  Alcotest.(check string) "pct" "+6.2%" (Table.cell_pct 0.062);
+  Alcotest.(check string) "neg pct" "-5.8%" (Table.cell_pct (-0.058));
+  Alcotest.(check string) "float" "3.100" (Table.cell_f 3.1)
+
+let prop_clamp =
+  QCheck.Test.make ~name:"clamp stays in range" ~count:500
+    QCheck.(triple (float_range (-100.) 100.) (float_range (-100.) 0.) (float_range 0. 100.))
+    (fun (x, lo, hi) ->
+      let v = Floatx.clamp ~lo ~hi x in
+      v >= lo && v <= hi)
+
+let prop_pareto_bounded =
+  QCheck.Test.make ~name:"pareto draw stays within bounds" ~count:500
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let r = Rng.create (Int64.of_int seed) in
+      let v = Rng.pareto_bounded r ~alpha:1.2 ~lo:1. ~hi:100. in
+      v >= 0.99 && v <= 100.01)
+
+let prop_interp_endpoints =
+  QCheck.Test.make ~name:"linear interp hits endpoints" ~count:200
+    QCheck.(pair (float_range (-1e3) 1e3) (float_range (-1e3) 1e3))
+    (fun (y0, y1) ->
+      let at x = Interp.linear ~x0:1. ~y0 ~x1:2. ~y1 x in
+      Float.abs (at 1. -. y0) < 1e-9 && Float.abs (at 2. -. y1) < 1e-9)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_units_roundtrip;
+          Alcotest.test_case "pretty printing" `Quick test_units_pp;
+        ] );
+      ( "floatx",
+        [
+          Alcotest.test_case "clog2" `Quick test_clog2;
+          Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "rel_err" `Quick test_rel_err;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          QCheck_alcotest.to_alcotest prop_clamp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+          Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli;
+          Alcotest.test_case "choose_weighted" `Quick test_rng_choose_weighted;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "copy" `Quick test_rng_copy_preserves_stream;
+          QCheck_alcotest.to_alcotest prop_pareto_bounded;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "linear" `Quick test_interp_linear;
+          Alcotest.test_case "piecewise" `Quick test_interp_piecewise;
+          QCheck_alcotest.to_alcotest prop_interp_endpoints;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+    ]
