@@ -13,6 +13,7 @@
 open Cacti_util
 
 let t32 = lazy (Cacti_tech.Technology.at_nm 32.)
+let jobs : int option ref = ref None
 let banner title = Printf.printf "\n=== %s ===\n\n" title
 let err ~paper ~model = Table.cell_pct (Floatx.rel_err ~actual:paper ~model)
 
@@ -42,7 +43,7 @@ let table2 () =
     Cacti.Mainmem.create ~tech ~capacity_bits:(1024 * 1024 * 1024)
       ~page_bits:8192 ~interface:Cacti.Mainmem.ddr3 ()
   in
-  let m = Cacti.Mainmem.solve chip in
+  let m = Cacti.Mainmem.solve ?jobs:!jobs chip in
   let open Cacti.Mainmem in
   let t =
     Table.create
@@ -88,7 +89,7 @@ let figure1 () =
      EXPERIMENTS.md for sourcing. *)
   let target_access = 3.9e-9 and target_area = 130e-6 and target_leak = 2.5 in
   let sols =
-    Cacti.Cache_model.solve_space
+    Cacti.Cache_model.solve_space ?jobs:!jobs
       ~params:
         { Cacti.Opt_params.default with max_area_pct = 1.0; max_acctime_pct = 2.0 }
       spec
@@ -162,7 +163,8 @@ let figure1 () =
       ~assoc:4 ~ram:Cacti_tech.Cell.Sram ()
   in
   let s =
-    Cacti.Cache_model.solve ~params:Cacti.Opt_params.delay_optimal spec90
+    Cacti.Cache_model.solve ?jobs:!jobs ~params:Cacti.Opt_params.delay_optimal
+      spec90
   in
   Printf.printf
     "model: access %.2f ns, area %.0f mm^2, leakage %.2f W (published ref: \
@@ -196,14 +198,14 @@ let table3 () =
         "LP ED 48MB"; "LP C 72MB"; "CM ED 96MB"; "CM C 192MB"; "MM 8Gb chip";
       ]
   in
-  let l1 = Mcsim.Study.solve_l1 (Lazy.force t32) in
-  let l2 = Mcsim.Study.solve_l2 (Lazy.force t32) in
+  let l1 = Mcsim.Study.solve_l1 ?jobs:!jobs (Lazy.force t32) in
+  let l2 = Mcsim.Study.solve_l2 ?jobs:!jobs (Lazy.force t32) in
   let l3s =
     List.map
-      (fun k -> Option.get (Mcsim.Study.solve_l3 (Lazy.force t32) k))
+      (fun k -> Option.get (Mcsim.Study.solve_l3 ?jobs:!jobs (Lazy.force t32) k))
       [ Mcsim.Study.Sram_l3; Lp_dram_ed; Lp_dram_c; Cm_dram_ed; Cm_dram_c ]
   in
-  let mm = Mcsim.Study.solve_mem (Lazy.force t32) in
+  let mm = Mcsim.Study.solve_mem ?jobs:!jobs (Lazy.force t32) in
   let caches = l1 :: l2 :: l3s in
   let papers =
     [
@@ -278,7 +280,7 @@ let run_study () =
       let params =
         { Mcsim.Engine.default_params with total_instructions = !instructions }
       in
-      let r = Mcsim.Study.run_all ~params () in
+      let r = Mcsim.Study.run_all ?jobs:!jobs ~params () in
       study_results := Some r;
       r
 
@@ -512,7 +514,7 @@ let thermal () =
        ~l3_bank_powers:(Array.make 8 bank_power) ~die_w ~die_h ())
       .Thermal_model.Stack.max_core_temp
   in
-  let model k = Option.get (Mcsim.Study.solve_l3 (Lazy.force t32) k) in
+  let model k = Option.get (Mcsim.Study.solve_l3 ?jobs:!jobs (Lazy.force t32) k) in
   let bank_power (m : Cacti.Cache_model.t) dyn =
     ((m.Cacti.Cache_model.p_leakage +. m.Cacti.Cache_model.p_refresh) /. 8.)
     +. dyn
@@ -546,7 +548,7 @@ let ablation_interface () =
   banner
     "Ablation (Sec 3.4): DRAM L3 operated SRAM-like with multisubbank \
      interleaving vs main-memory-like (ACT/RD/WR/PRE per access)";
-  let b = Mcsim.Study.build Mcsim.Study.Cm_dram_c in
+  let b = Mcsim.Study.build ?jobs:!jobs Mcsim.Study.Cm_dram_c in
   let m = b.Mcsim.Study.machine in
   let l3 = Option.get m.Mcsim.Machine.l3 in
   let model = Option.get b.Mcsim.Study.l3_model in
@@ -601,7 +603,7 @@ let ablation_interface () =
 
 let ablation_page_policy () =
   banner "Ablation (Sec 2.1): main-memory open vs closed page policy";
-  let b = Mcsim.Study.build Mcsim.Study.No_l3 in
+  let b = Mcsim.Study.build ?jobs:!jobs Mcsim.Study.No_l3 in
   let m = b.Mcsim.Study.machine in
   let closed =
     {
@@ -655,8 +657,8 @@ let ablation_sleep_and_repeaters () =
     Cacti.Cache_spec.create ~tech ~capacity_bytes:(24 * 1024 * 1024) ~assoc:12
       ~n_banks:8 ~ram:Cacti_tech.Cell.Sram ~sleep_tx:sleep ()
   in
-  let with_sleep = Cacti.Cache_model.solve (mk true) in
-  let without = Cacti.Cache_model.solve (mk false) in
+  let with_sleep = Cacti.Cache_model.solve ?jobs:!jobs (mk true) in
+  let without = Cacti.Cache_model.solve ?jobs:!jobs (mk false) in
   Printf.printf
     "24MB SRAM L3 leakage: %.2f W with sleep transistors vs %.2f W without \
      (paper models Xeon-style mats-asleep halving)\n\n"
@@ -670,7 +672,7 @@ let ablation_sleep_and_repeaters () =
       let params =
         { Cacti.Opt_params.default with max_repeater_delay_penalty = pen }
       in
-      let c = Cacti.Cache_model.solve ~params (mk true) in
+      let c = Cacti.Cache_model.solve ?jobs:!jobs ~params (mk true) in
       Table.add_row t
         [
           Printf.sprintf "%.0f%%" (100. *. pen);
@@ -698,7 +700,7 @@ let powerdown () =
      implements fast-exit power-down in the memory model (CKE drops after a\n\
      channel idles; the waking access pays an exit penalty) and measures the\n\
      standby saving and its performance cost.\n";
-  let b = Mcsim.Study.build Mcsim.Study.Cm_dram_c in
+  let b = Mcsim.Study.build ?jobs:!jobs Mcsim.Study.Cm_dram_c in
   let m = b.Mcsim.Study.machine in
   let with_pd threshold =
     {
@@ -766,6 +768,103 @@ let powerdown () =
      suggestion."
 
 (* ------------------------------------------------------------------ *)
+(* Speedup: the parallel solver against itself, serially               *)
+(* ------------------------------------------------------------------ *)
+
+(* The Table 3 solve suite (L1 + L2 + the five L3 flavors + the 8 Gb
+   main-memory chip), driven directly through [Cache_model]/[Mainmem] so
+   the Study-level memo tables cannot hide repeated work.  Returns a
+   digest of every selected solution so serial and parallel runs can be
+   checked for bit-identity. *)
+let solve_suite n_jobs =
+  let tech = Lazy.force t32 in
+  let mib n = n * 1024 * 1024 in
+  let cache name ?params ?(banks = 1) ?(sleep = false)
+      ?(ram = Cacti_tech.Cell.Sram) cap assoc =
+    let spec =
+      Cacti.Cache_spec.create ~tech ~capacity_bytes:cap ~assoc ~n_banks:banks
+        ~ram ~sleep_tx:sleep ()
+    in
+    let c = Cacti.Cache_model.solve ~jobs:n_jobs ?params spec in
+    ( name,
+      c.Cacti.Cache_model.t_access,
+      c.Cacti.Cache_model.area,
+      c.Cacti.Cache_model.e_read )
+  in
+  let t0 = Unix.gettimeofday () in
+  let digests =
+    [
+      cache "L1 32KB 8-way" (32 * 1024) 8;
+      cache "L2 1MB 8-way" (mib 1) 8;
+      cache "L3 SRAM 24MB" ~banks:8 ~sleep:true (mib 24) 12;
+      cache "L3 LP-DRAM ED 48MB" ~params:Cacti.Opt_params.energy_optimal
+        ~banks:8 ~ram:Cacti_tech.Cell.Lp_dram (mib 48) 12;
+      cache "L3 LP-DRAM C 72MB" ~params:Cacti.Opt_params.area_optimal ~banks:8
+        ~ram:Cacti_tech.Cell.Lp_dram (mib 72) 18;
+      cache "L3 CM-DRAM ED 96MB" ~params:Cacti.Opt_params.energy_optimal
+        ~banks:8 ~ram:Cacti_tech.Cell.Comm_dram (mib 96) 12;
+      cache "L3 CM-DRAM C 192MB" ~params:Cacti.Opt_params.area_optimal
+        ~banks:8 ~ram:Cacti_tech.Cell.Comm_dram (mib 192) 24;
+      (let m =
+         Cacti.Mainmem.solve ~jobs:n_jobs
+           (Cacti.Mainmem.create ~tech
+              ~capacity_bits:(8 * 1024 * 1024 * 1024)
+              ~page_bits:8192 ~prefetch:8 ~burst:8
+              ~interface:Cacti.Mainmem.ddr4 ())
+       in
+       ( "MM 8Gb DDR4 x8",
+         m.Cacti.Mainmem.t_access,
+         m.Cacti.Mainmem.area,
+         m.Cacti.Mainmem.e_read ));
+    ]
+  in
+  (Unix.gettimeofday () -. t0, digests)
+
+let speedup () =
+  banner "Parallel, memoized solver: serial vs parallel wall time";
+  let n_par =
+    match !jobs with Some n -> max 1 n | None -> Cacti_util.Pool.default_jobs ()
+  in
+  Cacti.Solve_cache.clear ();
+  let t_serial, d_serial = solve_suite 1 in
+  Cacti.Solve_cache.clear ();
+  let t_par, d_par = solve_suite n_par in
+  let t_warm, d_warm = solve_suite n_par in
+  let st = Cacti.Solve_cache.stats () in
+  let t = Table.create [ "solve"; "access (ns)"; "area (mm^2)"; "identical" ] in
+  List.iter2
+    (fun (name, ta, ar, er) ((name', ta', ar', er'), (_, ta'', ar'', er'')) ->
+      assert (name = name');
+      Table.add_row t
+        [
+          name;
+          Table.cell_f ~dec:3 (Units.to_ns ta);
+          Table.cell_f ~dec:2 (Units.to_mm2 ar);
+          (if
+             ta = ta' && ar = ar' && er = er' && ta = ta'' && ar = ar''
+             && er = er''
+           then "yes"
+           else "NO");
+        ])
+    d_serial
+    (List.combine d_par d_warm);
+  Table.print t;
+  Printf.printf
+    "serial (--jobs 1):    %7.2f s\n\
+     parallel (--jobs %d): %7.2f s   speedup %.2fx\n\
+     warm rerun:           %7.2f s   (Solve_cache: %d hits / %d misses, %.0f%% \
+     hit rate)\n"
+    t_serial n_par t_par (t_serial /. t_par) t_warm st.Cacti.Solve_cache.hits
+    st.Cacti.Solve_cache.misses
+    (100.
+    *. float_of_int st.Cacti.Solve_cache.hits
+    /. float_of_int (max 1 (st.Cacti.Solve_cache.hits + st.Cacti.Solve_cache.misses)));
+  if n_par = 1 then
+    print_endline
+      "(single worker: pass --jobs N or run on a multicore machine to see \
+       the fan-out)"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -783,7 +882,7 @@ let micro () =
       ndsam_lev1 = 2; ndsam_lev2 = 2;
     }
   in
-  let machine = (Mcsim.Study.build Mcsim.Study.No_l3).Mcsim.Study.machine in
+  let machine = (Mcsim.Study.build ?jobs:!jobs Mcsim.Study.No_l3).Mcsim.Study.machine in
   let tests =
     [
       Test.make ~name:"table2_mainmem_solve_78nm"
@@ -849,18 +948,32 @@ let all () =
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [--instructions N | --quick] \
-     [table1|table2|figure1|table3|figure4a|figure4b|figure5a|figure5b|thermal|ablations|powerdown|micro|all]";
-  print_endline "default: all (without micro)"
+    "usage: bench/main.exe [--instructions N | --quick] [--jobs N] \
+     [table1|table2|figure1|table3|figure4a|figure4b|figure5a|figure5b|thermal|ablations|powerdown|speedup|micro|all]";
+  print_endline "default: all (without micro)";
+  print_endline
+    "--jobs N: worker domains for the CACTI design-space sweeps (default: \
+     cores - 1); any value yields identical solutions"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let int_arg flag n =
+    match int_of_string_opt n with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "%s expects an integer, got %S\n" flag n;
+        usage ();
+        exit 1
+  in
   let rec parse = function
     | "--quick" :: rest ->
         instructions := 8_000_000;
         parse rest
     | "--instructions" :: n :: rest ->
-        instructions := int_of_string n;
+        instructions := int_arg "--instructions" n;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        jobs := Some (int_arg "--jobs" n);
         parse rest
     | rest -> rest
   in
@@ -880,6 +993,7 @@ let () =
           | "thermal" -> thermal ()
           | "ablations" -> ablations ()
           | "powerdown" -> powerdown ()
+          | "speedup" -> speedup ()
           | "micro" -> micro ()
           | "all" -> all ()
           | "--help" | "-h" -> usage ()

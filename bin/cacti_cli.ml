@@ -106,6 +106,12 @@ let opt_params =
            ~doc:"Optimization preset: default, delay, area or energy \
                  (the Section 2.4 staged selection).")
 
+let jobs =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the design-space sweep (default: \
+                 cores - 1).  Any value returns identical solutions.")
+
 (* ------------------------------------------------------------------ *)
 (* cache                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -127,14 +133,14 @@ let cache_cmd =
          & info [ "mode" ] ~doc:"Access mode: normal, sequential or fast.")
   in
   let sleep = Arg.(value & flag & info [ "sleep-tx" ] ~doc:"Model sleep transistors.") in
-  let run size assoc block banks ram mode sleep tech params =
+  let run size assoc block banks ram mode sleep tech params jobs =
     let tech = Cacti_tech.Technology.at_nm tech in
     let spec =
       Cacti.Cache_spec.create ~tech ~capacity_bytes:size ~assoc
         ~block_bytes:block ~n_banks:banks ~ram ~access_mode:mode
         ~sleep_tx:sleep ()
     in
-    match Cacti.Cache_model.solve ~params spec with
+    match Cacti.Cache_model.solve ?jobs ~params spec with
     | c ->
         Format.printf "cache: %a, %d-way, %dB blocks, %d bank(s), %s@."
           Units.pp_bytes size assoc block banks
@@ -166,14 +172,13 @@ let cache_cmd =
           Units.pp_area c.Cacti.Cache_model.area
           (100. *. c.Cacti.Cache_model.area_efficiency);
         `Ok ()
-    | exception Not_found ->
-        `Error (false, "no valid organization for this specification")
+    | exception Cacti.Optimizer.No_solution msg -> `Error (false, msg)
   in
   let term =
     Term.(
       ret
         (const run $ size $ assoc $ block $ banks $ ram $ mode $ sleep
-       $ tech_nm $ opt_params))
+       $ tech_nm $ opt_params $ jobs))
   in
   Cmd.v
     (Cmd.info "cache"
@@ -194,13 +199,13 @@ let ram_cmd =
   let ram =
     Arg.(value & opt ram_conv Cacti_tech.Cell.Sram & info [ "ram" ] ~doc:"Technology.")
   in
-  let run size word banks ram tech params =
+  let run size word banks ram tech params jobs =
     let tech = Cacti_tech.Technology.at_nm tech in
     let spec =
       Cacti.Ram_model.create ~tech ~capacity_bytes:size ~word_bits:word
         ~n_banks:banks ~ram ()
     in
-    match Cacti.Ram_model.solve ~params spec with
+    match Cacti.Ram_model.solve ?jobs ~params spec with
     | r ->
         Format.printf "plain RAM: %a x %d-bit port, %s@." Units.pp_bytes size
           word
@@ -222,11 +227,11 @@ let ram_cmd =
           Units.pp_area r.Cacti.Ram_model.area
           (100. *. r.Cacti.Ram_model.area_efficiency);
         `Ok ()
-    | exception Not_found ->
-        `Error (false, "no valid organization for this specification")
+    | exception Cacti.Optimizer.No_solution msg -> `Error (false, msg)
   in
   let term =
-    Term.(ret (const run $ size $ word $ banks $ ram $ tech_nm $ opt_params))
+    Term.(
+      ret (const run $ size $ word $ banks $ ram $ tech_nm $ opt_params $ jobs))
   in
   Cmd.v (Cmd.info "ram" ~doc:"Model a plain (non-cache) memory macro.") term
 
@@ -250,10 +255,10 @@ let mainmem_cmd =
              Cacti.Mainmem.ddr3
          & info [ "interface" ] ~doc:"IO interface: ddr3 or ddr4.")
   in
-  let run bits banks io page prefetch burst iface tech =
+  let run bits banks io page prefetch burst iface tech jobs =
     let tech = Cacti_tech.Technology.at_nm tech in
     match
-      Cacti.Mainmem.solve
+      Cacti.Mainmem.solve ?jobs
         (Cacti.Mainmem.create ~tech ~capacity_bits:bits ~n_banks:banks
            ~io_bits:io ~page_bits:page ~prefetch ~burst ~interface:iface ())
     with
@@ -278,13 +283,14 @@ let mainmem_cmd =
           Units.pp_area m.Cacti.Mainmem.area
           (100. *. m.Cacti.Mainmem.area_efficiency);
         `Ok ()
-    | exception Not_found ->
-        `Error (false, "no valid organization for this chip")
+    | exception Cacti.Optimizer.No_solution msg -> `Error (false, msg)
     | exception Invalid_argument msg -> `Error (false, msg)
   in
   let term =
     Term.(
-      ret (const run $ bits $ banks $ io $ page $ prefetch $ burst $ iface $ tech_nm))
+      ret
+        (const run $ bits $ banks $ io $ page $ prefetch $ burst $ iface
+       $ tech_nm $ jobs))
   in
   Cmd.v
     (Cmd.info "mainmem" ~doc:"Model a main-memory DRAM chip (Section 2.1).")

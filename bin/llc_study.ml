@@ -38,7 +38,7 @@ let apps_conv =
           (String.concat ","
              (List.map (fun a -> a.Mcsim.Workload.name) apps)) )
 
-let run kinds apps instructions seed csv =
+let run kinds apps instructions seed csv jobs =
   let params =
     {
       Mcsim.Engine.default_params with
@@ -46,7 +46,7 @@ let run kinds apps instructions seed csv =
       seed = Int64.of_int seed;
     }
   in
-  let results = Mcsim.Study.run_all ~params ~kinds ~apps () in
+  let results = Mcsim.Study.run_all ?jobs ~params ~kinds ~apps () in
   let t =
     Cacti_util.Table.create
       [
@@ -126,7 +126,15 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write results as CSV.")
   in
-  let term = Term.(ret (const run $ kinds $ apps $ instructions $ seed $ csv)) in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for the CACTI solves (default: cores - 1). \
+                   Any value returns identical solutions.")
+  in
+  let term =
+    Term.(ret (const run $ kinds $ apps $ instructions $ seed $ csv $ jobs))
+  in
   Cmd.v
     (Cmd.info "llc_study" ~version:"1.0"
        ~doc:"The paper's stacked last-level-cache study, parameterized")

@@ -48,15 +48,9 @@ let evaluate ~spec ~org =
       in
       let mats_x = Org.mats_x org and mats_y = Org.mats_y org in
       let n_mats = mats_x * mats_y in
-      (* Main-memory page constraint: sense amps of the activated slice. *)
-      let page_ok =
-        match spec.Array_spec.page_bits with
-        | None -> true
-        | Some p -> mats_x * mat.Mat.sensed_bits = p
-      in
-      if not page_ok then None
-      else
-        let bank_w = float_of_int mats_x *. mat.Mat.width in
+      (* The page constraint is part of [Mat.geometry], so any surviving
+         mat already satisfies it. *)
+      let bank_w = float_of_int mats_x *. mat.Mat.width in
         let bank_h = float_of_int mats_y *. mat.Mat.height in
         let repeater =
           Repeater.design ~device:periph ~area:area_model ~feature
@@ -209,7 +203,71 @@ let evaluate ~spec ~org =
             pipeline_stages = mat.Mat.decoder.Decoder.n_stages + 3;
           }
 
-let enumerate ?max_ndwl ?max_ndbl spec =
+(* Cheap per-organization lower bound on the final bank area: the cell
+   matrix itself (constant across organizations) plus the per-mat control
+   block, whose replication grows with the mat count.  Both are provably
+   included in [evaluate]'s area (the mat folds the control block into its
+   sense strip, and the bank applies the same 1.08 wiring overhead), so a
+   candidate whose bound already exceeds the area filter can be skipped
+   before any circuit modeling without changing any surviving solution. *)
+let area_lower_bound spec =
+  let { Array_spec.ram; tech; n_rows; row_bits; _ } = spec in
+  let cell = Technology.cell tech ram in
+  let periph = Technology.peripheral_device tech ram in
+  let feature = Technology.feature_size tech in
+  let area_model =
+    Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy
+  in
+  let ctl_inv = Gate.inverter ~area:area_model periph ~w_n:(10. *. feature) in
+  let wr_drv = Gate.inverter ~area:area_model periph ~w_n:(24. *. feature) in
+  let cells_total =
+    float_of_int n_rows *. float_of_int row_bits
+    *. Cell.width cell ~feature_size:feature
+    *. Cell.height cell ~feature_size:feature
+  in
+  fun (org : Org.t) (g : Mat.geometry) ->
+    let n_wordlines = g.Mat.g_rows_sub * g.Mat.g_vert in
+    let n_ctl = 60 + (2 * Cacti_util.Floatx.clog2 (max 2 n_wordlines)) in
+    let control =
+      (float_of_int n_ctl *. ctl_inv.Gate.area)
+      +. (float_of_int g.Mat.g_out_bits *. 2. *. wr_drv.Gate.area)
+    in
+    (* 0.999: keep the bound strictly conservative against float rounding. *)
+    0.999 *. 1.08
+    *. (cells_total +. (float_of_int (Org.n_mats org) *. control))
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let enumerate ?(pool = Cacti_util.Pool.serial) ?prune ?max_ndwl ?max_ndbl spec
+    =
   let dram = Cell.is_dram spec.Array_spec.ram in
-  Org.candidates ?max_ndwl ?max_ndbl ~dram ()
-  |> List.filter_map (fun org -> evaluate ~spec ~org)
+  (* Integer tiling, mux-chain and page constraints are pure arithmetic:
+     screen them serially before fanning the expensive evaluations out. *)
+  let screened =
+    Org.candidates ?max_ndwl ?max_ndbl ~dram ()
+    |> List.filter_map (fun org ->
+           match Mat.geometry ~spec ~org with
+           | Some g -> Some (org, g)
+           | None -> None)
+  in
+  let eval =
+    match prune with
+    | None -> fun (org, _) -> evaluate ~spec ~org
+    | Some max_area_pct ->
+        let lb = area_lower_bound spec in
+        let best_area = Atomic.make Float.infinity in
+        fun (org, g) ->
+          (* [best_area] only shrinks, so any snapshot over-approximates the
+             final minimum: a candidate pruned here could never survive the
+             [max_area_pct] filter, whatever the evaluation order. *)
+          if lb org g > Atomic.get best_area *. (1. +. max_area_pct) then None
+          else
+            match evaluate ~spec ~org with
+            | Some b ->
+                atomic_min best_area b.area;
+                Some b
+            | None -> None
+  in
+  Cacti_util.Pool.parallel_filter_map ~chunk:4 pool eval screened

@@ -44,5 +44,20 @@ type t = {
 val evaluate : spec:Array_spec.t -> org:Org.t -> t option
 (** Full metrics for one candidate organization; [None] if invalid. *)
 
-val enumerate : ?max_ndwl:int -> ?max_ndbl:int -> Array_spec.t -> t list
-(** All valid organizations of the spec. *)
+val enumerate :
+  ?pool:Cacti_util.Pool.t ->
+  ?prune:float ->
+  ?max_ndwl:int ->
+  ?max_ndbl:int ->
+  Array_spec.t ->
+  t list
+(** All valid organizations of the spec, in the deterministic grid order of
+    {!Org.candidates}.
+
+    [pool] fans the candidate evaluations out across domains; the returned
+    list is identical (same elements, same order) for any worker count.
+    [prune], when set to the optimizer's [max_area_pct], skips candidates
+    whose cheap area lower bound already exceeds the best area seen so far
+    by more than that fraction — such candidates can never survive the
+    optimizer's area filter, so every solution the staged selection of
+    Section 2.4 can return is unaffected. *)

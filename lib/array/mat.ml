@@ -36,13 +36,19 @@ let exact_div_f num den =
 
 let exact_div num den = if den > 0 && num mod den = 0 then Some (num / den) else None
 
-let make ~spec ~org () =
+type geometry = {
+  g_rows_sub : int;
+  g_cols_sub : int;
+  g_horiz : int;
+  g_vert : int;
+  g_out_bits : int;
+  g_sensed : int;
+  g_sensed_per_access : int;
+}
+
+let geometry ~spec ~(org : Org.t) =
   let open Org in
-  let { Array_spec.ram; tech; n_rows; row_bits; output_bits; _ } = spec in
-  let cell = Technology.cell tech ram in
-  let periph = Technology.peripheral_device tech ram in
-  let feature = Technology.feature_size tech in
-  let area_model = Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy in
+  let { Array_spec.ram; n_rows; row_bits; output_bits; page_bits; _ } = spec in
   let is_dram = Cell.is_dram ram in
   let ( let* ) = Option.bind in
   let* rows_sub =
@@ -63,6 +69,39 @@ let make ~spec ~org () =
     let* out_bits = exact_div sensed (org.ndsam_lev1 * org.ndsam_lev2) in
     if out_bits <> bits_per_mat then None
     else
+      let sensed_per_access = if is_dram then horiz * cols_sub else sensed in
+      (* Main-memory page constraint: sense amps of the activated slice. *)
+      let page_ok =
+        match page_bits with
+        | None -> true
+        | Some p -> mats_x * sensed_per_access = p
+      in
+      if not page_ok then None
+      else
+        Some
+          {
+            g_rows_sub = rows_sub;
+            g_cols_sub = cols_sub;
+            g_horiz = horiz;
+            g_vert = vert;
+            g_out_bits = out_bits;
+            g_sensed = sensed;
+            g_sensed_per_access = sensed_per_access;
+          }
+
+let make ~spec ~org () =
+  let open Org in
+  let { Array_spec.ram; tech; _ } = spec in
+  let cell = Technology.cell tech ram in
+  let periph = Technology.peripheral_device tech ram in
+  let feature = Technology.feature_size tech in
+  let area_model = Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy in
+  let is_dram = Cell.is_dram ram in
+  match geometry ~spec ~org with
+  | None -> None
+  | Some { g_rows_sub = rows_sub; g_cols_sub = cols_sub; g_horiz = horiz;
+           g_vert = vert; g_out_bits = out_bits; g_sensed = sensed;
+           g_sensed_per_access = _ } ->
       (* Sense amplifiers first (their input loading feeds the bitline). *)
       let cell_pitch = Cell.width cell ~feature_size:feature in
       let deg = if is_dram then 1 else org.deg_bl_mux in

@@ -33,6 +33,23 @@ type t = {
   leakage_cells : float;  (** W: cell portion (sleep-gateable) *)
 }
 
+type geometry = {
+  g_rows_sub : int;  (** rows per subarray *)
+  g_cols_sub : int;  (** columns per subarray *)
+  g_horiz : int;  (** subarrays sharing the wordline (1 or 2) *)
+  g_vert : int;  (** subarrays stacked per mat (1 or 2) *)
+  g_out_bits : int;  (** bits per mat after Ndsam muxing *)
+  g_sensed : int;  (** sense amps per mat *)
+  g_sensed_per_access : int;  (** columns sensed per access *)
+}
+
+val geometry : spec:Array_spec.t -> org:Org.t -> geometry option
+(** The cheap, purely arithmetic part of {!make}: integer tiling,
+    subarray-dimension bounds, mux-chain/output-width matching and the
+    main-memory page constraint.  [None] exactly when {!make} would return
+    [None] for one of these structural reasons — the enumeration uses it to
+    reject candidates before any circuit modeling. *)
+
 val make : spec:Array_spec.t -> org:Org.t -> unit -> t option
 (** [None] when the organization is geometrically or electrically invalid
     for the spec (non-integer tiling, DRAM signal too small, mux chain not

@@ -113,20 +113,38 @@ let with_repeater_penalty params (spec : Array_spec.t) =
       params.Opt_params.max_repeater_delay_penalty;
   }
 
-let solve ?(params = Opt_params.default) s =
+let describe_array (s : Cache_spec.t) part =
+  Printf.sprintf "%s %s of %dB %d-way cache"
+    (Cacti_tech.Cell.ram_kind_to_string s.Cache_spec.ram)
+    part s.Cache_spec.capacity_bytes s.Cache_spec.assoc
+
+let solve ?jobs ?(params = Opt_params.default) s =
+  let pool = Cacti_util.Pool.create ?jobs () in
   let dspec = with_repeater_penalty params (data_spec s) in
   let tspec = with_repeater_penalty params (tag_spec s) in
-  let data = Optimizer.select ~params (Bank.enumerate dspec) in
-  let tag = Optimizer.select ~params (Bank.enumerate tspec) in
+  let data =
+    Solve_cache.select_bank ~pool ~what:(describe_array s "data array")
+      ~params dspec
+  in
+  let tag =
+    Solve_cache.select_bank ~pool ~what:(describe_array s "tag array")
+      ~params tspec
+  in
   combine s data tag (make_comparator s)
 
-let solve_space ?(params = Opt_params.default) s =
+let solve_space ?jobs ?(params = Opt_params.default) s =
+  let pool = Cacti_util.Pool.create ?jobs () in
   let dspec = with_repeater_penalty params (data_spec s) in
   let tspec = with_repeater_penalty params (tag_spec s) in
-  let tag = Optimizer.select ~params (Bank.enumerate tspec) in
+  let tag =
+    Solve_cache.select_bank ~pool ~what:(describe_array s "tag array")
+      ~params tspec
+  in
   let cmp = make_comparator s in
   let open Opt_params in
-  let candidates = Bank.enumerate dspec in
+  let candidates =
+    Bank.enumerate ~pool ~prune:params.max_area_pct dspec
+  in
   if candidates = [] then []
   else
     let best_area =
@@ -136,4 +154,4 @@ let solve_space ?(params = Opt_params.default) s =
     candidates
     |> List.filter (fun b ->
            b.Bank.area <= best_area *. (1. +. params.max_area_pct))
-    |> List.map (fun data -> combine s data tag cmp)
+    |> Cacti_util.Pool.parallel_map pool (fun data -> combine s data tag cmp)

@@ -20,10 +20,13 @@ type t = {
   pipeline_stages : int;
 }
 
-val solve : ?params:Opt_params.t -> Cache_spec.t -> t
-(** Optimizer-selected solution.  Raises [Not_found] when no valid
-    organization exists. *)
+val solve : ?jobs:int -> ?params:Opt_params.t -> Cache_spec.t -> t
+(** Optimizer-selected solution.  [jobs] caps the worker domains used to
+    fan out the candidate evaluations (default
+    {!Cacti_util.Pool.default_jobs}); the result is identical for every
+    worker count.  Data and tag solves are memoized in {!Solve_cache}.
+    Raises {!Optimizer.No_solution} when no valid organization exists. *)
 
-val solve_space : ?params:Opt_params.t -> Cache_spec.t -> t list
+val solve_space : ?jobs:int -> ?params:Opt_params.t -> Cache_spec.t -> t list
 (** All combined solutions passing the staged constraints with the tag array
     fixed to its optimum — the population behind the Figure 1 bubbles. *)

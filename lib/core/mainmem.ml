@@ -67,10 +67,15 @@ let bank_spec params (c : chip) =
     ~n_rows ~row_bits:c.page_bits
     ~output_bits:(c.io_bits * c.prefetch) ()
 
-let solve ?(params = Opt_params.area_optimal) (c : chip) =
+let solve ?jobs ?(params = Opt_params.area_optimal) (c : chip) =
+  let pool = Cacti_util.Pool.create ?jobs () in
   let spec = bank_spec params c in
   let bank =
-    Optimizer.select ~params (Bank.enumerate ~max_ndwl:128 ~max_ndbl:256 spec)
+    Solve_cache.select_bank ~pool ~max_ndwl:128 ~max_ndbl:256
+      ~what:
+        (Printf.sprintf "main-memory bank (%d banks, %db pages)" c.n_banks
+           c.page_bits)
+      ~params spec
   in
   let d = match bank.Bank.dram with Some d -> d | None -> assert false in
   (* Bank-to-IO routing across the chip: commodity parts route data and

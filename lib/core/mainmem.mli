@@ -64,6 +64,9 @@ type t = {
   area_efficiency : float;
 }
 
-val solve : ?params:Opt_params.t -> chip -> t
+val solve : ?jobs:int -> ?params:Opt_params.t -> chip -> t
 (** Default parameters emphasize area efficiency (price per bit), like the
-    commodity part of the Table 2 validation. *)
+    commodity part of the Table 2 validation.  [jobs] caps the worker
+    domains of the design-space sweep; solves are memoized in
+    {!Solve_cache}.  Raises {!Optimizer.No_solution} when no organization
+    satisfies the page constraint. *)

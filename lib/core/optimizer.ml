@@ -1,7 +1,9 @@
 open Cacti_array
 
+exception No_solution of string
+
 let min_by f = function
-  | [] -> raise Not_found
+  | [] -> invalid_arg "Optimizer.min_by: empty candidate list"
   | x :: rest ->
       List.fold_left (fun acc y -> if f y < f acc then y else acc) x rest
 
@@ -30,34 +32,69 @@ let norm_of candidates =
     t_interleave = m (fun b -> b.Bank.t_interleave);
   }
 
-let select ~params candidates =
+let select_result ?(what = "array") ~params candidates =
   let open Opt_params in
-  if candidates = [] then raise Not_found;
-  let best_area = (min_by (fun b -> b.Bank.area) candidates).Bank.area in
-  let within_area =
-    List.filter
-      (fun b -> b.Bank.area <= best_area *. (1. +. params.max_area_pct))
-      candidates
-  in
-  let best_t =
-    (min_by (fun b -> b.Bank.t_access) within_area).Bank.t_access
-  in
-  let within_t =
-    List.filter
-      (fun b -> b.Bank.t_access <= best_t *. (1. +. params.max_acctime_pct))
-      within_area
-  in
-  let norm = norm_of within_t in
-  min_by (objective ~weights:params.weights ~norm) within_t
+  match candidates with
+  | [] ->
+      Error
+        (Printf.sprintf
+           "%s: no valid organization in the enumerated design space" what)
+  | _ ->
+      let best_area = (min_by (fun b -> b.Bank.area) candidates).Bank.area in
+      let within_area =
+        List.filter
+          (fun b -> b.Bank.area <= best_area *. (1. +. params.max_area_pct))
+          candidates
+      in
+      let best_t =
+        (min_by (fun b -> b.Bank.t_access) within_area).Bank.t_access
+      in
+      let within_t =
+        List.filter
+          (fun b -> b.Bank.t_access <= best_t *. (1. +. params.max_acctime_pct))
+          within_area
+      in
+      let norm = norm_of within_t in
+      Ok (min_by (objective ~weights:params.weights ~norm) within_t)
 
+let select ?what ~params candidates =
+  match select_result ?what ~params candidates with
+  | Ok b -> b
+  | Error msg -> raise (No_solution msg)
+
+(* Sort-then-scan Pareto frontier: order candidates by (t_access, area) and
+   keep the ones strictly improving the running area minimum; ties on both
+   axes are all kept, exact duplicates included, matching the quadratic
+   dominance definition.  Output preserves the input order. *)
 let pareto_access_area candidates =
-  let dominated b =
-    List.exists
-      (fun o ->
-        o != b
-        && o.Bank.t_access <= b.Bank.t_access
-        && o.Bank.area <= b.Bank.area
-        && (o.Bank.t_access < b.Bank.t_access || o.Bank.area < b.Bank.area))
-      candidates
-  in
-  List.filter (fun b -> not (dominated b)) candidates
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare arr.(i).Bank.t_access arr.(j).Bank.t_access in
+      if c <> 0 then c else Float.compare arr.(i).Bank.area arr.(j).Bank.area)
+    order;
+  let keep = Array.make n false in
+  (* min area over all strictly-faster groups *)
+  let min_area_before = ref Float.infinity in
+  let i = ref 0 in
+  while !i < n do
+    let t = arr.(order.(!i)).Bank.t_access in
+    let j = ref !i in
+    let group_min = ref Float.infinity in
+    while !j < n && arr.(order.(!j)).Bank.t_access = t do
+      group_min := Float.min !group_min arr.(order.(!j)).Bank.area;
+      incr j
+    done;
+    (* An equal-time candidate above its group minimum is dominated inside
+       the group; a group minimum not below every faster group's area is
+       dominated by one of them. *)
+    if !group_min < !min_area_before then
+      for k = !i to !j - 1 do
+        if arr.(order.(k)).Bank.area = !group_min then keep.(order.(k)) <- true
+      done;
+    min_area_before := Float.min !min_area_before !group_min;
+    i := !j
+  done;
+  List.filteri (fun i _ -> keep.(i)) candidates

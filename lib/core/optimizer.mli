@@ -1,6 +1,14 @@
 (** The staged solution-selection process of Section 2.4, applied to the
     candidate organizations of one array. *)
 
+exception No_solution of string
+(** Raised by {!select} when the candidate list is empty; the message names
+    the array being solved, so a failing [solve] is diagnosable. *)
+
+val min_by : ('a -> float) -> 'a list -> 'a
+(** First element minimizing [f] (ties keep the earliest).  Raises
+    [Invalid_argument] on an empty list. *)
+
 val objective :
   weights:Opt_params.weights ->
   norm:Cacti_array.Bank.t ->
@@ -9,11 +17,26 @@ val objective :
 (** Normalized weighted objective of a candidate against per-metric
     minima collected in [norm]. *)
 
-val select : params:Opt_params.t -> Cacti_array.Bank.t list -> Cacti_array.Bank.t
+val select_result :
+  ?what:string ->
+  params:Opt_params.t ->
+  Cacti_array.Bank.t list ->
+  (Cacti_array.Bank.t, string) result
 (** Applies max-area filter, then max-acctime filter, then the weighted
-    objective; raises [Not_found] on an empty candidate list. *)
+    objective.  [Error] names [what] (default ["array"]) on an empty
+    candidate list.  Ties on the objective keep the earliest candidate in
+    list order, so the choice is deterministic for a fixed enumeration
+    order regardless of how the evaluations were scheduled. *)
+
+val select :
+  ?what:string ->
+  params:Opt_params.t ->
+  Cacti_array.Bank.t list ->
+  Cacti_array.Bank.t
+(** Like {!select_result} but raises {!No_solution} on an empty list. *)
 
 val pareto_access_area :
   Cacti_array.Bank.t list -> Cacti_array.Bank.t list
 (** The access-time/area Pareto frontier — the solutions plotted as bubbles
-    in the Figure 1 validation. *)
+    in the Figure 1 validation.  O(n log n) sort-then-scan; keeps exact
+    ties like the naive dominance filter and preserves input order. *)

@@ -30,7 +30,8 @@ type t = {
   area_efficiency : float;
 }
 
-let solve ?(params = Opt_params.default) s =
+let solve ?jobs ?(params = Opt_params.default) s =
+  let pool = Cacti_util.Pool.create ?jobs () in
   let bank_bytes = s.capacity_bytes / s.n_banks in
   (* Fold words into rows of ~8 words so the array is roughly square before
      partitioning; the optimizer reshapes from there. *)
@@ -41,7 +42,14 @@ let solve ?(params = Opt_params.default) s =
       ~max_repeater_delay_penalty:params.Opt_params.max_repeater_delay_penalty
       ~n_rows ~row_bits ~output_bits:s.word_bits ()
   in
-  let bank = Optimizer.select ~params (Bank.enumerate aspec) in
+  let bank =
+    Solve_cache.select_bank ~pool
+      ~what:
+        (Printf.sprintf "%s RAM macro (%dB, %d-bit port)"
+           (Cacti_tech.Cell.ram_kind_to_string s.ram)
+           s.capacity_bytes s.word_bits)
+      ~params aspec
+  in
   let n = float_of_int s.n_banks in
   {
     spec = s;

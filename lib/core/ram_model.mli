@@ -36,4 +36,7 @@ type t = {
   area_efficiency : float;
 }
 
-val solve : ?params:Opt_params.t -> spec -> t
+val solve : ?jobs:int -> ?params:Opt_params.t -> spec -> t
+(** [jobs] caps the worker domains of the design-space sweep; solves are
+    memoized in {!Solve_cache}.  Raises {!Optimizer.No_solution} when no
+    valid organization exists. *)

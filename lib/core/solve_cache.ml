@@ -1,0 +1,77 @@
+open Cacti_array
+
+type stats = { hits : int; misses : int }
+
+let table : (string, Bank.t) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+let n_hits = ref 0
+let n_misses = ref 0
+
+(* The canonical fingerprint of one solve: every input that can change the
+   selected organization.  Floats are printed in hex so distinct values can
+   never collide through decimal rounding.  The technology is identified by
+   its feature size — [Technology.at_nm] is a pure function of it. *)
+let fingerprint ~max_ndwl ~max_ndbl ~(params : Opt_params.t)
+    (spec : Array_spec.t) =
+  let w = params.Opt_params.weights in
+  Printf.sprintf "%s|%h|%d|%d|%d|%h|%b|%s|%d|%d|%h|%h|%h|%h|%h|%h|%h"
+    (Cacti_tech.Cell.ram_kind_to_string spec.Array_spec.ram)
+    (Cacti_tech.Technology.feature_size spec.Array_spec.tech)
+    spec.Array_spec.n_rows spec.Array_spec.row_bits
+    spec.Array_spec.output_bits spec.Array_spec.max_repeater_delay_penalty
+    spec.Array_spec.sleep_tx
+    (match spec.Array_spec.page_bits with
+    | None -> "-"
+    | Some p -> string_of_int p)
+    max_ndwl max_ndbl params.Opt_params.max_area_pct
+    params.Opt_params.max_acctime_pct w.Opt_params.w_dynamic
+    w.Opt_params.w_leakage w.Opt_params.w_cycle w.Opt_params.w_interleave
+    params.Opt_params.max_repeater_delay_penalty
+
+let describe (spec : Array_spec.t) =
+  Printf.sprintf "%s array (%d rows x %d bits, %d-bit port)"
+    (Cacti_tech.Cell.ram_kind_to_string spec.Array_spec.ram)
+    spec.Array_spec.n_rows spec.Array_spec.row_bits
+    spec.Array_spec.output_bits
+
+let select_bank ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
+    ?(max_ndbl = 64) ?what ~params spec =
+  let key = fingerprint ~max_ndwl ~max_ndbl ~params spec in
+  let cached =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some b ->
+            incr n_hits;
+            Some b
+        | None ->
+            incr n_misses;
+            None)
+  in
+  match cached with
+  | Some b -> b
+  | None ->
+      (* Enumerate outside the lock: it is the expensive, internally
+         parallel part.  Two racing misses of the same key both compute
+         the (identical, deterministic) solution; the first store wins so
+         later hits share one value. *)
+      let what = match what with Some w -> w | None -> describe spec in
+      let candidates =
+        Bank.enumerate ~pool ~prune:params.Opt_params.max_area_pct ~max_ndwl
+          ~max_ndbl spec
+      in
+      let selected = Optimizer.select ~what ~params candidates in
+      Mutex.protect lock (fun () ->
+          match Hashtbl.find_opt table key with
+          | Some b -> b
+          | None ->
+              Hashtbl.add table key selected;
+              selected)
+
+let stats () =
+  Mutex.protect lock (fun () -> { hits = !n_hits; misses = !n_misses })
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset table;
+      n_hits := 0;
+      n_misses := 0)

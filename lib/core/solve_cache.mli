@@ -1,0 +1,36 @@
+(** Memoized design-space solves.
+
+    The LLC study of Section 4 re-solves identical arrays over and over:
+    the six machine variants share their L1, L2 and main-memory chips, and
+    every table/figure of the reproduction harness re-derives the same
+    solutions.  This module caches the selected {!Cacti_array.Bank.t} under
+    a canonical fingerprint of the array spec, the optimization parameters
+    and the enumeration bounds, so repeated solves cost one hash lookup.
+
+    The table is a process-wide singleton protected by a mutex, safe to use
+    from multiple domains (e.g. under {!Cacti_util.Pool}).  Entries are
+    deterministic, so a racing recomputation can only store the same
+    solution. *)
+
+type stats = { hits : int; misses : int }
+
+val select_bank :
+  ?pool:Cacti_util.Pool.t ->
+  ?max_ndwl:int ->
+  ?max_ndbl:int ->
+  ?what:string ->
+  params:Opt_params.t ->
+  Cacti_array.Array_spec.t ->
+  Cacti_array.Bank.t
+(** [select_bank ~params spec] is
+    [Optimizer.select ~params (Bank.enumerate spec)] with area-bound
+    pruning, memoized.  [what] names the array in {!Optimizer.No_solution}
+    errors.  Raises {!Optimizer.No_solution} when the spec admits no valid
+    organization. *)
+
+val stats : unit -> stats
+(** Cumulative hit/miss counters since start-up (or the last {!clear}). *)
+
+val clear : unit -> unit
+(** Drop all entries and reset the counters (used by benchmarks to measure
+    cold-vs-warm solve times). *)

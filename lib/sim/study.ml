@@ -76,30 +76,30 @@ let memoize tbl key f =
       Hashtbl.add tbl key v;
       v
 
-let solve_l1 tech =
+let solve_l1 ?jobs tech =
   memoize memo_l1 (tech_key tech) (fun () ->
-      Cache_model.solve
+      Cache_model.solve ?jobs
         (Cache_spec.create ~tech ~capacity_bytes:(32 * 1024) ~assoc:8 ()))
 
-let solve_l2 tech =
+let solve_l2 ?jobs tech =
   memoize memo_l2 (tech_key tech) (fun () ->
-      Cache_model.solve
+      Cache_model.solve ?jobs
         (Cache_spec.create ~tech ~capacity_bytes:(1024 * 1024) ~assoc:8 ()))
 
-let solve_mem tech =
+let solve_mem ?jobs tech =
   memoize memo_mem (tech_key tech) (fun () ->
-      Mainmem.solve
+      Mainmem.solve ?jobs
         (Mainmem.create ~tech ~capacity_bits:(8 * 1024 * 1024 * 1024)
            ~page_bits:8192 ~prefetch:8 ~burst:8 ~interface:Mainmem.ddr4 ()))
 
-let solve_l3 tech kind =
+let solve_l3 ?jobs tech kind =
   match l3_spec kind tech with
   | None -> None
   | Some (spec, params) ->
       Some
         (memoize memo_l3
            (tech_key tech, kind_key kind)
-           (fun () -> Cache_model.solve ~params spec))
+           (fun () -> Cache_model.solve ?jobs ~params spec))
 
 let clock = Study_config.clock_hz
 
@@ -122,14 +122,14 @@ let cache_params_of ?(extra_latency = 1) ~lines ~assoc (m : Cache_model.t)
     p_refresh = m.Cache_model.p_refresh /. fb;
   }
 
-let build ?tech kind =
+let build ?jobs ?tech kind =
   let tech =
     match tech with Some t -> t | None -> Cacti_tech.Technology.at_nm 32.
   in
-  let l1m = solve_l1 tech in
-  let l2m = solve_l2 tech in
-  let l3m = solve_l3 tech kind in
-  let mm = solve_mem tech in
+  let l1m = solve_l1 ?jobs tech in
+  let l2m = solve_l2 ?jobs tech in
+  let l3m = solve_l3 ?jobs tech kind in
+  let mm = solve_mem ?jobs tech in
   let lb = Study_config.line_bytes in
   let l1 =
     cache_params_of ~lines:(32 * 1024 / lb) ~assoc:8 l1m ~per_banks:1 ()
@@ -229,8 +229,8 @@ let run_app ?params built app =
   let sys = Energy.system built.machine app stats in
   { app; config = built; stats; sys }
 
-let run_all ?params ?(kinds = all_kinds) ?(apps = Apps.all) () =
-  let builts = List.map (fun k -> build k) kinds in
+let run_all ?jobs ?params ?(kinds = all_kinds) ?(apps = Apps.all) () =
+  let builts = List.map (fun k -> build ?jobs k) kinds in
   List.concat_map
     (fun app -> List.map (fun b -> run_app ?params b app) builts)
     apps

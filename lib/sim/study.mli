@@ -27,19 +27,19 @@ type built = {
 
 (** {1 Individual CACTI-D solutions} (memoized per technology) *)
 
-val solve_l1 : Cacti_tech.Technology.t -> Cacti.Cache_model.t
+val solve_l1 : ?jobs:int -> Cacti_tech.Technology.t -> Cacti.Cache_model.t
 (** The 32 KB 8-way private L1. *)
 
-val solve_l2 : Cacti_tech.Technology.t -> Cacti.Cache_model.t
+val solve_l2 : ?jobs:int -> Cacti_tech.Technology.t -> Cacti.Cache_model.t
 (** The 1 MB 8-way private L2. *)
 
-val solve_l3 : Cacti_tech.Technology.t -> llc_kind -> Cacti.Cache_model.t option
+val solve_l3 : ?jobs:int -> Cacti_tech.Technology.t -> llc_kind -> Cacti.Cache_model.t option
 (** The L3 of the given configuration; [None] for [No_l3]. *)
 
-val solve_mem : Cacti_tech.Technology.t -> Cacti.Mainmem.t
+val solve_mem : ?jobs:int -> Cacti_tech.Technology.t -> Cacti.Mainmem.t
 (** The 8 Gb DDR4-3200 x8 chip. *)
 
-val build : ?tech:Cacti_tech.Technology.t -> llc_kind -> built
+val build : ?jobs:int -> ?tech:Cacti_tech.Technology.t -> llc_kind -> built
 (** Runs the CACTI-D solver for L1/L2/L3/main memory (seconds of work);
     results are memoized per technology instance. *)
 
@@ -54,6 +54,7 @@ val run_app :
   ?params:Engine.run_params -> built -> Workload.app -> app_result
 
 val run_all :
+  ?jobs:int ->
   ?params:Engine.run_params ->
   ?kinds:llc_kind list ->
   ?apps:Workload.app list ->

@@ -266,6 +266,97 @@ let test_mainmem_create_validation () =
        false
      with Invalid_argument _ -> true)
 
+
+(* --- parallel solver, memo cache, typed failures -------------------- *)
+
+let test_jobs_determinism () =
+  let check name spec =
+    Solve_cache.clear ();
+    let a = Cache_model.solve ~jobs:1 spec in
+    Solve_cache.clear ();
+    let b = Cache_model.solve ~jobs:4 spec in
+    Alcotest.(check (float 0.)) (name ^ " t_access") a.Cache_model.t_access
+      b.Cache_model.t_access;
+    Alcotest.(check (float 0.)) (name ^ " area") a.Cache_model.area
+      b.Cache_model.area;
+    Alcotest.(check (float 0.)) (name ^ " e_read") a.Cache_model.e_read
+      b.Cache_model.e_read;
+    Alcotest.(check bool) (name ^ " same data org") true
+      (a.Cache_model.data.Bank.org = b.Cache_model.data.Bank.org)
+  in
+  check "sram 256KB" (Cache_spec.create ~tech:t32 ~capacity_bytes:(256 * 1024) ());
+  check "comm-dram 4MB"
+    (Cache_spec.create ~tech:t32 ~capacity_bytes:(4 * 1024 * 1024)
+       ~ram:Cacti_tech.Cell.Comm_dram ());
+  Solve_cache.clear ()
+
+let test_solve_cache_hit_same_value () =
+  Solve_cache.clear ();
+  let spec = Cache_spec.create ~tech:t32 ~capacity_bytes:(64 * 1024) () in
+  let a = Cache_model.solve spec in
+  let s1 = Solve_cache.stats () in
+  let b = Cache_model.solve spec in
+  let s2 = Solve_cache.stats () in
+  Alcotest.(check bool) "second solve hits the cache" true
+    (s2.Solve_cache.hits > s1.Solve_cache.hits);
+  Alcotest.(check int) "no new misses" s1.Solve_cache.misses
+    s2.Solve_cache.misses;
+  Alcotest.(check (float 0.)) "same access" a.Cache_model.t_access
+    b.Cache_model.t_access;
+  Alcotest.(check bool) "cached bank is shared" true
+    (a.Cache_model.data == b.Cache_model.data);
+  Solve_cache.clear ()
+
+let test_select_empty_is_typed_error () =
+  (match Optimizer.select_result ~what:"17-row oddball" ~params:Opt_params.default [] with
+  | Ok _ -> Alcotest.fail "empty candidate list must not select"
+  | Error msg ->
+      Alcotest.(check bool) "message names the spec" true
+        (String.length msg > 0
+        && String.sub msg 0 (String.length "17-row oddball") = "17-row oddball"));
+  Alcotest.check_raises "select raises No_solution"
+    (Optimizer.No_solution
+       "17-row oddball: no valid organization in the enumerated design space")
+    (fun () ->
+      ignore (Optimizer.select ~what:"17-row oddball" ~params:Opt_params.default []));
+  Alcotest.check_raises "min_by rejects empty input"
+    (Invalid_argument "Optimizer.min_by: empty candidate list") (fun () ->
+      ignore (Optimizer.min_by (fun (b : Bank.t) -> b.Bank.area) []))
+
+(* The O(n log n) frontier must agree element-for-element with the original
+   quadratic dominance filter, ties and duplicates included. *)
+let test_pareto_matches_naive () =
+  let spec =
+    Array_spec.create ~ram:Cacti_tech.Cell.Sram ~tech:t32 ~n_rows:512
+      ~row_bits:2048 ~output_bits:256 ()
+  in
+  let proto = List.hd (Bank.enumerate ~max_ndwl:4 ~max_ndbl:4 spec) in
+  let rng = Cacti_util.Rng.create 0xC0FFEEL in
+  (* Quantized coordinates force plenty of exact ties on each axis. *)
+  let coord () = Float.round (Cacti_util.Rng.float rng 1.0 *. 16.) /. 16. in
+  let fresh =
+    List.init 400 (fun _ ->
+        { proto with Bank.t_access = coord (); area = coord () })
+  in
+  (* Physically duplicated entries exercise the self-domination exclusion. *)
+  let cands = fresh @ List.filteri (fun i _ -> i mod 7 = 0) fresh in
+  let naive_dominated b =
+    List.exists
+      (fun o ->
+        o != b
+        && o.Bank.t_access <= b.Bank.t_access
+        && o.Bank.area <= b.Bank.area
+        && (o.Bank.t_access < b.Bank.t_access || o.Bank.area < b.Bank.area))
+      cands
+  in
+  let expect = List.filter (fun b -> not (naive_dominated b)) cands in
+  let got = Optimizer.pareto_access_area cands in
+  Alcotest.(check int) "same frontier size" (List.length expect)
+    (List.length got);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "same element, same order" true (a == b))
+    expect got
+
 let () =
   Alcotest.run "cacti"
     [
@@ -284,12 +375,16 @@ let () =
           Alcotest.test_case "solve space" `Slow test_solve_space_nonempty;
           Alcotest.test_case "all nodes solvable" `Slow test_all_nodes_solvable;
           Alcotest.test_case "roadmap scaling" `Slow test_scaling_improves_delay_and_energy;
+          Alcotest.test_case "jobs determinism" `Slow test_jobs_determinism;
+          Alcotest.test_case "solve cache hit" `Slow test_solve_cache_hit_same_value;
         ] );
       ( "optimizer",
         [
           Alcotest.test_case "staged filters" `Slow test_optimizer_staged_filters;
           Alcotest.test_case "weights steer" `Slow test_optimizer_weights_steer;
           Alcotest.test_case "pareto" `Quick test_pareto_frontier;
+          Alcotest.test_case "pareto matches naive" `Slow test_pareto_matches_naive;
+          Alcotest.test_case "empty candidates" `Quick test_select_empty_is_typed_error;
         ] );
       ( "plain ram",
         [

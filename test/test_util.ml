@@ -146,6 +146,41 @@ let test_table_cells () =
   Alcotest.(check string) "neg pct" "-5.8%" (Table.cell_pct (-0.058));
   Alcotest.(check string) "float" "3.100" (Table.cell_f 3.1)
 
+
+let test_pool_map_order () =
+  let xs = List.init 1000 (fun i -> i) in
+  let expect = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun j ->
+      let pool = Pool.create ~jobs:j () in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" j)
+        expect
+        (Pool.parallel_map ~chunk:7 pool (fun x -> x * x) xs))
+    [ 1; 2; 4 ]
+
+let test_pool_filter_map_order () =
+  let xs = List.init 500 (fun i -> i) in
+  let f x = if x mod 3 = 0 then Some (x * 2) else None in
+  let expect = List.filter_map f xs in
+  List.iter
+    (fun j ->
+      let pool = Pool.create ~jobs:j () in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" j)
+        expect
+        (Pool.parallel_filter_map ~chunk:3 pool f xs))
+    [ 1; 3; 5 ]
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~jobs:3 () in
+  Alcotest.check_raises "worker failure surfaces unwrapped" (Failure "boom")
+    (fun () ->
+      ignore
+        (Pool.parallel_map ~chunk:4 pool
+           (fun x -> if x = 17 then failwith "boom" else x)
+           (List.init 64 (fun i -> i))))
+
 let prop_clamp =
   QCheck.Test.make ~name:"clamp stays in range" ~count:500
     QCheck.(triple (float_range (-100.) 100.) (float_range (-100.) 0.) (float_range 0. 100.))
@@ -206,5 +241,11 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "filter_map order" `Quick test_pool_filter_map_order;
+          Alcotest.test_case "exception" `Quick test_pool_exception_propagates;
         ] );
     ]
