@@ -3,6 +3,10 @@
      cacti_d cache --size 2MB --assoc 8 --tech 32 --ram lp-dram
      cacti_d ram --size 256KB --word-bits 128 --tech 45
      cacti_d mainmem --bits 8Gb --page 8192 --interface ddr4 --tech 32
+
+   Exit codes: 0 success, 1 usage error, 2 invalid specification,
+   3 no solution in the design space.  Errors are rendered as one
+   structured diagnostic per line on stderr — never a backtrace.
 *)
 
 open Cmdliner
@@ -112,6 +116,68 @@ let jobs =
            ~doc:"Worker domains for the design-space sweep (default: \
                  cores - 1).  Any value returns identical solutions.")
 
+let strict =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Disable per-candidate fault containment: the first \
+                 exception or non-finite metric in the sweep aborts the \
+                 solve instead of being counted as a rejection.")
+
+let summary =
+  Arg.(value & flag
+       & info [ "summary" ]
+           ~doc:"After the results, print the design-space sweep summary: \
+                 candidates considered, rejections by reason, memo hits.")
+
+(* ------------------------------------------------------------------ *)
+(* Error rendering and exit codes                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fail_diags ds code =
+  prerr_endline (Diag.render ds);
+  code
+
+let invalid ds = fail_diags ds Diag.exit_invalid_spec
+
+(* Solve-time diagnostics: an empty design space exits 3; anything that is
+   really a spec/params problem exits 2. *)
+let solve_failed ds =
+  let code =
+    if List.exists (fun d -> d.Diag.reason = "no_solution") ds then
+      Diag.exit_no_solution
+    else Diag.exit_invalid_spec
+  in
+  fail_diags ds code
+
+let print_summary enabled s =
+  if enabled then
+    Format.printf "  sweep summary       %s@." (Diag.summary_to_string s)
+
+(* Every command body runs under this guard so a stray exception still
+   leaves as a one-line diagnostic with a documented exit code. *)
+let guarded f =
+  try f () with
+  | Cacti.Optimizer.No_solution msg ->
+      fail_diags
+        [ Diag.error ~component:"solver" ~reason:"no_solution" msg ]
+        Diag.exit_no_solution
+  | Invalid_argument msg ->
+      invalid [ Diag.error ~component:"spec" ~reason:"invalid" msg ]
+  | Floatx.Non_finite msg ->
+      fail_diags
+        [ Diag.error ~component:"solver" ~reason:"nonfinite" msg ]
+        Diag.exit_no_solution
+  | Failure msg ->
+      fail_diags
+        [ Diag.error ~component:"solver" ~reason:"failure" msg ]
+        Diag.exit_no_solution
+
+let with_tech nm f =
+  match Cacti_tech.Technology.at_nm nm with
+  | exception Invalid_argument msg ->
+      invalid [ Diag.error ~component:"tech" ~reason:"out_of_range" msg ]
+  | tech -> f tech
+
 (* ------------------------------------------------------------------ *)
 (* cache                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -133,52 +199,56 @@ let cache_cmd =
          & info [ "mode" ] ~doc:"Access mode: normal, sequential or fast.")
   in
   let sleep = Arg.(value & flag & info [ "sleep-tx" ] ~doc:"Model sleep transistors.") in
-  let run size assoc block banks ram mode sleep tech params jobs =
-    let tech = Cacti_tech.Technology.at_nm tech in
-    let spec =
-      Cacti.Cache_spec.create ~tech ~capacity_bytes:size ~assoc
+  let run size assoc block banks ram mode sleep tech params jobs strict
+      want_summary =
+    guarded @@ fun () ->
+    with_tech tech @@ fun tech ->
+    match
+      Cacti.Cache_spec.create_result ~tech ~capacity_bytes:size ~assoc
         ~block_bytes:block ~n_banks:banks ~ram ~access_mode:mode
         ~sleep_tx:sleep ()
-    in
-    match Cacti.Cache_model.solve ?jobs ~params spec with
-    | c ->
-        Format.printf "cache: %a, %d-way, %dB blocks, %d bank(s), %s@."
-          Units.pp_bytes size assoc block banks
-          (Cacti_tech.Cell.ram_kind_to_string ram);
-        Format.printf "  data organization   %s@."
-          (Cacti_array.Org.to_string c.Cacti.Cache_model.data.Cacti_array.Bank.org);
-        Format.printf "  access time         %a@." Units.pp_time
-          c.Cacti.Cache_model.t_access;
-        Format.printf "  random cycle time   %a@." Units.pp_time
-          c.Cacti.Cache_model.t_random_cycle;
-        Format.printf "  interleave cycle    %a@." Units.pp_time
-          c.Cacti.Cache_model.t_interleave;
-        (match c.Cacti.Cache_model.dram with
-        | Some d ->
-            Format.printf "  tRCD / CAS / tRC    %a / %a / %a@." Units.pp_time
-              d.Cacti_array.Bank.t_rcd Units.pp_time d.Cacti_array.Bank.t_cas
-              Units.pp_time d.Cacti_array.Bank.t_rc
-        | None -> ());
-        Format.printf "  read energy / line  %a@." Units.pp_energy
-          c.Cacti.Cache_model.e_read;
-        Format.printf "  write energy / line %a@." Units.pp_energy
-          c.Cacti.Cache_model.e_write;
-        Format.printf "  leakage power       %a@." Units.pp_power
-          c.Cacti.Cache_model.p_leakage;
-        if c.Cacti.Cache_model.p_refresh > 0. then
-          Format.printf "  refresh power       %a@." Units.pp_power
-            c.Cacti.Cache_model.p_refresh;
-        Format.printf "  area                %a (efficiency %.0f%%)@."
-          Units.pp_area c.Cacti.Cache_model.area
-          (100. *. c.Cacti.Cache_model.area_efficiency);
-        `Ok ()
-    | exception Cacti.Optimizer.No_solution msg -> `Error (false, msg)
+    with
+    | Error ds -> invalid ds
+    | Ok spec -> (
+        match Cacti.Cache_model.solve_diag ?jobs ~params ~strict spec with
+        | Error ds -> solve_failed ds
+        | Ok (c, s) ->
+            Format.printf "cache: %a, %d-way, %dB blocks, %d bank(s), %s@."
+              Units.pp_bytes size assoc block banks
+              (Cacti_tech.Cell.ram_kind_to_string ram);
+            Format.printf "  data organization   %s@."
+              (Cacti_array.Org.to_string c.Cacti.Cache_model.data.Cacti_array.Bank.org);
+            Format.printf "  access time         %a@." Units.pp_time
+              c.Cacti.Cache_model.t_access;
+            Format.printf "  random cycle time   %a@." Units.pp_time
+              c.Cacti.Cache_model.t_random_cycle;
+            Format.printf "  interleave cycle    %a@." Units.pp_time
+              c.Cacti.Cache_model.t_interleave;
+            (match c.Cacti.Cache_model.dram with
+            | Some d ->
+                Format.printf "  tRCD / CAS / tRC    %a / %a / %a@." Units.pp_time
+                  d.Cacti_array.Bank.t_rcd Units.pp_time d.Cacti_array.Bank.t_cas
+                  Units.pp_time d.Cacti_array.Bank.t_rc
+            | None -> ());
+            Format.printf "  read energy / line  %a@." Units.pp_energy
+              c.Cacti.Cache_model.e_read;
+            Format.printf "  write energy / line %a@." Units.pp_energy
+              c.Cacti.Cache_model.e_write;
+            Format.printf "  leakage power       %a@." Units.pp_power
+              c.Cacti.Cache_model.p_leakage;
+            if c.Cacti.Cache_model.p_refresh > 0. then
+              Format.printf "  refresh power       %a@." Units.pp_power
+                c.Cacti.Cache_model.p_refresh;
+            Format.printf "  area                %a (efficiency %.0f%%)@."
+              Units.pp_area c.Cacti.Cache_model.area
+              (100. *. c.Cacti.Cache_model.area_efficiency);
+            print_summary want_summary s;
+            Diag.exit_ok)
   in
   let term =
     Term.(
-      ret
-        (const run $ size $ assoc $ block $ banks $ ram $ mode $ sleep
-       $ tech_nm $ opt_params $ jobs))
+      const run $ size $ assoc $ block $ banks $ ram $ mode $ sleep
+      $ tech_nm $ opt_params $ jobs $ strict $ summary)
   in
   Cmd.v
     (Cmd.info "cache"
@@ -199,39 +269,51 @@ let ram_cmd =
   let ram =
     Arg.(value & opt ram_conv Cacti_tech.Cell.Sram & info [ "ram" ] ~doc:"Technology.")
   in
-  let run size word banks ram tech params jobs =
-    let tech = Cacti_tech.Technology.at_nm tech in
-    let spec =
-      Cacti.Ram_model.create ~tech ~capacity_bytes:size ~word_bits:word
-        ~n_banks:banks ~ram ()
-    in
-    match Cacti.Ram_model.solve ?jobs ~params spec with
-    | r ->
-        Format.printf "plain RAM: %a x %d-bit port, %s@." Units.pp_bytes size
-          word
-          (Cacti_tech.Cell.ram_kind_to_string ram);
-        Format.printf "  organization      %s@."
-          (Cacti_array.Org.to_string r.Cacti.Ram_model.bank.Cacti_array.Bank.org);
-        Format.printf "  access time       %a@." Units.pp_time
-          r.Cacti.Ram_model.t_access;
-        Format.printf "  random cycle      %a@." Units.pp_time
-          r.Cacti.Ram_model.t_random_cycle;
-        Format.printf "  read energy       %a@." Units.pp_energy
-          r.Cacti.Ram_model.e_read;
-        Format.printf "  leakage           %a@." Units.pp_power
-          r.Cacti.Ram_model.p_leakage;
-        if r.Cacti.Ram_model.p_refresh > 0. then
-          Format.printf "  refresh           %a@." Units.pp_power
-            r.Cacti.Ram_model.p_refresh;
-        Format.printf "  area              %a (efficiency %.0f%%)@."
-          Units.pp_area r.Cacti.Ram_model.area
-          (100. *. r.Cacti.Ram_model.area_efficiency);
-        `Ok ()
-    | exception Cacti.Optimizer.No_solution msg -> `Error (false, msg)
+  let run size word banks ram tech params jobs strict want_summary =
+    guarded @@ fun () ->
+    with_tech tech @@ fun tech ->
+    match
+      Cacti.Ram_model.validate
+        {
+          Cacti.Ram_model.capacity_bytes = size;
+          word_bits = word;
+          n_banks = banks;
+          ram;
+          sleep_tx = false;
+          tech;
+        }
+    with
+    | Error ds -> invalid ds
+    | Ok spec -> (
+        match Cacti.Ram_model.solve_diag ?jobs ~params ~strict spec with
+        | Error ds -> solve_failed ds
+        | Ok (r, s) ->
+            Format.printf "plain RAM: %a x %d-bit port, %s@." Units.pp_bytes size
+              word
+              (Cacti_tech.Cell.ram_kind_to_string ram);
+            Format.printf "  organization      %s@."
+              (Cacti_array.Org.to_string r.Cacti.Ram_model.bank.Cacti_array.Bank.org);
+            Format.printf "  access time       %a@." Units.pp_time
+              r.Cacti.Ram_model.t_access;
+            Format.printf "  random cycle      %a@." Units.pp_time
+              r.Cacti.Ram_model.t_random_cycle;
+            Format.printf "  read energy       %a@." Units.pp_energy
+              r.Cacti.Ram_model.e_read;
+            Format.printf "  leakage           %a@." Units.pp_power
+              r.Cacti.Ram_model.p_leakage;
+            if r.Cacti.Ram_model.p_refresh > 0. then
+              Format.printf "  refresh           %a@." Units.pp_power
+                r.Cacti.Ram_model.p_refresh;
+            Format.printf "  area              %a (efficiency %.0f%%)@."
+              Units.pp_area r.Cacti.Ram_model.area
+              (100. *. r.Cacti.Ram_model.area_efficiency);
+            print_summary want_summary s;
+            Diag.exit_ok)
   in
   let term =
     Term.(
-      ret (const run $ size $ word $ banks $ ram $ tech_nm $ opt_params $ jobs))
+      const run $ size $ word $ banks $ ram $ tech_nm $ opt_params $ jobs
+      $ strict $ summary)
   in
   Cmd.v (Cmd.info "ram" ~doc:"Model a plain (non-cache) memory macro.") term
 
@@ -255,42 +337,45 @@ let mainmem_cmd =
              Cacti.Mainmem.ddr3
          & info [ "interface" ] ~doc:"IO interface: ddr3 or ddr4.")
   in
-  let run bits banks io page prefetch burst iface tech jobs =
-    let tech = Cacti_tech.Technology.at_nm tech in
+  let run bits banks io page prefetch burst iface tech jobs strict
+      want_summary =
+    guarded @@ fun () ->
+    with_tech tech @@ fun tech ->
     match
-      Cacti.Mainmem.solve ?jobs
-        (Cacti.Mainmem.create ~tech ~capacity_bits:bits ~n_banks:banks
-           ~io_bits:io ~page_bits:page ~prefetch ~burst ~interface:iface ())
+      Cacti.Mainmem.create_result ~tech ~capacity_bits:bits ~n_banks:banks
+        ~io_bits:io ~page_bits:page ~prefetch ~burst ~interface:iface ()
     with
-    | m ->
-        Format.printf "main-memory chip: %d banks, x%d, %s@." banks io
-          m.Cacti.Mainmem.chip.Cacti.Mainmem.interface.Cacti.Mainmem.name;
-        Format.printf "  bank organization %s@."
-          (Cacti_array.Org.to_string m.Cacti.Mainmem.bank.Cacti_array.Bank.org);
-        Format.printf "  tRCD / CAS        %a / %a@." Units.pp_time
-          m.Cacti.Mainmem.t_rcd Units.pp_time m.Cacti.Mainmem.t_cas;
-        Format.printf "  tRAS / tRP / tRC  %a / %a / %a@." Units.pp_time
-          m.Cacti.Mainmem.t_ras Units.pp_time m.Cacti.Mainmem.t_rp
-          Units.pp_time m.Cacti.Mainmem.t_rc;
-        Format.printf "  tRRD              %a@." Units.pp_time
-          m.Cacti.Mainmem.t_rrd;
-        Format.printf "  ACT / RD / WR     %a / %a / %a@." Units.pp_energy
-          m.Cacti.Mainmem.e_activate Units.pp_energy m.Cacti.Mainmem.e_read
-          Units.pp_energy m.Cacti.Mainmem.e_write;
-        Format.printf "  refresh / standby %a / %a@." Units.pp_power
-          m.Cacti.Mainmem.p_refresh Units.pp_power m.Cacti.Mainmem.p_standby;
-        Format.printf "  die area          %a (efficiency %.0f%%)@."
-          Units.pp_area m.Cacti.Mainmem.area
-          (100. *. m.Cacti.Mainmem.area_efficiency);
-        `Ok ()
-    | exception Cacti.Optimizer.No_solution msg -> `Error (false, msg)
-    | exception Invalid_argument msg -> `Error (false, msg)
+    | Error ds -> invalid ds
+    | Ok chip -> (
+        match Cacti.Mainmem.solve_diag ?jobs ~strict chip with
+        | Error ds -> solve_failed ds
+        | Ok (m, s) ->
+            Format.printf "main-memory chip: %d banks, x%d, %s@." banks io
+              m.Cacti.Mainmem.chip.Cacti.Mainmem.interface.Cacti.Mainmem.name;
+            Format.printf "  bank organization %s@."
+              (Cacti_array.Org.to_string m.Cacti.Mainmem.bank.Cacti_array.Bank.org);
+            Format.printf "  tRCD / CAS        %a / %a@." Units.pp_time
+              m.Cacti.Mainmem.t_rcd Units.pp_time m.Cacti.Mainmem.t_cas;
+            Format.printf "  tRAS / tRP / tRC  %a / %a / %a@." Units.pp_time
+              m.Cacti.Mainmem.t_ras Units.pp_time m.Cacti.Mainmem.t_rp
+              Units.pp_time m.Cacti.Mainmem.t_rc;
+            Format.printf "  tRRD              %a@." Units.pp_time
+              m.Cacti.Mainmem.t_rrd;
+            Format.printf "  ACT / RD / WR     %a / %a / %a@." Units.pp_energy
+              m.Cacti.Mainmem.e_activate Units.pp_energy m.Cacti.Mainmem.e_read
+              Units.pp_energy m.Cacti.Mainmem.e_write;
+            Format.printf "  refresh / standby %a / %a@." Units.pp_power
+              m.Cacti.Mainmem.p_refresh Units.pp_power m.Cacti.Mainmem.p_standby;
+            Format.printf "  die area          %a (efficiency %.0f%%)@."
+              Units.pp_area m.Cacti.Mainmem.area
+              (100. *. m.Cacti.Mainmem.area_efficiency);
+            print_summary want_summary s;
+            Diag.exit_ok)
   in
   let term =
     Term.(
-      ret
-        (const run $ bits $ banks $ io $ page $ prefetch $ burst $ iface
-       $ tech_nm $ jobs))
+      const run $ bits $ banks $ io $ page $ prefetch $ burst $ iface
+      $ tech_nm $ jobs $ strict $ summary)
   in
   Cmd.v
     (Cmd.info "mainmem" ~doc:"Model a main-memory DRAM chip (Section 2.1).")
@@ -301,5 +386,20 @@ let () =
     Cmd.info "cacti_d" ~version:"1.0"
       ~doc:"CACTI-D: area/delay/energy models for SRAM, LP-DRAM and \
             COMM-DRAM caches, memories and main-memory chips"
+      ~exits:
+        [
+          Cmd.Exit.info Diag.exit_ok ~doc:"on success.";
+          Cmd.Exit.info Diag.exit_usage ~doc:"on command-line parsing errors.";
+          Cmd.Exit.info Diag.exit_invalid_spec
+            ~doc:"on an invalid memory specification.";
+          Cmd.Exit.info Diag.exit_no_solution
+            ~doc:"when the design space admits no valid organization.";
+        ]
   in
-  exit (Cmd.eval (Cmd.group info [ cache_cmd; ram_cmd; mainmem_cmd ]))
+  let group = Cmd.group info [ cache_cmd; ram_cmd; mainmem_cmd ] in
+  (* Terms return the exit code themselves; cmdliner only reports usage
+     problems, which all map to exit 1. *)
+  match Cmd.eval_value group with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit Diag.exit_ok
+  | Error _ -> exit Diag.exit_usage

@@ -2,6 +2,11 @@
 
      llc_study --apps ft.B,cg.C --configs nol3,sram,cm_dram_c \
                --instructions 48000000 --csv results.csv
+     llc_study --trace refs.trc --configs sram,cm_dram_c
+
+   Exit codes: 0 success, 1 usage error, 2 invalid input (bad trace file,
+   bad spec), 3 no solution in a CACTI solve.  Errors are rendered as one
+   structured diagnostic per line on stderr — never a backtrace.
 *)
 
 open Cmdliner
@@ -38,7 +43,26 @@ let apps_conv =
           (String.concat ","
              (List.map (fun a -> a.Mcsim.Workload.name) apps)) )
 
-let run kinds apps instructions seed csv jobs =
+let fail_diags ds code =
+  prerr_endline (Cacti_util.Diag.render ds);
+  code
+
+(* Trace replay: one synthetic "app" per configuration, driven by the
+   recorded references instead of the NPB generators. *)
+let run_trace ?jobs ~params kinds tr =
+  let app = Mcsim.Trace.to_app tr in
+  List.map
+    (fun kind ->
+      let b = Mcsim.Study.build ?jobs kind in
+      let stats =
+        Mcsim.Engine.run ~params ~make_gen:(Mcsim.Trace.make_gen tr)
+          b.Mcsim.Study.machine app
+      in
+      let sys = Mcsim.Energy.system b.Mcsim.Study.machine app stats in
+      { Mcsim.Study.app; config = b; stats; sys })
+    kinds
+
+let run kinds apps instructions seed csv jobs trace =
   let params =
     {
       Mcsim.Engine.default_params with
@@ -46,7 +70,11 @@ let run kinds apps instructions seed csv jobs =
       seed = Int64.of_int seed;
     }
   in
-  let results = Mcsim.Study.run_all ?jobs ~params ~kinds ~apps () in
+  let results =
+    match trace with
+    | None -> Mcsim.Study.run_all ?jobs ~params ~kinds ~apps ()
+    | Some path -> run_trace ?jobs ~params kinds (Mcsim.Trace.load path)
+  in
   let t =
     Cacti_util.Table.create
       [
@@ -103,7 +131,30 @@ let run kinds apps instructions seed csv jobs =
         rows;
       close_out oc;
       Printf.printf "wrote %s\n" path);
-  `Ok ()
+  Cacti_util.Diag.exit_ok
+
+let run_guarded kinds apps instructions seed csv jobs trace =
+  let open Cacti_util in
+  try run kinds apps instructions seed csv jobs trace with
+  | Mcsim.Trace.Parse_error { path; line; msg } ->
+      fail_diags
+        [
+          Diag.errorf ~component:"trace" ~reason:"parse_error" "%s:%d: %s"
+            path line msg;
+        ]
+        Diag.exit_invalid_spec
+  | Sys_error msg ->
+      fail_diags
+        [ Diag.error ~component:"trace" ~reason:"io_error" msg ]
+        Diag.exit_invalid_spec
+  | Invalid_argument msg ->
+      fail_diags
+        [ Diag.error ~component:"spec" ~reason:"invalid" msg ]
+        Diag.exit_invalid_spec
+  | Cacti.Optimizer.No_solution msg ->
+      fail_diags
+        [ Diag.error ~component:"solver" ~reason:"no_solution" msg ]
+        Diag.exit_no_solution
 
 let cmd =
   let kinds =
@@ -132,12 +183,35 @@ let cmd =
              ~doc:"Worker domains for the CACTI solves (default: cores - 1). \
                    Any value returns identical solutions.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Replay a recorded reference trace (see lib/sim/trace.mli \
+                   for the format) instead of the synthetic NPB apps; \
+                   $(b,--apps) is ignored.")
+  in
   let term =
-    Term.(ret (const run $ kinds $ apps $ instructions $ seed $ csv $ jobs))
+    Term.(
+      const run_guarded $ kinds $ apps $ instructions $ seed $ csv $ jobs
+      $ trace)
   in
   Cmd.v
     (Cmd.info "llc_study" ~version:"1.0"
-       ~doc:"The paper's stacked last-level-cache study, parameterized")
+       ~doc:"The paper's stacked last-level-cache study, parameterized"
+       ~exits:
+         [
+           Cmd.Exit.info Cacti_util.Diag.exit_ok ~doc:"on success.";
+           Cmd.Exit.info Cacti_util.Diag.exit_usage
+             ~doc:"on command-line parsing errors.";
+           Cmd.Exit.info Cacti_util.Diag.exit_invalid_spec
+             ~doc:"on an invalid trace file or memory specification.";
+           Cmd.Exit.info Cacti_util.Diag.exit_no_solution
+             ~doc:"when a CACTI solve finds no valid organization.";
+         ])
     term
 
-let () = exit (Cmd.eval cmd)
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit Cacti_util.Diag.exit_ok
+  | Error _ -> exit Cacti_util.Diag.exit_usage

@@ -36,6 +36,11 @@ val create :
   t
 (** Raises [Invalid_argument] on non-positive geometry. *)
 
+val validate : t -> (t, Cacti_util.Diag.t list) result
+(** Spec-level consistency checks (positive geometry and page size, finite
+    non-negative repeater penalty, output no wider than the array), run
+    before any circuit modeling.  Collects every failure. *)
+
 val capacity_bits : t -> int
 val addr_bits : t -> int
 (** Bits needed to address one output word. *)

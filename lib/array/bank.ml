@@ -240,34 +240,118 @@ let rec atomic_min cell v =
   let cur = Atomic.get cell in
   if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
 
-let enumerate ?(pool = Cacti_util.Pool.serial) ?prune ?max_ndwl ?max_ndbl spec
-    =
+type fault = Fault_nan | Fault_exn
+
+let fault_hook : (int -> fault option) ref = ref (fun _ -> None)
+let set_fault_hook h = fault_hook := Option.value h ~default:(fun _ -> None)
+
+(* Metric sanity at the array boundary: every quantity the optimizer or a
+   downstream model consumes must be a finite non-negative number.  Raises
+   [Floatx.Non_finite], which the sweep contains and counts. *)
+let check_metrics b =
+  let chk what v = ignore (Cacti_util.Floatx.finite_pos ~what v) in
+  chk "t_access" b.t_access;
+  chk "t_random_cycle" b.t_random_cycle;
+  chk "t_interleave" b.t_interleave;
+  chk "area" b.area;
+  chk "e_read" b.e_read;
+  chk "e_write" b.e_write;
+  chk "e_activate" b.e_activate;
+  chk "e_precharge" b.e_precharge;
+  chk "p_leakage" b.p_leakage;
+  chk "p_refresh" b.p_refresh
+
+let enumerate_counts ?(pool = Cacti_util.Pool.serial) ?prune ?max_ndwl
+    ?max_ndbl ?(strict = false) spec =
   let dram = Cell.is_dram spec.Array_spec.ram in
   (* Integer tiling, mux-chain and page constraints are pure arithmetic:
      screen them serially before fanning the expensive evaluations out. *)
+  let n_geometry = ref 0 and n_page = ref 0 and n_total = ref 0 in
   let screened =
     Org.candidates ?max_ndwl ?max_ndbl ~dram ()
     |> List.filter_map (fun org ->
-           match Mat.geometry ~spec ~org with
-           | Some g -> Some (org, g)
-           | None -> None)
+           incr n_total;
+           match Mat.classify ~spec ~org with
+           | Ok g -> Some (org, g)
+           | Error `Page ->
+               incr n_page;
+               None
+           | Error `Geometry ->
+               incr n_geometry;
+               None)
+    |> List.mapi (fun i cand -> (i, cand))
   in
-  let eval =
+  let n_ok = Atomic.make 0
+  and n_pruned = Atomic.make 0
+  and n_nonviable = Atomic.make 0
+  and n_nonfinite = Atomic.make 0
+  and n_raised = Atomic.make 0 in
+  let prune_check, note_area =
     match prune with
-    | None -> fun (org, _) -> evaluate ~spec ~org
+    | None -> ((fun _ _ -> false), fun _ -> ())
     | Some max_area_pct ->
         let lb = area_lower_bound spec in
         let best_area = Atomic.make Float.infinity in
-        fun (org, g) ->
-          (* [best_area] only shrinks, so any snapshot over-approximates the
-             final minimum: a candidate pruned here could never survive the
-             [max_area_pct] filter, whatever the evaluation order. *)
-          if lb org g > Atomic.get best_area *. (1. +. max_area_pct) then None
-          else
-            match evaluate ~spec ~org with
-            | Some b ->
-                atomic_min best_area b.area;
-                Some b
-            | None -> None
+        (* [best_area] only shrinks, so any snapshot over-approximates the
+           final minimum: a candidate pruned here could never survive the
+           [max_area_pct] filter, whatever the evaluation order. *)
+        ( (fun org g ->
+            lb org g > Atomic.get best_area *. (1. +. max_area_pct)),
+          fun (b : t) -> atomic_min best_area b.area )
   in
-  Cacti_util.Pool.parallel_filter_map ~chunk:4 pool eval screened
+  let hook = !fault_hook in
+  let eval (i, (org, g)) =
+    let injected = hook i in
+    (* Injected candidates bypass the (evaluation-order-dependent) prune so
+       the fault counts are identical for every worker count. *)
+    if injected = None && prune_check org g then (
+      Atomic.incr n_pruned;
+      None)
+    else
+      try
+        (match injected with
+        | Some Fault_exn -> failwith "Bank.enumerate: injected fault"
+        | _ -> ());
+        match (evaluate ~spec ~org, injected) with
+        | None, Some Fault_nan ->
+            raise
+              (Cacti_util.Floatx.Non_finite "t_access is nan (injected)")
+        | None, _ ->
+            Atomic.incr n_nonviable;
+            None
+        | Some b, inj ->
+            let b =
+              match inj with
+              | Some Fault_nan -> { b with t_access = Float.nan }
+              | _ -> b
+            in
+            check_metrics b;
+            note_area b;
+            Atomic.incr n_ok;
+            Some b
+      with
+      | Cacti_util.Floatx.Non_finite _ when not strict ->
+          Atomic.incr n_nonfinite;
+          None
+      | (Out_of_memory | Stack_overflow) as e -> raise e
+      | _ when not strict ->
+          Atomic.incr n_raised;
+          None
+  in
+  let banks = Cacti_util.Pool.parallel_filter_map ~chunk:4 pool eval screened in
+  let counts =
+    {
+      Cacti_util.Diag.candidates = !n_total;
+      evaluated = Atomic.get n_ok;
+      geometry_rejected = !n_geometry;
+      page_rejected = !n_page;
+      area_pruned = Atomic.get n_pruned;
+      nonviable = Atomic.get n_nonviable;
+      nonfinite = Atomic.get n_nonfinite;
+      raised = Atomic.get n_raised;
+    }
+  in
+  (banks, counts)
+
+let enumerate ?pool ?prune ?max_ndwl ?max_ndbl ?strict spec =
+  fst (enumerate_counts ?pool ?prune ?max_ndwl ?max_ndbl ?strict spec)

@@ -44,15 +44,30 @@ type t = {
 val evaluate : spec:Array_spec.t -> org:Org.t -> t option
 (** Full metrics for one candidate organization; [None] if invalid. *)
 
-val enumerate :
+type fault = Fault_nan | Fault_exn
+(** Test-only fault injection: [Fault_nan] poisons the candidate's access
+    time with NaN after evaluation, [Fault_exn] raises inside the contained
+    region before evaluation. *)
+
+val set_fault_hook : (int -> fault option) option -> unit
+(** Install (or with [None] clear) a hook consulted once per screened
+    candidate, keyed by its position in the post-screen enumeration order.
+    Injected candidates bypass the area prune so the resulting [nonfinite] /
+    [raised] counts are identical for every worker count.  Test-only; the
+    hook must be cleared (and is global, so not reentrant) — production code
+    never sets it. *)
+
+val enumerate_counts :
   ?pool:Cacti_util.Pool.t ->
   ?prune:float ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
+  ?strict:bool ->
   Array_spec.t ->
-  t list
+  t list * Cacti_util.Diag.counts
 (** All valid organizations of the spec, in the deterministic grid order of
-    {!Org.candidates}.
+    {!Org.candidates}, plus the rejection histogram over every candidate
+    considered.
 
     [pool] fans the candidate evaluations out across domains; the returned
     list is identical (same elements, same order) for any worker count.
@@ -60,4 +75,20 @@ val enumerate :
     whose cheap area lower bound already exceeds the best area seen so far
     by more than that fraction — such candidates can never survive the
     optimizer's area filter, so every solution the staged selection of
-    Section 2.4 can return is unaffected. *)
+    Section 2.4 can return is unaffected.
+
+    Per-candidate evaluation is fault-contained: an exception escaping the
+    circuit model, or a non-finite / negative delay, energy, area or power,
+    rejects that candidate (counted under [raised] / [nonfinite]) instead of
+    killing the sweep.  [strict] (default false) disables the containment
+    and lets the first such failure propagate. *)
+
+val enumerate :
+  ?pool:Cacti_util.Pool.t ->
+  ?prune:float ->
+  ?max_ndwl:int ->
+  ?max_ndbl:int ->
+  ?strict:bool ->
+  Array_spec.t ->
+  t list
+(** {!enumerate_counts} without the histogram. *)

@@ -46,11 +46,13 @@ type geometry = {
   g_sensed_per_access : int;
 }
 
-let geometry ~spec ~(org : Org.t) =
+let classify ~spec ~(org : Org.t) =
   let open Org in
   let { Array_spec.ram; n_rows; row_bits; output_bits; page_bits; _ } = spec in
   let is_dram = Cell.is_dram ram in
-  let ( let* ) = Option.bind in
+  let ( let* ) o f =
+    match o with None -> Error `Geometry | Some v -> f v
+  in
   let* rows_sub =
     exact_div_f (float_of_int n_rows) (float_of_int org.ndbl *. org.nspd)
   in
@@ -58,7 +60,7 @@ let geometry ~spec ~(org : Org.t) =
     exact_div_f (float_of_int row_bits *. org.nspd) (float_of_int org.ndwl)
   in
   if rows_sub < 16 || rows_sub > 4096 || cols_sub < 16 || cols_sub > 8192 then
-    None
+    Error `Geometry
   else
     let horiz = min org.ndwl 2 and vert = min org.ndbl 2 in
     let mats_x = Org.mats_x org in
@@ -67,7 +69,7 @@ let geometry ~spec ~(org : Org.t) =
       exact_div (horiz * cols_sub) (if is_dram then 1 else org.deg_bl_mux)
     in
     let* out_bits = exact_div sensed (org.ndsam_lev1 * org.ndsam_lev2) in
-    if out_bits <> bits_per_mat then None
+    if out_bits <> bits_per_mat then Error `Geometry
     else
       let sensed_per_access = if is_dram then horiz * cols_sub else sensed in
       (* Main-memory page constraint: sense amps of the activated slice. *)
@@ -76,9 +78,9 @@ let geometry ~spec ~(org : Org.t) =
         | None -> true
         | Some p -> mats_x * sensed_per_access = p
       in
-      if not page_ok then None
+      if not page_ok then Error `Page
       else
-        Some
+        Ok
           {
             g_rows_sub = rows_sub;
             g_cols_sub = cols_sub;
@@ -88,6 +90,8 @@ let geometry ~spec ~(org : Org.t) =
             g_sensed = sensed;
             g_sensed_per_access = sensed_per_access;
           }
+
+let geometry ~spec ~org = Result.to_option (classify ~spec ~org)
 
 let make ~spec ~org () =
   let open Org in

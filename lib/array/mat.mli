@@ -43,12 +43,18 @@ type geometry = {
   g_sensed_per_access : int;  (** columns sensed per access *)
 }
 
-val geometry : spec:Array_spec.t -> org:Org.t -> geometry option
+val classify :
+  spec:Array_spec.t -> org:Org.t -> (geometry, [ `Geometry | `Page ]) result
 (** The cheap, purely arithmetic part of {!make}: integer tiling,
     subarray-dimension bounds, mux-chain/output-width matching and the
-    main-memory page constraint.  [None] exactly when {!make} would return
-    [None] for one of these structural reasons — the enumeration uses it to
-    reject candidates before any circuit modeling. *)
+    main-memory page constraint.  [Error `Page] when only the page
+    constraint fails, [Error `Geometry] for the structural screens — the
+    enumeration uses the distinction to build its rejection histogram before
+    any circuit modeling. *)
+
+val geometry : spec:Array_spec.t -> org:Org.t -> geometry option
+(** [Result.to_option (classify ~spec ~org)]: [None] exactly when {!make}
+    would return [None] for a structural reason. *)
 
 val make : spec:Array_spec.t -> org:Org.t -> unit -> t option
 (** [None] when the organization is geometrically or electrically invalid

@@ -118,17 +118,57 @@ let describe_array (s : Cache_spec.t) part =
     (Cacti_tech.Cell.ram_kind_to_string s.Cache_spec.ram)
     part s.Cache_spec.capacity_bytes s.Cache_spec.assoc
 
-let solve ?jobs ?(params = Opt_params.default) s =
+let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) s =
+  let open Cacti_util in
+  match (Cache_spec.validate s, Opt_params.validate params) with
+  | Error d1, Error d2 -> Error (d1 @ d2)
+  | Error ds, Ok _ | Ok _, Error ds -> Error ds
+  | Ok _, Ok _ -> (
+      match
+        ( with_repeater_penalty params (data_spec s),
+          with_repeater_penalty params (tag_spec s) )
+      with
+      | exception Invalid_argument msg ->
+          Error [ Diag.error ~component:"cache_model" ~reason:"derived_spec" msg ]
+      | dspec, tspec -> (
+          let pool = Pool.create ?jobs () in
+          let solve_one part spec =
+            Solve_cache.select_bank_result ~pool ~strict
+              ~what:(describe_array s part) ~params spec
+          in
+          match solve_one "data array" dspec with
+          | Error ds -> Error ds
+          | Ok d_out -> (
+              match solve_one "tag array" tspec with
+              | Error ds -> Error ds
+              | Ok t_out ->
+                  let summary =
+                    {
+                      Diag.sweeps =
+                        Diag.add_counts d_out.Solve_cache.counts
+                          t_out.Solve_cache.counts;
+                      cache_hits =
+                        (if d_out.Solve_cache.from_cache then 1 else 0)
+                        + (if t_out.Solve_cache.from_cache then 1 else 0);
+                      notes = [];
+                    }
+                  in
+                  Ok
+                    ( combine s d_out.Solve_cache.bank t_out.Solve_cache.bank
+                        (make_comparator s),
+                      summary ))))
+
+let solve ?jobs ?(params = Opt_params.default) ?(strict = false) s =
   let pool = Cacti_util.Pool.create ?jobs () in
   let dspec = with_repeater_penalty params (data_spec s) in
   let tspec = with_repeater_penalty params (tag_spec s) in
   let data =
-    Solve_cache.select_bank ~pool ~what:(describe_array s "data array")
-      ~params dspec
+    Solve_cache.select_bank ~pool ~strict
+      ~what:(describe_array s "data array") ~params dspec
   in
   let tag =
-    Solve_cache.select_bank ~pool ~what:(describe_array s "tag array")
-      ~params tspec
+    Solve_cache.select_bank ~pool ~strict
+      ~what:(describe_array s "tag array") ~params tspec
   in
   combine s data tag (make_comparator s)
 

@@ -20,7 +20,21 @@ type t = {
   pipeline_stages : int;
 }
 
-val solve : ?jobs:int -> ?params:Opt_params.t -> Cache_spec.t -> t
+val solve_diag :
+  ?jobs:int ->
+  ?params:Opt_params.t ->
+  ?strict:bool ->
+  Cache_spec.t ->
+  (t * Cacti_util.Diag.summary, Cacti_util.Diag.t list) result
+(** Fault-contained solve with structured diagnostics: validates the spec
+    and the optimization parameters, then solves the data and tag arrays,
+    returning the combined solution plus a {!Cacti_util.Diag.summary} of
+    the sweeps (candidates considered, rejections by reason, memo hits).
+    [Error] carries the validation or no-solution diagnostics.  [strict]
+    (default false) disables the sweep's per-candidate fault containment so
+    the first NaN or exception propagates. *)
+
+val solve : ?jobs:int -> ?params:Opt_params.t -> ?strict:bool -> Cache_spec.t -> t
 (** Optimizer-selected solution.  [jobs] caps the worker domains used to
     fan out the candidate evaluations (default
     {!Cacti_util.Pool.default_jobs}); the result is identical for every

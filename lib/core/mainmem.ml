@@ -25,13 +25,48 @@ type chip = {
   interface : interface;
 }
 
-let create ?(n_banks = 8) ?(io_bits = 8) ?(prefetch = 8) ?(burst = 8)
+let validate (c : chip) =
+  let diags = ref [] in
+  let err reason fmt =
+    Printf.ksprintf
+      (fun m ->
+        diags := Cacti_util.Diag.error ~component:"mainmem" ~reason m :: !diags)
+      fmt
+  in
+  if c.capacity_bits <= 0 then
+    err "non_positive" "capacity %d bits must be positive" c.capacity_bits;
+  if c.n_banks < 1 then err "non_positive" "bank count %d must be >= 1" c.n_banks;
+  if c.io_bits < 1 then err "non_positive" "IO width %d must be >= 1" c.io_bits;
+  if c.prefetch < 1 then
+    err "non_positive" "prefetch %d must be >= 1" c.prefetch;
+  if c.burst < 1 then err "non_positive" "burst length %d must be >= 1" c.burst;
+  if c.page_bits < 1 then
+    err "non_positive" "page size %d bits must be >= 1" c.page_bits;
+  if not (Cacti_tech.Cell.is_dram c.ram) then
+    err "not_dram" "main-memory chips need a DRAM cell type, got %s"
+      (Cacti_tech.Cell.ram_kind_to_string c.ram);
+  if !diags = [] && c.capacity_bits mod (c.n_banks * c.page_bits) <> 0 then
+    err "indivisible_capacity"
+      "capacity %d bits does not divide into %d bank(s) of %d-bit pages"
+      c.capacity_bits c.n_banks c.page_bits;
+  match List.rev !diags with [] -> Ok c | ds -> Error ds
+
+let create_result ?(n_banks = 8) ?(io_bits = 8) ?(prefetch = 8) ?(burst = 8)
     ?(page_bits = 8192) ?(ram = Cacti_tech.Cell.Comm_dram) ?(interface = ddr3)
     ~tech ~capacity_bits () =
-  if capacity_bits mod (n_banks * page_bits) <> 0 then
-    invalid_arg "Mainmem.create: capacity not divisible into banks x pages";
-  { capacity_bits; n_banks; io_bits; prefetch; burst; page_bits; ram; tech;
-    interface }
+  validate
+    { capacity_bits; n_banks; io_bits; prefetch; burst; page_bits; ram; tech;
+      interface }
+
+let create ?n_banks ?io_bits ?prefetch ?burst ?page_bits ?ram ?interface ~tech
+    ~capacity_bits () =
+  match
+    create_result ?n_banks ?io_bits ?prefetch ?burst ?page_bits ?ram
+      ?interface ~tech ~capacity_bits ()
+  with
+  | Ok c -> c
+  | Error (d :: _) -> invalid_arg ("Mainmem.create: " ^ d.Cacti_util.Diag.message)
+  | Error [] -> assert false
 
 type t = {
   chip : chip;
@@ -67,16 +102,10 @@ let bank_spec params (c : chip) =
     ~n_rows ~row_bits:c.page_bits
     ~output_bits:(c.io_bits * c.prefetch) ()
 
-let solve ?jobs ?(params = Opt_params.area_optimal) (c : chip) =
-  let pool = Cacti_util.Pool.create ?jobs () in
-  let spec = bank_spec params c in
-  let bank =
-    Solve_cache.select_bank ~pool ~max_ndwl:128 ~max_ndbl:256
-      ~what:
-        (Printf.sprintf "main-memory bank (%d banks, %db pages)" c.n_banks
-           c.page_bits)
-      ~params spec
-  in
+let describe_bank (c : chip) =
+  Printf.sprintf "main-memory bank (%d banks, %db pages)" c.n_banks c.page_bits
+
+let assemble params (c : chip) (bank : Bank.t) =
   let d = match bank.Bank.dram with Some d -> d | None -> assert false in
   (* Bank-to-IO routing across the chip: commodity parts route data and
      command over the full die with sparse repeaters. *)
@@ -151,3 +180,40 @@ let solve ?jobs ?(params = Opt_params.area_optimal) (c : chip) =
     area;
     area_efficiency;
   }
+
+let solve_diag ?jobs ?(params = Opt_params.area_optimal) ?(strict = false)
+    (c : chip) =
+  let open Cacti_util in
+  match (validate c, Opt_params.validate params) with
+  | Error d1, Error d2 -> Error (d1 @ d2)
+  | Error ds, Ok _ | Ok _, Error ds -> Error ds
+  | Ok _, Ok _ -> (
+      let pool = Pool.create ?jobs () in
+      match bank_spec params c with
+      | exception Invalid_argument msg ->
+          Error [ Diag.error ~component:"mainmem" ~reason:"derived_spec" msg ]
+      | spec -> (
+          match
+            Solve_cache.select_bank_result ~pool ~max_ndwl:128 ~max_ndbl:256
+              ~strict ~what:(describe_bank c) ~params spec
+          with
+          | Error ds -> Error ds
+          | Ok o ->
+              let summary =
+                {
+                  Diag.sweeps = o.Solve_cache.counts;
+                  cache_hits = (if o.Solve_cache.from_cache then 1 else 0);
+                  notes = [];
+                }
+              in
+              Ok (assemble params c o.Solve_cache.bank, summary)))
+
+let solve ?jobs ?(params = Opt_params.area_optimal) ?(strict = false)
+    (c : chip) =
+  let pool = Cacti_util.Pool.create ?jobs () in
+  let spec = bank_spec params c in
+  let bank =
+    Solve_cache.select_bank ~pool ~max_ndwl:128 ~max_ndbl:256 ~strict
+      ~what:(describe_bank c) ~params spec
+  in
+  assemble params c bank

@@ -43,7 +43,28 @@ val create :
   unit ->
   chip
 (** Defaults: 8 banks, x8, prefetch 8, burst 8, 8 Kb pages, COMM-DRAM,
-    DDR3 interface. *)
+    DDR3 interface.  Raises [Invalid_argument] on an invalid chip (see
+    {!validate}). *)
+
+val create_result :
+  ?n_banks:int ->
+  ?io_bits:int ->
+  ?prefetch:int ->
+  ?burst:int ->
+  ?page_bits:int ->
+  ?ram:Cacti_tech.Cell.ram_kind ->
+  ?interface:interface ->
+  tech:Cacti_tech.Technology.t ->
+  capacity_bits:int ->
+  unit ->
+  (chip, Cacti_util.Diag.t list) result
+(** Like {!create} but returns every validation failure as a structured
+    diagnostic instead of raising on the first. *)
+
+val validate : chip -> (chip, Cacti_util.Diag.t list) result
+(** Chip-parameter consistency: positive geometry, capacity divisible into
+    banks × pages, and a DRAM cell type (an SRAM main-memory chip has no
+    ACTIVATE/PRECHARGE timings to report).  Collects every failure. *)
 
 type t = {
   chip : chip;
@@ -64,7 +85,18 @@ type t = {
   area_efficiency : float;
 }
 
-val solve : ?jobs:int -> ?params:Opt_params.t -> chip -> t
+val solve_diag :
+  ?jobs:int ->
+  ?params:Opt_params.t ->
+  ?strict:bool ->
+  chip ->
+  (t * Cacti_util.Diag.summary, Cacti_util.Diag.t list) result
+(** Fault-contained solve with structured diagnostics: validates the chip
+    and the optimization parameters, then solves the bank, returning the
+    chip model plus the sweep summary.  [strict] disables the sweep's
+    per-candidate fault containment. *)
+
+val solve : ?jobs:int -> ?params:Opt_params.t -> ?strict:bool -> chip -> t
 (** Default parameters emphasize area efficiency (price per bit), like the
     commodity part of the Table 2 validation.  [jobs] caps the worker
     domains of the design-space sweep; solves are memoized in

@@ -12,6 +12,42 @@ type t = {
   max_repeater_delay_penalty : float;
 }
 
+let validate t =
+  let diags = ref [] in
+  let err reason fmt =
+    Printf.ksprintf
+      (fun m ->
+        diags :=
+          Cacti_util.Diag.error ~component:"opt_params" ~reason m :: !diags)
+      fmt
+  in
+  let weight name w =
+    if not (Float.is_finite w) then
+      err "nonfinite_weight" "%s weight %g must be finite" name w
+    else if w < 0. then err "negative_weight" "%s weight %g must be >= 0" name w
+  in
+  weight "dynamic-energy" t.weights.w_dynamic;
+  weight "leakage" t.weights.w_leakage;
+  weight "cycle-time" t.weights.w_cycle;
+  weight "interleave" t.weights.w_interleave;
+  if !diags = [] then begin
+    let sum =
+      t.weights.w_dynamic +. t.weights.w_leakage +. t.weights.w_cycle
+      +. t.weights.w_interleave
+    in
+    if sum <= 0. then
+      err "zero_weights" "objective weights sum to %g; at least one must be > 0"
+        sum
+  end;
+  let pct name p =
+    if not (Float.is_finite p && p >= 0.) then
+      err "bad_constraint" "%s %g must be finite and >= 0" name p
+  in
+  pct "max area constraint" t.max_area_pct;
+  pct "max acctime constraint" t.max_acctime_pct;
+  pct "max repeater delay penalty" t.max_repeater_delay_penalty;
+  match List.rev !diags with [] -> Ok t | ds -> Error ds
+
 let unit_weights =
   { w_dynamic = 1.; w_leakage = 1.; w_cycle = 1.; w_interleave = 1. }
 

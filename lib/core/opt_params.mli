@@ -23,6 +23,13 @@ type t = {
   max_repeater_delay_penalty : float;
 }
 
+val validate : t -> (t, Cacti_util.Diag.t list) result
+(** Rejects non-finite or negative weights, an all-zero weight vector, and
+    non-finite or negative constraint fractions; collects every failure.
+    The solvers run this before touching the design space so a bad
+    optimization target surfaces as a structured diagnostic, not a NaN
+    objective deep in the sweep. *)
+
 val default : t
 (** Balanced: 40%/40% constraints, unit weights, no repeater penalty. *)
 

@@ -5,20 +5,34 @@ exception No_solution of string
 let min_by f = function
   | [] -> invalid_arg "Optimizer.min_by: empty candidate list"
   | x :: rest ->
-      List.fold_left (fun acc y -> if f y < f acc then y else acc) x rest
+      (* A NaN key would compare false against everything and silently
+         vanish from (or win) the minimization depending on list position;
+         reject it loudly instead. *)
+      let key y =
+        let k = f y in
+        if Float.is_nan k then invalid_arg "Optimizer.min_by: NaN key" else k
+      in
+      ignore (key x);
+      List.fold_left (fun acc y -> if key y < f acc then y else acc) x rest
 
 let safe_div x m = if m > 0. then x /. m else 1.
 
 let objective ~weights ~norm (b : Bank.t) =
   let open Opt_params in
-  (weights.w_dynamic *. safe_div b.Bank.e_read norm.Bank.e_read)
-  +. (weights.w_leakage
-     *. safe_div
-          (b.Bank.p_leakage +. b.Bank.p_refresh)
-          (norm.Bank.p_leakage +. norm.Bank.p_refresh))
-  +. (weights.w_cycle *. safe_div b.Bank.t_random_cycle norm.Bank.t_random_cycle)
-  +. (weights.w_interleave
-     *. safe_div b.Bank.t_interleave norm.Bank.t_interleave)
+  let obj =
+    (weights.w_dynamic *. safe_div b.Bank.e_read norm.Bank.e_read)
+    +. (weights.w_leakage
+       *. safe_div
+            (b.Bank.p_leakage +. b.Bank.p_refresh)
+            (norm.Bank.p_leakage +. norm.Bank.p_refresh))
+    +. (weights.w_cycle
+       *. safe_div b.Bank.t_random_cycle norm.Bank.t_random_cycle)
+    +. (weights.w_interleave
+       *. safe_div b.Bank.t_interleave norm.Bank.t_interleave)
+  in
+  if Float.is_nan obj then
+    invalid_arg "Optimizer.objective: NaN objective (NaN metric or weight)"
+  else obj
 
 let norm_of candidates =
   let m f = List.fold_left (fun acc b -> min acc (f b)) Float.infinity candidates in

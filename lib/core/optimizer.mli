@@ -7,7 +7,9 @@ exception No_solution of string
 
 val min_by : ('a -> float) -> 'a list -> 'a
 (** First element minimizing [f] (ties keep the earliest).  Raises
-    [Invalid_argument] on an empty list. *)
+    [Invalid_argument] on an empty list, and on a NaN key — NaN compares
+    false against everything, so it would otherwise silently vanish from or
+    win the minimization depending on list position. *)
 
 val objective :
   weights:Opt_params.weights ->
@@ -15,7 +17,8 @@ val objective :
   Cacti_array.Bank.t ->
   float
 (** Normalized weighted objective of a candidate against per-metric
-    minima collected in [norm]. *)
+    minima collected in [norm].  Raises [Invalid_argument] if the result is
+    NaN (a NaN metric or weight slipped past the upstream guards). *)
 
 val select_result :
   ?what:string ->

@@ -19,7 +19,12 @@ val create :
   capacity_bytes:int ->
   unit ->
   spec
-(** Defaults: 64-bit words, 1 bank, SRAM. *)
+(** Defaults: 64-bit words, 1 bank, SRAM.  Raises [Invalid_argument] on an
+    invalid spec (see {!validate}). *)
+
+val validate : spec -> (spec, Cacti_util.Diag.t list) result
+(** Positive capacity/word/bank parameters and capacity divisible into
+    banks; collects every failure. *)
 
 type t = {
   spec : spec;
@@ -36,7 +41,18 @@ type t = {
   area_efficiency : float;
 }
 
-val solve : ?jobs:int -> ?params:Opt_params.t -> spec -> t
+val solve_diag :
+  ?jobs:int ->
+  ?params:Opt_params.t ->
+  ?strict:bool ->
+  spec ->
+  (t * Cacti_util.Diag.summary, Cacti_util.Diag.t list) result
+(** Fault-contained solve with structured diagnostics: validates the spec
+    and the optimization parameters, then solves the bank, returning the
+    macro model plus the sweep summary.  [strict] disables the sweep's
+    per-candidate fault containment. *)
+
+val solve : ?jobs:int -> ?params:Opt_params.t -> ?strict:bool -> spec -> t
 (** [jobs] caps the worker domains of the design-space sweep; solves are
     memoized in {!Solve_cache}.  Raises {!Optimizer.No_solution} when no
     valid organization exists. *)

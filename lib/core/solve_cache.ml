@@ -2,7 +2,14 @@ open Cacti_array
 
 type stats = { hits : int; misses : int }
 
-let table : (string, Bank.t) Hashtbl.t = Hashtbl.create 64
+type outcome = {
+  bank : Bank.t;
+  counts : Cacti_util.Diag.counts;
+  from_cache : bool;
+}
+
+let table : (string, Bank.t * Cacti_util.Diag.counts) Hashtbl.t =
+  Hashtbl.create 64
 let lock = Mutex.create ()
 let n_hits = ref 0
 let n_misses = ref 0
@@ -34,38 +41,65 @@ let describe (spec : Array_spec.t) =
     spec.Array_spec.n_rows spec.Array_spec.row_bits
     spec.Array_spec.output_bits
 
-let select_bank ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
-    ?(max_ndbl = 64) ?what ~params spec =
-  let key = fingerprint ~max_ndwl ~max_ndbl ~params spec in
-  let cached =
-    Mutex.protect lock (fun () ->
-        match Hashtbl.find_opt table key with
-        | Some b ->
-            incr n_hits;
-            Some b
-        | None ->
-            incr n_misses;
-            None)
-  in
-  match cached with
-  | Some b -> b
-  | None ->
-      (* Enumerate outside the lock: it is the expensive, internally
-         parallel part.  Two racing misses of the same key both compute
-         the (identical, deterministic) solution; the first store wins so
-         later hits share one value. *)
-      let what = match what with Some w -> w | None -> describe spec in
-      let candidates =
-        Bank.enumerate ~pool ~prune:params.Opt_params.max_area_pct ~max_ndwl
-          ~max_ndbl spec
+let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
+    ?(max_ndbl = 64) ?(strict = false) ?what ~params spec =
+  let open Cacti_util in
+  match (Array_spec.validate spec, Opt_params.validate params) with
+  | Error d1, Error d2 -> Error (d1 @ d2)
+  | Error ds, Ok _ | Ok _, Error ds -> Error ds
+  | Ok _, Ok _ -> (
+      let key = fingerprint ~max_ndwl ~max_ndbl ~params spec in
+      let cached =
+        Mutex.protect lock (fun () ->
+            match Hashtbl.find_opt table key with
+            | Some bc ->
+                incr n_hits;
+                Some bc
+            | None ->
+                incr n_misses;
+                None)
       in
-      let selected = Optimizer.select ~what ~params candidates in
-      Mutex.protect lock (fun () ->
-          match Hashtbl.find_opt table key with
-          | Some b -> b
-          | None ->
-              Hashtbl.add table key selected;
-              selected)
+      match cached with
+      | Some (b, counts) -> Ok { bank = b; counts; from_cache = true }
+      | None -> (
+          (* Enumerate outside the lock: it is the expensive, internally
+             parallel part.  Two racing misses of the same key both compute
+             the (identical, deterministic) solution; the first store wins so
+             later hits share one value. *)
+          let what = match what with Some w -> w | None -> describe spec in
+          let candidates, counts =
+            Bank.enumerate_counts ~pool ~prune:params.Opt_params.max_area_pct
+              ~max_ndwl ~max_ndbl ~strict spec
+          in
+          match Optimizer.select_result ~what ~params candidates with
+          | Error msg ->
+              (* Failed solves are not memoized: the failure is cheap to
+                 reproduce and the histogram may matter to the caller. *)
+              Error
+                [
+                  Diag.error ~component:"solver" ~reason:"no_solution" msg;
+                  Diag.info ~component:"solver" ~reason:"sweep_counts"
+                    (Diag.counts_to_string counts);
+                ]
+          | Ok selected ->
+              let bank, counts =
+                Mutex.protect lock (fun () ->
+                    match Hashtbl.find_opt table key with
+                    | Some bc -> bc
+                    | None ->
+                        Hashtbl.add table key (selected, counts);
+                        (selected, counts))
+              in
+              Ok { bank; counts; from_cache = false }))
+
+let select_bank ?pool ?max_ndwl ?max_ndbl ?strict ?what ~params spec =
+  match select_bank_result ?pool ?max_ndwl ?max_ndbl ?strict ?what ~params spec with
+  | Ok o -> o.bank
+  | Error (d :: _ as ds) ->
+      if d.Cacti_util.Diag.reason = "no_solution" then
+        raise (Optimizer.No_solution d.Cacti_util.Diag.message)
+      else invalid_arg (Cacti_util.Diag.render ds)
+  | Error [] -> assert false
 
 let stats () =
   Mutex.protect lock (fun () -> { hits = !n_hits; misses = !n_misses })

@@ -14,19 +14,44 @@
 
 type stats = { hits : int; misses : int }
 
+type outcome = {
+  bank : Cacti_array.Bank.t;
+  counts : Cacti_util.Diag.counts;
+      (** rejection histogram of the sweep that produced [bank]; for a
+          cache hit, the histogram of the original sweep *)
+  from_cache : bool;
+}
+
+val select_bank_result :
+  ?pool:Cacti_util.Pool.t ->
+  ?max_ndwl:int ->
+  ?max_ndbl:int ->
+  ?strict:bool ->
+  ?what:string ->
+  params:Opt_params.t ->
+  Cacti_array.Array_spec.t ->
+  (outcome, Cacti_util.Diag.t list) result
+(** [Optimizer.select_result ~params (Bank.enumerate_counts spec)] with
+    area-bound pruning, memoized.  Validates the spec and the optimization
+    parameters first; an invalid input or an empty surviving design space
+    returns structured diagnostics ([reason] ["no_solution"] carries a
+    ["sweep_counts"] info note with the rejection histogram).  Failed
+    solves are not memoized.  [strict] disables the sweep's per-candidate
+    fault containment. *)
+
 val select_bank :
   ?pool:Cacti_util.Pool.t ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
+  ?strict:bool ->
   ?what:string ->
   params:Opt_params.t ->
   Cacti_array.Array_spec.t ->
   Cacti_array.Bank.t
-(** [select_bank ~params spec] is
-    [Optimizer.select ~params (Bank.enumerate spec)] with area-bound
-    pruning, memoized.  [what] names the array in {!Optimizer.No_solution}
-    errors.  Raises {!Optimizer.No_solution} when the spec admits no valid
-    organization. *)
+(** Like {!select_bank_result} but raising: {!Optimizer.No_solution} when
+    the spec admits no valid organization, [Invalid_argument] on an invalid
+    spec or parameters.  [what] names the array in {!Optimizer.No_solution}
+    errors. *)
 
 val stats : unit -> stats
 (** Cumulative hit/miss counters since start-up (or the last {!clear}). *)

@@ -5,6 +5,14 @@ type t = {
   refs : (int * bool) array array;
 }
 
+exception Parse_error of { path : string; line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { path; line; msg } ->
+        Some (Printf.sprintf "%s:%d: %s" path line msg)
+    | _ -> None)
+
 let load path =
   let ic = open_in path in
   let n_threads = ref 0 in
@@ -12,6 +20,21 @@ let load path =
   let fp_ratio = ref 0.3 in
   let refs : (int * bool) list ref array ref = ref [||] in
   let lineno = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> raise (Parse_error { path; line = !lineno; msg }))
+      fmt
+  in
+  let int_field what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail "%s %S is not an integer" what s
+  in
+  let float_field what s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> fail "%s %S is not a number" what s
+  in
   (try
      while true do
        incr lineno;
@@ -21,39 +44,47 @@ let load path =
        else
          match String.split_on_char ' ' line with
          | [ "threads"; n ] ->
-             n_threads := int_of_string n;
+             n_threads := int_field "thread count" n;
+             if !n_threads <= 0 then
+               fail "thread count %d must be positive" !n_threads;
              refs := Array.init !n_threads (fun _ -> ref [])
-         | [ "mem_ratio"; x ] -> mem_ratio := float_of_string x
-         | [ "fp_ratio"; x ] -> fp_ratio := float_of_string x
+         | [ "mem_ratio"; x ] -> mem_ratio := float_field "mem_ratio" x
+         | [ "fp_ratio"; x ] -> fp_ratio := float_field "fp_ratio" x
          | [ tid; l; rw ] ->
-             let tid = int_of_string tid in
+             let tid = int_field "thread id" tid in
              if tid < 0 || tid >= !n_threads then
-               failwith
-                 (Printf.sprintf "%s:%d: thread id %d out of range" path
-                    !lineno tid);
+               fail "thread id %d out of range (threads %d)" tid !n_threads;
              let write =
                match rw with
                | "w" -> true
                | "r" -> false
-               | _ ->
-                   failwith
-                     (Printf.sprintf "%s:%d: expected r or w" path !lineno)
+               | _ -> fail "expected r or w, got %S" rw
              in
              let cell = !refs.(tid) in
-             cell := (int_of_string l, write) :: !cell
-         | _ -> failwith (Printf.sprintf "%s:%d: malformed line" path !lineno)
+             cell := (int_field "line index" l, write) :: !cell
+         | _ -> fail "malformed line %S" line
      done
    with
   | End_of_file -> close_in ic
   | e ->
       close_in_noerr ic;
       raise e);
-  if !n_threads = 0 then failwith (path ^ ": missing 'threads' header");
+  if !n_threads = 0 then
+    raise
+      (Parse_error { path; line = 0; msg = "missing 'threads' header" });
   let refs =
-    Array.map
-      (fun cell ->
+    Array.mapi
+      (fun tid cell ->
         match !cell with
-        | [] -> invalid_arg (path ^ ": a thread has no references")
+        | [] ->
+            (* A whole-file property, not tied to any one line. *)
+            raise
+              (Parse_error
+                 {
+                   path;
+                   line = 0;
+                   msg = Printf.sprintf "thread %d has no references" tid;
+                 })
         | l -> Array.of_list (List.rev l))
       !refs
   in

@@ -25,9 +25,15 @@ type t = {
   refs : (int * bool) array array;  (** per thread: (line, write) *)
 }
 
+exception Parse_error of { path : string; line : int; msg : string }
+(** One typed error for every way a trace file can be malformed: non-integer
+    fields, out-of-range thread ids, unknown access kinds, missing headers,
+    reference-free threads.  [line] is 0 when the problem is the file as a
+    whole (e.g. no [threads] header). *)
+
 val load : string -> t
-(** Raises [Failure] with a line number on parse errors, [Invalid_argument]
-    if a thread has no references. *)
+(** Raises {!Parse_error} on any malformed input; I/O errors ([Sys_error])
+    propagate unchanged. *)
 
 val save : string -> t -> unit
 

@@ -78,41 +78,59 @@ let create ~nx ~ny ~cell_w ~cell_h ~layers ~sink_conductance ~ambient =
 
 let set_power t ~layer ~x ~y p = t.power.(idx t layer x y) <- p
 
-let solve ?(tol = 1e-4) ?(max_iter = 20_000) t =
-  let changed = ref Float.infinity in
-  let iter = ref 0 in
-  while !changed > tol && !iter < max_iter do
-    changed := 0.;
-    for l = 0 to t.nl - 1 do
-      for y = 0 to t.ny - 1 do
-        for x = 0 to t.nx - 1 do
-          let i = idx t l x y in
-          let num = ref t.power.(i) and den = ref 0. in
-          let couple g j =
-            num := !num +. (g *. t.temp.(j));
-            den := !den +. g
-          in
-          if x > 0 then couple t.g_lat_x.(l) (idx t l (x - 1) y);
-          if x < t.nx - 1 then couple t.g_lat_x.(l) (idx t l (x + 1) y);
-          if y > 0 then couple t.g_lat_y.(l) (idx t l x (y - 1));
-          if y < t.ny - 1 then couple t.g_lat_y.(l) (idx t l x (y + 1));
-          if l > 0 then couple t.g_vert.(l - 1) (idx t (l - 1) x y);
-          if l < t.nl - 1 then couple t.g_vert.(l) (idx t (l + 1) x y)
-          else begin
-            (* top layer couples to ambient through the sink *)
-            num := !num +. (t.g_vert.(l) *. t.ambient);
-            den := !den +. t.g_vert.(l)
-          end;
-          let nt = !num /. !den in
-          let d = Float.abs (nt -. t.temp.(i)) in
-          if d > !changed then changed := d;
-          t.temp.(i) <- nt
-        done
+(* One Gauss–Seidel sweep; returns the largest per-cell temperature change. *)
+let sweep t =
+  let changed = ref 0. in
+  for l = 0 to t.nl - 1 do
+    for y = 0 to t.ny - 1 do
+      for x = 0 to t.nx - 1 do
+        let i = idx t l x y in
+        let num = ref t.power.(i) and den = ref 0. in
+        let couple g j =
+          num := !num +. (g *. t.temp.(j));
+          den := !den +. g
+        in
+        if x > 0 then couple t.g_lat_x.(l) (idx t l (x - 1) y);
+        if x < t.nx - 1 then couple t.g_lat_x.(l) (idx t l (x + 1) y);
+        if y > 0 then couple t.g_lat_y.(l) (idx t l x (y - 1));
+        if y < t.ny - 1 then couple t.g_lat_y.(l) (idx t l x (y + 1));
+        if l > 0 then couple t.g_vert.(l - 1) (idx t (l - 1) x y);
+        if l < t.nl - 1 then couple t.g_vert.(l) (idx t (l + 1) x y)
+        else begin
+          (* top layer couples to ambient through the sink *)
+          num := !num +. (t.g_vert.(l) *. t.ambient);
+          den := !den +. t.g_vert.(l)
+        end;
+        let nt = !num /. !den in
+        let d = Float.abs (nt -. t.temp.(i)) in
+        if d > !changed then changed := d;
+        t.temp.(i) <- nt
       done
-    done;
+    done
+  done;
+  !changed
+
+let solve_diag ?(tol = 1e-4) ?(max_iter = 20_000) t =
+  let residual = ref Float.infinity in
+  let iter = ref 0 in
+  (* Convergence is judged on the residual of the last sweep actually
+     performed, whichever condition ends the loop. *)
+  while !iter < max_iter && !residual > tol do
+    residual := sweep t;
     incr iter
   done;
-  if !changed > tol then failwith "Grid.solve: did not converge"
+  if !residual <= tol then Ok !iter
+  else
+    Error
+      (Cacti_util.Diag.warningf ~component:"thermal" ~reason:"non_convergence"
+         "Gauss-Seidel residual %.3g K still above tolerance %.3g K after %d \
+          iterations; temperatures are best-effort"
+         !residual tol !iter)
+
+let solve ?(strict = false) ?tol ?max_iter t =
+  match solve_diag ?tol ?max_iter t with
+  | Ok _ -> ()
+  | Error d -> if strict then failwith (Cacti_util.Diag.to_string d)
 
 let temperature t ~layer ~x ~y = t.temp.(idx t layer x y)
 

@@ -1,3 +1,13 @@
+exception Non_finite of string
+
+let finite ~what x =
+  if Float.is_finite x then x
+  else raise (Non_finite (Printf.sprintf "%s is %h" what x))
+
+let finite_pos ~what x =
+  if Float.is_finite x && x >= 0. then x
+  else raise (Non_finite (Printf.sprintf "%s is %h" what x))
+
 let log2 x = log x /. log 2.
 
 let clog2 n =

@@ -1,5 +1,19 @@
 (** Small floating-point helpers shared across the modeling code. *)
 
+exception Non_finite of string
+(** Raised by the {!finite} guards; the payload names the offending
+    quantity.  Contained (and counted as [nonfinite]) by the design-space
+    sweep unless it runs in strict mode. *)
+
+val finite : what:string -> float -> float
+(** Identity on finite floats; raises {!Non_finite} naming [what] on NaN or
+    ±∞.  Used at the circuit/array boundary so degenerate math is caught
+    where it happens instead of poisoning downstream comparisons. *)
+
+val finite_pos : what:string -> float -> float
+(** Like {!finite} but additionally rejects negative values (delays,
+    energies, areas and powers are physical and must be ≥ 0). *)
+
 val log2 : float -> float
 
 val clog2 : int -> int

@@ -21,8 +21,14 @@ let org ~ndwl ~ndbl ?(nspd = 1.) ?(mux = 1) ?(ns1 = 1) ?(ns2 = 1) () =
 
 let test_spec_validation () =
   Alcotest.check_raises "zero rows"
-    (Invalid_argument "Array_spec.create: non-positive geometry") (fun () ->
-      ignore (spec ~rows:0 ~row_bits:64 ~out:64 ()));
+    (Invalid_argument "Array_spec.create: row count 0 must be positive")
+    (fun () -> ignore (spec ~rows:0 ~row_bits:64 ~out:64 ()));
+  (match Array_spec.validate { small_sram with Array_spec.n_rows = -1;
+                               row_bits = 0 } with
+  | Ok _ -> Alcotest.fail "invalid geometry accepted"
+  | Error ds ->
+      Alcotest.(check int) "both geometry failures collected" 2
+        (List.length ds));
   Alcotest.(check bool) "output wider than array rejected" true
     (try ignore (spec ~rows:1 ~row_bits:64 ~out:128 ()); false
      with Invalid_argument _ -> true);
@@ -76,6 +82,25 @@ let test_dram_mat_has_restore () =
       Alcotest.(check bool) "precharge set" true (m.Mat.t_precharge > 0.)
 
 let enumerate s = Bank.enumerate ~max_ndwl:16 ~max_ndbl:16 s
+
+let test_bank_counts_partition () =
+  (* The rejection histogram must account for every candidate exactly once,
+     and [evaluated] must equal the number of banks returned. *)
+  let check_spec name s =
+    let banks, c = Bank.enumerate_counts ~max_ndwl:16 ~max_ndbl:16 s in
+    let open Cacti_util.Diag in
+    Alcotest.(check int) (name ^ ": evaluated = returned banks")
+      (List.length banks) c.evaluated;
+    Alcotest.(check int) (name ^ ": histogram partitions candidates")
+      c.candidates
+      (c.evaluated + c.geometry_rejected + c.page_rejected + c.area_pruned
+      + c.nonviable + c.nonfinite + c.raised);
+    Alcotest.(check int) (name ^ ": no faults on a clean sweep") 0 (faults c)
+  in
+  check_spec "sram" small_sram;
+  check_spec "dram page-constrained"
+    (spec ~ram:Cell.Comm_dram ~page_bits:8192 ~rows:4096 ~row_bits:8192
+       ~out:64 ())
 
 let test_bank_enumerate_nonempty () =
   let sols = enumerate small_sram in
@@ -227,6 +252,7 @@ let () =
       ( "bank",
         [
           Alcotest.test_case "enumerate" `Quick test_bank_enumerate_nonempty;
+          Alcotest.test_case "counts partition" `Slow test_bank_counts_partition;
           Alcotest.test_case "metrics positive" `Slow test_bank_metrics_positive;
           Alcotest.test_case "sram no refresh" `Quick test_bank_sram_no_refresh;
           Alcotest.test_case "dram timing invariants" `Slow test_bank_dram_timing_invariants;

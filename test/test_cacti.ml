@@ -323,6 +323,228 @@ let test_select_empty_is_typed_error () =
     (Invalid_argument "Optimizer.min_by: empty candidate list") (fun () ->
       ignore (Optimizer.min_by (fun (b : Bank.t) -> b.Bank.area) []))
 
+(* --- diagnostics, validation results, fault containment ------------- *)
+
+let test_min_by_rejects_nan () =
+  Alcotest.check_raises "NaN key is loud"
+    (Invalid_argument "Optimizer.min_by: NaN key") (fun () ->
+      ignore
+        (Optimizer.min_by
+           (fun x -> if x = 2 then Float.nan else float_of_int x)
+           [ 1; 2; 3 ]))
+
+let test_validate_results () =
+  (match
+     Cache_spec.create_result ~tech:t32 ~capacity_bytes:(-4096)
+       ~block_bytes:48 ()
+   with
+  | Ok _ -> Alcotest.fail "invalid cache spec accepted"
+  | Error ds ->
+      let reasons = List.map (fun d -> d.Cacti_util.Diag.reason) ds in
+      Alcotest.(check bool) "collects both failures" true
+        (List.mem "non_positive" reasons && List.mem "non_pow2_block" reasons));
+  (* Non-power-of-two associativity is a feature (the study's 12/18/24-way
+     configurations), not an error. *)
+  (match
+     Cache_spec.create_result ~tech:t32
+       ~capacity_bytes:(12 * 64 * 1024)
+       ~assoc:12 ()
+   with
+  | Ok _ -> ()
+  | Error ds -> Alcotest.fail ("12-way rejected: " ^ Cacti_util.Diag.render ds));
+  (match
+     Mainmem.create_result ~tech:t32 ~ram:Cacti_tech.Cell.Sram
+       ~capacity_bits:(1024 * 1024 * 1024) ()
+   with
+  | Ok _ -> Alcotest.fail "SRAM main memory accepted"
+  | Error ds ->
+      Alcotest.(check bool) "not_dram reported" true
+        (List.exists (fun d -> d.Cacti_util.Diag.reason = "not_dram") ds));
+  let bad_params =
+    { Opt_params.default with
+      Opt_params.weights =
+        { Opt_params.w_dynamic = -1.; w_leakage = 1.; w_cycle = 1.;
+          w_interleave = 1. } }
+  in
+  match Opt_params.validate bad_params with
+  | Ok _ -> Alcotest.fail "negative weight accepted"
+  | Error ds ->
+      Alcotest.(check bool) "negative_weight reported" true
+        (List.exists
+           (fun d -> d.Cacti_util.Diag.reason = "negative_weight")
+           ds)
+
+let counts_partition (c : Cacti_util.Diag.counts) =
+  c.Cacti_util.Diag.evaluated + c.Cacti_util.Diag.geometry_rejected
+  + c.Cacti_util.Diag.page_rejected + c.Cacti_util.Diag.area_pruned
+  + c.Cacti_util.Diag.nonviable + c.Cacti_util.Diag.nonfinite
+  + c.Cacti_util.Diag.raised
+
+let test_solve_diag_summary () =
+  Solve_cache.clear ();
+  let spec = Cache_spec.create ~tech:t32 ~capacity_bytes:(64 * 1024) () in
+  (match Cache_model.solve_diag spec with
+  | Error ds -> Alcotest.fail (Cacti_util.Diag.render ds)
+  | Ok (c, s) ->
+      Alcotest.(check bool) "solution matches raising path" true
+        (c.Cache_model.t_access = (Cache_model.solve spec).Cache_model.t_access);
+      let sw = s.Cacti_util.Diag.sweeps in
+      Alcotest.(check int) "histogram partitions the candidates"
+        sw.Cacti_util.Diag.candidates (counts_partition sw);
+      Alcotest.(check bool) "something was evaluated" true
+        (sw.Cacti_util.Diag.evaluated > 0);
+      Alcotest.(check int) "no faults" 0 (Cacti_util.Diag.faults sw));
+  (* Second solve: both arrays come from the memo. *)
+  (match Cache_model.solve_diag spec with
+  | Error ds -> Alcotest.fail (Cacti_util.Diag.render ds)
+  | Ok (_, s) ->
+      Alcotest.(check int) "data+tag cache hits" 2 s.Cacti_util.Diag.cache_hits);
+  (* An invalid spec surfaces as a structured Error, not an exception. *)
+  (match
+     Cache_model.solve_diag
+       { spec with Cache_spec.block_bytes = 48; capacity_bytes = 48 * 8 * 16 }
+   with
+  | Error (d :: _) ->
+      Alcotest.(check string) "reason" "non_pow2_block"
+        d.Cacti_util.Diag.reason
+  | Error [] -> Alcotest.fail "empty diagnostics"
+  | Ok _ -> Alcotest.fail "invalid spec solved");
+  Solve_cache.clear ()
+
+let test_fault_injection_containment () =
+  let spec = Cache_spec.create ~tech:t32 ~capacity_bytes:(256 * 1024) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Bank.set_fault_hook None;
+      Solve_cache.clear ())
+    (fun () ->
+      (* Poison screened candidate 0 with NaN and candidate 1 with an
+         exception, in both the data and the tag sweep. *)
+      Bank.set_fault_hook
+        (Some
+           (fun i ->
+             if i = 0 then Some Bank.Fault_nan
+             else if i = 1 then Some Bank.Fault_exn
+             else None));
+      Solve_cache.clear ();
+      let r1 = Cache_model.solve_diag ~jobs:1 spec in
+      Solve_cache.clear ();
+      let r4 = Cache_model.solve_diag ~jobs:4 spec in
+      match (r1, r4) with
+      | Ok (a, s1), Ok (b, s4) ->
+          Alcotest.(check (float 0.)) "same t_access under faults"
+            a.Cache_model.t_access b.Cache_model.t_access;
+          Alcotest.(check (float 0.)) "same area" a.Cache_model.area
+            b.Cache_model.area;
+          Alcotest.(check (float 0.)) "same e_read" a.Cache_model.e_read
+            b.Cache_model.e_read;
+          Alcotest.(check bool) "same data org" true
+            (a.Cache_model.data.Bank.org = b.Cache_model.data.Bank.org);
+          (* Exactly the injected faults, at any worker count: one NaN and
+             one exception per sweep, two sweeps (data + tag). *)
+          List.iter
+            (fun (name, s) ->
+              let sw = s.Cacti_util.Diag.sweeps in
+              Alcotest.(check int) (name ^ " nonfinite") 2
+                sw.Cacti_util.Diag.nonfinite;
+              Alcotest.(check int) (name ^ " raised") 2
+                sw.Cacti_util.Diag.raised;
+              Alcotest.(check int) (name ^ " partition")
+                sw.Cacti_util.Diag.candidates (counts_partition sw))
+            [ ("jobs=1", s1); ("jobs=4", s4) ]
+      | Error ds, _ | _, Error ds ->
+          Alcotest.fail (Cacti_util.Diag.render ds))
+
+let test_strict_mode_reraises () =
+  let spec = Cache_spec.create ~tech:t32 ~capacity_bytes:(64 * 1024) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Bank.set_fault_hook None;
+      Solve_cache.clear ())
+    (fun () ->
+      Bank.set_fault_hook (Some (fun i -> if i = 0 then Some Bank.Fault_exn else None));
+      Solve_cache.clear ();
+      Alcotest.(check bool) "strict lets the injected exception out" true
+        (try
+           ignore (Cache_model.solve ~jobs:1 ~strict:true spec);
+           false
+         with Failure _ -> true);
+      Bank.set_fault_hook (Some (fun i -> if i = 0 then Some Bank.Fault_nan else None));
+      Solve_cache.clear ();
+      Alcotest.(check bool) "strict surfaces NaN as Non_finite" true
+        (try
+           ignore (Cache_model.solve ~jobs:1 ~strict:true spec);
+           false
+         with Cacti_util.Floatx.Non_finite _ -> true))
+
+(* Randomized robustness: no input, valid or not, may escape as a raw
+   exception — and valid ones must produce all-finite metrics. *)
+let all_finite (c : Cache_model.t) =
+  List.for_all Float.is_finite
+    [
+      c.Cache_model.t_access; c.Cache_model.t_random_cycle;
+      c.Cache_model.t_interleave; c.Cache_model.e_read; c.Cache_model.e_write;
+      c.Cache_model.p_leakage; c.Cache_model.p_refresh; c.Cache_model.area;
+    ]
+
+let prop_cache_spec_structured =
+  QCheck.Test.make ~name:"random cache specs: Ok or structured Error"
+    ~count:200
+    QCheck.(
+      quad
+        (int_range (-1024) (4 * 1024 * 1024))
+        (int_range (-8) 512) (int_range (-2) 40) (int_range (-2) 8))
+    (fun (cap, block, assoc, banks) ->
+      match
+        Cache_spec.create_result ~tech:t32 ~capacity_bytes:cap
+          ~block_bytes:block ~assoc ~n_banks:banks ()
+      with
+      | Ok _ -> true
+      | Error ds -> ds <> [])
+
+let prop_mainmem_spec_structured =
+  QCheck.Test.make ~name:"random mainmem chips: Ok or structured Error"
+    ~count:200
+    QCheck.(
+      quad
+        (int_range (-1) (2 * 1024 * 1024 * 1024))
+        (int_range (-1) 64) (int_range (-1) 65536) (int_range (-1) 32))
+    (fun (bits, banks, page, io) ->
+      match
+        Mainmem.create_result ~tech:t32 ~capacity_bits:bits ~n_banks:banks
+          ~page_bits:page ~io_bits:io ()
+      with
+      | Ok _ -> true
+      | Error ds -> ds <> [])
+
+let prop_solve_diag_total =
+  (* Full solves are expensive: a handful of small random-but-plausible
+     specs, memoized across shrink attempts by Solve_cache. *)
+  QCheck.Test.make ~name:"random solves: finite metrics or structured Error"
+    ~count:8
+    QCheck.(
+      triple (int_range 10 16) (oneofl [ 16; 32; 64; 48; 0 ])
+        (oneofl [ 1; 2; 4; 8; 12 ]))
+    (fun (log2_cap, block, assoc) ->
+      let spec =
+        {
+          Cache_spec.capacity_bytes = 1 lsl log2_cap;
+          block_bytes = block;
+          assoc;
+          n_banks = 1;
+          ram = Cacti_tech.Cell.Sram;
+          tag_ram = Cacti_tech.Cell.Sram;
+          access_mode = Cache_spec.Normal;
+          phys_addr_bits = 42;
+          status_bits = 2;
+          sleep_tx = false;
+          tech = t32;
+        }
+      in
+      match Cache_model.solve_diag ~jobs:2 spec with
+      | Ok (c, _) -> all_finite c
+      | Error ds -> ds <> [])
+
 (* The O(n log n) frontier must agree element-for-element with the original
    quadratic dominance filter, ties and duplicates included. *)
 let test_pareto_matches_naive () =
@@ -398,5 +620,17 @@ let () =
           Alcotest.test_case "page constraint" `Slow test_mainmem_page_size_respected;
           Alcotest.test_case "burst energy" `Slow test_mainmem_burst_energy_scales;
           Alcotest.test_case "validation" `Quick test_mainmem_create_validation;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "min_by rejects NaN" `Quick test_min_by_rejects_nan;
+          Alcotest.test_case "validate results" `Quick test_validate_results;
+          Alcotest.test_case "solve_diag summary" `Slow test_solve_diag_summary;
+          Alcotest.test_case "fault injection containment" `Slow
+            test_fault_injection_containment;
+          Alcotest.test_case "strict re-raises" `Slow test_strict_mode_reraises;
+          QCheck_alcotest.to_alcotest prop_cache_spec_structured;
+          QCheck_alcotest.to_alcotest prop_mainmem_spec_structured;
+          QCheck_alcotest.to_alcotest prop_solve_diag_total;
         ] );
     ]

@@ -292,13 +292,42 @@ let test_trace_replay_matches_synthetic_locality () =
     (hit_rate > 0.3 && hit_rate < 0.999)
 
 let test_trace_load_errors () =
-  let path = Filename.temp_file "cacti_trace" ".txt" in
-  let oc = open_out path in
-  output_string oc "0 12 r\n";
-  close_out oc;
-  Alcotest.(check bool) "missing header rejected" true
-    (try ignore (Trace.load path); false with Failure _ -> true);
-  Sys.remove path
+  (* Every malformed input is a structured [Trace.Parse_error] carrying the
+     path and 1-based line number — never a bare [Failure]. *)
+  let check_bad name content ~line ~substring =
+    let path = Filename.temp_file "cacti_trace" ".txt" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    (match Trace.load path with
+    | exception Trace.Parse_error { path = p; line = l; msg } ->
+        Alcotest.(check string) (name ^ ": path") path p;
+        Alcotest.(check int) (name ^ ": line") line l;
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s
+                         && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" name msg substring)
+          true (contains msg substring)
+    | exception e ->
+        Alcotest.fail (name ^ ": unexpected " ^ Printexc.to_string e)
+    | _ -> Alcotest.fail (name ^ ": accepted"));
+    Sys.remove path
+  in
+  check_bad "missing header" "0 12 r\n" ~line:1 ~substring:"out of range";
+  check_bad "bad thread count" "threads nope\n" ~line:1 ~substring:"not an integer";
+  check_bad "nonpositive threads" "threads 0\n" ~line:1 ~substring:"positive";
+  check_bad "tid out of range" "threads 2\n5 1 r\n" ~line:2
+    ~substring:"out of range";
+  check_bad "bad rw flag" "threads 1\n0 1 x\n" ~line:2
+    ~substring:"expected r or w";
+  check_bad "short line" "threads 1\n0 1\n" ~line:2 ~substring:"malformed";
+  check_bad "empty thread" "threads 2\n0 1 r\n" ~line:0
+    ~substring:"no references";
+  check_bad "empty file" "" ~line:0 ~substring:"header"
 
 (* -------------------- dram extras -------------------- *)
 

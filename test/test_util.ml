@@ -181,6 +181,56 @@ let test_pool_exception_propagates () =
            (fun x -> if x = 17 then failwith "boom" else x)
            (List.init 64 (fun i -> i))))
 
+let test_diag_render () =
+  let d =
+    Diag.errorf ~component:"cache_spec" ~reason:"non_pow2_block"
+      "block size %d is not a power of two" 48
+  in
+  Alcotest.(check string) "one-line form"
+    "error[cache_spec/non_pow2_block]: block size 48 is not a power of two"
+    (Diag.to_string d);
+  let w = Diag.warning ~component:"thermal" ~reason:"non_convergence" "slow" in
+  Alcotest.(check string) "render joins with newlines"
+    (Diag.to_string d ^ "\n" ^ Diag.to_string w)
+    (Diag.render [ d; w ])
+
+let test_diag_counts () =
+  let a =
+    { Diag.zero_counts with Diag.candidates = 10; evaluated = 7; nonfinite = 2;
+      raised = 1 }
+  in
+  let b = { Diag.zero_counts with Diag.candidates = 5; geometry_rejected = 5 } in
+  let s = Diag.add_counts a b in
+  Alcotest.(check int) "candidates add" 15 s.Diag.candidates;
+  Alcotest.(check int) "faults" 3 (Diag.faults s);
+  Alcotest.(check bool) "counts_to_string mentions totals" true
+    (let str = Diag.counts_to_string s in
+     String.length str > 0 && String.sub str 0 2 = "15");
+  let m =
+    Diag.merge_summary
+      { Diag.sweeps = a; cache_hits = 1; notes = [] }
+      { Diag.sweeps = b; cache_hits = 2; notes = [] }
+  in
+  Alcotest.(check int) "summary merges hits" 3 m.Diag.cache_hits;
+  Alcotest.(check int) "summary merges sweeps" 15 m.Diag.sweeps.Diag.candidates
+
+let test_floatx_finite_guard () =
+  Alcotest.(check (float 0.)) "finite passes through" 3.5
+    (Floatx.finite ~what:"x" 3.5);
+  Alcotest.(check (float 0.)) "finite_pos passes through" 1e-12
+    (Floatx.finite_pos ~what:"x" 1e-12);
+  let raises f =
+    try ignore (f ()); false with Floatx.Non_finite _ -> true
+  in
+  Alcotest.(check bool) "nan rejected" true
+    (raises (fun () -> Floatx.finite ~what:"t_access" Float.nan));
+  Alcotest.(check bool) "inf rejected" true
+    (raises (fun () -> Floatx.finite ~what:"area" Float.infinity));
+  Alcotest.(check bool) "negative rejected by finite_pos" true
+    (raises (fun () -> Floatx.finite_pos ~what:"e_read" (-1.)));
+  Alcotest.(check bool) "plain finite allows negatives" true
+    (Floatx.finite ~what:"dz" (-2.) = -2.)
+
 let prop_clamp =
   QCheck.Test.make ~name:"clamp stays in range" ~count:500
     QCheck.(triple (float_range (-100.) 100.) (float_range (-100.) 0.) (float_range 0. 100.))
@@ -236,6 +286,12 @@ let () =
           Alcotest.test_case "linear" `Quick test_interp_linear;
           Alcotest.test_case "piecewise" `Quick test_interp_piecewise;
           QCheck_alcotest.to_alcotest prop_interp_endpoints;
+        ] );
+      ( "diag",
+        [
+          Alcotest.test_case "render" `Quick test_diag_render;
+          Alcotest.test_case "counts" `Quick test_diag_counts;
+          Alcotest.test_case "finite guards" `Quick test_floatx_finite_guard;
         ] );
       ( "table",
         [
