@@ -275,7 +275,10 @@ let run_study () =
   match !study_results with
   | Some r -> r
   | None ->
-      Printf.eprintf "[study] simulating 8 apps x 6 configs at %d Minstr...\n%!"
+      Printf.eprintf
+        "[study] simulating 8 apps x 6 configs at %d Minstr (cells fan out \
+         over the --jobs pool)...\n\
+         %!"
         (!instructions / 1_000_000);
       let params =
         { Mcsim.Engine.default_params with total_instructions = !instructions }
@@ -952,8 +955,9 @@ let usage () =
      [table1|table2|figure1|table3|figure4a|figure4b|figure5a|figure5b|thermal|ablations|powerdown|speedup|micro|all]";
   print_endline "default: all (without micro)";
   print_endline
-    "--jobs N: worker domains for the CACTI design-space sweeps (default: \
-     cores - 1); any value yields identical solutions"
+    "--jobs N: worker domains for the CACTI design-space sweeps and the \
+     app × config study matrix (default: cores - 1); any value yields \
+     identical results"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

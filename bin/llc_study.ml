@@ -48,19 +48,24 @@ let fail_diags ds code =
   code
 
 (* Trace replay: one synthetic "app" per configuration, driven by the
-   recorded references instead of the NPB generators. *)
+   recorded references instead of the NPB generators.  Like the synthetic
+   study, the builds run serially (memoized CACTI solves) and the
+   per-configuration simulations fan out over a domain pool; the replayed
+   reference streams come from the immutable trace arrays, so every
+   configuration reads them independently. *)
 let run_trace ?jobs ~params kinds tr =
   let app = Mcsim.Trace.to_app tr in
-  List.map
-    (fun kind ->
-      let b = Mcsim.Study.build ?jobs kind in
+  let builts = List.map (fun kind -> Mcsim.Study.build ?jobs kind) kinds in
+  let pool = Cacti_util.Pool.create ?jobs () in
+  Cacti_util.Pool.parallel_map ~chunk:1 pool
+    (fun (b : Mcsim.Study.built) ->
       let stats =
         Mcsim.Engine.run ~params ~make_gen:(Mcsim.Trace.make_gen tr)
           b.Mcsim.Study.machine app
       in
       let sys = Mcsim.Energy.system b.Mcsim.Study.machine app stats in
       { Mcsim.Study.app; config = b; stats; sys })
-    kinds
+    builts
 
 let run kinds apps instructions seed csv jobs trace =
   let params =
@@ -70,10 +75,10 @@ let run kinds apps instructions seed csv jobs trace =
       seed = Int64.of_int seed;
     }
   in
-  let results =
+  let results, diags =
     match trace with
-    | None -> Mcsim.Study.run_all ?jobs ~params ~kinds ~apps ()
-    | Some path -> run_trace ?jobs ~params kinds (Mcsim.Trace.load path)
+    | None -> Mcsim.Study.run_all_diag ?jobs ~params ~kinds ~apps ()
+    | Some path -> (run_trace ?jobs ~params kinds (Mcsim.Trace.load path), [])
   in
   let t =
     Cacti_util.Table.create
@@ -131,7 +136,11 @@ let run kinds apps instructions seed csv jobs trace =
         rows;
       close_out oc;
       Printf.printf "wrote %s\n" path);
-  Cacti_util.Diag.exit_ok
+  (* Partial failure: the surviving cells were printed above, the failed
+     ones are reported as structured diagnostics, and the exit code says
+     the run is incomplete. *)
+  if diags = [] then Cacti_util.Diag.exit_ok
+  else fail_diags diags Cacti_util.Diag.exit_invalid_spec
 
 let run_guarded kinds apps instructions seed csv jobs trace =
   let open Cacti_util in
@@ -180,8 +189,10 @@ let cmd =
   let jobs =
     Arg.(value & opt (some int) None
          & info [ "jobs"; "j" ] ~docv:"N"
-             ~doc:"Worker domains for the CACTI solves (default: cores - 1). \
-                   Any value returns identical solutions.")
+             ~doc:"Worker domains for the CACTI solves and for fanning the \
+                   app × configuration simulation matrix over a pool \
+                   (default: cores - 1). Any value returns identical \
+                   results.")
   in
   let trace =
     Arg.(value & opt (some string) None

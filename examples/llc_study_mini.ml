@@ -2,49 +2,57 @@
    two NPB-like workloads on three of the six system configurations, with
    the thermal check.  The full study is `dune exec bench/main.exe`.
 
-   Run with:  dune exec examples/llc_study_mini.exe *)
+   Run with:  dune exec examples/llc_study_mini.exe [-- --jobs N] *)
 
 let () =
+  let jobs =
+    (* Optional [--jobs N]: worker domains for the solves and the
+       app × config matrix.  Any value gives identical results. *)
+    let rec find = function
+      | "--jobs" :: n :: _ -> int_of_string_opt n
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   let kinds = [ Mcsim.Study.No_l3; Mcsim.Study.Sram_l3; Mcsim.Study.Cm_dram_c ] in
   let apps = [ Mcsim.Apps.lu_c; Mcsim.Apps.cg_c ] in
   let params =
     { Mcsim.Engine.default_params with total_instructions = 6_000_000 }
   in
   Printf.printf "building configurations (CACTI-D solves)...\n%!";
-  let builts = List.map (fun k -> Mcsim.Study.build k) kinds in
+  let results = Mcsim.Study.run_all ?jobs ~params ~kinds ~apps () in
   let t =
     Cacti_util.Table.create
       [ "app"; "config"; "IPC"; "read lat (cyc)"; "mem hier (W)"; "EDP (norm)" ]
   in
+  (* [run_all] returns the grid app-major, so each app's first cell is its
+     EDP baseline (the no-L3 configuration). *)
+  let base = Hashtbl.create 8 in
   List.iter
-    (fun app ->
-      let base = ref None in
-      List.iter
-        (fun b ->
-          let r = Mcsim.Study.run_app ~params b app in
-          let edp = r.Mcsim.Study.sys.Mcsim.Energy.energy_delay in
-          let base_edp =
-            match !base with
-            | None ->
-                base := Some edp;
-                edp
-            | Some e -> e
-          in
-          Cacti_util.Table.add_row t
-            [
-              app.Mcsim.Workload.name;
-              Mcsim.Study.kind_name b.Mcsim.Study.kind;
-              Cacti_util.Table.cell_f ~dec:2 (Mcsim.Stats.ipc r.Mcsim.Study.stats);
-              Cacti_util.Table.cell_f ~dec:1
-                (Mcsim.Stats.avg_read_latency r.Mcsim.Study.stats);
-              Cacti_util.Table.cell_f ~dec:2
-                (Mcsim.Energy.memory_hierarchy
-                   r.Mcsim.Study.sys.Mcsim.Energy.power);
-              Cacti_util.Table.cell_f ~dec:3 (edp /. base_edp);
-            ])
-        builts;
-      Cacti_util.Table.add_sep t)
-    apps;
+    (fun (r : Mcsim.Study.app_result) ->
+      let name = r.Mcsim.Study.app.Mcsim.Workload.name in
+      let edp = r.Mcsim.Study.sys.Mcsim.Energy.energy_delay in
+      let base_edp =
+        match Hashtbl.find_opt base name with
+        | None ->
+            if Hashtbl.length base > 0 then Cacti_util.Table.add_sep t;
+            Hashtbl.add base name edp;
+            edp
+        | Some e -> e
+      in
+      Cacti_util.Table.add_row t
+        [
+          name;
+          Mcsim.Study.kind_name r.Mcsim.Study.config.Mcsim.Study.kind;
+          Cacti_util.Table.cell_f ~dec:2 (Mcsim.Stats.ipc r.Mcsim.Study.stats);
+          Cacti_util.Table.cell_f ~dec:1
+            (Mcsim.Stats.avg_read_latency r.Mcsim.Study.stats);
+          Cacti_util.Table.cell_f ~dec:2
+            (Mcsim.Energy.memory_hierarchy r.Mcsim.Study.sys.Mcsim.Energy.power);
+          Cacti_util.Table.cell_f ~dec:3 (edp /. base_edp);
+        ])
+    results;
   Cacti_util.Table.print t;
   (* Thermal check of the stacked SRAM L3 vs the COMM-DRAM one. *)
   let bank_power kind =

@@ -3,15 +3,23 @@ type state = I | S | E | M
 let state_to_int = function I -> 0 | S -> 1 | E -> 2 | M -> 3
 let state_of_int = function 0 -> I | 1 -> S | 2 -> E | _ -> M
 
+(* One word per way: [line * 4 + state]; -1 = invalid.  Packing the tag and
+   the MESI state into one array halves the memory touched per lookup and
+   keeps the whole access path free of allocation (the previous [Bytes]
+   state plane cost a [Char.code]/[Char.chr] pair per touch). *)
 type t = {
   assoc : int;
   sets : int;
   set_mask : int;
-  tags : int array;  (** line index stored per way; -1 = invalid *)
-  states : Bytes.t;
+  ways : int array;  (** packed line/state per way; -1 = invalid *)
   stamps : int array;  (** recency stamps *)
   mutable clock : int;
 }
+
+let invalid = -1
+let pack line state = (line lsl 2) lor state
+let line_of w = w lsr 2
+let state_int_of w = w land 3
 
 let create ?(assoc = 8) ~lines () =
   if lines <= 0 || assoc <= 0 then invalid_arg "Cache_sim.create";
@@ -27,8 +35,7 @@ let create ?(assoc = 8) ~lines () =
     assoc;
     sets;
     set_mask = sets - 1;
-    tags = Array.make (sets * assoc) (-1);
-    states = Bytes.make (sets * assoc) '\000';
+    ways = Array.make (sets * assoc) invalid;
     stamps = Array.make (sets * assoc) 0;
     clock = 0;
   }
@@ -41,80 +48,92 @@ type lookup = Hit of state | Miss
 
 let base t line = (line land t.set_mask) * t.assoc
 
+(* Top-level recursion on purpose: a local [let rec] capturing [ways]/
+   [line] would be closure-converted and allocate on every lookup in
+   classic (non-flambda) mode. *)
+let rec find_way ways line i last =
+  if i > last then -1
+  else if Array.unsafe_get ways i lsr 2 = line then i
+  else find_way ways line (i + 1) last
+
 let find t line =
   let b = base t line in
-  let rec go i =
-    if i = t.assoc then -1
-    else if t.tags.(b + i) = line then b + i
-    else go (i + 1)
-  in
-  go 0
+  find_way t.ways line b (b + t.assoc - 1)
 
-let probe t line =
+let probe_int t line =
   let i = find t line in
-  if i < 0 then I else state_of_int (Char.code (Bytes.get t.states i))
+  if i < 0 then 0 else state_int_of t.ways.(i)
 
-let access t ~line ~write =
+let probe t line = state_of_int (probe_int t line)
+
+(* Unboxed access: -1 on miss, else the PRE-access state as an int
+   (0=I unused, 1=S, 2=E, 3=M).  Updates recency; a write upgrades to M. *)
+let access_int t ~line ~write =
   let i = find t line in
-  if i < 0 then Miss
+  if i < 0 then -1
   else begin
     t.clock <- t.clock + 1;
     t.stamps.(i) <- t.clock;
-    let s = state_of_int (Char.code (Bytes.get t.states i)) in
-    if write && s <> M then Bytes.set t.states i (Char.chr (state_to_int M));
-    Hit s
+    let w = t.ways.(i) in
+    let s = state_int_of w in
+    if write && s <> 3 then t.ways.(i) <- pack line 3;
+    s
   end
+
+let access t ~line ~write =
+  let s = access_int t ~line ~write in
+  if s < 0 then Miss else Hit (state_of_int s)
 
 type eviction = { line : int; state : state }
 
-let fill t ~line ~state =
-  assert (find t line < 0);
+(* Unboxed fill: allocates [line] in [state] (an int), returning -1 when a
+   free way was used, else the packed [victim_line * 4 + victim_state].
+   The line must not already be present (the engine guarantees it: a fill
+   only follows a miss). *)
+let fill_packed t ~line ~state_int =
   let b = base t line in
   (* Choose an invalid way, else the LRU way. *)
-  let victim = ref (b) in
+  let ways = t.ways and stamps = t.stamps in
+  let last = b + t.assoc - 1 in
+  let victim = ref b in
   let best = ref max_int in
   (try
-     for i = b to b + t.assoc - 1 do
-       if t.tags.(i) < 0 then begin
+     for i = b to last do
+       if Array.unsafe_get ways i < 0 then begin
          victim := i;
          raise Exit
        end
-       else if t.stamps.(i) < !best then begin
-         best := t.stamps.(i);
+       else if Array.unsafe_get stamps i < !best then begin
+         best := Array.unsafe_get stamps i;
          victim := i
        end
      done
    with Exit -> ());
   let i = !victim in
-  let evicted =
-    if t.tags.(i) < 0 then None
-    else
-      Some
-        {
-          line = t.tags.(i);
-          state = state_of_int (Char.code (Bytes.get t.states i));
-        }
-  in
-  t.tags.(i) <- line;
-  Bytes.set t.states i (Char.chr (state_to_int state));
+  let evicted = ways.(i) in
+  ways.(i) <- pack line state_int;
   t.clock <- t.clock + 1;
-  t.stamps.(i) <- t.clock;
+  stamps.(i) <- t.clock;
   evicted
 
-let set_state t ~line s =
+let fill t ~line ~state =
+  let ev = fill_packed t ~line ~state_int:(state_to_int state) in
+  if ev < 0 then None
+  else Some { line = line_of ev; state = state_of_int (state_int_of ev) }
+
+let set_state_int t ~line s =
   let i = find t line in
   if i >= 0 then
-    if s = I then t.tags.(i) <- -1
-    else Bytes.set t.states i (Char.chr (state_to_int s))
+    if s = 0 then t.ways.(i) <- invalid else t.ways.(i) <- pack line s
+
+let set_state t ~line s = set_state_int t ~line (state_to_int s)
 
 let occupancy t =
-  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags
+  Array.fold_left (fun acc w -> if w >= 0 then acc + 1 else acc) 0 t.ways
 
 let dirty_lines t =
   let acc = ref [] in
-  Array.iteri
-    (fun i tag ->
-      if tag >= 0 && Char.code (Bytes.get t.states i) = state_to_int M then
-        acc := tag :: !acc)
-    t.tags;
+  Array.iter
+    (fun w -> if w >= 0 && state_int_of w = 3 then acc := line_of w :: !acc)
+    t.ways;
   !acc

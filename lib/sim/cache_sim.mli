@@ -2,9 +2,19 @@
     simulator: true LRU, write-back/write-allocate, MESI line states.
 
     Addresses are line indices (the byte address divided by the line size —
-    the engine works in line units throughout). *)
+    the engine works in line units throughout).
+
+    The per-access entry points come in two flavors: the boxed API
+    ({!access}, {!fill}, {!probe}) used by tests and exploratory code, and
+    the unboxed [_int]/[_packed] API the engine's hot loop uses, which
+    returns sentinel-encoded ints and allocates nothing. *)
 
 type state = I | S | E | M
+
+val state_to_int : state -> int
+(** [I]=0, [S]=1, [E]=2, [M]=3 — the encoding of the unboxed API. *)
+
+val state_of_int : int -> state
 
 type t
 
@@ -24,9 +34,16 @@ val probe : t -> int -> state
 (** [probe t line] is the MESI state without touching recency. [I] when
     absent. *)
 
+val probe_int : t -> int -> int
+(** Unboxed {!probe}: the state encoding, 0 ([I]) when absent. *)
+
 val access : t -> line:int -> write:bool -> lookup
 (** Updates recency; a write hit upgrades the state to [M]; misses do NOT
     allocate (see {!fill}). *)
+
+val access_int : t -> line:int -> write:bool -> int
+(** Unboxed {!access}: -1 on miss, else the pre-access state encoding.
+    Same recency/upgrade side effects. *)
 
 type eviction = { line : int; state : state }
 
@@ -34,9 +51,16 @@ val fill : t -> line:int -> state:state -> eviction option
 (** Allocates [line] (LRU victim evicted, returned if it was valid).
     The line must not already be present. *)
 
+val fill_packed : t -> line:int -> state_int:int -> int
+(** Unboxed {!fill}: -1 when an invalid way absorbed the line, else the
+    evicted way packed as [victim_line * 4 + victim_state_int]. *)
+
 val set_state : t -> line:int -> state -> unit
 (** Downgrade/upgrade a present line in place; [I] removes it.  No-op when
     absent. *)
+
+val set_state_int : t -> line:int -> int -> unit
+(** Unboxed {!set_state} (0 removes). *)
 
 val occupancy : t -> int
 (** Number of valid lines (O(capacity); for tests/stats). *)

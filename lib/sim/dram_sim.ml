@@ -95,6 +95,10 @@ let counts t = t.counts
    open page — 8 KB pages hold 128 lines). *)
 let lines_per_row = 128
 
+(* Int-typed max: the polymorphic stdlib [max] goes through the generic
+   comparison on every call; this path runs once per DRAM access. *)
+let imax (a : int) b = if a >= b then a else b
+
 (* Push [start] past any refresh blackout window. *)
 let rec after_refresh tm start =
   if tm.t_refi <= 0 then start
@@ -112,7 +116,7 @@ let respect_faw t ch start =
     for i = 0 to 3 do
       if t.act_window.(base + i) < !oldest then oldest := t.act_window.(base + i)
     done;
-    if !oldest = min_int then start else max start (!oldest + t.timing.t_faw)
+    if !oldest = min_int then start else imax start (!oldest + t.timing.t_faw)
 
 let record_act t ch time =
   let base = ch * 4 in
@@ -133,7 +137,7 @@ let access t ~line ~write ~now =
   let bi = (ch * t.n_banks) + bank in
   let tm = t.timing in
   let was_hit = t.open_row.(bi) = row in
-  let start = max (now + tm.t_ctrl) t.bank_free.(bi) in
+  let start = imax (now + tm.t_ctrl) t.bank_free.(bi) in
   (* Power-down wake-up. *)
   let start =
     match t.powerdown with
@@ -149,7 +153,7 @@ let access t ~line ~write ~now =
   (* Write-to-read bus turnaround. *)
   let start =
     if (not write) && tm.t_wtr > 0 then
-      max start t.last_write_done.(ch)
+      imax start t.last_write_done.(ch)
     else start
   in
   let start, cmd_done =
@@ -159,7 +163,7 @@ let access t ~line ~write ~now =
     end
     else begin
       (* Respect tRRD and tFAW between activates on the channel. *)
-      let start = max start (t.last_act.(ch) + tm.t_rrd) in
+      let start = imax start (t.last_act.(ch) + tm.t_rrd) in
       let start = respect_faw t ch start in
       let start, after_pre =
         if t.open_row.(bi) >= 0 then begin
@@ -178,14 +182,14 @@ let access t ~line ~write ~now =
   in
   if write then c.writes <- c.writes + 1 else c.reads <- c.reads + 1;
   (* Data transfer occupies the channel bus. *)
-  let xfer_start = max cmd_done t.bus_free.(ch) in
+  let xfer_start = imax cmd_done t.bus_free.(ch) in
   let finish = xfer_start + tm.t_burst in
   t.bus_free.(ch) <- finish;
   c.busy_cycles <- c.busy_cycles + tm.t_burst;
   if write then t.last_write_done.(ch) <- finish + tm.t_wtr;
   (* Bank occupancy: row cycle for a miss, burst-rate for a hit. *)
   let occupancy =
-    if was_hit then max tm.t_burst (tm.t_cas / 2) else tm.t_rc
+    if was_hit then imax tm.t_burst (tm.t_cas / 2) else tm.t_rc
   in
   t.bank_free.(bi) <- start + occupancy;
   (match t.policy with
@@ -193,8 +197,8 @@ let access t ~line ~write ~now =
   | Closed_page ->
       c.precharges <- c.precharges + 1;
       t.open_row.(bi) <- -1;
-      t.bank_free.(bi) <- max t.bank_free.(bi) (cmd_done + tm.t_rp));
-  t.ch_last_busy.(ch) <- max t.ch_last_busy.(ch) finish;
+      t.bank_free.(bi) <- imax t.bank_free.(bi) (cmd_done + tm.t_rp));
+  t.ch_last_busy.(ch) <- imax t.ch_last_busy.(ch) finish;
   finish
 
 let latency t ~line ~write ~now = access t ~line ~write ~now - now

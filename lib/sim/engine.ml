@@ -15,12 +15,88 @@ type thread = {
   gen : Workload.gen;
   mutable now : int;
   mutable instr_done : int;
-  mutable cycle_residue : float;
+  (* The fractional-cycle residue lives in [sim.residues] (a float array,
+     so stores stay unboxed) rather than in this mixed record, where every
+     store would box. *)
   mutable next_barrier : int;
   mutable next_lock : int;
   mutable state : tstate;
   mutable barrier_arrival : int;
 }
+
+(* MESI state encoding shared with Cache_sim's unboxed API. *)
+let st_s = 1
+let st_e = 2
+let st_m = 3
+
+(* Int-typed min/max: the polymorphic stdlib versions go through the
+   generic comparison on every call, which shows up in the inner loop. *)
+let imin (a : int) b = if a <= b then a else b
+let imax (a : int) b = if a >= b then a else b
+
+(* Flat per-run counter block: one record of unboxed ints, allocated once
+   per simulation and written with plain [setfield]s (no write barrier, no
+   pointer chase through [Stats.t.breakdown]) on the per-access path.  It
+   is flushed into the returned [Stats.t] when the run completes. *)
+type acc = {
+  mutable instructions : int;
+  mutable l1_accesses : int;
+  mutable l1_hits : int;
+  mutable l2_accesses : int;
+  mutable l2_hits : int;
+  mutable l3_accesses : int;
+  mutable l3_hits : int;
+  mutable c2c_transfers : int;
+  mutable invalidations : int;
+  mutable l1_writebacks : int;
+  mutable l2_writebacks : int;
+  mutable l3_writebacks : int;
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable read_count : int;
+  mutable read_latency_sum : int;
+  mutable b_instr : int;
+  mutable b_l2 : int;
+  mutable b_l3 : int;
+  mutable b_mem : int;
+  mutable b_barrier : int;
+  mutable b_lock : int;
+}
+
+let make_acc () =
+  {
+    instructions = 0; l1_accesses = 0; l1_hits = 0; l2_accesses = 0;
+    l2_hits = 0; l3_accesses = 0; l3_hits = 0; c2c_transfers = 0;
+    invalidations = 0; l1_writebacks = 0; l2_writebacks = 0;
+    l3_writebacks = 0; mem_reads = 0; mem_writes = 0; read_count = 0;
+    read_latency_sum = 0; b_instr = 0; b_l2 = 0; b_l3 = 0; b_mem = 0;
+    b_barrier = 0; b_lock = 0;
+  }
+
+let flush_acc a (st : Stats.t) =
+  let b = st.Stats.breakdown in
+  st.Stats.instructions <- a.instructions;
+  st.Stats.l1_accesses <- a.l1_accesses;
+  st.Stats.l1_hits <- a.l1_hits;
+  st.Stats.l2_accesses <- a.l2_accesses;
+  st.Stats.l2_hits <- a.l2_hits;
+  st.Stats.l3_accesses <- a.l3_accesses;
+  st.Stats.l3_hits <- a.l3_hits;
+  st.Stats.c2c_transfers <- a.c2c_transfers;
+  st.Stats.invalidations <- a.invalidations;
+  st.Stats.l1_writebacks <- a.l1_writebacks;
+  st.Stats.l2_writebacks <- a.l2_writebacks;
+  st.Stats.l3_writebacks <- a.l3_writebacks;
+  st.Stats.mem_reads <- a.mem_reads;
+  st.Stats.mem_writes <- a.mem_writes;
+  st.Stats.read_count <- a.read_count;
+  st.Stats.read_latency_sum <- a.read_latency_sum;
+  b.Stats.instr <- a.b_instr;
+  b.Stats.l2 <- a.b_l2;
+  b.Stats.l3 <- a.b_l3;
+  b.Stats.mem <- a.b_mem;
+  b.Stats.barrier <- a.b_barrier;
+  b.Stats.lock <- a.b_lock
 
 type sim = {
   cfg : Machine.t;
@@ -32,9 +108,11 @@ type sim = {
   l3 : Cache_sim.t array;  (** per bank; empty when no L3 *)
   l3_free : int array;
   dram : Dram_sim.t;
-  directory : (int, int) Hashtbl.t;  (** line -> core presence bitmask *)
+  directory : Cacti_util.Intmap.t;  (** line -> core presence bitmask *)
   locks_free : int array;
   rng : Cacti_util.Rng.t;
+  residues : float array;  (** per-thread fractional-cycle residue *)
+  a : acc;
   stats : Stats.t;
   threads : thread array;
   heap : Heap.t;
@@ -42,205 +120,211 @@ type sim = {
   mutable alive : int;
 }
 
-let dir_get s line = try Hashtbl.find s.directory line with Not_found -> 0
+let dir_get s line = Cacti_util.Intmap.get s.directory line
 
-let dir_set s line mask =
-  if mask = 0 then Hashtbl.remove s.directory line
-  else Hashtbl.replace s.directory line mask
-
+(* [Intmap.set] removes on mask 0, so a line whose last sharer departs can
+   never linger as a dead entry regardless of which path zeroed the mask. *)
+let dir_set s line mask = Cacti_util.Intmap.set s.directory line mask
 let dir_add s line core = dir_set s line (dir_get s line lor (1 lsl core))
 
 let dir_remove s line core =
   dir_set s line (dir_get s line land lnot (1 lsl core))
 
 (* L1 inclusion in L2: evicting/invalidating at L2 kills the L1 copy. *)
-let l1_invalidate s core line = Cache_sim.set_state s.l1s.(core) ~line I
+let l1_invalidate s core line = Cache_sim.set_state_int s.l1s.(core) ~line 0
 
 let mem_write_back s now line =
-  s.stats.Stats.mem_writes <- s.stats.Stats.mem_writes + 1;
+  s.a.mem_writes <- s.a.mem_writes + 1;
   ignore (Dram_sim.access s.dram ~line ~write:true ~now)
 
 (* Push a dirty L2 victim down: to the L3 if present (updating its copy or
    allocating), else to memory. *)
 let l2_victim_write_back s now line =
-  s.stats.Stats.l2_writebacks <- s.stats.Stats.l2_writebacks + 1;
+  s.a.l2_writebacks <- s.a.l2_writebacks + 1;
   match s.cfg.Machine.l3 with
   | Some l3p ->
       let bank = line mod l3p.Machine.n_banks in
       let bline = line / l3p.Machine.n_banks in
-      if Cache_sim.probe s.l3.(bank) bline <> I then
-        Cache_sim.set_state s.l3.(bank) ~line:bline M
+      if Cache_sim.probe_int s.l3.(bank) bline <> 0 then
+        Cache_sim.set_state_int s.l3.(bank) ~line:bline st_m
       else begin
-        match Cache_sim.fill s.l3.(bank) ~line:bline ~state:M with
-        | Some { state = M; line = v } ->
-            s.stats.Stats.l3_writebacks <- s.stats.Stats.l3_writebacks + 1;
-            mem_write_back s now ((v * l3p.Machine.n_banks) + bank)
-        | Some _ | None -> ()
+        let ev = Cache_sim.fill_packed s.l3.(bank) ~line:bline ~state_int:st_m in
+        if ev >= 0 && ev land 3 = st_m then begin
+          s.a.l3_writebacks <- s.a.l3_writebacks + 1;
+          mem_write_back s now (((ev lsr 2) * l3p.Machine.n_banks) + bank)
+        end
       end
   | None -> mem_write_back s now line
 
-let fill_l2 s now core line state =
-  (match Cache_sim.fill s.l2s.(core) ~line ~state with
-  | Some { line = v; state = vs } ->
-      dir_remove s v core;
-      l1_invalidate s core v;
-      if vs = M then l2_victim_write_back s now v
-  | None -> ());
+let fill_l2 s now core line state_int =
+  let ev = Cache_sim.fill_packed s.l2s.(core) ~line ~state_int in
+  if ev >= 0 then begin
+    let v = ev lsr 2 in
+    (* The eviction is the ONLY way a line leaves this L2 besides an
+       explicit invalidation, and both funnel through [dir_remove]: the
+       directory cannot retain a bit for a core that lost the line. *)
+    dir_remove s v core;
+    l1_invalidate s core v;
+    if ev land 3 = st_m then l2_victim_write_back s now v
+  end;
   dir_add s line core
 
-let fill_l1 s core line state =
-  match Cache_sim.fill s.l1s.(core) ~line ~state with
-  | Some { line = v; state = M } ->
-      (* write-back into the L2 copy (inclusion guarantees presence) *)
-      s.stats.Stats.l1_writebacks <- s.stats.Stats.l1_writebacks + 1;
-      Cache_sim.set_state s.l2s.(core) ~line:v M
-  | Some _ | None -> ()
+let fill_l1 s core line state_int =
+  let ev = Cache_sim.fill_packed s.l1s.(core) ~line ~state_int in
+  if ev >= 0 && ev land 3 = st_m then begin
+    (* write-back into the L2 copy (inclusion guarantees presence) *)
+    s.a.l1_writebacks <- s.a.l1_writebacks + 1;
+    Cache_sim.set_state_int s.l2s.(core) ~line:(ev lsr 2) st_m
+  end
 
 (* Invalidate every other core's copy (write miss / upgrade). *)
 let invalidate_sharers s core line =
   let mask = dir_get s line land lnot (1 lsl core) in
   if mask <> 0 then begin
-    let dirty = ref false in
     for c = 0 to s.cfg.Machine.n_cores - 1 do
       if mask land (1 lsl c) <> 0 then begin
-        if Cache_sim.probe s.l2s.(c) line = M then dirty := true;
-        Cache_sim.set_state s.l2s.(c) ~line I;
+        Cache_sim.set_state_int s.l2s.(c) ~line 0;
         l1_invalidate s c line;
-        s.stats.Stats.invalidations <- s.stats.Stats.invalidations + 1
+        s.a.invalidations <- s.a.invalidations + 1
       end
     done;
-    dir_set s line (dir_get s line land (1 lsl core));
-    !dirty
+    dir_set s line (dir_get s line land (1 lsl core))
   end
-  else false
 
-(* Find a core (other than [core]) holding the line dirty. *)
+(* Core (other than [core]) holding the line dirty; -1 when none.  The
+   scan is a top-level recursion: a local [let rec] closing over the mask
+   would allocate a closure on every L2 miss in classic mode. *)
+let rec owner_scan l2s n_cores mask line c =
+  if c >= n_cores then -1
+  else if mask land (1 lsl c) <> 0 && Cache_sim.probe_int l2s.(c) line = st_m
+  then c
+  else owner_scan l2s n_cores mask line (c + 1)
+
 let dirty_owner s core line =
   let mask = dir_get s line land lnot (1 lsl core) in
-  if mask = 0 then None
-  else
-    let rec go c =
-      if c >= s.cfg.Machine.n_cores then None
-      else if mask land (1 lsl c) <> 0 && Cache_sim.probe s.l2s.(c) line = M
-      then Some c
-      else go (c + 1)
-    in
-    go 0
+  if mask = 0 then -1 else owner_scan s.l2s s.cfg.Machine.n_cores mask line 0
 
-type bucket = B_instr | B_l2 | B_l3 | B_mem
+(* Stall-attribution buckets, encoded in the low two bits of [access]'s
+   packed result. *)
+let b_instr = 0
+let b_l2 = 1
+let b_l3 = 2
+let b_mem = 3
 
-(* Resolve one memory reference.  Returns (completion_time, bucket). *)
+(* Resolve one memory reference.  Returns [completion_time * 4 + bucket]
+   packed in an int — the per-access path allocates nothing. *)
 let access s (th : thread) line write =
   let cfg = s.cfg in
-  let st = s.stats in
+  let a = s.a in
   let now = th.now in
   let core = th.core in
-  st.Stats.l1_accesses <- st.Stats.l1_accesses + 1;
-  match Cache_sim.access s.l1s.(core) ~line ~write with
-  | Hit old when (not write) || old = M || old = E ->
-      st.Stats.l1_hits <- st.Stats.l1_hits + 1;
-      if write && old = E then Cache_sim.set_state s.l2s.(core) ~line M;
-      (now + cfg.Machine.l1.Machine.latency, B_instr)
-  | Hit _ ->
+  a.l1_accesses <- a.l1_accesses + 1;
+  let old1 = Cache_sim.access_int s.l1s.(core) ~line ~write in
+  if old1 >= 0 then
+    if (not write) || old1 >= st_e then begin
+      a.l1_hits <- a.l1_hits + 1;
+      if write && old1 = st_e then
+        Cache_sim.set_state_int s.l2s.(core) ~line st_m;
+      ((now + cfg.Machine.l1.Machine.latency) lsl 2) lor b_instr
+    end
+    else begin
       (* Write hit on a Shared line: upgrade through the coherence fabric. *)
-      st.Stats.l1_hits <- st.Stats.l1_hits + 1;
-      ignore (invalidate_sharers s core line);
-      Cache_sim.set_state s.l2s.(core) ~line M;
+      a.l1_hits <- a.l1_hits + 1;
+      invalidate_sharers s core line;
+      Cache_sim.set_state_int s.l2s.(core) ~line st_m;
       let xbar =
         match cfg.Machine.l3 with
         | Some l3p -> l3p.Machine.xbar_latency
         | None -> 4
       in
-      (now + cfg.Machine.l1.Machine.latency + (2 * xbar), B_l2)
-  | Miss -> (
-      st.Stats.l2_accesses <- st.Stats.l2_accesses + 1;
-      let t_l2 =
-        now + cfg.Machine.l1.Machine.latency + cfg.Machine.l2.Machine.latency
-      in
-      let xbar =
+      ((now + cfg.Machine.l1.Machine.latency + (2 * xbar)) lsl 2) lor b_l2
+    end
+  else begin
+    a.l2_accesses <- a.l2_accesses + 1;
+    let t_l2 =
+      now + cfg.Machine.l1.Machine.latency + cfg.Machine.l2.Machine.latency
+    in
+    let xbar =
+      match cfg.Machine.l3 with
+      | Some l3p -> l3p.Machine.xbar_latency
+      | None -> 4
+    in
+    let old2 = Cache_sim.access_int s.l2s.(core) ~line ~write in
+    if old2 >= 0 then
+      if (not write) || old2 >= st_e then begin
+        a.l2_hits <- a.l2_hits + 1;
+        fill_l1 s core line (if write then st_m else st_s);
+        (t_l2 lsl 2) lor b_l2
+      end
+      else begin
+        a.l2_hits <- a.l2_hits + 1;
+        invalidate_sharers s core line;
+        Cache_sim.set_state_int s.l2s.(core) ~line st_m;
+        fill_l1 s core line st_m;
+        ((t_l2 + (2 * xbar)) lsl 2) lor b_l2
+      end
+    else begin
+      (* Coherence: a dirty copy in a peer L2 is transferred cache-to-cache
+         over the crossbar. *)
+      let owner = dirty_owner s core line in
+      if owner >= 0 then begin
+        a.c2c_transfers <- a.c2c_transfers + 1;
+        if write then invalidate_sharers s core line
+        else begin
+          Cache_sim.set_state_int s.l2s.(owner) ~line st_s;
+          l1_invalidate s owner line;
+          (* owner's dirty data is pushed down on the way *)
+          l2_victim_write_back s now line
+        end;
+        let t = t_l2 + (2 * xbar) + cfg.Machine.l2.Machine.latency in
+        fill_l2 s now core line (if write then st_m else st_s);
+        fill_l1 s core line (if write then st_m else st_s);
+        (t lsl 2) lor b_l3
+      end
+      else begin
+        if write then invalidate_sharers s core line;
         match cfg.Machine.l3 with
-        | Some l3p -> l3p.Machine.xbar_latency
-        | None -> 4
-      in
-      match Cache_sim.access s.l2s.(core) ~line ~write with
-      | Hit old when (not write) || old = M || old = E ->
-          st.Stats.l2_hits <- st.Stats.l2_hits + 1;
-          fill_l1 s core line (if write then M else S);
-          (t_l2, B_l2)
-      | Hit _ ->
-          st.Stats.l2_hits <- st.Stats.l2_hits + 1;
-          ignore (invalidate_sharers s core line);
-          Cache_sim.set_state s.l2s.(core) ~line M;
-          fill_l1 s core line M;
-          (t_l2 + (2 * xbar), B_l2)
-      | Miss -> (
-          (* Coherence: a dirty copy in a peer L2 is transferred
-             cache-to-cache over the crossbar. *)
-          match dirty_owner s core line with
-          | Some owner ->
-              st.Stats.c2c_transfers <- st.Stats.c2c_transfers + 1;
-              if write then begin
-                ignore (invalidate_sharers s core line)
-              end
-              else begin
-                Cache_sim.set_state s.l2s.(owner) ~line S;
-                l1_invalidate s owner line;
-                (* owner's dirty data is pushed down on the way *)
-                l2_victim_write_back s now line
-              end;
-              let t =
-                t_l2 + (2 * xbar) + cfg.Machine.l2.Machine.latency
+        | Some l3p ->
+            let bank = line mod l3p.Machine.n_banks in
+            let bline = line / l3p.Machine.n_banks in
+            let arrival = t_l2 + xbar in
+            let start = imax arrival s.l3_free.(bank) in
+            s.l3_free.(bank) <- start + l3p.Machine.bank.Machine.cycle;
+            a.l3_accesses <- a.l3_accesses + 1;
+            if Cache_sim.access_int s.l3.(bank) ~line:bline ~write:false >= 0
+            then begin
+              a.l3_hits <- a.l3_hits + 1;
+              let t = start + l3p.Machine.bank.Machine.latency + xbar in
+              fill_l2 s now core line (if write then st_m else st_s);
+              fill_l1 s core line (if write then st_m else st_s);
+              (t lsl 2) lor b_l3
+            end
+            else begin
+              let t_tag = start + l3p.Machine.bank.Machine.latency in
+              let t_mem =
+                Dram_sim.access s.dram ~line ~write:false ~now:t_tag
               in
-              fill_l2 s now core line (if write then M else S);
-              fill_l1 s core line (if write then M else S);
-              (t, B_l3)
-          | None -> (
-              if write then ignore (invalidate_sharers s core line);
-              match cfg.Machine.l3 with
-              | Some l3p ->
-                  let bank = line mod l3p.Machine.n_banks in
-                  let bline = line / l3p.Machine.n_banks in
-                  let arrival = t_l2 + xbar in
-                  let start = max arrival s.l3_free.(bank) in
-                  s.l3_free.(bank) <- start + l3p.Machine.bank.Machine.cycle;
-                  st.Stats.l3_accesses <- st.Stats.l3_accesses + 1;
-                  (match
-                     Cache_sim.access s.l3.(bank) ~line:bline ~write:false
-                   with
-                  | Hit _ ->
-                      st.Stats.l3_hits <- st.Stats.l3_hits + 1;
-                      let t =
-                        start + l3p.Machine.bank.Machine.latency + xbar
-                      in
-                      fill_l2 s now core line (if write then M else S);
-                      fill_l1 s core line (if write then M else S);
-                      (t, B_l3)
-                  | Miss ->
-                      let t_tag = start + l3p.Machine.bank.Machine.latency in
-                      let t_mem =
-                        Dram_sim.access s.dram ~line ~write:false ~now:t_tag
-                      in
-                      st.Stats.mem_reads <- st.Stats.mem_reads + 1;
-                      (match
-                         Cache_sim.fill s.l3.(bank) ~line:bline ~state:S
-                       with
-                      | Some { line = v; state = M } ->
-                          st.Stats.l3_writebacks <-
-                            st.Stats.l3_writebacks + 1;
-                          mem_write_back s now
-                            ((v * l3p.Machine.n_banks) + bank)
-                      | Some _ | None -> ());
-                      fill_l2 s now core line (if write then M else E);
-                      fill_l1 s core line (if write then M else E);
-                      (t_mem + xbar, B_mem))
-              | None ->
-                  let t_mem =
-                    Dram_sim.access s.dram ~line ~write:false ~now:t_l2
-                  in
-                  st.Stats.mem_reads <- st.Stats.mem_reads + 1;
-                  fill_l2 s now core line (if write then M else E);
-                  fill_l1 s core line (if write then M else E);
-                  (t_mem, B_mem))))
+              a.mem_reads <- a.mem_reads + 1;
+              let ev =
+                Cache_sim.fill_packed s.l3.(bank) ~line:bline ~state_int:st_s
+              in
+              if ev >= 0 && ev land 3 = st_m then begin
+                a.l3_writebacks <- a.l3_writebacks + 1;
+                mem_write_back s now (((ev lsr 2) * l3p.Machine.n_banks) + bank)
+              end;
+              fill_l2 s now core line (if write then st_m else st_e);
+              fill_l1 s core line (if write then st_m else st_e);
+              ((t_mem + xbar) lsl 2) lor b_mem
+            end
+        | None ->
+            let t_mem = Dram_sim.access s.dram ~line ~write:false ~now:t_l2 in
+            a.mem_reads <- a.mem_reads + 1;
+            fill_l2 s now core line (if write then st_m else st_e);
+            fill_l1 s core line (if write then st_m else st_e);
+            (t_mem lsl 2) lor b_mem
+      end
+    end
+  end
 
 let make_sim ?make_gen cfg app params =
   Workload.validate app;
@@ -265,7 +349,6 @@ let make_sim ?make_gen cfg app params =
                 Workload.gen app ~n_threads ~thread_id:id ~seed:params.seed);
           now = 0;
           instr_done = 0;
-          cycle_residue = 0.;
           next_barrier =
             (if app.Workload.barrier_interval > 0 then
                app.Workload.barrier_interval
@@ -277,7 +360,8 @@ let make_sim ?make_gen cfg app params =
           barrier_arrival = 0;
         })
   in
-  let heap = Heap.create ~capacity:(2 * n_threads) in
+  (* One pending event per thread: sized exactly, the heap never grows. *)
+  let heap = Heap.create ~capacity:n_threads in
   Array.iter (fun th -> Heap.push heap ~time:0 ~payload:th.id) threads;
   {
     cfg;
@@ -304,9 +388,11 @@ let make_sim ?make_gen cfg app params =
         ?powerdown:cfg.Machine.mem.Machine.powerdown
         ~policy:cfg.Machine.mem.Machine.policy
         ~timing:cfg.Machine.mem.Machine.timing ();
-    directory = Hashtbl.create 65536;
+    directory = Cacti_util.Intmap.create ~capacity:65536 ();
     locks_free = Array.make (max 1 app.Workload.n_locks) 0;
     rng;
+    residues = Array.make n_threads 0.;
+    a = make_acc ();
     stats = Stats.create ();
     threads;
     heap;
@@ -318,9 +404,7 @@ let release_barrier s t_release =
   Array.iter
     (fun th ->
       if th.state = At_barrier then begin
-        s.stats.Stats.breakdown.Stats.barrier <-
-          s.stats.Stats.breakdown.Stats.barrier
-          + (t_release - th.barrier_arrival);
+        s.a.b_barrier <- s.a.b_barrier + (t_release - th.barrier_arrival);
         th.now <- t_release;
         th.state <- Running;
         Heap.push s.heap ~time:t_release ~payload:th.id
@@ -328,18 +412,52 @@ let release_barrier s t_release =
     s.threads;
   s.barrier_waiting <- 0
 
-let nonmem_cycles th cpi n =
-  let exact = (float_of_int n *. cpi) +. th.cycle_residue in
+let nonmem_cycles residues (th : thread) cpi n =
+  let exact = (float_of_int n *. cpi) +. Array.unsafe_get residues th.id in
   let whole = int_of_float exact in
-  th.cycle_residue <- exact -. float_of_int whole;
+  Array.unsafe_set residues th.id (exact -. float_of_int whole);
   whole
 
-let run ?(params = default_params) ?make_gen cfg app =
-  let s = make_sim ?make_gen cfg app params in
-  let st = s.stats in
-  let b = st.Stats.breakdown in
-  let cpi = Workload.nonmem_cpi app in
-  let mem_ratio = app.Workload.mem_ratio in
+type audit = {
+  directory_population : int;
+  directory_sharer_bits : int;
+  l2_valid_lines : int;
+  directory_backed : bool;
+}
+
+let audit_directory s =
+  let population = Cacti_util.Intmap.length s.directory in
+  let bits = ref 0 in
+  let backed = ref true in
+  Cacti_util.Intmap.iter
+    (fun line mask ->
+      if mask = 0 then backed := false (* set/remove contract violated *)
+      else
+        for c = 0 to s.cfg.Machine.n_cores - 1 do
+          if mask land (1 lsl c) <> 0 then begin
+            incr bits;
+            if Cache_sim.probe_int s.l2s.(c) line = 0 then backed := false
+          end
+        done)
+    s.directory;
+  let l2_valid =
+    Array.fold_left (fun t c -> t + Cache_sim.occupancy c) 0 s.l2s
+  in
+  {
+    directory_population = population;
+    directory_sharer_bits = !bits;
+    l2_valid_lines = l2_valid;
+    directory_backed = !backed;
+  }
+
+let run_sim s =
+  let a = s.a in
+  let params = s.params in
+  let cpi = Workload.nonmem_cpi s.app in
+  let mem_ratio = s.app.Workload.mem_ratio in
+  (* mem_ratio < 1 (checked by Workload.validate), so the geometric draw
+     never takes the p = 1 short-circuit and the log is loop-invariant. *)
+  let log1mp = log (1. -. mem_ratio) in
   let finish_time = ref 0 in
   let step th =
     (* Locks and barriers due at this point. *)
@@ -347,11 +465,11 @@ let run ?(params = default_params) ?make_gen cfg app =
       th.next_lock <- th.next_lock + s.app.Workload.lock_interval;
       let l = Cacti_util.Rng.int s.rng s.app.Workload.n_locks in
       if s.locks_free.(l) > th.now then begin
-        b.Stats.lock <- b.Stats.lock + (s.locks_free.(l) - th.now);
+        a.b_lock <- a.b_lock + (s.locks_free.(l) - th.now);
         th.now <- s.locks_free.(l)
       end;
       s.locks_free.(l) <- th.now + s.app.Workload.lock_hold;
-      b.Stats.instr <- b.Stats.instr + s.app.Workload.lock_hold;
+      a.b_instr <- a.b_instr + s.app.Workload.lock_hold;
       th.now <- th.now + s.app.Workload.lock_hold
     end;
     if th.instr_done >= th.next_barrier && th.instr_done < s.quota then begin
@@ -366,55 +484,66 @@ let run ?(params = default_params) ?make_gen cfg app =
     else false
   in
   let rec loop () =
-    match Heap.pop s.heap with
-    | None -> ()
-    | Some (_, id) ->
-        let th = s.threads.(id) in
-        if th.state <> Running then loop ()
-        else if th.instr_done >= s.quota then begin
-          th.state <- Finished;
-          s.alive <- s.alive - 1;
-          if !finish_time < th.now then finish_time := th.now;
-          (* A finished thread may be the one the barrier was waiting on —
-             but equal quotas mean everyone passes the same barrier count,
-             so a pending barrier can only be waiting on running threads. *)
-          if s.barrier_waiting > 0 && s.barrier_waiting = s.alive then
-            release_barrier s (th.now + params.barrier_overhead);
-          loop ()
-        end
-        else begin
-          (if not (step th) then begin
-             (* One segment: a geometric run of non-memory instructions then
-                one memory reference. *)
-             let gap = Cacti_util.Rng.geometric s.rng mem_ratio in
-             let gap = min gap (s.quota - th.instr_done - 1) in
-             let c = nonmem_cycles th cpi gap in
-             b.Stats.instr <- b.Stats.instr + c + 1;
-             th.now <- th.now + c + 1;
-             th.instr_done <- th.instr_done + gap + 1;
-             st.Stats.instructions <- st.Stats.instructions + gap + 1;
-             let line, write = Workload.next th.gen in
-             let t_done, bucket = access s th line write in
-             let stall = t_done - th.now in
-             (match bucket with
-             | B_instr -> b.Stats.instr <- b.Stats.instr + stall
-             | B_l2 -> b.Stats.l2 <- b.Stats.l2 + stall
-             | B_l3 -> b.Stats.l3 <- b.Stats.l3 + stall
-             | B_mem -> b.Stats.mem <- b.Stats.mem + stall);
-             if not write then begin
-               st.Stats.read_count <- st.Stats.read_count + 1;
-               st.Stats.read_latency_sum <-
-                 st.Stats.read_latency_sum + stall
-             end;
-             th.now <- t_done;
-             Heap.push s.heap ~time:th.now ~payload:th.id
-           end);
-          loop ()
-        end
+    let id = Heap.pop_payload s.heap in
+    if id >= 0 then begin
+      let th = s.threads.(id) in
+      if th.state <> Running then loop ()
+      else if th.instr_done >= s.quota then begin
+        th.state <- Finished;
+        s.alive <- s.alive - 1;
+        if !finish_time < th.now then finish_time := th.now;
+        (* A finished thread may be the one the barrier was waiting on —
+           but equal quotas mean everyone passes the same barrier count,
+           so a pending barrier can only be waiting on running threads. *)
+        if s.barrier_waiting > 0 && s.barrier_waiting = s.alive then
+          release_barrier s (th.now + params.barrier_overhead);
+        loop ()
+      end
+      else begin
+        (if not (step th) then begin
+           (* One segment: a geometric run of non-memory instructions then
+              one memory reference. *)
+           let gap = Cacti_util.Rng.geometric_log1mp s.rng ~log1mp in
+           let gap = imin gap (s.quota - th.instr_done - 1) in
+           let c = nonmem_cycles s.residues th cpi gap in
+           a.b_instr <- a.b_instr + c + 1;
+           th.now <- th.now + c + 1;
+           th.instr_done <- th.instr_done + gap + 1;
+           a.instructions <- a.instructions + gap + 1;
+           let packed_ref = Workload.next_packed th.gen in
+           let line = packed_ref lsr 1 and write = packed_ref land 1 = 1 in
+           let packed = access s th line write in
+           let t_done = packed lsr 2 in
+           let stall = t_done - th.now in
+           (match packed land 3 with
+           | 0 -> a.b_instr <- a.b_instr + stall
+           | 1 -> a.b_l2 <- a.b_l2 + stall
+           | 2 -> a.b_l3 <- a.b_l3 + stall
+           | _ -> a.b_mem <- a.b_mem + stall);
+           if not write then begin
+             a.read_count <- a.read_count + 1;
+             a.read_latency_sum <- a.read_latency_sum + stall
+           end;
+           th.now <- t_done;
+           Heap.push s.heap ~time:th.now ~payload:th.id
+         end);
+        loop ()
+      end
+    end
   in
   loop ();
+  let st = s.stats in
+  flush_acc a st;
   st.Stats.exec_cycles <- !finish_time;
   st.Stats.ifetch_lines <-
-    st.Stats.instructions / cfg.Machine.instr_per_fetch_line;
+    st.Stats.instructions / s.cfg.Machine.instr_per_fetch_line;
   st.Stats.dram <- Some (Dram_sim.counts s.dram);
   st
+
+let run ?(params = default_params) ?make_gen cfg app =
+  run_sim (make_sim ?make_gen cfg app params)
+
+let run_audited ?(params = default_params) ?make_gen cfg app =
+  let s = make_sim ?make_gen cfg app params in
+  let st = run_sim s in
+  (st, audit_directory s)

@@ -30,3 +30,24 @@ val run :
     synthetic address generators — used to drive the machine from recorded
     traces ({!Trace}); the [app] still supplies the instruction mix and
     synchronization cadences. *)
+
+type audit = {
+  directory_population : int;  (** lines with at least one sharer bit *)
+  directory_sharer_bits : int;  (** total sharer bits across all lines *)
+  l2_valid_lines : int;  (** valid lines summed over all private L2s *)
+  directory_backed : bool;
+      (** every sharer bit corresponds to a line actually present in that
+          core's L2, and no zero-mask entry survives in the table *)
+}
+(** End-of-run snapshot of the coherence directory, for leak/consistency
+    checking: a correct directory has [directory_sharer_bits <=
+    l2_valid_lines] (inclusion) and [directory_backed = true]. *)
+
+val run_audited :
+  ?params:run_params ->
+  ?make_gen:(thread_id:int -> Workload.gen) ->
+  Machine.t ->
+  Workload.app ->
+  Stats.t * audit
+(** {!run}, additionally returning the directory {!audit}.  The returned
+    statistics are bit-identical to what {!run} produces. *)

@@ -51,7 +51,12 @@ let l3_spec kind tech =
       Some (mk (mib 192) 24 Cacti_tech.Cell.Comm_dram Opt_params.area_optimal)
 
 (* Memoize CACTI runs: they cost seconds each and the six configurations
-   share L1/L2/main-memory solutions. *)
+   share L1/L2/main-memory solutions.  The tables can be consulted from
+   pool workers when the study matrix fans out, so every lookup/insert
+   holds [memo_lock]; the solve itself runs outside the lock (two domains
+   racing on the same key at worst solve it twice — both arrive at the
+   same deterministic model, and the first insert wins). *)
+let memo_lock = Mutex.create ()
 let memo_l1 : (int, Cache_model.t) Hashtbl.t = Hashtbl.create 4
 let memo_l2 : (int, Cache_model.t) Hashtbl.t = Hashtbl.create 4
 let memo_mem : (int, Mainmem.t) Hashtbl.t = Hashtbl.create 4
@@ -69,12 +74,16 @@ let kind_key = function
   | Cm_dram_c -> 5
 
 let memoize tbl key f =
-  match Hashtbl.find_opt tbl key with
+  match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt tbl key) with
   | Some v -> v
   | None ->
       let v = f () in
-      Hashtbl.add tbl key v;
-      v
+      Mutex.protect memo_lock (fun () ->
+          match Hashtbl.find_opt tbl key with
+          | Some v' -> v'
+          | None ->
+              Hashtbl.add tbl key v;
+              v)
 
 let solve_l1 ?jobs tech =
   memoize memo_l1 (tech_key tech) (fun () ->
@@ -229,8 +238,50 @@ let run_app ?params built app =
   let sys = Energy.system built.machine app stats in
   { app; config = built; stats; sys }
 
-let run_all ?jobs ?params ?(kinds = all_kinds) ?(apps = Apps.all) () =
+(* The (app × config) simulation matrix, fanned over a domain pool.  The
+   CACTI builds run serially up front (they memoize against shared tables
+   and use the solver's own inner parallelism); each simulation cell is
+   then fully independent — its own RNG, caches and DRAM state — so
+   [Pool.parallel_map], which preserves input order, yields exactly the
+   serial result list for any [jobs].  [chunk:1] because a cell costs
+   seconds, not microseconds.  Failures are contained per cell. *)
+let run_cells ?jobs ?params ~kinds ~apps () =
   let builts = List.map (fun k -> build ?jobs k) kinds in
-  List.concat_map
-    (fun app -> List.map (fun b -> run_app ?params b app) builts)
-    apps
+  let cells =
+    List.concat_map (fun app -> List.map (fun b -> (app, b)) builts) apps
+  in
+  let pool = Cacti_util.Pool.create ?jobs () in
+  Cacti_util.Pool.parallel_map ~chunk:1 pool
+    (fun (app, b) ->
+      match run_app ?params b app with
+      | r -> (app, b, Ok r)
+      | exception e -> (app, b, Error (e, Printexc.get_raw_backtrace ())))
+    cells
+
+let run_all ?jobs ?params ?(kinds = all_kinds) ?(apps = Apps.all) () =
+  run_cells ?jobs ?params ~kinds ~apps ()
+  |> List.map (fun (_, _, res) ->
+         match res with
+         | Ok r -> r
+         | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+
+let run_all_diag ?jobs ?params ?(kinds = all_kinds) ?(apps = Apps.all) () =
+  let results = run_cells ?jobs ?params ~kinds ~apps () in
+  let oks =
+    List.filter_map
+      (fun (_, _, res) -> match res with Ok r -> Some r | Error _ -> None)
+      results
+  in
+  let diags =
+    List.filter_map
+      (fun (app, b, res) ->
+        match res with
+        | Ok _ -> None
+        | Error (e, _) ->
+            Some
+              (Cacti_util.Diag.errorf ~component:"study" ~reason:"cell_failed"
+                 "%s on %s: %s" app.Workload.name (kind_name b.kind)
+                 (Printexc.to_string e)))
+      results
+  in
+  (oks, diags)

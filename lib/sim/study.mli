@@ -60,4 +60,24 @@ val run_all :
   ?apps:Workload.app list ->
   unit ->
   app_result list
-(** The full Figure 4/5 grid: every app on every configuration. *)
+(** The full Figure 4/5 grid: every app on every configuration.
+
+    [jobs] controls two levels of parallelism: the CACTI solves inside
+    {!build} (which run first, serially, against the memo tables) and the
+    fan-out of the (app × config) simulation matrix over a domain pool.
+    The result list is identical — element for element, bit for bit — for
+    every [jobs] value: cells are fully independent and the pool preserves
+    order.  If any cell raises, the exception is re-raised (with its
+    backtrace) after all cells finish; use {!run_all_diag} to keep the
+    surviving cells instead. *)
+
+val run_all_diag :
+  ?jobs:int ->
+  ?params:Engine.run_params ->
+  ?kinds:llc_kind list ->
+  ?apps:Workload.app list ->
+  unit ->
+  app_result list * Cacti_util.Diag.t list
+(** {!run_all} with per-cell fault containment: a failing cell becomes an
+    [error[study/cell_failed]] diagnostic naming the app and configuration,
+    and the remaining cells are returned (still in grid order). *)

@@ -56,6 +56,7 @@ type region_state = {
   base_line : int;  (** start of the region in global line space *)
   slice_lines : int;  (** lines visible to this thread *)
   slice_base : int;  (** first line of this thread's slice *)
+  wr_prob : float;  (** clamped write probability, precomputed *)
   mutable cursor_word : int;  (** word offset within the slice *)
   mutable burst_left : int;  (** remaining words of the current burst *)
 }
@@ -64,7 +65,13 @@ type synth = {
   app : app;
   rng : Cacti_util.Rng.t;
   states : region_state array;
-  cum_weights : float array;
+  cum_bits : int array;
+      (** cumulative region weights as 53-bit integer thresholds:
+          [cum_bits.(i) = floor (cum_weight_i * 2^53)], so region choice
+          compares the raw {!Cacti_util.Rng.bits53} draw against ints —
+          exactly equivalent to comparing the float draw against the
+          cumulative weights (u = bits/2^53 exactly, and scaling a float
+          by 2^53 is exact), but allocation-free *)
 }
 
 type gen = Synthetic of synth | Custom of (unit -> int * bool)
@@ -91,6 +98,9 @@ let gen a ~n_threads ~thread_id ~seed =
              base_line;
              slice_lines;
              slice_base;
+             wr_prob =
+               Cacti_util.Floatx.clamp ~lo:0. ~hi:1.
+                 (a.write_ratio *. r.wr_scale);
              (* Streams start phase-shifted: shared streams are spread
                 evenly (threads cooperatively cover the region, like a
                 block-partitioned OpenMP loop); private slices get an
@@ -105,24 +115,26 @@ let gen a ~n_threads ~thread_id ~seed =
            })
     |> Array.of_list
   in
-  let cum = Array.make (Array.length states) 0. in
+  let cum = Array.make (Array.length states) 0 in
   let acc = ref 0. in
   Array.iteri
     (fun i st ->
       acc := !acc +. st.region.weight;
-      cum.(i) <- !acc)
+      cum.(i) <- int_of_float (Float.floor (!acc *. 9007199254740992.0)))
     states;
-  Synthetic { app = a; rng; states; cum_weights = cum }
+  Synthetic { app = a; rng; states; cum_bits = cum }
 
 let custom f = Custom f
 
 let pick_region g =
-  let u = Cacti_util.Rng.float g.rng 1.0 in
-  let n = Array.length g.cum_weights in
-  let rec go i =
-    if i >= n - 1 then n - 1 else if u <= g.cum_weights.(i) then i else go (i + 1)
-  in
-  g.states.(go 0)
+  let bits = Cacti_util.Rng.bits53 g.rng in
+  let cum = g.cum_bits in
+  let n = Array.length cum in
+  let i = ref 0 in
+  while !i < n - 1 && bits > Array.unsafe_get cum !i do
+    incr i
+  done;
+  g.states.(!i)
 
 let next_synth g =
   let st = pick_region g in
@@ -153,11 +165,17 @@ let next_synth g =
         st.slice_base + (w / words_per_line)
   in
   ignore bytes_per_word;
-  let write =
-    Cacti_util.Rng.bernoulli g.rng
-      (Cacti_util.Floatx.clamp ~lo:0. ~hi:1.
-         (g.app.write_ratio *. st.region.wr_scale))
-  in
-  (line, write)
+  let write = Cacti_util.Rng.bernoulli g.rng st.wr_prob in
+  (line lsl 1) lor (if write then 1 else 0)
 
-let next = function Synthetic g -> next_synth g | Custom f -> f ()
+let next = function
+  | Synthetic g ->
+      let p = next_synth g in
+      (p lsr 1, p land 1 = 1)
+  | Custom f -> f ()
+
+let next_packed = function
+  | Synthetic g -> next_synth g
+  | Custom f ->
+      let line, write = f () in
+      (line lsl 1) lor (if write then 1 else 0)

@@ -76,3 +76,9 @@ val custom : (unit -> int * bool) -> gen
 val next : gen -> int * bool
 (** [(line, write)] of the next memory reference; [line] is a 64-byte line
     index in the application's global address space. *)
+
+val next_packed : gen -> int
+(** Unboxed {!next}: [(line lsl 1) lor write].  Draws the same random
+    numbers in the same order as {!next}, so the two are interchangeable
+    without perturbing the reference stream; the engine uses this one to
+    keep its per-reference path allocation-free. *)

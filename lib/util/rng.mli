@@ -20,6 +20,12 @@ val split : t -> t
 val next_int64 : t -> int64
 (** Uniform over all 2^64 bit patterns. *)
 
+val bits53 : t -> int
+(** The top 53 bits of one draw, as a non-negative int — exactly the bits
+    behind one [float t 1.0] result ([float t 1.0 = float_of_int (bits53 t)
+    /. 2^53], drawing once from the same stream).  Lets integer-threshold
+    comparisons replace float ones without perturbing the sequence. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
 
@@ -34,6 +40,12 @@ val bernoulli : t -> float -> bool
 val geometric : t -> float -> int
 (** [geometric t p] is the number of failures before the first success of a
     Bernoulli([p]) trial; mean [(1-p)/p]. [p] must be in (0, 1]. *)
+
+val geometric_log1mp : t -> log1mp:float -> int
+(** [geometric_log1mp t ~log1mp:(log (1. -. p))] equals [geometric t p]
+    for [p < 1] — same draw, same result — with the loop-invariant
+    logarithm hoisted to the caller.  The simulator's inner loop uses this
+    to halve its libm traffic. *)
 
 val exponential : t -> float -> float
 (** [exponential t mean] draws from Exp with the given mean. *)

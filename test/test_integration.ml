@@ -118,6 +118,53 @@ let test_stats_invariants_across_grid () =
           Alcotest.fail (Study.kind_name b.Study.kind ^ ": " ^ e))
     (Lazy.force built)
 
+(* The determinism contract of the parallel study matrix: any --jobs
+   value yields bit-identical results.  Cells are fully independent (own
+   RNG, own caches, own directory) and the pool preserves input order,
+   so serial and 4-worker runs must agree field-for-field on both the
+   raw counters and the derived energy numbers. *)
+let test_study_jobs_determinism () =
+  let kinds = [ Study.No_l3; Study.Sram_l3 ] in
+  let apps = [ Apps.lu_c; Apps.cg_c ] in
+  let params = { Engine.default_params with total_instructions = 300_000 } in
+  ignore (Lazy.force built) (* warm the memo tables outside the clock *);
+  let r1 = Study.run_all ~jobs:1 ~params ~kinds ~apps () in
+  let r4 = Study.run_all ~jobs:4 ~params ~kinds ~apps () in
+  Alcotest.(check int) "same cell count" (List.length r1) (List.length r4);
+  List.iter2
+    (fun (a : Study.app_result) (b : Study.app_result) ->
+      let cell =
+        a.Study.app.Workload.name ^ "/" ^ Study.kind_name a.Study.config.Study.kind
+      in
+      Alcotest.(check bool) (cell ^ ": same cell") true
+        (a.Study.app.Workload.name = b.Study.app.Workload.name
+        && a.Study.config.Study.kind = b.Study.config.Study.kind);
+      Alcotest.(check bool) (cell ^ ": stats bit-identical") true
+        (a.Study.stats = b.Study.stats);
+      Alcotest.(check bool) (cell ^ ": energy identical") true
+        (a.Study.sys = b.Study.sys))
+    r1 r4
+
+(* A cell that raises must not take the study down: it becomes a
+   structured diagnostic and the surviving cells are returned in grid
+   order. *)
+let test_study_cell_fault_containment () =
+  let kinds = [ Study.No_l3 ] in
+  let bad = { Apps.lu_c with Workload.mem_ratio = 1.5 } in
+  let apps = [ Apps.lu_c; bad; Apps.cg_c ] in
+  let params = { Engine.default_params with total_instructions = 100_000 } in
+  let oks, diags = Study.run_all_diag ~jobs:2 ~params ~kinds ~apps () in
+  Alcotest.(check int) "two survivors" 2 (List.length oks);
+  Alcotest.(check int) "one diagnostic" 1 (List.length diags);
+  let rendered = Cacti_util.Diag.render diags in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "diag names the failed cell" true
+    (contains rendered "cell_failed" && contains rendered "nol3")
+
 let test_thermal_hook () =
   (* Wire CACTI L3 leakage into the thermal model like the benches do. *)
   let sram = find Study.Sram_l3 in
@@ -148,5 +195,12 @@ let () =
           Alcotest.test_case "energy-delay" `Slow test_energy_delay_consistency;
           Alcotest.test_case "stats invariants" `Slow test_stats_invariants_across_grid;
           Alcotest.test_case "thermal hook" `Slow test_thermal_hook;
+        ] );
+      ( "parallel matrix",
+        [
+          Alcotest.test_case "jobs determinism" `Slow
+            test_study_jobs_determinism;
+          Alcotest.test_case "cell fault containment" `Slow
+            test_study_cell_fault_containment;
         ] );
     ]

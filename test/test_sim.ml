@@ -167,6 +167,50 @@ let test_heap_orders () =
   drain ();
   Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order)
 
+(* Ties are deterministic but NOT first-in-first-out: the strict-[<] sift
+   loops never move equal keys, so the pop order on ties is a pure
+   function of the push sequence.  The engine's event loop shares one RNG
+   across all threads, which makes this exact order part of the
+   simulator's bit-reproducibility contract — pin it. *)
+let test_heap_equal_keys_pinned () =
+  let h = Heap.create ~capacity:5 in
+  for p = 0 to 4 do
+    Heap.push h ~time:7 ~payload:p
+  done;
+  let order = List.init 5 (fun _ -> Heap.pop_payload h) in
+  Alcotest.(check (list int)) "tie order pinned" [ 0; 4; 3; 2; 1 ] order
+
+let test_heap_equal_keys_reproducible () =
+  let drive () =
+    (* Times from a tiny range force constant ties; interleaved pops
+       exercise sift-down on equal keys. *)
+    let g = Cacti_util.Rng.create 11L in
+    let h = Heap.create ~capacity:4 in
+    let out = ref [] in
+    for p = 0 to 199 do
+      Heap.push h ~time:(Cacti_util.Rng.int g 4) ~payload:p;
+      if Cacti_util.Rng.bool g then out := Heap.pop_payload h :: !out
+    done;
+    while Heap.size h > 0 do
+      out := Heap.pop_payload h :: !out
+    done;
+    List.rev !out
+  in
+  Alcotest.(check (list int)) "identical sequences pop identically"
+    (drive ()) (drive ())
+
+let test_heap_grow_free_at_capacity () =
+  (* The engine pre-sizes its heap to the thread count (one pending event
+     per thread), so filling to exactly the requested capacity must not
+     reallocate. *)
+  let h = Heap.create ~capacity:8 in
+  for p = 0 to 7 do
+    Heap.push h ~time:p ~payload:p
+  done;
+  Alcotest.(check int) "no growth at exact capacity" 8 (Heap.capacity h);
+  Heap.push h ~time:9 ~payload:9;
+  Alcotest.(check bool) "grows past capacity" true (Heap.capacity h > 8)
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops in time order" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 10_000))
@@ -255,6 +299,92 @@ let prop_engine_instruction_conservation =
       let threads = 8 in
       let quota = n / threads in
       st.Stats.instructions = quota * threads)
+
+(* Pinned end-to-end counters.  The engine's hot path is heavily
+   optimized (packed cache-way words, the open-addressing int->int
+   directory, allocation-free accounting), and these goldens pin its
+   output bit-for-bit against the straightforward original
+   implementation.  An intentional semantic change must re-capture them;
+   an optimization must not move a single count. *)
+let golden_fields (st : Stats.t) =
+  let b = st.Stats.breakdown in
+  let d = Option.get st.Stats.dram in
+  [
+    ("instructions", st.Stats.instructions);
+    ("exec_cycles", st.Stats.exec_cycles);
+    ("l1_accesses", st.Stats.l1_accesses);
+    ("l1_hits", st.Stats.l1_hits);
+    ("l2_accesses", st.Stats.l2_accesses);
+    ("l2_hits", st.Stats.l2_hits);
+    ("l3_accesses", st.Stats.l3_accesses);
+    ("l3_hits", st.Stats.l3_hits);
+    ("c2c_transfers", st.Stats.c2c_transfers);
+    ("invalidations", st.Stats.invalidations);
+    ("l1_writebacks", st.Stats.l1_writebacks);
+    ("l2_writebacks", st.Stats.l2_writebacks);
+    ("l3_writebacks", st.Stats.l3_writebacks);
+    ("mem_reads", st.Stats.mem_reads);
+    ("mem_writes", st.Stats.mem_writes);
+    ("read_count", st.Stats.read_count);
+    ("read_latency_sum", st.Stats.read_latency_sum);
+    ("ifetch_lines", st.Stats.ifetch_lines);
+    ("breakdown.instr", b.Stats.instr);
+    ("breakdown.l2", b.Stats.l2);
+    ("breakdown.l3", b.Stats.l3);
+    ("breakdown.mem", b.Stats.mem);
+    ("breakdown.barrier", b.Stats.barrier);
+    ("breakdown.lock", b.Stats.lock);
+    ("dram.activates", d.Dram_sim.activates);
+    ("dram.reads", d.Dram_sim.reads);
+    ("dram.writes", d.Dram_sim.writes);
+    ("dram.precharges", d.Dram_sim.precharges);
+    ("dram.row_hits", d.Dram_sim.row_hits);
+    ("dram.busy_cycles", d.Dram_sim.busy_cycles);
+  ]
+
+let check_golden name expected st =
+  List.iter2
+    (fun want (field, got) ->
+      Alcotest.(check int) (name ^ "." ^ field) want got)
+    expected (golden_fields st)
+
+let test_engine_golden_l3 () =
+  check_golden "l3"
+    [
+      400_000; 285_088; 119_888; 89_096; 30_792; 6_887; 9_734; 4_188;
+      14_171; 17_972; 15_629; 10_000; 0; 5_546; 0; 83_767; 909_146;
+      50_000; 1_042_908; 123_457; 335_625; 737_388; 26_322; 55; 4_591;
+      5_546; 0; 4_583; 955; 27_730;
+    ]
+    (run ())
+
+let test_engine_golden_nol3 () =
+  check_golden "nol3"
+    [
+      400_000; 347_765; 119_884; 89_151; 30_733; 7_983; 0; 0; 13_395;
+      16_639; 15_761; 9_445; 0; 9_355; 9_445; 83_781; 1_249_482; 50_000;
+      1_045_583; 138_851; 267_900; 1_273_693; 40_319; 0; 6_985; 9_355;
+      9_445; 6_977; 11_815; 94_000;
+    ]
+    (run ~l3:false ())
+
+(* The coherence directory must never leak: with the zero-means-absent
+   Intmap a line with no sharers has no entry at all, and every sharer
+   bit must be backed by a line actually valid in that core's L2. *)
+let test_engine_directory_audit () =
+  List.iter
+    (fun l3 ->
+      let params =
+        { Engine.default_params with total_instructions = 200_000 }
+      in
+      let _st, a = Engine.run_audited ~params (machine ~l3 ()) small_app in
+      Alcotest.(check bool) "every sharer bit backed by an L2 line" true
+        a.Engine.directory_backed;
+      Alcotest.(check bool) "inclusion: sharer bits <= valid L2 lines" true
+        (a.Engine.directory_sharer_bits <= a.Engine.l2_valid_lines);
+      Alcotest.(check bool) "entries have at least one sharer bit" true
+        (a.Engine.directory_population <= a.Engine.directory_sharer_bits))
+    [ true; false ]
 
 (* -------------------- trace -------------------- *)
 
@@ -663,6 +793,12 @@ let () =
       ( "heap",
         [
           Alcotest.test_case "orders" `Quick test_heap_orders;
+          Alcotest.test_case "equal keys pinned" `Quick
+            test_heap_equal_keys_pinned;
+          Alcotest.test_case "equal keys reproducible" `Quick
+            test_heap_equal_keys_reproducible;
+          Alcotest.test_case "grow-free at capacity" `Quick
+            test_heap_grow_free_at_capacity;
           QCheck_alcotest.to_alcotest prop_heap_sorted;
         ] );
       ( "dram_sim",
@@ -698,6 +834,11 @@ let () =
           Alcotest.test_case "breakdown" `Quick test_engine_breakdown_covers_time;
           Alcotest.test_case "coherence" `Quick test_engine_coherence_traffic;
           Alcotest.test_case "read latency" `Quick test_engine_read_latency_reasonable;
+          Alcotest.test_case "golden counters (L3)" `Quick test_engine_golden_l3;
+          Alcotest.test_case "golden counters (no L3)" `Quick
+            test_engine_golden_nol3;
+          Alcotest.test_case "directory audit" `Quick
+            test_engine_directory_audit;
           QCheck_alcotest.to_alcotest prop_engine_instruction_conservation;
         ] );
       ( "trace",

@@ -253,6 +253,82 @@ let prop_interp_endpoints =
       let at x = Interp.linear ~x0:1. ~y0 ~x1:2. ~y1 x in
       Float.abs (at 1. -. y0) < 1e-9 && Float.abs (at 2. -. y1) < 1e-9)
 
+(* -------------------- rng fast paths -------------------- *)
+
+let test_rng_bits53_matches_float () =
+  let a = Rng.create 5L and b = Rng.create 5L in
+  for _ = 1 to 200 do
+    Alcotest.(check (float 0.))
+      "bits53 / 2^53 equals float _ 1.0, same stream"
+      (Rng.float a 1.0)
+      (float_of_int (Rng.bits53 b) /. 9007199254740992.0)
+  done
+
+let test_rng_geometric_log1mp () =
+  let a = Rng.create 6L and b = Rng.create 6L in
+  let p = 0.3 in
+  let log1mp = log (1. -. p) in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "same draw as geometric" (Rng.geometric a p)
+      (Rng.geometric_log1mp b ~log1mp)
+  done
+
+(* -------------------- intmap -------------------- *)
+
+let test_intmap_basics () =
+  let m = Intmap.create ~capacity:4 () in
+  Alcotest.(check int) "empty length" 0 (Intmap.length m);
+  Intmap.set m 7 3;
+  Intmap.set m 0 1;
+  Alcotest.(check int) "get" 3 (Intmap.get m 7);
+  Alcotest.(check int) "get key 0" 1 (Intmap.get m 0);
+  Alcotest.(check int) "absent is 0" 0 (Intmap.get m 99);
+  Alcotest.(check bool) "mem" true (Intmap.mem m 7);
+  Intmap.set m 7 0;
+  Alcotest.(check bool) "zero removes" false (Intmap.mem m 7);
+  Alcotest.(check int) "length after remove" 1 (Intmap.length m);
+  Intmap.remove m 0;
+  Alcotest.(check int) "empty again" 0 (Intmap.length m);
+  Intmap.set m 12 5;
+  Intmap.clear m;
+  Alcotest.(check int) "clear" 0 (Intmap.length m)
+
+let test_intmap_grow () =
+  let m = Intmap.create ~capacity:2 () in
+  for k = 0 to 999 do
+    Intmap.set m (k * 7919) (k + 1)
+  done;
+  Alcotest.(check int) "length" 1000 (Intmap.length m);
+  let ok = ref true in
+  for k = 0 to 999 do
+    if Intmap.get m (k * 7919) <> k + 1 then ok := false
+  done;
+  Alcotest.(check bool) "all bindings survive growth" true !ok;
+  Alcotest.(check bool) "capacity grew" true (Intmap.capacity m >= 1024)
+
+(* Backward-shift deletion is the subtle part: interleave inserts and
+   removes (many probe-chain collisions at small capacity) and require
+   agreement with a Hashtbl model at every step's end state. *)
+let prop_intmap_model =
+  QCheck.Test.make ~name:"intmap matches a Hashtbl model" ~count:200
+    QCheck.(list (pair (int_range 0 64) (int_range 0 4)))
+    (fun ops ->
+      let m = Intmap.create ~capacity:4 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Intmap.set m k v;
+          if v = 0 then Hashtbl.remove h k else Hashtbl.replace h k v)
+        ops;
+      Hashtbl.length h = Intmap.length m
+      && Hashtbl.fold (fun k v acc -> acc && Intmap.get m k = v) h true
+      &&
+      let extra = ref false in
+      Intmap.iter
+        (fun k v -> if Hashtbl.find_opt h k <> Some v then extra := true)
+        m;
+      not !extra)
+
 let () =
   Alcotest.run "util"
     [
@@ -279,7 +355,15 @@ let () =
           Alcotest.test_case "choose_weighted" `Quick test_rng_choose_weighted;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "copy" `Quick test_rng_copy_preserves_stream;
+          Alcotest.test_case "bits53" `Quick test_rng_bits53_matches_float;
+          Alcotest.test_case "geometric log1mp" `Quick test_rng_geometric_log1mp;
           QCheck_alcotest.to_alcotest prop_pareto_bounded;
+        ] );
+      ( "intmap",
+        [
+          Alcotest.test_case "basics" `Quick test_intmap_basics;
+          Alcotest.test_case "growth" `Quick test_intmap_grow;
+          QCheck_alcotest.to_alcotest prop_intmap_model;
         ] );
       ( "interp",
         [
