@@ -129,53 +129,84 @@ let summary =
            ~doc:"After the results, print the design-space sweep summary: \
                  candidates considered, rejections by reason, memo hits.")
 
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Machine-readable output: print one JSON object on stdout \
+                 with the solution (or, on failure, the diagnostics) \
+                 instead of the human rendering.  Exit codes are \
+                 unchanged.")
+
 (* ------------------------------------------------------------------ *)
 (* Error rendering and exit codes                                       *)
 (* ------------------------------------------------------------------ *)
 
-let fail_diags ds code =
-  prerr_endline (Diag.render ds);
+let fail_diags ~json ds code =
+  if json then
+    print_endline
+      (Jsonx.to_string_pretty
+         (Jsonx.Obj
+            [
+              ("ok", Jsonx.Bool false);
+              ( "diagnostics",
+                Jsonx.List (List.map Cacti_server.Protocol.diag_to_json ds) );
+            ]))
+  else prerr_endline (Diag.render ds);
   code
 
-let invalid ds = fail_diags ds Diag.exit_invalid_spec
+let invalid ~json ds = fail_diags ~json ds Diag.exit_invalid_spec
 
 (* Solve-time diagnostics: an empty design space exits 3; anything that is
    really a spec/params problem exits 2. *)
-let solve_failed ds =
+let solve_failed ~json ds =
   let code =
     if List.exists (fun d -> d.Diag.reason = "no_solution") ds then
       Diag.exit_no_solution
     else Diag.exit_invalid_spec
   in
-  fail_diags ds code
+  fail_diags ~json ds code
 
 let print_summary enabled s =
   if enabled then
     Format.printf "  sweep summary       %s@." (Diag.summary_to_string s)
 
+(* The --json success line: the same solution encoding the serve protocol
+   uses, plus the sweep summary when --summary asked for it. *)
+let emit_json ?summary solution =
+  let fields =
+    [ ("ok", Jsonx.Bool true); ("solution", solution) ]
+    @
+    match summary with
+    | Some s -> [ ("summary", Cacti_server.Protocol.summary_to_json s) ]
+    | None -> []
+  in
+  print_endline (Jsonx.to_string_pretty (Jsonx.Obj fields));
+  Diag.exit_ok
+
 (* Every command body runs under this guard so a stray exception still
    leaves as a one-line diagnostic with a documented exit code. *)
-let guarded f =
+let guarded ~json f =
   try f () with
   | Cacti.Optimizer.No_solution msg ->
-      fail_diags
+      fail_diags ~json
         [ Diag.error ~component:"solver" ~reason:"no_solution" msg ]
         Diag.exit_no_solution
   | Invalid_argument msg ->
-      invalid [ Diag.error ~component:"spec" ~reason:"invalid" msg ]
+      invalid ~json [ Diag.error ~component:"spec" ~reason:"invalid" msg ]
   | Floatx.Non_finite msg ->
-      fail_diags
+      fail_diags ~json
         [ Diag.error ~component:"solver" ~reason:"nonfinite" msg ]
         Diag.exit_no_solution
   | Failure msg ->
-      fail_diags
+      fail_diags ~json
         [ Diag.error ~component:"solver" ~reason:"failure" msg ]
         Diag.exit_no_solution
 
-let with_tech nm f =
+let with_tech ~json nm f =
   match Cacti_tech.Technology.at_nm nm with
   | exception Invalid_argument msg ->
-      invalid [ Diag.error ~component:"tech" ~reason:"out_of_range" msg ]
+      invalid ~json
+        [ Diag.error ~component:"tech" ~reason:"out_of_range" msg ]
   | tech -> f tech
 
 (* ------------------------------------------------------------------ *)
@@ -200,18 +231,22 @@ let cache_cmd =
   in
   let sleep = Arg.(value & flag & info [ "sleep-tx" ] ~doc:"Model sleep transistors.") in
   let run size assoc block banks ram mode sleep tech params jobs strict
-      want_summary =
-    guarded @@ fun () ->
-    with_tech tech @@ fun tech ->
+      want_summary json =
+    guarded ~json @@ fun () ->
+    with_tech ~json tech @@ fun tech ->
     match
       Cacti.Cache_spec.create_result ~tech ~capacity_bytes:size ~assoc
         ~block_bytes:block ~n_banks:banks ~ram ~access_mode:mode
         ~sleep_tx:sleep ()
     with
-    | Error ds -> invalid ds
+    | Error ds -> invalid ~json ds
     | Ok spec -> (
         match Cacti.Cache_model.solve_diag ?jobs ~params ~strict spec with
-        | Error ds -> solve_failed ds
+        | Error ds -> solve_failed ~json ds
+        | Ok (c, s) when json ->
+            emit_json
+              ?summary:(if want_summary then Some s else None)
+              (Cacti_server.Protocol.cache_solution c)
         | Ok (c, s) ->
             Format.printf "cache: %a, %d-way, %dB blocks, %d bank(s), %s@."
               Units.pp_bytes size assoc block banks
@@ -248,7 +283,7 @@ let cache_cmd =
   let term =
     Term.(
       const run $ size $ assoc $ block $ banks $ ram $ mode $ sleep
-      $ tech_nm $ opt_params $ jobs $ strict $ summary)
+      $ tech_nm $ opt_params $ jobs $ strict $ summary $ json_flag)
   in
   Cmd.v
     (Cmd.info "cache"
@@ -269,9 +304,9 @@ let ram_cmd =
   let ram =
     Arg.(value & opt ram_conv Cacti_tech.Cell.Sram & info [ "ram" ] ~doc:"Technology.")
   in
-  let run size word banks ram tech params jobs strict want_summary =
-    guarded @@ fun () ->
-    with_tech tech @@ fun tech ->
+  let run size word banks ram tech params jobs strict want_summary json =
+    guarded ~json @@ fun () ->
+    with_tech ~json tech @@ fun tech ->
     match
       Cacti.Ram_model.validate
         {
@@ -283,10 +318,14 @@ let ram_cmd =
           tech;
         }
     with
-    | Error ds -> invalid ds
+    | Error ds -> invalid ~json ds
     | Ok spec -> (
         match Cacti.Ram_model.solve_diag ?jobs ~params ~strict spec with
-        | Error ds -> solve_failed ds
+        | Error ds -> solve_failed ~json ds
+        | Ok (r, s) when json ->
+            emit_json
+              ?summary:(if want_summary then Some s else None)
+              (Cacti_server.Protocol.ram_solution r)
         | Ok (r, s) ->
             Format.printf "plain RAM: %a x %d-bit port, %s@." Units.pp_bytes size
               word
@@ -313,7 +352,7 @@ let ram_cmd =
   let term =
     Term.(
       const run $ size $ word $ banks $ ram $ tech_nm $ opt_params $ jobs
-      $ strict $ summary)
+      $ strict $ summary $ json_flag)
   in
   Cmd.v (Cmd.info "ram" ~doc:"Model a plain (non-cache) memory macro.") term
 
@@ -338,17 +377,21 @@ let mainmem_cmd =
          & info [ "interface" ] ~doc:"IO interface: ddr3 or ddr4.")
   in
   let run bits banks io page prefetch burst iface tech jobs strict
-      want_summary =
-    guarded @@ fun () ->
-    with_tech tech @@ fun tech ->
+      want_summary json =
+    guarded ~json @@ fun () ->
+    with_tech ~json tech @@ fun tech ->
     match
       Cacti.Mainmem.create_result ~tech ~capacity_bits:bits ~n_banks:banks
         ~io_bits:io ~page_bits:page ~prefetch ~burst ~interface:iface ()
     with
-    | Error ds -> invalid ds
+    | Error ds -> invalid ~json ds
     | Ok chip -> (
         match Cacti.Mainmem.solve_diag ?jobs ~strict chip with
-        | Error ds -> solve_failed ds
+        | Error ds -> solve_failed ~json ds
+        | Ok (m, s) when json ->
+            emit_json
+              ?summary:(if want_summary then Some s else None)
+              (Cacti_server.Protocol.mainmem_solution m)
         | Ok (m, s) ->
             Format.printf "main-memory chip: %d banks, x%d, %s@." banks io
               m.Cacti.Mainmem.chip.Cacti.Mainmem.interface.Cacti.Mainmem.name;
@@ -375,7 +418,7 @@ let mainmem_cmd =
   let term =
     Term.(
       const run $ bits $ banks $ io $ page $ prefetch $ burst $ iface
-      $ tech_nm $ jobs $ strict $ summary)
+      $ tech_nm $ jobs $ strict $ summary $ json_flag)
   in
   Cmd.v
     (Cmd.info "mainmem" ~doc:"Model a main-memory DRAM chip (Section 2.1).")

@@ -1,0 +1,122 @@
+(* cacti_serve: the persistent solve service.
+
+     cacti_serve --batch < requests.jsonl > responses.jsonl
+     cacti_serve --socket /run/cacti.sock --cache-file warm.cache --workers 2
+
+   One JSONL request per line in, one response per line out (protocol in
+   EXPERIMENTS.md).  Batch mode answers stdin sequentially and exits at
+   EOF; socket mode serves concurrent clients over a Unix-domain socket
+   until SIGINT/SIGTERM.  With --cache-file the Solve_cache memo table is
+   loaded at startup (a corrupt or mismatched file degrades to a cold
+   start with a warning) and saved atomically at shutdown, so restarts
+   answer their first requests from the warm cache.
+
+   Exit codes: 0 on a clean run, 1 on usage errors or a failed socket
+   bind.  Per-request failures are in-band: every input line yields a
+   response with "ok" false and structured diagnostics, never a crash. *)
+
+open Cmdliner
+open Cacti_util
+open Cacti_server
+
+let log_diags ds =
+  List.iter (fun d -> prerr_endline (Diag.to_string d)) ds
+
+let run batch socket cache_file jobs queue_bound workers =
+  match (batch, socket) with
+  | false, None ->
+      prerr_endline
+        "cacti_serve: pick a transport: --batch or --socket PATH";
+      Diag.exit_usage
+  | true, Some _ ->
+      prerr_endline "cacti_serve: --batch and --socket are exclusive";
+      Diag.exit_usage
+  | _ -> (
+      Option.iter (fun f -> log_diags (Persist.load f)) cache_file;
+      let service = Service.create ?jobs ?queue_bound () in
+      let save_cache () =
+        Option.iter (fun f -> log_diags (Persist.save f)) cache_file
+      in
+      match socket with
+      | None ->
+          let n = Server.run_batch service stdin stdout in
+          Printf.eprintf "cacti_serve: answered %d request(s)\n%!" n;
+          save_cache ();
+          Diag.exit_ok
+      | Some path -> (
+          match Server.start ?workers service ~path () with
+          | exception Unix.Unix_error (e, _, _) ->
+              Printf.eprintf "cacti_serve: cannot bind %s: %s\n" path
+                (Unix.error_message e);
+              Diag.exit_usage
+          | server ->
+              let stop _ =
+                (* Stop transports first so the save sees a quiesced memo
+                   table, then leave through the normal exit path. *)
+                Server.stop server;
+                save_cache ();
+                exit Diag.exit_ok
+              in
+              Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+              Printf.eprintf "cacti_serve: listening on %s\n%!" path;
+              Server.wait server;
+              save_cache ();
+              Diag.exit_ok))
+
+let batch =
+  Arg.(value & flag
+       & info [ "batch" ]
+           ~doc:"Answer JSONL requests from stdin on stdout, in order, then \
+                 exit at EOF.")
+
+let socket =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Serve concurrent clients on a Unix-domain socket at $(docv).")
+
+let cache_file =
+  Arg.(value & opt (some string) None
+       & info [ "cache-file" ] ~docv:"FILE"
+           ~doc:"Load the solve memo table from $(docv) at startup and save \
+                 it there at shutdown (atomic rename; a corrupt file means \
+                 a cold start, never a crash).")
+
+let jobs =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains per design-space sweep (default: cores - 1); \
+                 a request's params.jobs overrides it.")
+
+let queue_bound =
+  Arg.(value & opt (some int) None
+       & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission-queue bound (default 64): requests beyond it are \
+                 answered serve/queue_full immediately.")
+
+let workers =
+  Arg.(value & opt (some int) None
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Solver threads draining the admission queue in socket mode \
+                 (default 1; each solve is already parallel across domains).")
+
+let () =
+  let info =
+    Cmd.info "cacti_serve" ~version:"1.0"
+      ~doc:"persistent CACTI-D solve service speaking JSONL (batch stdin or \
+            Unix-domain socket)"
+      ~exits:
+        [
+          Cmd.Exit.info Diag.exit_ok ~doc:"on a clean run.";
+          Cmd.Exit.info Diag.exit_usage
+            ~doc:"on bad command lines or a failed socket bind.";
+        ]
+  in
+  let term =
+    Term.(
+      const run $ batch $ socket $ cache_file $ jobs $ queue_bound $ workers)
+  in
+  match Cmd.eval_value (Cmd.v info term) with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit Diag.exit_ok
+  | Error _ -> exit Diag.exit_usage

@@ -145,12 +145,12 @@ let make ~spec ~org () =
           match (subarray.Subarray.sram_bl, subarray.Subarray.dram_bl) with
           | Some bl, None ->
               ( bl.Bitline.t_read_develop,
-                sense.Sense_amp.amplify ~signal:bl.Bitline.swing,
+                Cacti_circuit.Sense_amp.amplify sense ~signal:bl.Bitline.swing,
                 bl.Bitline.t_precharge,
                 0. )
           | None, Some bl ->
               ( bl.Bitline.t_charge_share,
-                sense.Sense_amp.amplify ~signal:bl.Bitline.signal,
+                Cacti_circuit.Sense_amp.amplify sense ~signal:bl.Bitline.signal,
                 bl.Bitline.t_precharge,
                 bl.Bitline.t_restore )
           | _ -> assert false

@@ -2,11 +2,17 @@ open Cacti_tech
 
 type t = {
   c_input : float;
-  amplify : signal:float -> float;
+  c_latch : float;
+  gm_eff : float;
+  vdd : float;
   energy : float;
   leakage : float;
   area : float;
 }
+
+let amplify t ~signal =
+  let signal = Cacti_util.Floatx.clamp ~lo:1e-3 ~hi:(t.vdd /. 2.) signal in
+  t.c_latch /. t.gm_eff *. log (t.vdd /. 2. /. signal)
 
 let make ~device ~area ~feature ~cell_pitch ~deg_bl_mux () =
   let d = device in
@@ -21,12 +27,8 @@ let make ~device ~area ~feature ~cell_pitch ~deg_bl_mux () =
   (* The latch starts amplifying near the trip point where the pair is only
      partially on; an effective-gm derating captures that plus enable
      overhead. *)
-  let gm = 0.3 *. Device.gm_n d *. w_pair in
+  let gm_eff = 0.3 *. Device.gm_n d *. w_pair in
   let vdd = d.Device.vdd in
-  let amplify ~signal =
-    let signal = Cacti_util.Floatx.clamp ~lo:1e-3 ~hi:(vdd /. 2.) signal in
-    c_latch /. gm *. log (vdd /. 2. /. signal)
-  in
   let energy = c_latch *. vdd *. vdd in
   let leakage =
     Device.leakage_power_inverter d ~w_n:w_pair ~w_p:w_pair *. 0.5
@@ -37,4 +39,4 @@ let make ~device ~area ~feature ~cell_pitch ~deg_bl_mux () =
       ~max_height:(max strip_height (8. *. feature))
       [ w_pair; w_pair; w_pair; w_pair; w_small; w_small ]
   in
-  { c_input; amplify; energy; leakage; area = a }
+  { c_input; c_latch; gm_eff; vdd; energy; leakage; area = a }

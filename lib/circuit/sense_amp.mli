@@ -8,11 +8,18 @@
 
 type t = {
   c_input : float;  (** loading each bitline sees from the amp, F *)
-  amplify : signal:float -> float;  (** s, to full swing from [signal] V *)
+  c_latch : float;  (** F, regenerative-latch load *)
+  gm_eff : float;  (** S, effective transconductance of the pair *)
+  vdd : float;  (** V *)
   energy : float;  (** J per sensing operation *)
   leakage : float;  (** W *)
   area : float;  (** m² *)
 }
+(** Plain data (no closures): values survive {!Marshal}, which the
+    solve-cache persistence relies on. *)
+
+val amplify : t -> signal:float -> float
+(** s, to full swing from [signal] V. *)
 
 val make :
   device:Cacti_tech.Device.t ->

@@ -8,11 +8,49 @@ type outcome = {
   from_cache : bool;
 }
 
-let table : (string, Bank.t * Cacti_util.Diag.counts) Hashtbl.t =
-  Hashtbl.create 64
+type entry = {
+  e_bank : Bank.t;
+  e_counts : Cacti_util.Diag.counts;
+  mutable e_stamp : int;  (** last-use tick, for LRU eviction *)
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
 let lock = Mutex.create ()
 let n_hits = ref 0
 let n_misses = ref 0
+let tick = ref 0
+let cap : int option ref = ref None
+
+let touch e =
+  incr tick;
+  e.e_stamp <- !tick
+
+(* Evict least-recently-used entries until the table fits the cap.  A full
+   scan per eviction is O(n), but evictions only happen on inserts past the
+   cap and the cap is thousands at most — the scan is noise next to the
+   design-space sweep that produced the entry. *)
+let enforce_cap () =
+  match !cap with
+  | None -> ()
+  | Some c ->
+      while Hashtbl.length table > c do
+        let victim =
+          Hashtbl.fold
+            (fun k e acc ->
+              match acc with
+              | Some (_, stamp) when stamp <= e.e_stamp -> acc
+              | _ -> Some (k, e.e_stamp))
+            table None
+        in
+        match victim with
+        | Some (k, _) -> Hashtbl.remove table k
+        | None -> ()
+      done
+
+let insert key bank counts =
+  incr tick;
+  Hashtbl.replace table key { e_bank = bank; e_counts = counts; e_stamp = !tick };
+  enforce_cap ()
 
 (* The canonical fingerprint of one solve: every input that can change the
    selected organization.  Floats are printed in hex so distinct values can
@@ -52,9 +90,10 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
       let cached =
         Mutex.protect lock (fun () ->
             match Hashtbl.find_opt table key with
-            | Some bc ->
+            | Some e ->
                 incr n_hits;
-                Some bc
+                touch e;
+                Some (e.e_bank, e.e_counts)
             | None ->
                 incr n_misses;
                 None)
@@ -85,9 +124,11 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
               let bank, counts =
                 Mutex.protect lock (fun () ->
                     match Hashtbl.find_opt table key with
-                    | Some bc -> bc
+                    | Some e ->
+                        touch e;
+                        (e.e_bank, e.e_counts)
                     | None ->
-                        Hashtbl.add table key (selected, counts);
+                        insert key selected counts;
                         (selected, counts))
               in
               Ok { bank; counts; from_cache = false }))
@@ -104,8 +145,103 @@ let select_bank ?pool ?max_ndwl ?max_ndbl ?strict ?what ~params spec =
 let stats () =
   Mutex.protect lock (fun () -> { hits = !n_hits; misses = !n_misses })
 
+let size () = Mutex.protect lock (fun () -> Hashtbl.length table)
+let capacity () = Mutex.protect lock (fun () -> !cap)
+
+let set_capacity c =
+  (match c with
+  | Some c when c < 0 -> invalid_arg "Solve_cache.set_capacity: negative cap"
+  | _ -> ());
+  Mutex.protect lock (fun () ->
+      cap := c;
+      enforce_cap ())
+
 let clear () =
   Mutex.protect lock (fun () ->
       Hashtbl.reset table;
       n_hits := 0;
       n_misses := 0)
+
+(* ---------------------------- persistence ---------------------------- *)
+
+(* On-disk format: one text header line
+
+     CACTI-SOLVE-CACHE <format_version> <Sys.ocaml_version>
+
+   followed by a Marshal'd (string * Bank.t * Diag.counts) list in
+   least-recently-used-first order (so re-inserting in file order
+   reconstructs the LRU order).  The header is checked before any byte is
+   unmarshalled: a wrong magic, format version or compiler version — or a
+   truncated/corrupt payload — returns [Error], never raises, so callers
+   can degrade to a cold start.  Marshal cannot validate the value's type;
+   the version tokens are the guard, and [format_version] must be bumped
+   whenever [Bank.t], [Diag.counts] or this layout changes. *)
+
+let magic = "CACTI-SOLVE-CACHE"
+let format_version = 1
+
+type file_payload = (string * Bank.t * Cacti_util.Diag.counts) list
+
+let save path =
+  let entries =
+    Mutex.protect lock (fun () ->
+        Hashtbl.fold (fun k e acc -> (k, e.e_bank, e.e_counts, e.e_stamp) :: acc)
+          table [])
+  in
+  let entries =
+    List.sort (fun (_, _, _, a) (_, _, _, b) -> compare a b) entries
+    |> List.map (fun (k, b, c, _) -> (k, b, c))
+  in
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "%s %d %s\n" magic format_version Sys.ocaml_version;
+        Marshal.to_channel oc (entries : file_payload) []);
+    Sys.rename tmp path
+  with
+  | () -> Ok (List.length entries)
+  | exception Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error msg
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic -> (
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match
+            let header = input_line ic in
+            match String.split_on_char ' ' header with
+            | [ m; v; ocaml ] when m = magic ->
+                if int_of_string_opt v <> Some format_version then
+                  Error
+                    (Printf.sprintf "format version %s, expected %d" v
+                       format_version)
+                else if ocaml <> Sys.ocaml_version then
+                  Error
+                    (Printf.sprintf
+                       "written by OCaml %s, this binary is %s" ocaml
+                       Sys.ocaml_version)
+                else
+                  let entries = (Marshal.from_channel ic : file_payload) in
+                  let n =
+                    Mutex.protect lock (fun () ->
+                        List.iter
+                          (fun (k, b, c) ->
+                            if not (Hashtbl.mem table k) then
+                              insert k b c)
+                          entries;
+                        List.length entries)
+                  in
+                  Ok n
+            | _ -> Error "bad magic (not a solve-cache file)"
+          with
+          | r -> r
+          | exception End_of_file -> Error "truncated file"
+          | exception Failure msg -> Error ("corrupt payload: " ^ msg)
+          | exception Sys_error msg -> Error msg))

@@ -56,6 +56,38 @@ val select_bank :
 val stats : unit -> stats
 (** Cumulative hit/miss counters since start-up (or the last {!clear}). *)
 
+val size : unit -> int
+(** Number of memoized solves currently held. *)
+
+val set_capacity : int option -> unit
+(** Bound the table to at most that many entries, evicting the
+    least-recently-used solves first ("LRU-ish": recency is tracked per
+    lookup, eviction scans for the oldest stamp).  [None] — the default —
+    is unbounded, matching the historical behaviour; a long-lived server
+    should set a cap sized to its working set (e.g. [Some 4096]).
+    Setting a cap below the current {!size} evicts immediately.
+    Raises [Invalid_argument] on a negative cap. *)
+
+val capacity : unit -> int option
+
 val clear : unit -> unit
 (** Drop all entries and reset the counters (used by benchmarks to measure
     cold-vs-warm solve times). *)
+
+(** {1 Persistence}
+
+    Save/load the memo table so a restarted process starts warm.  The file
+    is a one-line versioned header (magic, format version, compiler
+    version) followed by a marshalled entry list; {!save} writes to a
+    temporary file and atomically renames it over the destination, so a
+    crash mid-save can never corrupt an existing cache file.  {!load}
+    validates the header before unmarshalling and returns [Error] — never
+    raises — on a missing, truncated, corrupt or version-mismatched file,
+    so callers degrade to a cold start. *)
+
+val save : string -> (int, string) result
+(** Write every entry to [path]; returns the entry count. *)
+
+val load : string -> (int, string) result
+(** Merge the file's entries into the table (existing keys win, the
+    capacity bound is enforced); returns the number of entries read. *)

@@ -1,0 +1,33 @@
+open Cacti_util
+
+let load path =
+  if not (Sys.file_exists path) then
+    [
+      Diag.make Diag.Info ~component:"serve" ~reason:"cache_load"
+        (Printf.sprintf "no cache file %s: cold start" path);
+    ]
+  else
+    match Cacti.Solve_cache.load path with
+    | Ok n ->
+        [
+          Diag.make Diag.Info ~component:"serve" ~reason:"cache_load"
+            (Printf.sprintf "warm start: %d memoized solve(s) from %s" n path);
+        ]
+    | Error msg ->
+        [
+          Diag.warningf ~component:"serve" ~reason:"cache_load"
+            "could not load %s (%s): cold start" path msg;
+        ]
+
+let save path =
+  match Cacti.Solve_cache.save path with
+  | Ok n ->
+      [
+        Diag.make Diag.Info ~component:"serve" ~reason:"cache_save"
+          (Printf.sprintf "saved %d memoized solve(s) to %s" n path);
+      ]
+  | Error msg ->
+      [
+        Diag.warningf ~component:"serve" ~reason:"cache_save"
+          "could not save cache to %s: %s" path msg;
+      ]

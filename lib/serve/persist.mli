@@ -1,0 +1,17 @@
+(** Warm-cache persistence policy for [cacti_serve]: wraps
+    {!Cacti.Solve_cache.save}/[load] in the structured diagnostics the
+    daemon logs.
+
+    Loading is always best-effort — a missing, truncated, corrupt or
+    version-mismatched file degrades to a cold start with a
+    [warning[serve/cache_load]] (missing files are only an [info]: a first
+    boot is not a fault).  Saving failures are [warning[serve/cache_save]];
+    the daemon keeps running either way. *)
+
+val load : string -> Cacti_util.Diag.t list
+(** Merge the file into {!Cacti.Solve_cache}; returns the diagnostics to
+    log (never raises, never empty). *)
+
+val save : string -> Cacti_util.Diag.t list
+(** Persist the current memo table atomically; returns the diagnostics to
+    log (never raises, never empty). *)

@@ -1,0 +1,134 @@
+(* Transport layer: see server.mli for the concurrency contract. *)
+
+let run_batch service ic oc =
+  let n = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         output_string oc (Service.handle_line service line);
+         output_char oc '\n';
+         flush oc;
+         incr n
+       end
+     done
+   with End_of_file -> ());
+  !n
+
+type t = {
+  service : Service.t;
+  listen_fd : Unix.file_descr;
+  path : string;
+  mutable accept_thread : Thread.t option;
+  mutable workers : Thread.t list;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable stopped : bool;
+}
+
+let track t fd = Mutex.protect t.conns_lock (fun () -> Hashtbl.replace t.conns fd ())
+
+let untrack t fd =
+  Mutex.protect t.conns_lock (fun () -> Hashtbl.remove t.conns fd)
+
+let handle_conn t fd =
+  track t fd;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* One response line at a time per connection: workers race to answer,
+     the mutex keeps their writes from interleaving mid-line. *)
+  let wlock = Mutex.create () in
+  let reply line =
+    try
+      Mutex.protect wlock (fun () ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+    with Sys_error _ | Unix.Unix_error _ -> ()
+    (* client went away; drop the response *)
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let service = t.service in
+         let accepted =
+           Service.submit service (fun () ->
+               reply (Service.handle_line service line))
+         in
+         if not accepted then reply (Service.reject_overloaded service line)
+       end
+     done
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  untrack t fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let start ?(workers = 1) ?(backlog = 16) service ~path () =
+  if workers < 1 then invalid_arg "Server.start: workers must be positive";
+  (* A write to a disconnected client must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists path then Sys.remove path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX path);
+     Unix.listen listen_fd backlog
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      service;
+      listen_fd;
+      path;
+      accept_thread = None;
+      workers = [];
+      conns = Hashtbl.create 8;
+      conns_lock = Mutex.create ();
+      stopped = false;
+    }
+  in
+  let accept_loop () =
+    try
+      while not t.stopped do
+        let fd, _ = Unix.accept t.listen_fd in
+        if t.stopped then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else ignore (Thread.create (handle_conn t) fd)
+      done
+    with Unix.Unix_error _ | Sys_error _ -> ()
+    (* listen socket closed: stop *)
+  in
+  t.accept_thread <- Some (Thread.create accept_loop ());
+  t.workers <-
+    List.init workers (fun _ -> Thread.create Service.run_worker service);
+  t
+
+let wait t =
+  Option.iter Thread.join t.accept_thread;
+  List.iter Thread.join t.workers
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (* A thread already blocked in accept(2) does not observe close(2) of
+       the listening socket on Linux; wake it with a throwaway connection
+       before closing. *)
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.path)
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Service.stop_workers t.service;
+    (* Shutting the connections down unblocks their reader threads. *)
+    Mutex.protect t.conns_lock (fun () ->
+        Hashtbl.iter
+          (fun fd () ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          t.conns);
+    (try Sys.remove t.path with Sys_error _ -> ());
+    wait t
+  end

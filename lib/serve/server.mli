@@ -1,0 +1,37 @@
+(** The two [cacti_serve] transports.
+
+    {b Batch} reads JSONL requests from a channel and writes one response
+    line per request, in request order, synchronously — deterministic and
+    pipe-friendly, used by tests and CI.
+
+    {b Socket} serves concurrent clients over a Unix-domain socket: one
+    reader thread per connection feeds the service's bounded admission
+    queue, a fixed pool of worker threads answers, and each connection
+    serializes its response writes under a mutex so lines from concurrent
+    workers never interleave.  Responses to one connection may be
+    reordered with respect to its requests (match on [id]); requests
+    refused by the admission queue are answered [serve/queue_full]
+    immediately. *)
+
+val run_batch : Service.t -> in_channel -> out_channel -> int
+(** Answer every line until EOF (responses flushed per line); returns the
+    number of requests answered. *)
+
+type t
+(** A running socket server. *)
+
+val start :
+  ?workers:int -> ?backlog:int -> Service.t -> path:string -> unit -> t
+(** Bind and listen on [path] (an existing socket file is replaced) and
+    start accepting.  [workers] (default 1) is the number of solver
+    threads draining the admission queue — each solve already fans out
+    across domains via the service's pool, so more workers trade solve
+    latency for concurrency between requests.  Raises [Unix.Unix_error]
+    if the socket cannot be bound. *)
+
+val wait : t -> unit
+(** Block until the server is stopped. *)
+
+val stop : t -> unit
+(** Stop accepting, drain the workers, remove the socket file and return
+    once {!wait} would.  Established connections are closed. *)

@@ -1,0 +1,357 @@
+open Cacti_util
+
+(* Latency histogram: bucket i counts requests with wall time in
+   [2^i, 2^(i+1)) microseconds; 28 buckets span 1 us .. ~2.2 min. *)
+let n_buckets = 28
+
+type counters = {
+  mutable c_cache : int;
+  mutable c_ram : int;
+  mutable c_mainmem : int;
+  mutable c_stats : int;
+  mutable c_malformed : int;  (** lines that never decoded to a request *)
+  mutable o_ok : int;
+  mutable o_invalid : int;  (** bad request / bad spec / bad params *)
+  mutable o_no_solution : int;
+  mutable o_internal_error : int;  (** contained exception *)
+  mutable o_overloaded : int;
+  mutable lat_sum_ms : float;
+  mutable lat_count : int;
+  lat_buckets : int array;
+}
+
+type t = {
+  jobs : int option;
+  queue_bound : int;
+  queue : (unit -> unit) Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  mutable stopping : bool;
+  clock : Mutex.t;  (** guards [counters] *)
+  counters : counters;
+  started_at : float;
+}
+
+let create ?jobs ?(queue_bound = 64) () =
+  if queue_bound < 1 then
+    invalid_arg "Service.create: queue_bound must be positive";
+  {
+    jobs;
+    queue_bound;
+    queue = Queue.create ();
+    qlock = Mutex.create ();
+    qcond = Condition.create ();
+    stopping = false;
+    clock = Mutex.create ();
+    counters =
+      {
+        c_cache = 0;
+        c_ram = 0;
+        c_mainmem = 0;
+        c_stats = 0;
+        c_malformed = 0;
+        o_ok = 0;
+        o_invalid = 0;
+        o_no_solution = 0;
+        o_internal_error = 0;
+        o_overloaded = 0;
+        lat_sum_ms = 0.;
+        lat_count = 0;
+        lat_buckets = Array.make n_buckets 0;
+      };
+    started_at = Unix.gettimeofday ();
+  }
+
+(* --------------------------- accounting ----------------------------- *)
+
+let count_kind t kind =
+  Mutex.protect t.clock (fun () ->
+      let c = t.counters in
+      match kind with
+      | `Cache -> c.c_cache <- c.c_cache + 1
+      | `Ram -> c.c_ram <- c.c_ram + 1
+      | `Mainmem -> c.c_mainmem <- c.c_mainmem + 1
+      | `Stats -> c.c_stats <- c.c_stats + 1
+      | `Malformed -> c.c_malformed <- c.c_malformed + 1)
+
+let count_outcome t outcome =
+  Mutex.protect t.clock (fun () ->
+      let c = t.counters in
+      match outcome with
+      | `Ok -> c.o_ok <- c.o_ok + 1
+      | `Invalid -> c.o_invalid <- c.o_invalid + 1
+      | `No_solution -> c.o_no_solution <- c.o_no_solution + 1
+      | `Internal_error -> c.o_internal_error <- c.o_internal_error + 1
+      | `Overloaded -> c.o_overloaded <- c.o_overloaded + 1)
+
+let bucket_of_ms ms =
+  let us = ms *. 1e3 in
+  if us < 1. then 0
+  else min (n_buckets - 1) (int_of_float (Float.log2 us))
+
+let record_latency t ms =
+  Mutex.protect t.clock (fun () ->
+      let c = t.counters in
+      c.lat_sum_ms <- c.lat_sum_ms +. ms;
+      c.lat_count <- c.lat_count + 1;
+      let b = bucket_of_ms ms in
+      c.lat_buckets.(b) <- c.lat_buckets.(b) + 1)
+
+(* Percentile estimate from the histogram: the geometric middle of the
+   bucket where the cumulative count crosses the quantile.  Good to a
+   factor of sqrt(2) — plenty for a live dashboard; the benchmark computes
+   exact percentiles from raw samples. *)
+let percentile_ms buckets total q =
+  if total = 0 then 0.
+  else begin
+    let target = Float.of_int total *. q in
+    let cum = ref 0 and found = ref (n_buckets - 1) and looking = ref true in
+    Array.iteri
+      (fun i n ->
+        if !looking then begin
+          cum := !cum + n;
+          if Float.of_int !cum >= target then begin
+            found := i;
+            looking := false
+          end
+        end)
+      buckets;
+    (* bucket i spans [2^i, 2^(i+1)) us; geometric mid = 2^(i+0.5) us *)
+    Float.pow 2. (Float.of_int !found +. 0.5) /. 1e3
+  end
+
+let queue_depth t = Mutex.protect t.qlock (fun () -> Queue.length t.queue)
+
+let stats_json t =
+  let sc = Cacti.Solve_cache.stats () in
+  let size = Cacti.Solve_cache.size () in
+  let cap = Cacti.Solve_cache.capacity () in
+  let depth = queue_depth t in
+  let c = t.counters in
+  Mutex.protect t.clock (fun () ->
+      let lookups = sc.Cacti.Solve_cache.hits + sc.Cacti.Solve_cache.misses in
+      let hit_rate =
+        if lookups = 0 then 0.
+        else Float.of_int sc.Cacti.Solve_cache.hits /. Float.of_int lookups
+      in
+      Jsonx.Obj
+        [
+          ( "requests",
+            Jsonx.Obj
+              [
+                ("cache", Jsonx.Int c.c_cache);
+                ("ram", Jsonx.Int c.c_ram);
+                ("mainmem", Jsonx.Int c.c_mainmem);
+                ("stats", Jsonx.Int c.c_stats);
+                ("malformed", Jsonx.Int c.c_malformed);
+              ] );
+          ( "outcomes",
+            Jsonx.Obj
+              [
+                ("ok", Jsonx.Int c.o_ok);
+                ("invalid", Jsonx.Int c.o_invalid);
+                ("no_solution", Jsonx.Int c.o_no_solution);
+                ("internal_error", Jsonx.Int c.o_internal_error);
+                ("overloaded", Jsonx.Int c.o_overloaded);
+              ] );
+          ( "solve_cache",
+            Jsonx.Obj
+              [
+                ("hits", Jsonx.Int sc.Cacti.Solve_cache.hits);
+                ("misses", Jsonx.Int sc.Cacti.Solve_cache.misses);
+                ("size", Jsonx.Int size);
+                ( "capacity",
+                  match cap with None -> Jsonx.Null | Some n -> Jsonx.Int n );
+                ("hit_rate", Jsonx.num hit_rate);
+              ] );
+          ( "queue",
+            Jsonx.Obj
+              [
+                ("depth", Jsonx.Int depth);
+                ("bound", Jsonx.Int t.queue_bound);
+              ] );
+          ( "latency_ms",
+            Jsonx.Obj
+              [
+                ("count", Jsonx.Int c.lat_count);
+                ( "mean",
+                  Jsonx.num
+                    (if c.lat_count = 0 then 0.
+                     else c.lat_sum_ms /. Float.of_int c.lat_count) );
+                ( "p50",
+                  Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.50) );
+                ( "p90",
+                  Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.90) );
+                ( "p99",
+                  Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.99) );
+                ( "histogram_us_log2",
+                  Jsonx.List
+                    (Array.to_list
+                       (Array.map (fun n -> Jsonx.Int n) c.lat_buckets)) );
+              ] );
+          ("uptime_s", Jsonx.num (Unix.gettimeofday () -. t.started_at));
+        ])
+
+(* ----------------------------- solving ------------------------------ *)
+
+let solve_spec t (params : Protocol.params) spec =
+  let jobs = match params.Protocol.jobs with Some j -> Some j | None -> t.jobs in
+  let p = params.Protocol.opt and strict = params.Protocol.strict in
+  match spec with
+  | Protocol.Cache s ->
+      Cacti.Cache_model.solve_diag ?jobs ~params:p ~strict s
+      |> Result.map (fun (c, sum) -> (Protocol.cache_solution c, sum))
+  | Protocol.Ram s ->
+      Cacti.Ram_model.solve_diag ?jobs ~params:p ~strict s
+      |> Result.map (fun (r, sum) -> (Protocol.ram_solution r, sum))
+  | Protocol.Mainmem chip ->
+      Cacti.Mainmem.solve_diag ?jobs ~params:p ~strict chip
+      |> Result.map (fun (m, sum) -> (Protocol.mainmem_solution m, sum))
+
+let classify_error ds =
+  if List.exists (fun d -> d.Diag.reason = "no_solution") ds then `No_solution
+  else `Invalid
+
+let respond ~id ~t0 ?(cache_hits = 0) body =
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let ok, solution, diags =
+    match body with
+    | Ok solution -> (true, Some solution, [])
+    | Error ds -> (false, None, ds)
+  in
+  ( wall_ms,
+    Protocol.response_to_json
+      {
+        Protocol.r_id = id;
+        r_ok = ok;
+        r_solution = solution;
+        r_diagnostics = diags;
+        r_wall_ms = wall_ms;
+        r_cache_hits = cache_hits;
+      } )
+
+let handle_json t j =
+  let t0 = Unix.gettimeofday () in
+  let wall_ms, response =
+    match Protocol.parse_request j with
+    | Error ds ->
+        (* Envelope kinds stay meaningful even for undecodable requests:
+           only lines with no recognizable kind count as malformed. *)
+        (match Option.bind (Jsonx.member "kind" j) Jsonx.get_string with
+        | Some "cache" -> count_kind t `Cache
+        | Some "ram" -> count_kind t `Ram
+        | Some "mainmem" -> count_kind t `Mainmem
+        | Some "stats" -> count_kind t `Stats
+        | Some _ | None -> count_kind t `Malformed);
+        count_outcome t `Invalid;
+        respond ~id:(Protocol.request_id j) ~t0 (Error ds)
+    | Ok (Protocol.Stats { id }) ->
+        count_kind t `Stats;
+        count_outcome t `Ok;
+        respond ~id ~t0 (Ok (stats_json t))
+    | Ok (Protocol.Solve { id; spec; params } as req) ->
+        count_kind t
+          (match spec with
+          | Protocol.Cache _ -> `Cache
+          | Protocol.Ram _ -> `Ram
+          | Protocol.Mainmem _ -> `Mainmem);
+        (* Per-request fault containment: whatever escapes the model —
+           including in strict mode, where the sweep re-raises on purpose —
+           is this request's problem, never the server's. *)
+        let result =
+          try
+            solve_spec t params spec
+            |> Result.map_error (fun ds -> (classify_error ds, ds))
+          with exn ->
+            ( Error
+                ( `Internal_error,
+                  [
+                    Diag.errorf ~component:"serve" ~reason:"internal_error"
+                      "uncontained exception answering %s request: %s"
+                      (Protocol.kind_of_request req)
+                      (Printexc.to_string exn);
+                  ] ) )
+        in
+        (match result with
+        | Ok (solution, summary) ->
+            count_outcome t `Ok;
+            respond ~id ~t0 ~cache_hits:summary.Diag.cache_hits (Ok solution)
+        | Error (outcome, ds) ->
+            count_outcome t outcome;
+            respond ~id ~t0 (Error ds))
+  in
+  record_latency t wall_ms;
+  response
+
+let handle_line t line =
+  match Jsonx.parse line with
+  | Ok j -> Jsonx.to_string (handle_json t j)
+  | Error msg ->
+      let t0 = Unix.gettimeofday () in
+      count_kind t `Malformed;
+      count_outcome t `Invalid;
+      let _, response =
+        respond ~id:Jsonx.Null ~t0
+          (Error [ Diag.error ~component:"protocol" ~reason:"parse_error" msg ])
+      in
+      Jsonx.to_string response
+
+(* -------------------------- admission queue ------------------------- *)
+
+let submit t job =
+  Mutex.protect t.qlock (fun () ->
+      if t.stopping || Queue.length t.queue >= t.queue_bound then false
+      else begin
+        Queue.push job t.queue;
+        Condition.signal t.qcond;
+        true
+      end)
+
+let reject_overloaded t line =
+  count_outcome t `Overloaded;
+  let id =
+    match Jsonx.parse line with
+    | Ok j -> Protocol.request_id j
+    | Error _ -> Jsonx.Null
+  in
+  Jsonx.to_string
+    (Protocol.response_to_json
+       {
+         Protocol.r_id = id;
+         r_ok = false;
+         r_solution = None;
+         r_diagnostics =
+           [
+             Diag.errorf ~component:"serve" ~reason:"queue_full"
+               "admission queue full (%d pending): retry later" t.queue_bound;
+           ];
+         r_wall_ms = 0.;
+         r_cache_hits = 0;
+       })
+
+let run_worker t =
+  let rec loop () =
+    let job =
+      Mutex.protect t.qlock (fun () ->
+          let rec wait () =
+            if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+            else if t.stopping then None
+            else begin
+              Condition.wait t.qcond t.qlock;
+              wait ()
+            end
+          in
+          wait ())
+    in
+    match job with
+    | None -> ()
+    | Some job ->
+        (try job () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let stop_workers t =
+  Mutex.protect t.qlock (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.qcond)

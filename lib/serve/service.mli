@@ -1,0 +1,59 @@
+(** The solve service behind both [cacti_serve] transports: decodes one
+    request, answers it, and accounts for it.
+
+    {b Fault containment.}  [handle_line]/[handle_json] never raise:
+    malformed JSON, an undecodable request, an invalid spec, an empty
+    design space, and even a stray exception escaping the model all become
+    [ok: false] responses with structured diagnostics, so one poisoned
+    request can never take the server down.
+
+    {b Admission queue.}  A bounded queue decouples transport threads
+    (which accept requests) from solver workers (which answer them).
+    {!submit} refuses work beyond the bound — the caller replies
+    "overloaded" immediately instead of buffering unboundedly.  The batch
+    transport bypasses the queue and calls {!handle_line} synchronously.
+
+    {b Observability.}  Every request is counted by kind and outcome, and
+    its wall time lands in a log₂ latency histogram; a ["stats"] request
+    (or {!stats_json}) exposes the counters, the {!Cacti.Solve_cache}
+    hit rate and the live queue depth. *)
+
+type t
+
+val create : ?jobs:int -> ?queue_bound:int -> unit -> t
+(** [jobs]: worker domains per design-space sweep (the
+    {!Cacti_util.Pool}), default {!Cacti_util.Pool.default_jobs}; a
+    request's [params.jobs] overrides it.  [queue_bound]: admission-queue
+    capacity, default 64. *)
+
+val handle_json : t -> Cacti_util.Jsonx.t -> Cacti_util.Jsonx.t
+(** Answer one parsed request; total and exception-safe. *)
+
+val handle_line : t -> string -> string
+(** The full wire path: parse one JSONL line, answer it, print the
+    response line (without the trailing newline). *)
+
+val stats_json : t -> Cacti_util.Jsonx.t
+(** The ["stats"] solution object. *)
+
+(** {1 Admission queue} *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a job for the solver workers; [false] when the queue is at its
+    bound (the caller must answer "overloaded") or the service is
+    stopping. *)
+
+val reject_overloaded : t -> string -> string
+(** The [ok: false] [queue_full] response line for a request line that
+    {!submit} refused; counts the request under the [overloaded]
+    outcome. *)
+
+val queue_depth : t -> int
+
+val run_worker : t -> unit
+(** Dequeue and run jobs until {!stop_workers}; meant for a dedicated
+    thread per worker. *)
+
+val stop_workers : t -> unit
+(** Wake every {!run_worker} and make it return once the queue drains;
+    subsequent {!submit}s are refused. *)

@@ -159,7 +159,7 @@ let test_sense_amp_weaker_signal_slower () =
       ~deg_bl_mux:4 ()
   in
   Alcotest.(check bool) "weak signal slower" true
-    (sa.Sense_amp.amplify ~signal:0.05 > sa.Sense_amp.amplify ~signal:0.3)
+    (Sense_amp.amplify sa ~signal:0.05 > Sense_amp.amplify sa ~signal:0.3)
 
 let test_mux_degree () =
   let m d =

@@ -1,0 +1,653 @@
+(* The serve subsystem: Jsonx codec, wire protocol, batch service,
+   Solve_cache capacity + persistence, and the socket transport. *)
+
+open Cacti_util
+open Cacti_server
+
+let t45 = Cacti_tech.Technology.at_nm 45.
+
+(* ------------------------------ Jsonx ----------------------------- *)
+
+let test_jsonx_parse_basics () =
+  let j = Jsonx.parse_exn {| {"a": [1, 2.5, "x", true, null], "b": -3} |} in
+  Alcotest.(check bool)
+    "structure" true
+    (Jsonx.equal j
+       (Jsonx.Obj
+          [
+            ( "a",
+              Jsonx.List
+                [
+                  Jsonx.Int 1; Jsonx.Float 2.5; Jsonx.String "x";
+                  Jsonx.Bool true; Jsonx.Null;
+                ] );
+            ("b", Jsonx.Int (-3));
+          ]))
+
+let test_jsonx_escapes () =
+  let j = Jsonx.parse_exn {|"a\nb\t\"\\\u0041\u00e9"|} in
+  (* \u00e9 is U+00E9, two UTF-8 bytes *)
+  Alcotest.(check string)
+    "escapes" "a\nb\t\"\\A\xc3\xa9"
+    (Option.get (Jsonx.get_string j));
+  let smile = Jsonx.parse_exn {|"\ud83d\ude00"|} in
+  Alcotest.(check string)
+    "surrogate pair" "\xf0\x9f\x98\x80"
+    (Option.get (Jsonx.get_string smile))
+
+let test_jsonx_parse_errors () =
+  let bad s =
+    match Jsonx.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parse %S should fail" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1} trailing";
+  bad "\"raw \x01 control\"";
+  bad "tru";
+  bad "01"
+
+let test_jsonx_numbers () =
+  (* Floats always print with '.' or 'e' so Int/Float survives a cycle. *)
+  let is_float s =
+    match Jsonx.parse_exn s with Jsonx.Float _ -> true | _ -> false
+  in
+  Alcotest.(check bool)
+    "1. stays float" true
+    (is_float (Jsonx.to_string (Jsonx.Float 1.)));
+  Alcotest.(check string) "nan prints null" "null"
+    (Jsonx.to_string (Jsonx.Float Float.nan));
+  Alcotest.(check string) "inf prints null" "null"
+    (Jsonx.to_string (Jsonx.Float Float.infinity));
+  Alcotest.(check bool)
+    "num normalizes" true
+    (Jsonx.equal (Jsonx.num Float.nan) Jsonx.Null);
+  Alcotest.(check bool)
+    "max_int roundtrips" true
+    (Jsonx.equal
+       (Jsonx.parse_exn (Jsonx.to_string (Jsonx.Int max_int)))
+       (Jsonx.Int max_int))
+
+let jsonx_arb =
+  let open QCheck.Gen in
+  let byte_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12) in
+  let leaf =
+    oneof
+      [
+        return Jsonx.Null;
+        map (fun b -> Jsonx.Bool b) bool;
+        map (fun i -> Jsonx.Int i) int;
+        map (fun f -> Jsonx.Float f)
+          (oneof
+             [
+               float; return Float.nan; return Float.infinity;
+               return Float.neg_infinity; return 0.; return (-0.);
+               return 1e-308; return 0.1;
+             ]);
+        map (fun s -> Jsonx.String s) byte_string;
+      ]
+  in
+  let gen =
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then leaf
+           else
+             frequency
+               [
+                 (3, leaf);
+                 ( 1,
+                   map (fun l -> Jsonx.List l)
+                     (list_size (int_bound 4) (self (n / 2))) );
+                 ( 1,
+                   map
+                     (fun l -> Jsonx.Obj l)
+                     (list_size (int_bound 4)
+                        (pair byte_string (self (n / 2)))) );
+               ])
+  in
+  QCheck.make ~print:Jsonx.to_string gen
+
+let prop_jsonx_roundtrip =
+  QCheck.Test.make ~name:"jsonx print-parse roundtrip" ~count:500 jsonx_arb
+    (fun v ->
+      let want = Jsonx.normalize v in
+      match
+        (Jsonx.parse (Jsonx.to_string v), Jsonx.parse (Jsonx.to_string_pretty v))
+      with
+      | Ok compact, Ok pretty ->
+          Jsonx.equal compact want && Jsonx.equal pretty want
+      | Error e, _ | _, Error e -> QCheck.Test.fail_reportf "parse: %s" e)
+
+(* ----------------------------- protocol --------------------------- *)
+
+let request_arb =
+  let open QCheck.Gen in
+  (* nm with two decimals: nm_of_tech guarantees this roundtrips to the
+     identical Technology.t *)
+  let nm = map (fun i -> float_of_int i /. 100.) (int_range 3200 9000) in
+  let params =
+    map3
+      (fun opt strict jobs -> { Protocol.opt; strict; jobs })
+      (oneofl
+         [
+           Cacti.Opt_params.default; Cacti.Opt_params.delay_optimal;
+           Cacti.Opt_params.area_optimal; Cacti.Opt_params.energy_optimal;
+         ])
+      bool
+      (oneofl [ None; Some 1; Some 4 ])
+  in
+  let cache_spec =
+    let* nm = nm
+    and* log2_cap = int_range 15 20
+    and* block = oneofl [ 32; 64 ]
+    and* assoc = oneofl [ 2; 4; 8 ]
+    and* ram = oneofl Cacti_tech.Cell.[ Sram; Lp_dram; Comm_dram ]
+    and* mode = oneofl Cacti.Cache_spec.[ Normal; Sequential; Fast ] in
+    match
+      Cacti.Cache_spec.create_result
+        ~tech:(Cacti_tech.Technology.at_nm nm)
+        ~capacity_bytes:(1 lsl log2_cap) ~block_bytes:block ~assoc ~ram
+        ~access_mode:mode ()
+    with
+    | Ok s -> return (Protocol.Cache s)
+    | Error ds -> failwith (Diag.render ds)
+  in
+  let ram_spec =
+    let* nm = nm
+    and* log2_cap = int_range 12 18
+    and* word = oneofl [ 32; 64; 128 ]
+    and* banks = oneofl [ 1; 2 ] in
+    match
+      Cacti.Ram_model.validate
+        {
+          Cacti.Ram_model.capacity_bytes = 1 lsl log2_cap;
+          word_bits = word;
+          n_banks = banks;
+          ram = Cacti_tech.Cell.Sram;
+          sleep_tx = false;
+          tech = Cacti_tech.Technology.at_nm nm;
+        }
+    with
+    | Ok s -> return (Protocol.Ram s)
+    | Error ds -> failwith (Diag.render ds)
+  in
+  let mainmem_spec =
+    let* nm = nm
+    and* gbits = oneofl [ 1; 2; 8 ]
+    and* iface = oneofl [ Cacti.Mainmem.ddr3; Cacti.Mainmem.ddr4 ] in
+    match
+      Cacti.Mainmem.create_result
+        ~tech:(Cacti_tech.Technology.at_nm nm)
+        ~capacity_bits:(gbits * 1024 * 1024 * 1024)
+        ~interface:iface ()
+    with
+    | Ok c -> return (Protocol.Mainmem c)
+    | Error ds -> failwith (Diag.render ds)
+  in
+  let gen =
+    let* id = map (fun i -> Jsonx.Int i) int
+    and* params = params
+    and* spec = oneof [ cache_spec; ram_spec; mainmem_spec ] in
+    return (Protocol.Solve { id; spec; params })
+  in
+  QCheck.make
+    ~print:(fun r -> Jsonx.to_string (Protocol.encode_request r))
+    gen
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"protocol request encode-parse roundtrip" ~count:200
+    request_arb (fun r ->
+      let j = Protocol.encode_request r in
+      (* through the actual wire: print, parse, decode *)
+      match Jsonx.parse (Jsonx.to_string j) with
+      | Error e -> QCheck.Test.fail_reportf "wire parse: %s" e
+      | Ok j' -> (
+          match Protocol.parse_request j' with
+          | Error ds -> QCheck.Test.fail_reportf "decode: %s" (Diag.render ds)
+          | Ok r' -> Jsonx.equal (Protocol.encode_request r') j))
+
+let test_protocol_errors () =
+  let errs s =
+    match Protocol.parse_request (Jsonx.parse_exn s) with
+    | Error ds -> ds
+    | Ok _ -> Alcotest.failf "request %s should not decode" s
+  in
+  let has reason ds =
+    Alcotest.(check bool)
+      (reason ^ " reported") true
+      (List.exists (fun d -> d.Diag.reason = reason) ds)
+  in
+  has "unknown_kind" (errs {|{"id":1,"kind":"tlb","spec":{}}|});
+  has "bad_request" (errs {|[1,2]|});
+  has "bad_field" (errs {|{"id":1,"kind":"cache","spec":{"tech_nm":45}}|});
+  (* spec validators run: an invalid geometry reports its own reason *)
+  let ds =
+    errs
+      {|{"id":1,"kind":"cache","spec":{"tech_nm":45,"capacity_bytes":65536,"block_bytes":60}}|}
+  in
+  has "non_pow2_block" ds
+
+let test_response_roundtrip () =
+  let check_rt r =
+    let j = Jsonx.parse_exn (Jsonx.to_string (Protocol.response_to_json r)) in
+    match Protocol.response_of_json j with
+    | Error e -> Alcotest.fail e
+    | Ok r' ->
+        Alcotest.(check bool)
+          "re-encodes identically" true
+          (Jsonx.equal (Protocol.response_to_json r') (Protocol.response_to_json r))
+  in
+  check_rt
+    {
+      Protocol.r_id = Jsonx.String "q1";
+      r_ok = true;
+      r_solution = Some (Jsonx.Obj [ ("t_access_s", Jsonx.num 1.5e-9) ]);
+      r_diagnostics = [];
+      r_wall_ms = 3.25;
+      r_cache_hits = 2;
+    };
+  check_rt
+    {
+      Protocol.r_id = Jsonx.Null;
+      r_ok = false;
+      r_solution = None;
+      r_diagnostics =
+        [
+          Diag.error ~component:"cache_spec" ~reason:"non_pow2_block" "bad";
+          Diag.warning ~component:"serve" ~reason:"cache_load" "cold";
+        ];
+      r_wall_ms = 0.01;
+      r_cache_hits = 0;
+    }
+
+(* -------------------------- batch service ------------------------- *)
+
+let cache_req ~id =
+  Printf.sprintf
+    {|{"id":%d,"kind":"cache","spec":{"tech_nm":45,"capacity_bytes":65536,"assoc":4}}|}
+    id
+
+let get path j =
+  List.fold_left (fun acc k -> Option.bind acc (Jsonx.member k)) (Some j) path
+
+let get_int path j = Option.bind (get path j) Jsonx.get_int
+let get_bool path j = Option.bind (get path j) Jsonx.get_bool
+
+let test_batch_memo () =
+  Cacti.Solve_cache.clear ();
+  let service = Service.create () in
+  let responses =
+    List.init 4 (fun i ->
+        Jsonx.parse_exn (Service.handle_line service (cache_req ~id:i)))
+  in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check (option int)) "id echoed" (Some i) (get_int [ "id" ] r);
+      Alcotest.(check (option bool)) "ok" (Some true) (get_bool [ "ok" ] r);
+      (* a cache solve is two memoized lookups (data + tag): the first
+         request misses both, every later one hits both *)
+      Alcotest.(check (option int))
+        "memo hits" (Some (if i = 0 then 0 else 2))
+        (get_int [ "timing"; "cache_hits" ] r))
+    responses;
+  (* all four solutions identical... *)
+  let sol r = Option.get (get [ "solution" ] r) in
+  let first = sol (List.hd responses) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "same solution" true (Jsonx.equal (sol r) first))
+    responses;
+  (* the stats request confirms the memoization from the server's own
+     counters (before the direct solve below adds two more hits) *)
+  let stats =
+    Jsonx.parse_exn
+      (Service.handle_line service {|{"id":"s","kind":"stats"}|})
+  in
+  Alcotest.(check (option int))
+    "memo hits total" (Some 6)
+    (get_int [ "solution"; "solve_cache"; "hits" ] stats);
+  Alcotest.(check (option int))
+    "memo misses total" (Some 2)
+    (get_int [ "solution"; "solve_cache"; "misses" ] stats);
+  Alcotest.(check (option int))
+    "requests by kind" (Some 4)
+    (get_int [ "solution"; "requests"; "cache" ] stats);
+  (* ...and the served solution is bit-identical to a direct
+     Cache_model.solve of the same spec *)
+  let spec =
+    match
+      Cacti.Cache_spec.create_result ~tech:t45 ~capacity_bytes:65536 ~assoc:4
+        ()
+    with
+    | Ok s -> s
+    | Error ds -> Alcotest.fail (Diag.render ds)
+  in
+  match
+    Cacti.Cache_model.solve_diag ~params:Cacti.Opt_params.default
+      ~strict:false spec
+  with
+  | Error ds -> Alcotest.fail (Diag.render ds)
+  | Ok (c, _) ->
+      Alcotest.(check bool)
+        "bit-identical to Cache_model.solve" true
+        (Jsonx.equal first
+           (Jsonx.parse_exn (Jsonx.to_string (Protocol.cache_solution c))))
+
+let test_batch_fault_containment () =
+  let service = Service.create () in
+  let r = Jsonx.parse_exn (Service.handle_line service "{ not json") in
+  Alcotest.(check (option bool)) "not ok" (Some false) (get_bool [ "ok" ] r);
+  Alcotest.(check bool)
+    "null id" true
+    (Jsonx.equal (Option.get (get [ "id" ] r)) Jsonx.Null);
+  let reasons =
+    match get [ "diagnostics" ] r with
+    | Some (Jsonx.List ds) ->
+        List.filter_map (fun d -> Option.bind (Jsonx.member "reason" d) Jsonx.get_string) ds
+    | _ -> []
+  in
+  Alcotest.(check bool)
+    "parse_error diagnostic" true
+    (List.mem "parse_error" reasons);
+  (* the service survives: the next request still answers *)
+  let r2 = Jsonx.parse_exn (Service.handle_line service (cache_req ~id:9)) in
+  Alcotest.(check (option bool)) "still serving" (Some true) (get_bool [ "ok" ] r2)
+
+let test_run_batch_channels () =
+  let reqs = Filename.temp_file "serve_req" ".jsonl" in
+  let resps = Filename.temp_file "serve_resp" ".jsonl" in
+  let oc = open_out reqs in
+  output_string oc (cache_req ~id:1);
+  output_string oc "\n\n";
+  (* blank line is skipped *)
+  output_string oc {|{"id":2,"kind":"stats"}|};
+  output_string oc "\n";
+  close_out oc;
+  let ic = open_in reqs in
+  let oc = open_out resps in
+  let n = Server.run_batch (Service.create ()) ic oc in
+  close_in ic;
+  close_out oc;
+  Alcotest.(check int) "two requests answered" 2 n;
+  let ic = open_in resps in
+  let lines = List.init 2 (fun _ -> input_line ic) in
+  close_in ic;
+  List.iteri
+    (fun i l ->
+      Alcotest.(check (option int))
+        "response order" (Some (i + 1))
+        (get_int [ "id" ] (Jsonx.parse_exn l)))
+    lines;
+  Sys.remove reqs;
+  Sys.remove resps
+
+(* ----------------------- Solve_cache capacity --------------------- *)
+
+let ram_solve word_bits =
+  let spec =
+    {
+      Cacti.Ram_model.capacity_bytes = 16 * 1024;
+      word_bits;
+      n_banks = 1;
+      ram = Cacti_tech.Cell.Sram;
+      sleep_tx = false;
+      tech = t45;
+    }
+  in
+  match
+    Cacti.Ram_model.solve_diag ~params:Cacti.Opt_params.default ~strict:false
+      spec
+  with
+  | Ok _ -> ()
+  | Error ds -> Alcotest.fail (Diag.render ds)
+
+let with_cold_cache f =
+  Cacti.Solve_cache.clear ();
+  Fun.protect ~finally:(fun () ->
+      Cacti.Solve_cache.set_capacity None;
+      Cacti.Solve_cache.clear ())
+    f
+
+let test_cache_capacity_lru () =
+  with_cold_cache @@ fun () ->
+  Cacti.Solve_cache.set_capacity (Some 2);
+  Alcotest.(check (option int)) "capacity" (Some 2) (Cacti.Solve_cache.capacity ());
+  let hits () = (Cacti.Solve_cache.stats ()).Cacti.Solve_cache.hits in
+  ram_solve 32;
+  ram_solve 64;
+  Alcotest.(check int) "at cap" 2 (Cacti.Solve_cache.size ());
+  ram_solve 32;
+  (* touch 32: now 64 is the LRU entry *)
+  let h0 = hits () in
+  ram_solve 128;
+  (* evicts 64 *)
+  Alcotest.(check int) "still at cap" 2 (Cacti.Solve_cache.size ());
+  ram_solve 32;
+  Alcotest.(check int) "32 survived eviction" (h0 + 1) (hits ());
+  let h1 = hits () in
+  ram_solve 64;
+  Alcotest.(check int) "64 was evicted (re-solve misses)" h1 (hits ());
+  (* shrinking below the current size evicts immediately *)
+  Cacti.Solve_cache.set_capacity (Some 1);
+  Alcotest.(check int) "shrunk" 1 (Cacti.Solve_cache.size ());
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Solve_cache.set_capacity: negative cap")
+    (fun () -> Cacti.Solve_cache.set_capacity (Some (-1)))
+
+(* --------------------------- persistence -------------------------- *)
+
+let has_diag ~severity ~reason ds =
+  List.exists
+    (fun d -> d.Diag.severity = severity && d.Diag.reason = reason)
+    ds
+
+let test_persist_warm_restart () =
+  let path = Filename.temp_file "solve_cache" ".bin" in
+  with_cold_cache @@ fun () ->
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  ram_solve 32;
+  ram_solve 64;
+  (match Cacti.Solve_cache.save path with
+  | Ok n -> Alcotest.(check int) "saved both" 2 n
+  | Error e -> Alcotest.fail e);
+  (* "restart": empty table, load the file back *)
+  Cacti.Solve_cache.clear ();
+  let ds = Persist.load path in
+  Alcotest.(check bool)
+    "warm-start info" true
+    (has_diag ~severity:Diag.Info ~reason:"cache_load" ds);
+  Alcotest.(check int) "entries restored" 2 (Cacti.Solve_cache.size ());
+  let h0 = (Cacti.Solve_cache.stats ()).Cacti.Solve_cache.hits in
+  ram_solve 32;
+  Alcotest.(check int)
+    "first request after restart is a memo hit"
+    (h0 + 1)
+    (Cacti.Solve_cache.stats ()).Cacti.Solve_cache.hits
+
+let test_persist_corrupt_cold_start () =
+  let path = Filename.temp_file "solve_cache" ".bin" in
+  with_cold_cache @@ fun () ->
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  ram_solve 32;
+  (match Cacti.Solve_cache.save path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let header_end = String.index full '\n' + 1 in
+  let try_load contents =
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents);
+    Cacti.Solve_cache.clear ();
+    Persist.load path
+  in
+  (* valid header, truncated payload *)
+  let ds = try_load (String.sub full 0 (header_end + 4)) in
+  Alcotest.(check bool)
+    "truncated -> warning[serve/cache_load]" true
+    (has_diag ~severity:Diag.Warning ~reason:"cache_load" ds);
+  Alcotest.(check int) "cold start" 0 (Cacti.Solve_cache.size ());
+  (* garbage header *)
+  let ds = try_load "not a solve cache\n" in
+  Alcotest.(check bool)
+    "bad magic -> warning" true
+    (has_diag ~severity:Diag.Warning ~reason:"cache_load" ds);
+  (* flipped payload bytes *)
+  let mangled = Bytes.of_string full in
+  Bytes.set mangled (Bytes.length mangled - 1) '\xff';
+  Bytes.set mangled header_end
+    (Char.chr (Char.code (Bytes.get mangled header_end) lxor 0xff));
+  let ds = try_load (Bytes.to_string mangled) in
+  Alcotest.(check bool)
+    "corrupt payload -> warning" true
+    (has_diag ~severity:Diag.Warning ~reason:"cache_load" ds);
+  (* a missing file is a first boot, not a fault *)
+  Sys.remove path;
+  let ds = Persist.load path in
+  Alcotest.(check bool)
+    "missing -> info, not warning" true
+    (has_diag ~severity:Diag.Info ~reason:"cache_load" ds
+    && not (has_diag ~severity:Diag.Warning ~reason:"cache_load" ds));
+  (* the cold service still answers *)
+  ram_solve 32
+
+(* ------------------------- admission queue ------------------------ *)
+
+let test_queue_backpressure () =
+  let service = Service.create ~queue_bound:1 () in
+  Alcotest.(check bool) "first job admitted" true (Service.submit service ignore);
+  Alcotest.(check int) "queued" 1 (Service.queue_depth service);
+  Alcotest.(check bool)
+    "job beyond the bound refused" false
+    (Service.submit service ignore);
+  let r = Jsonx.parse_exn (Service.reject_overloaded service (cache_req ~id:7)) in
+  Alcotest.(check (option bool)) "overload not ok" (Some false) (get_bool [ "ok" ] r);
+  Alcotest.(check (option int)) "overload echoes id" (Some 7) (get_int [ "id" ] r);
+  Service.stop_workers service;
+  Alcotest.(check bool)
+    "refused after stop" false
+    (Service.submit service ignore)
+
+let test_queue_worker_drain () =
+  let service = Service.create ~queue_bound:8 () in
+  let m = Mutex.create () in
+  let ran = ref 0 in
+  let job () =
+    Mutex.lock m;
+    incr ran;
+    Mutex.unlock m
+  in
+  let worker = Thread.create (fun () -> Service.run_worker service) () in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "admitted" true (Service.submit service job)
+  done;
+  let deadline = Unix.gettimeofday () +. 5. in
+  while !ran < 5 && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Service.stop_workers service;
+  Thread.join worker;
+  Alcotest.(check int) "all jobs ran" 5 !ran;
+  Alcotest.(check int) "queue drained" 0 (Service.queue_depth service)
+
+(* -------------------------- socket server ------------------------- *)
+
+let test_socket_concurrent_clients () =
+  let service = Service.create () in
+  (* warm the memo so client solves are instant *)
+  ignore (Service.handle_line service (cache_req ~id:0));
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cacti_serve_test_%d.sock" (Unix.getpid ()))
+  in
+  let server = Server.start ~workers:2 service ~path () in
+  let n_clients = 3 and per_client = 8 in
+  let results = Array.make n_clients [] in
+  let client k =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    for i = 0 to per_client - 1 do
+      output_string oc (cache_req ~id:((k * 100) + i));
+      output_char oc '\n'
+    done;
+    flush oc;
+    let got = ref [] in
+    for _ = 1 to per_client do
+      got := Jsonx.parse_exn (input_line ic) :: !got
+    done;
+    results.(k) <- !got;
+    Unix.close fd
+  in
+  let threads =
+    List.init n_clients (fun k -> Thread.create (fun () -> client k) ())
+  in
+  List.iter Thread.join threads;
+  Server.stop server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
+  Array.iteri
+    (fun k got ->
+      (* every client gets exactly its own ids back, each exactly once,
+         every line a well-formed ok response — no interleaving *)
+      let ids = List.filter_map (get_int [ "id" ]) got in
+      Alcotest.(check (list int))
+        (Printf.sprintf "client %d ids" k)
+        (List.init per_client (fun i -> (k * 100) + i))
+        (List.sort compare ids);
+      List.iter
+        (fun r ->
+          Alcotest.(check (option bool))
+            "response ok" (Some true) (get_bool [ "ok" ] r))
+        got)
+    results
+
+(* ------------------------------ main ------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "parse basics" `Quick test_jsonx_parse_basics;
+          Alcotest.test_case "escapes" `Quick test_jsonx_escapes;
+          Alcotest.test_case "parse errors" `Quick test_jsonx_parse_errors;
+          Alcotest.test_case "number policy" `Quick test_jsonx_numbers;
+          QCheck_alcotest.to_alcotest prop_jsonx_roundtrip;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "decode errors" `Quick test_protocol_errors;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "memoized identical requests" `Quick
+            test_batch_memo;
+          Alcotest.test_case "fault containment" `Quick
+            test_batch_fault_containment;
+          Alcotest.test_case "run_batch channels" `Quick
+            test_run_batch_channels;
+        ] );
+      ( "solve_cache",
+        [ Alcotest.test_case "capacity + LRU" `Quick test_cache_capacity_lru ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "warm restart" `Quick test_persist_warm_restart;
+          Alcotest.test_case "corrupt file -> cold start" `Quick
+            test_persist_corrupt_cold_start;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "backpressure" `Quick test_queue_backpressure;
+          Alcotest.test_case "worker drain" `Quick test_queue_worker_drain;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "concurrent clients" `Quick
+            test_socket_concurrent_clients;
+        ] );
+    ]
