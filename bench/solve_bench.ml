@@ -1,0 +1,357 @@
+(* solve_bench: the analytical-solver throughput benchmark that gates
+   regressions on the staged solver kernel.
+
+     dune exec bench/solve_bench.exe -- --quick \
+       --out BENCH_solve.json --floor bench/solve_baseline.json
+
+   The workload is a fixed batch of seven representative solves: six
+   caches spanning SRAM / LP-DRAM / COMM-DRAM, 32 KB to 8 MB, two
+   technology nodes, plus a 1 Gb main-memory chip (whose sweep runs the
+   enlarged 128x256 partition grid).  Three sections:
+
+   - cold: [Solve_cache.clear] then the whole batch at jobs=1, timing
+     every solve individually.  Best-of-[reps] total wall time gives the
+     headline solves/s; the pooled per-solve latencies give p50/p99.
+     The sweep histograms of one cold batch are accumulated and the
+     counts partition (candidates = evaluated + rejected + pruned +
+     faulted) is asserted, so the report proves where every candidate
+     went.
+
+   - warm: the same batch re-solved without clearing — every solve is a
+     memo hit, measuring the solve-table lookup path.
+
+   - identity: the batch at jobs=1 vs jobs=2 and with the memo tables
+     bypassed ([~memo:false]) must select bit-identical solutions
+     (compared with [compare], not [=]: solutions can carry NaN-valued
+     fields, e.g. unbounded DRAM timings).
+
+   Results are written as JSON (schema in EXPERIMENTS.md).  With
+   [--floor FILE] the run fails (exit 1) if cold solves/s drops more
+   than 30% below the checked-in [cold_solves_per_s_floor], or if any
+   identity or partition check fails. *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let diag_fail ds = failwith (Cacti_util.Diag.render ds)
+
+(* ------------------------------ batch ----------------------------- *)
+
+let t32 = Cacti_tech.Technology.at_nm 32.
+let t45 = Cacti_tech.Technology.at_nm 45.
+let t78 = Cacti_tech.Technology.at_nm 78.
+
+let cache_specs =
+  [
+    Cacti.Cache_spec.create ~tech:t32 ~capacity_bytes:(32 * 1024) ~assoc:4 ();
+    Cacti.Cache_spec.create ~tech:t32 ~capacity_bytes:(1024 * 1024) ~assoc:8 ();
+    Cacti.Cache_spec.create ~tech:t32
+      ~capacity_bytes:(8 * 1024 * 1024)
+      ~assoc:16 ();
+    Cacti.Cache_spec.create ~tech:t32
+      ~capacity_bytes:(8 * 1024 * 1024)
+      ~assoc:16 ~ram:Cacti_tech.Cell.Lp_dram ();
+    Cacti.Cache_spec.create ~tech:t32
+      ~capacity_bytes:(8 * 1024 * 1024)
+      ~assoc:16 ~ram:Cacti_tech.Cell.Comm_dram ();
+    Cacti.Cache_spec.create ~tech:t45 ~capacity_bytes:(512 * 1024) ~assoc:8 ();
+  ]
+
+let mainmem_chip =
+  Cacti.Mainmem.create ~tech:t78
+    ~capacity_bits:(1024 * 1024 * 1024 * 8)
+    ()
+
+let batch_solves = List.length cache_specs + 1
+
+let solve_caches ?memo ~jobs () =
+  List.map
+    (fun spec ->
+      match Cacti.Cache_model.solve_diag ~jobs ?memo spec with
+      | Ok (c, s) -> (c, s)
+      | Error ds -> diag_fail ds)
+    cache_specs
+
+let solve_mainmem ~jobs () =
+  match Cacti.Mainmem.solve_diag ~jobs mainmem_chip with
+  | Ok (m, s) -> (m, s)
+  | Error ds -> diag_fail ds
+
+(* ------------------------------ cold ------------------------------ *)
+
+type cold_result = {
+  wall_s : float;  (** best batch total over [reps] *)
+  solves_per_s : float;
+  p50_ms : float;  (** per-solve latency, pooled over all cold reps *)
+  p99_ms : float;
+  counts : Cacti_util.Diag.counts;  (** accumulated over one cold batch *)
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) i))
+
+let bench_cold ~reps =
+  let lats = ref [] in
+  let counts = ref Cacti_util.Diag.zero_counts in
+  let one_batch ~record_counts =
+    Cacti.Solve_cache.clear ();
+    let total = ref 0. in
+    let timed f =
+      let t0 = Unix.gettimeofday () in
+      let _, (s : Cacti_util.Diag.summary) = f () in
+      let d = Unix.gettimeofday () -. t0 in
+      total := !total +. d;
+      lats := d :: !lats;
+      if record_counts then
+        counts := Cacti_util.Diag.add_counts !counts s.Cacti_util.Diag.sweeps
+    in
+    List.iter
+      (fun spec ->
+        timed (fun () ->
+            match Cacti.Cache_model.solve_diag ~jobs:1 spec with
+            | Ok r -> r
+            | Error ds -> diag_fail ds))
+      cache_specs;
+    timed (fun () -> solve_mainmem ~jobs:1 ());
+    !total
+  in
+  ignore (one_batch ~record_counts:false);
+  (* warmup *)
+  lats := [];
+  let best = ref infinity in
+  for rep = 1 to reps do
+    let w = one_batch ~record_counts:(rep = 1) in
+    if w < !best then best := w
+  done;
+  let sorted = Array.of_list !lats in
+  Array.sort compare sorted;
+  {
+    wall_s = !best;
+    solves_per_s = float_of_int batch_solves /. !best;
+    p50_ms = 1e3 *. percentile sorted 0.50;
+    p99_ms = 1e3 *. percentile sorted 0.99;
+    counts = !counts;
+  }
+
+(* ------------------------------ warm ------------------------------ *)
+
+type warm_result = {
+  wall_s_per_batch : float;
+  warm_solves_per_s : float;
+  mat_hits : int;  (** mat sub-solution memo traffic since the cold pass *)
+  mat_misses : int;
+  mat_size : int;
+}
+
+let bench_warm ~reps =
+  (* The table is warm from the cold section's last batch. *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (solve_caches ~jobs:1 ());
+    ignore (solve_mainmem ~jobs:1 ())
+  done;
+  let per_batch = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let ms = Cacti.Solve_cache.mat_stats () in
+  {
+    wall_s_per_batch = per_batch;
+    warm_solves_per_s = float_of_int batch_solves /. per_batch;
+    mat_hits = ms.Cacti.Solve_cache.hits;
+    mat_misses = ms.Cacti.Solve_cache.misses;
+    mat_size = Cacti.Solve_cache.mat_size ();
+  }
+
+(* ---------------------------- identity ---------------------------- *)
+
+(* [compare], not [=]: Bank.t carries NaN-valued fields (e.g. unbounded
+   DRAM timings) on which polymorphic [=] is false even for bit-identical
+   records. *)
+let same a b = compare a b = 0
+
+type identity_result = { jobs_identical : bool; memo_identical : bool }
+
+let check_identity () =
+  let c1 = List.map fst (solve_caches ~jobs:1 ()) in
+  let c2 = List.map fst (solve_caches ~jobs:2 ()) in
+  let m1 = fst (solve_mainmem ~jobs:1 ()) in
+  let m2 = fst (solve_mainmem ~jobs:2 ()) in
+  let jobs_identical = List.for_all2 same c1 c2 && same m1 m2 in
+  let cn = List.map fst (solve_caches ~memo:false ~jobs:1 ()) in
+  let memo_identical = List.for_all2 same c1 cn in
+  { jobs_identical; memo_identical }
+
+(* ------------------------------ JSON ------------------------------ *)
+
+let counts_json (c : Cacti_util.Diag.counts) ~partition_ok =
+  let f k v = (k, Cacti_util.Jsonx.Int v) in
+  Cacti_util.Jsonx.Obj
+    [
+      f "candidates" c.Cacti_util.Diag.candidates;
+      f "evaluated" c.Cacti_util.Diag.evaluated;
+      f "geometry_rejected" c.Cacti_util.Diag.geometry_rejected;
+      f "page_rejected" c.Cacti_util.Diag.page_rejected;
+      f "area_pruned" c.Cacti_util.Diag.area_pruned;
+      f "bound_pruned" c.Cacti_util.Diag.bound_pruned;
+      f "nonviable" c.Cacti_util.Diag.nonviable;
+      f "nonfinite" c.Cacti_util.Diag.nonfinite;
+      f "raised" c.Cacti_util.Diag.raised;
+      ("partition_ok", Cacti_util.Jsonx.Bool partition_ok);
+    ]
+
+let write_json path ~quick ~partition_ok (c : cold_result) (w : warm_result)
+    (i : identity_result) baseline =
+  let open Cacti_util.Jsonx in
+  let fields =
+    [
+      ("schema_version", Int 1);
+      ("quick", Bool quick);
+      ("batch_solves", Int batch_solves);
+      ( "cold",
+        Obj
+          [
+            ("wall_s", num c.wall_s);
+            ("solves_per_s", num c.solves_per_s);
+            ("p50_ms", num c.p50_ms);
+            ("p99_ms", num c.p99_ms);
+          ] );
+      ( "warm",
+        Obj
+          [
+            ("wall_s_per_batch", num w.wall_s_per_batch);
+            ("solves_per_s", num w.warm_solves_per_s);
+            ( "mat_memo",
+              Obj
+                [
+                  ("hits", Int w.mat_hits);
+                  ("misses", Int w.mat_misses);
+                  ("size", Int w.mat_size);
+                ] );
+          ] );
+      ("sweep", counts_json c.counts ~partition_ok);
+      ( "identity",
+        Obj
+          [
+            ("jobs_identical", Bool i.jobs_identical);
+            ("memo_identical", Bool i.memo_identical);
+          ] );
+    ]
+  in
+  let fields =
+    fields
+    @
+    match baseline with
+    | None -> []
+    | Some floor ->
+        [
+          ( "baseline",
+            Obj
+              [
+                ("cold_solves_per_s_floor", num floor);
+                ("cold_vs_floor", num (c.solves_per_s /. floor));
+              ] );
+        ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string_pretty (Obj fields));
+  output_char oc '\n';
+  close_out oc
+
+let read_floor path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Cacti_util.Jsonx.parse text with
+  | Error e -> fail "%s: %s" path e
+  | Ok json -> (
+      match
+        Option.bind
+          (Cacti_util.Jsonx.member "cold_solves_per_s_floor" json)
+          Cacti_util.Jsonx.get_float
+      with
+      | Some f -> f
+      | None -> fail "%s: missing cold_solves_per_s_floor" path)
+
+(* ------------------------------ main ------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: bench/solve_bench.exe [--quick] [--out FILE] [--floor FILE]";
+  print_endline "--quick: fewer cold/warm repetitions";
+  print_endline
+    "--floor FILE: read cold_solves_per_s_floor from FILE and fail if \
+     cold throughput drops more than 30% below it (or if any identity \
+     or partition check fails)"
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_solve.json" in
+  let floor_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | "--floor" :: f :: rest ->
+        floor_file := Some f;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %S\n" arg;
+        usage ();
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let cold_reps = if !quick then 2 else 4 in
+  let warm_reps = if !quick then 5 else 30 in
+  Printf.printf "cold: %d-solve batch at jobs=1, best of %d...\n%!"
+    batch_solves cold_reps;
+  let c = bench_cold ~reps:cold_reps in
+  Printf.printf
+    "cold: %.3fs => %.1f solves/s (per-solve p50 %.2f ms, p99 %.2f ms)\n%!"
+    c.wall_s c.solves_per_s c.p50_ms c.p99_ms;
+  Printf.printf "sweep: %s\n%!" (Cacti_util.Diag.counts_to_string c.counts);
+  let k = c.counts in
+  let partition_ok =
+    k.Cacti_util.Diag.candidates
+    = k.Cacti_util.Diag.evaluated + k.Cacti_util.Diag.geometry_rejected
+      + k.Cacti_util.Diag.page_rejected + k.Cacti_util.Diag.area_pruned
+      + k.Cacti_util.Diag.bound_pruned + k.Cacti_util.Diag.nonviable
+      + k.Cacti_util.Diag.nonfinite + k.Cacti_util.Diag.raised
+  in
+  Printf.printf "warm: %d batches from the memo tables...\n%!" warm_reps;
+  let w = bench_warm ~reps:warm_reps in
+  Printf.printf "warm: %.0f solves/s (mat memo: %d hits / %d misses)\n%!"
+    w.warm_solves_per_s w.mat_hits w.mat_misses;
+  let i = check_identity () in
+  Printf.printf "identity: jobs 1 vs 2 %s, memo on vs off %s\n%!"
+    (if i.jobs_identical then "bit-identical" else "DIFFER")
+    (if i.memo_identical then "bit-identical" else "DIFFER");
+  let baseline = Option.map read_floor !floor_file in
+  write_json !out ~quick:!quick ~partition_ok c w i baseline;
+  Printf.printf "wrote %s\n%!" !out;
+  let failed = ref false in
+  let check ok what =
+    if not ok then begin
+      Printf.eprintf "FAIL: %s\n" what;
+      failed := true
+    end
+  in
+  check partition_ok "sweep counts do not partition the candidate total";
+  check i.jobs_identical "jobs=2 solutions differ from jobs=1";
+  check i.memo_identical "memo-off solutions differ from memoized ones";
+  (match baseline with
+  | Some floor ->
+      Printf.printf "baseline floor: %.1f solves/s; this run %.2fx\n%!" floor
+        (c.solves_per_s /. floor);
+      if c.solves_per_s < 0.7 *. floor then
+        check false
+          (Printf.sprintf
+             "%.1f cold solves/s is more than 30%% below the floor of %.1f"
+             c.solves_per_s floor)
+  | None -> ());
+  if !failed then exit 1

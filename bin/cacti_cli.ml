@@ -137,6 +137,13 @@ let json_flag =
                  instead of the human rendering.  Exit codes are \
                  unchanged.")
 
+let profile_flag =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Measure the solve: print per-phase wall-clock totals \
+                 (enumerate, mat-solve, optimize) and the candidate \
+                 rejection/prune histogram on stderr after the run.")
+
 (* ------------------------------------------------------------------ *)
 (* Error rendering and exit codes                                       *)
 (* ------------------------------------------------------------------ *)
@@ -169,6 +176,25 @@ let solve_failed ~json ds =
 let print_summary enabled s =
   if enabled then
     Format.printf "  sweep summary       %s@." (Diag.summary_to_string s)
+
+(* --profile: enable the phase accumulators before the solve runs... *)
+let profile_start profile =
+  if profile then (Profile.reset (); Profile.set_enabled true)
+
+(* ... and render them afterwards, with the sweep's rejection/prune
+   histogram.  Everything goes to stderr so --json stdout stays
+   machine-parseable. *)
+let profile_report ~profile s =
+  if profile then begin
+    Format.eprintf "profile:@.";
+    List.iter
+      (fun (phase, secs, calls) ->
+        Format.eprintf "  %-10s %9.3f ms  %7d call%s@." phase (1e3 *. secs)
+          calls
+          (if calls = 1 then "" else "s"))
+      (Profile.summary ());
+    Format.eprintf "  sweep      %s@." (Diag.counts_to_string s.Diag.sweeps)
+  end
 
 (* The --json success line: the same solution encoding the serve protocol
    uses, plus the sweep summary when --summary asked for it. *)
@@ -231,7 +257,7 @@ let cache_cmd =
   in
   let sleep = Arg.(value & flag & info [ "sleep-tx" ] ~doc:"Model sleep transistors.") in
   let run size assoc block banks ram mode sleep tech params jobs strict
-      want_summary json =
+      want_summary json profile =
     guarded ~json @@ fun () ->
     with_tech ~json tech @@ fun tech ->
     match
@@ -241,9 +267,11 @@ let cache_cmd =
     with
     | Error ds -> invalid ~json ds
     | Ok spec -> (
+        profile_start profile;
         match Cacti.Cache_model.solve_diag ?jobs ~params ~strict spec with
         | Error ds -> solve_failed ~json ds
         | Ok (c, s) when json ->
+            profile_report ~profile s;
             emit_json
               ?summary:(if want_summary then Some s else None)
               (Cacti_server.Protocol.cache_solution c)
@@ -278,12 +306,14 @@ let cache_cmd =
               Units.pp_area c.Cacti.Cache_model.area
               (100. *. c.Cacti.Cache_model.area_efficiency);
             print_summary want_summary s;
+            profile_report ~profile s;
             Diag.exit_ok)
   in
   let term =
     Term.(
       const run $ size $ assoc $ block $ banks $ ram $ mode $ sleep
-      $ tech_nm $ opt_params $ jobs $ strict $ summary $ json_flag)
+      $ tech_nm $ opt_params $ jobs $ strict $ summary $ json_flag
+      $ profile_flag)
   in
   Cmd.v
     (Cmd.info "cache"
@@ -304,7 +334,8 @@ let ram_cmd =
   let ram =
     Arg.(value & opt ram_conv Cacti_tech.Cell.Sram & info [ "ram" ] ~doc:"Technology.")
   in
-  let run size word banks ram tech params jobs strict want_summary json =
+  let run size word banks ram tech params jobs strict want_summary json
+      profile =
     guarded ~json @@ fun () ->
     with_tech ~json tech @@ fun tech ->
     match
@@ -320,9 +351,11 @@ let ram_cmd =
     with
     | Error ds -> invalid ~json ds
     | Ok spec -> (
+        profile_start profile;
         match Cacti.Ram_model.solve_diag ?jobs ~params ~strict spec with
         | Error ds -> solve_failed ~json ds
         | Ok (r, s) when json ->
+            profile_report ~profile s;
             emit_json
               ?summary:(if want_summary then Some s else None)
               (Cacti_server.Protocol.ram_solution r)
@@ -347,12 +380,13 @@ let ram_cmd =
               Units.pp_area r.Cacti.Ram_model.area
               (100. *. r.Cacti.Ram_model.area_efficiency);
             print_summary want_summary s;
+            profile_report ~profile s;
             Diag.exit_ok)
   in
   let term =
     Term.(
       const run $ size $ word $ banks $ ram $ tech_nm $ opt_params $ jobs
-      $ strict $ summary $ json_flag)
+      $ strict $ summary $ json_flag $ profile_flag)
   in
   Cmd.v (Cmd.info "ram" ~doc:"Model a plain (non-cache) memory macro.") term
 
@@ -377,7 +411,7 @@ let mainmem_cmd =
          & info [ "interface" ] ~doc:"IO interface: ddr3 or ddr4.")
   in
   let run bits banks io page prefetch burst iface tech jobs strict
-      want_summary json =
+      want_summary json profile =
     guarded ~json @@ fun () ->
     with_tech ~json tech @@ fun tech ->
     match
@@ -386,9 +420,11 @@ let mainmem_cmd =
     with
     | Error ds -> invalid ~json ds
     | Ok chip -> (
+        profile_start profile;
         match Cacti.Mainmem.solve_diag ?jobs ~strict chip with
         | Error ds -> solve_failed ~json ds
         | Ok (m, s) when json ->
+            profile_report ~profile s;
             emit_json
               ?summary:(if want_summary then Some s else None)
               (Cacti_server.Protocol.mainmem_solution m)
@@ -413,12 +449,13 @@ let mainmem_cmd =
               Units.pp_area m.Cacti.Mainmem.area
               (100. *. m.Cacti.Mainmem.area_efficiency);
             print_summary want_summary s;
+            profile_report ~profile s;
             Diag.exit_ok)
   in
   let term =
     Term.(
       const run $ bits $ banks $ io $ page $ prefetch $ burst $ iface
-      $ tech_nm $ jobs $ strict $ summary $ json_flag)
+      $ tech_nm $ jobs $ strict $ summary $ json_flag $ profile_flag)
   in
   Cmd.v
     (Cmd.info "mainmem" ~doc:"Model a main-memory DRAM chip (Section 2.1).")

@@ -34,197 +34,224 @@ type t = {
   pipeline_stages : int;
 }
 
-let evaluate ~spec ~org =
-  match Mat.make ~spec ~org () with
-  | None -> None
-  | Some mat ->
-      let { Array_spec.ram; tech; output_bits; _ } = spec in
-      let is_dram = Cell.is_dram ram in
-      let cell = Technology.cell tech ram in
-      let periph = Technology.peripheral_device tech ram in
-      let feature = Technology.feature_size tech in
-      let area_model =
-        Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy
+(* The bank-level model on top of a solved mat: H-tree distribution,
+   timings, energies, leakage, refresh and area.  Pure float math against
+   the staged constants — no circuit design happens here. *)
+let assemble ~(staged : Staged.t) ~spec ~(org : Org.t) (mat : Mat.t) =
+  let { Array_spec.output_bits; _ } = spec in
+  let is_dram = staged.Staged.is_dram in
+  let cell = staged.Staged.cell in
+  let mats_x = Org.mats_x org and mats_y = Org.mats_y org in
+  let n_mats = mats_x * mats_y in
+  (* The page constraint is part of [Mat.geometry], so any surviving
+     mat already satisfies it. *)
+  let bank_w = float_of_int mats_x *. mat.Mat.width in
+  let bank_h = float_of_int mats_y *. mat.Mat.height in
+  let repeater = staged.Staged.repeater in
+  let htree = Htree.plan ~repeater ~bank_width:bank_w ~bank_height:bank_h in
+  let addr_bits = Array_spec.addr_bits spec + 8 in
+  let addr_link = Htree.link htree ~bits:addr_bits ~activity:1.0 () in
+  let data_out_link = Htree.link htree ~bits:output_bits ~activity:0.75 () in
+  let data_in_link = Htree.link htree ~bits:output_bits ~activity:0.75 () in
+  (* Port receivers/drivers at the bank boundary. *)
+  let t_port = staged.Staged.t_port in
+  let t_htree_in = addr_link.Stage.delay +. t_port in
+  let t_htree_out = data_out_link.Stage.delay +. t_port in
+  let t_access =
+    t_htree_in +. mat.Mat.t_row_path +. mat.Mat.t_bitline
+    +. mat.Mat.t_sense +. mat.Mat.t_column_out +. t_htree_out
+  in
+  let t_local_cycle =
+    mat.Mat.t_wordline +. mat.Mat.t_bitline +. mat.Mat.t_sense
+    +. mat.Mat.t_restore +. mat.Mat.t_precharge
+  in
+  let t_random_cycle = t_local_cycle in
+  let t_htree_stage = (t_htree_in +. t_htree_out) /. 6. in
+  let t_interleave =
+    max
+      (mat.Mat.t_bitline +. mat.Mat.t_sense +. mat.Mat.t_column_out)
+      t_htree_stage
+  in
+  let active_mats = mats_x in
+  let fam = float_of_int active_mats in
+  (* Energies. *)
+  let e_activate =
+    addr_link.Stage.energy +. (fam *. mat.Mat.e_row_activate)
+  in
+  let e_col_read =
+    (fam *. mat.Mat.e_column_read) +. data_out_link.Stage.energy
+  in
+  let e_col_write =
+    (fam *. mat.Mat.e_column_write) +. data_in_link.Stage.energy
+  in
+  let e_precharge = fam *. mat.Mat.e_precharge in
+  let e_read, e_write =
+    if is_dram then
+      (* SRAM-like interface with auto-precharge: a random read costs
+         ACTIVATE + column read + PRECHARGE. *)
+      ( e_activate +. e_col_read +. e_precharge,
+        e_activate +. e_col_write +. e_precharge )
+    else (e_activate +. e_col_read, e_activate +. e_col_write)
+  in
+  (* Leakage: mats (sleep transistors halve the non-active ones) +
+     H-tree repeaters. *)
+  let sleep_factor =
+    if spec.Array_spec.sleep_tx then
+      (fam +. (float_of_int (n_mats - active_mats) *. 0.5))
+      /. float_of_int n_mats
+    else 1.0
+  in
+  let p_leakage =
+    (float_of_int n_mats *. mat.Mat.leakage *. sleep_factor)
+    +. addr_link.Stage.leakage +. data_out_link.Stage.leakage
+    +. data_in_link.Stage.leakage
+  in
+  (* Refresh. *)
+  let p_refresh =
+    if not is_dram then 0.
+    else
+      let wordlines_per_mat =
+        mat.Mat.subarray.Subarray.rows
+        * (mat.Mat.n_subarrays / mat.Mat.horiz_subarrays)
       in
-      let mats_x = Org.mats_x org and mats_y = Org.mats_y org in
-      let n_mats = mats_x * mats_y in
-      (* The page constraint is part of [Mat.geometry], so any surviving
-         mat already satisfies it. *)
-      let bank_w = float_of_int mats_x *. mat.Mat.width in
-        let bank_h = float_of_int mats_y *. mat.Mat.height in
-        let repeater =
-          Repeater.design ~device:periph ~area:area_model ~feature
-            ~max_delay_penalty:spec.Array_spec.max_repeater_delay_penalty
-            ~wire:(Technology.wire tech Semi_global)
-            ()
-        in
-        let htree = Htree.plan ~repeater ~bank_width:bank_w ~bank_height:bank_h in
-        let addr_bits = Array_spec.addr_bits spec + 8 in
-        let addr_link = Htree.link htree ~bits:addr_bits ~activity:1.0 () in
-        let data_out_link =
-          Htree.link htree ~bits:output_bits ~activity:0.75 ()
-        in
-        let data_in_link =
-          Htree.link htree ~bits:output_bits ~activity:0.75 ()
-        in
-        (* Port receivers/drivers at the bank boundary. *)
-        let t_port = 3. *. Technology.fo4 tech periph.Device.kind in
-        let t_htree_in = addr_link.Stage.delay +. t_port in
-        let t_htree_out = data_out_link.Stage.delay +. t_port in
-        let t_access =
-          t_htree_in +. mat.Mat.t_row_path +. mat.Mat.t_bitline
-          +. mat.Mat.t_sense +. mat.Mat.t_column_out +. t_htree_out
-        in
-        let t_local_cycle =
-          mat.Mat.t_wordline +. mat.Mat.t_bitline +. mat.Mat.t_sense
-          +. mat.Mat.t_restore +. mat.Mat.t_precharge
-        in
-        let t_random_cycle = t_local_cycle in
-        let t_htree_stage =
-          (t_htree_in +. t_htree_out) /. 6.
-        in
-        let t_interleave =
-          max
-            (mat.Mat.t_bitline +. mat.Mat.t_sense +. mat.Mat.t_column_out)
-            t_htree_stage
-        in
-        let active_mats = mats_x in
-        let fam = float_of_int active_mats in
-        (* Energies. *)
-        let e_activate =
-          addr_link.Stage.energy +. (fam *. mat.Mat.e_row_activate)
-        in
-        let e_col_read =
-          (fam *. mat.Mat.e_column_read) +. data_out_link.Stage.energy
-        in
-        let e_col_write =
-          (fam *. mat.Mat.e_column_write) +. data_in_link.Stage.energy
-        in
-        let e_precharge = fam *. mat.Mat.e_precharge in
-        let e_read, e_write =
-          if is_dram then
-            (* SRAM-like interface with auto-precharge: a random read costs
-               ACTIVATE + column read + PRECHARGE. *)
-            (e_activate +. e_col_read +. e_precharge,
-             e_activate +. e_col_write +. e_precharge)
-          else
-            (e_activate +. e_col_read, e_activate +. e_col_write)
-        in
-        (* Leakage: mats (sleep transistors halve the non-active ones) +
-           H-tree repeaters. *)
-        let sleep_factor =
-          if spec.Array_spec.sleep_tx then
-            (fam +. (float_of_int (n_mats - active_mats) *. 0.5))
-            /. float_of_int n_mats
-          else 1.0
-        in
-        let p_leakage =
-          (float_of_int n_mats *. mat.Mat.leakage *. sleep_factor)
-          +. addr_link.Stage.leakage +. data_out_link.Stage.leakage
-          +. data_in_link.Stage.leakage
-        in
-        (* Refresh. *)
-        let p_refresh =
-          if not is_dram then 0.
-          else
-            let wordlines_per_mat =
-              mat.Mat.subarray.Subarray.rows * (mat.Mat.n_subarrays / mat.Mat.horiz_subarrays)
-            in
-            let n_wordlines = wordlines_per_mat * mats_y in
-            (* Burst refresh shares command/decode overhead across rows and
-               skips the column circuitry entirely. *)
-            let refresh_efficiency = 0.75 in
-            let e_per_refresh =
-              refresh_efficiency
-              *. (fam *. (mat.Mat.e_row_activate +. mat.Mat.e_precharge))
-            in
-            float_of_int n_wordlines *. e_per_refresh
-            /. cell.Cell.retention_time
-        in
-        (* DRAM interface timings. *)
-        let dram =
-          if not is_dram then None
-          else
-            let t_rcd =
-              t_htree_in +. mat.Mat.t_row_path +. mat.Mat.t_bitline
-              +. mat.Mat.t_sense
-            in
-            let t_cas = mat.Mat.t_column_out +. t_htree_out in
-            let t_ras =
-              mat.Mat.t_row_path +. mat.Mat.t_bitline +. mat.Mat.t_sense
-              +. mat.Mat.t_restore
-            in
-            let t_rp = mat.Mat.t_precharge +. (0.3 *. mat.Mat.t_wordline) in
-            Some
-              {
-                t_rcd;
-                t_cas;
-                t_ras;
-                t_rp;
-                t_rc = t_ras +. t_rp;
-                t_rrd = t_interleave;
-              }
-        in
-        (* Area. *)
-        let htree_silicon =
-          addr_link.Stage.area +. data_out_link.Stage.area
-          +. data_in_link.Stage.area
-        in
-        let area =
-          ((bank_w *. bank_h) +. htree_silicon) *. 1.08
-        in
-        let cell_area_total =
-          float_of_int n_mats
-          *. float_of_int mat.Mat.n_subarrays
-          *. Subarray.cell_area mat.Mat.subarray
-        in
-        Some
-          {
-            spec;
-            org;
-            mat;
-            n_mats;
-            active_mats;
-            width = bank_w;
-            height = bank_h;
-            area;
-            area_efficiency = cell_area_total /. area;
-            t_access;
-            t_random_cycle;
-            t_interleave;
-            dram;
-            e_read;
-            e_write;
-            e_activate;
-            e_precharge;
-            p_leakage;
-            p_refresh;
-            n_subbanks = mats_y;
-            pipeline_stages = mat.Mat.decoder.Decoder.n_stages + 3;
-          }
+      let n_wordlines = wordlines_per_mat * mats_y in
+      (* Burst refresh shares command/decode overhead across rows and
+         skips the column circuitry entirely. *)
+      let refresh_efficiency = 0.75 in
+      let e_per_refresh =
+        refresh_efficiency
+        *. (fam *. (mat.Mat.e_row_activate +. mat.Mat.e_precharge))
+      in
+      float_of_int n_wordlines *. e_per_refresh /. cell.Cell.retention_time
+  in
+  (* DRAM interface timings. *)
+  let dram =
+    if not is_dram then None
+    else
+      let t_rcd =
+        t_htree_in +. mat.Mat.t_row_path +. mat.Mat.t_bitline
+        +. mat.Mat.t_sense
+      in
+      let t_cas = mat.Mat.t_column_out +. t_htree_out in
+      let t_ras =
+        mat.Mat.t_row_path +. mat.Mat.t_bitline +. mat.Mat.t_sense
+        +. mat.Mat.t_restore
+      in
+      let t_rp = mat.Mat.t_precharge +. (0.3 *. mat.Mat.t_wordline) in
+      Some
+        {
+          t_rcd;
+          t_cas;
+          t_ras;
+          t_rp;
+          t_rc = t_ras +. t_rp;
+          t_rrd = t_interleave;
+        }
+  in
+  (* Area. *)
+  let htree_silicon =
+    addr_link.Stage.area +. data_out_link.Stage.area
+    +. data_in_link.Stage.area
+  in
+  let area = ((bank_w *. bank_h) +. htree_silicon) *. 1.08 in
+  let cell_area_total =
+    float_of_int n_mats
+    *. float_of_int mat.Mat.n_subarrays
+    *. Subarray.cell_area mat.Mat.subarray
+  in
+  {
+    spec;
+    org;
+    mat;
+    n_mats;
+    active_mats;
+    width = bank_w;
+    height = bank_h;
+    area;
+    area_efficiency = cell_area_total /. area;
+    t_access;
+    t_random_cycle;
+    t_interleave;
+    dram;
+    e_read;
+    e_write;
+    e_activate;
+    e_precharge;
+    p_leakage;
+    p_refresh;
+    n_subbanks = mats_y;
+    pipeline_stages = mat.Mat.decoder.Decoder.n_stages + 3;
+  }
 
-(* Cheap per-organization lower bound on the final bank area: the cell
-   matrix itself (constant across organizations) plus the per-mat control
-   block, whose replication grows with the mat count.  Both are provably
-   included in [evaluate]'s area (the mat folds the control block into its
-   sense strip, and the bank applies the same 1.08 wiring overhead), so a
-   candidate whose bound already exceeds the area filter can be skipped
-   before any circuit modeling without changing any surviving solution. *)
-let area_lower_bound spec =
-  let { Array_spec.ram; tech; n_rows; row_bits; _ } = spec in
-  let cell = Technology.cell tech ram in
-  let periph = Technology.peripheral_device tech ram in
-  let feature = Technology.feature_size tech in
-  let area_model =
-    Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy
-  in
-  let ctl_inv = Gate.inverter ~area:area_model periph ~w_n:(10. *. feature) in
-  let wr_drv = Gate.inverter ~area:area_model periph ~w_n:(24. *. feature) in
+let evaluate_staged ~staged ~spec ~org =
+  match Mat.make_staged ~staged ~spec ~org () with
+  | None -> None
+  | Some mat -> Some (assemble ~staged ~spec ~org mat)
+
+let evaluate ~spec ~org =
+  evaluate_staged ~staged:(Mat.staged_of_spec spec) ~spec ~org
+
+(* Cheap per-organization lower bounds on the final bank metrics, computed
+   from the geometry alone (before any circuit modeling).  Each is provably
+   a lower bound of the corresponding [assemble] output:
+
+   - area: the cell matrix itself (constant across organizations) plus the
+     per-mat sense amplifiers and control block, whose replication grows
+     with the mat count and the sensing width.  The mat folds both into
+     its sense strip ([sa_area + control_area], every other strip term
+     nonnegative) and the bank applies the same 1.08 wiring overhead, so
+     all three terms are included in the real area.  The sense-amp term is
+     what gives the bound its discriminating power: the cell matrix alone
+     is the same for every organization (width x height telescopes to
+     [row_bits * n_rows] cells), while lightly-muxed organizations carry
+     an amplifier per column.
+   - time: the H-tree in + out traversal plus the distributed-RC flight
+     terms of the wordline and the bitline.  The bank is at least
+     [mats_x * horiz * cols_sub] cells wide and [mats_y * vert * rows_sub]
+     cells tall (a subarray is exactly its cell matrix; mat strips and
+     H-tree silicon only add to that), the worst-case H-tree path is
+     (W + H)/2 in each direction at [delay_per_m] per meter, plus the two
+     3-FO4 ports.  [t_row_path >= Decoder.t_line = 0.38 * r_line * c_line]
+     with the line RC exactly [horiz * cols_sub] cell pitches of wordline
+     wire; the SRAM [t_read_develop >= 0.38 * r_bl * c_bl] (the
+     cell-current development term and the sense-amp input load are
+     nonnegative) and the DRAM [t_charge_share] is monotone in the bitline
+     capacitance, so evaluating it at [c_sense_input = 0] bounds it from
+     below.  These quadratic terms are what catch the slow candidates: a
+     degenerate organization is slow because of its mile-long wordlines
+     or bitlines, not its H-tree.
+   - energy (read): the address + data-out H-tree link energy over the same
+     minimum span, plus one sense-amp firing per sensed column (and, for
+     DRAM, the storage-cell restore charge on every active column); all
+     other mat energies are nonnegative.
+
+   The 0.999 factor keeps each bound strictly conservative against float
+   rounding, so pruning on it can never drop a candidate that would have
+   tied or beaten the eventual winner. *)
+type bounds = { b_area : float; b_time : float; b_energy : float }
+
+let lower_bounds ~(staged : Staged.t) spec =
+  let { Array_spec.n_rows; row_bits; output_bits; _ } = spec in
+  let cell_w = staged.Staged.cell_w and cell_h = staged.Staged.cell_h in
+  let ctl_inv = staged.Staged.ctl_inv and wr_drv = staged.Staged.wr_drv in
+  let rep = staged.Staged.repeater in
+  let t_port = staged.Staged.t_port in
   let cells_total =
-    float_of_int n_rows *. float_of_int row_bits
-    *. Cell.width cell ~feature_size:feature
-    *. Cell.height cell ~feature_size:feature
+    float_of_int n_rows *. float_of_int row_bits *. cell_w *. cell_h
   in
+  let energy_bits =
+    float_of_int (Array_spec.addr_bits spec + 8)
+    +. (0.75 *. float_of_int output_bits)
+  in
+  let is_dram = staged.Staged.is_dram in
+  let cell = staged.Staged.cell in
+  let wl_rc = cell.Cell.r_wl_per_cell *. cell.Cell.c_wl_per_cell in
+  let r_bl = cell.Cell.r_bl_per_cell and c_bl = cell.Cell.c_bl_per_cell in
+  let vdd_cell = cell.Cell.vdd_cell in
+  (* DRAM charge-share constants (see [Bitline.dram]). *)
+  let r_access = 0.15 *. vdd_cell /. cell.Cell.i_cell_on in
+  let cs = cell.Cell.storage_cap in
+  let e_restore_per_col = 0.75 *. cs *. vdd_cell *. vdd_cell in
   fun (org : Org.t) (g : Mat.geometry) ->
     let n_wordlines = g.Mat.g_rows_sub * g.Mat.g_vert in
     let n_ctl = 60 + (2 * Cacti_util.Floatx.clog2 (max 2 n_wordlines)) in
@@ -232,15 +259,92 @@ let area_lower_bound spec =
       (float_of_int n_ctl *. ctl_inv.Gate.area)
       +. (float_of_int g.Mat.g_out_bits *. 2. *. wr_drv.Gate.area)
     in
-    (* 0.999: keep the bound strictly conservative against float rounding. *)
-    0.999 *. 1.08
-    *. (cells_total +. (float_of_int (Org.n_mats org) *. control))
+    let eff_deg = if is_dram then 1 else org.Org.deg_bl_mux in
+    let n_sa =
+      if is_dram then g.Mat.g_horiz * g.Mat.g_cols_sub else g.Mat.g_sensed
+    in
+    let sa_area =
+      float_of_int n_sa
+      *. (Staged.sense staged ~deg_bl_mux:eff_deg).Sense_amp.area
+    in
+    let b_area =
+      0.999 *. 1.08
+      *. (cells_total
+         +. (float_of_int (Org.n_mats org) *. (control +. sa_area)))
+    in
+    let w_lb =
+      float_of_int (Org.mats_x org * g.Mat.g_horiz * g.Mat.g_cols_sub)
+      *. cell_w
+    in
+    let h_lb =
+      float_of_int (Org.mats_y org * g.Mat.g_vert * g.Mat.g_rows_sub)
+      *. cell_h
+    in
+    let span = w_lb +. h_lb in
+    (* Wordline flight: exactly [Decoder.t_line] for this line length. *)
+    let line_cells = float_of_int (g.Mat.g_horiz * g.Mat.g_cols_sub) in
+    let t_wordline_lb = 0.38 *. line_cells *. line_cells *. wl_rc in
+    (* Bitline: the distributed-RC floor of develop / charge-share. *)
+    let rows = float_of_int g.Mat.g_rows_sub in
+    let t_bitline_lb =
+      if is_dram then
+        let c_line = rows *. c_bl in
+        let c_eq = cs *. c_line /. (cs +. c_line) in
+        2.3 *. (r_access +. (0.5 *. rows *. r_bl)) *. c_eq
+      else 0.38 *. rows *. rows *. r_bl *. c_bl
+    in
+    let b_time =
+      0.999
+      *. ((rep.Repeater.delay_per_m *. span) +. (2. *. t_port)
+         +. t_wordline_lb +. t_bitline_lb)
+    in
+    let sense_energy =
+      (Staged.sense staged ~deg_bl_mux:eff_deg).Sense_amp.energy
+    in
+    let fam = float_of_int (Org.mats_x org) in
+    let e_mat_lb =
+      (float_of_int g.Mat.g_sensed_per_access *. sense_energy)
+      +.
+      if is_dram then
+        float_of_int (g.Mat.g_horiz * g.Mat.g_cols_sub) *. e_restore_per_col
+      else 0.
+    in
+    let b_energy =
+      0.999
+      *. ((energy_bits *. rep.Repeater.energy_per_m *. span /. 2.)
+         +. (fam *. e_mat_lb))
+    in
+    { b_area; b_time; b_energy }
 
-let rec atomic_min cell v =
+let area_lower_bound spec =
+  let lbs = lower_bounds ~staged:(Mat.staged_of_spec spec) spec in
+  fun org g -> (lbs org g).b_area
+
+(* The branch-and-bound champion: the metrics of the smallest-area
+   candidate evaluated so far.  [ch_area] only shrinks, so any snapshot
+   over-approximates the final best area, and because the final best-area
+   candidate always survives the staged filters into [within_area], its
+   access time [ch_time] upper-bounds the final [best_t] of the time
+   filter.  That makes the pruning rules below sound for the staged
+   selection of {!Cacti.Optimizer} whatever the evaluation order — see
+   [bound_policy] in the interface. *)
+type champion = { ch_area : float; ch_time : float; ch_energy : float }
+
+let no_champion =
+  { ch_area = Float.infinity; ch_time = Float.infinity;
+    ch_energy = Float.infinity }
+
+let rec note_champion cell (b : t) =
   let cur = Atomic.get cell in
-  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+  if b.area < cur.ch_area then
+    let next =
+      { ch_area = b.area; ch_time = b.t_access; ch_energy = b.e_read }
+    in
+    if not (Atomic.compare_and_set cell cur next) then note_champion cell b
 
-type fault = Fault_nan | Fault_exn
+type bound_policy = { acctime_pct : float; energy_only : bool }
+
+type fault = Fault_nan | Fault_exn | Fault_force
 
 let fault_hook : (int -> fault option) ref = ref (fun _ -> None)
 let set_fault_hook h = fault_hook := Option.value h ~default:(fun _ -> None)
@@ -261,91 +365,119 @@ let check_metrics b =
   chk "p_leakage" b.p_leakage;
   chk "p_refresh" b.p_refresh
 
-let enumerate_counts ?(pool = Cacti_util.Pool.serial) ?prune ?max_ndwl
-    ?max_ndbl ?(strict = false) spec =
-  let dram = Cell.is_dram spec.Array_spec.ram in
+let enumerate_counts ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
+    ?max_ndwl ?max_ndbl ?(strict = false) spec =
+  Cacti_util.Profile.time "enumerate" @@ fun () ->
+  let staged = Mat.staged_of_spec spec in
   (* Integer tiling, mux-chain and page constraints are pure arithmetic:
-     screen them serially before fanning the expensive evaluations out. *)
-  let n_geometry = ref 0 and n_page = ref 0 and n_total = ref 0 in
-  let screened =
-    Org.candidates ?max_ndwl ?max_ndbl ~dram ()
-    |> List.filter_map (fun org ->
-           incr n_total;
-           match Mat.classify ~spec ~org with
-           | Ok g -> Some (org, g)
-           | Error `Page ->
-               incr n_page;
-               None
-           | Error `Geometry ->
-               incr n_geometry;
-               None)
-    |> List.mapi (fun i cand -> (i, cand))
+     screen them serially (and hierarchically — see {!Mat.screen}) before
+     fanning the expensive evaluations out. *)
+  let survivors, n_total, n_geometry, n_page =
+    Mat.screen ?max_ndwl ?max_ndbl ~spec ()
   in
+  let screened = List.mapi (fun i cand -> (i, cand)) survivors in
   let n_ok = Atomic.make 0
-  and n_pruned = Atomic.make 0
+  and n_area_pruned = Atomic.make 0
+  and n_bound_pruned = Atomic.make 0
   and n_nonviable = Atomic.make 0
   and n_nonfinite = Atomic.make 0
   and n_raised = Atomic.make 0 in
-  let prune_check, note_area =
-    match prune with
-    | None -> ((fun _ _ -> false), fun _ -> ())
-    | Some max_area_pct ->
-        let lb = area_lower_bound spec in
-        let best_area = Atomic.make Float.infinity in
-        (* [best_area] only shrinks, so any snapshot over-approximates the
-           final minimum: a candidate pruned here could never survive the
-           [max_area_pct] filter, whatever the evaluation order. *)
-        ( (fun org g ->
-            lb org g > Atomic.get best_area *. (1. +. max_area_pct)),
-          fun (b : t) -> atomic_min best_area b.area )
+  let champion = Atomic.make no_champion in
+  let lbs =
+    if prune <> None || bound <> None then Some (lower_bounds ~staged spec)
+    else None
+  in
+  (* `Area: could never survive the max_area_pct filter.  `Bound: could
+     survive it, but provably cannot displace the champion's candidate as
+     the selected solution (see [bound_policy]).  Both compare monotone
+     lower bounds against a monotonically improving champion, so a
+     candidate pruned under any evaluation order is pruned soundly. *)
+  let prune_class org g =
+    match lbs with
+    | None -> `Eval
+    | Some lb -> (
+        let b = lb org g in
+        let ch = Atomic.get champion in
+        let area_cut =
+          match prune with
+          | Some max_area_pct ->
+              b.b_area > ch.ch_area *. (1. +. max_area_pct)
+          | None -> false
+        in
+        if area_cut then `Area
+        else
+          match bound with
+          | Some bp
+            when b.b_area > ch.ch_area
+                 && (b.b_time > ch.ch_time *. (1. +. bp.acctime_pct)
+                    || (bp.energy_only && b.b_time > ch.ch_time
+                       && b.b_energy > ch.ch_energy)) ->
+              `Bound
+          | _ -> `Eval)
   in
   let hook = !fault_hook in
+  let solve_mat org g =
+    let build () =
+      Cacti_util.Profile.time "mat_solve" (fun () ->
+          Mat.make_staged ~staged ~spec ~org ())
+    in
+    match mat_cache with
+    | None -> build ()
+    | Some cache -> cache (Mat.fingerprint ~spec ~org g) build
+  in
   let eval (i, (org, g)) =
     let injected = hook i in
-    (* Injected candidates bypass the (evaluation-order-dependent) prune so
-       the fault counts are identical for every worker count. *)
-    if injected = None && prune_check org g then (
-      Atomic.incr n_pruned;
-      None)
-    else
-      try
-        (match injected with
-        | Some Fault_exn -> failwith "Bank.enumerate: injected fault"
-        | _ -> ());
-        match (evaluate ~spec ~org, injected) with
-        | None, Some Fault_nan ->
-            raise
-              (Cacti_util.Floatx.Non_finite "t_access is nan (injected)")
-        | None, _ ->
-            Atomic.incr n_nonviable;
+    (* Injected candidates bypass the (evaluation-order-dependent) prunes
+       so the fault counts are identical for every worker count — and so
+       [Fault_force] force-evaluates a candidate the prunes would skip. *)
+    match if injected = None then prune_class org g else `Eval with
+    | `Area ->
+        Atomic.incr n_area_pruned;
+        None
+    | `Bound ->
+        Atomic.incr n_bound_pruned;
+        None
+    | `Eval -> (
+        try
+          (match injected with
+          | Some Fault_exn -> failwith "Bank.enumerate: injected fault"
+          | _ -> ());
+          match (solve_mat org g, injected) with
+          | None, Some Fault_nan ->
+              raise
+                (Cacti_util.Floatx.Non_finite "t_access is nan (injected)")
+          | None, _ ->
+              Atomic.incr n_nonviable;
+              None
+          | Some mat, inj ->
+              let b = assemble ~staged ~spec ~org mat in
+              let b =
+                match inj with
+                | Some Fault_nan -> { b with t_access = Float.nan }
+                | _ -> b
+              in
+              check_metrics b;
+              note_champion champion b;
+              Atomic.incr n_ok;
+              Some b
+        with
+        | Cacti_util.Floatx.Non_finite _ when not strict ->
+            Atomic.incr n_nonfinite;
             None
-        | Some b, inj ->
-            let b =
-              match inj with
-              | Some Fault_nan -> { b with t_access = Float.nan }
-              | _ -> b
-            in
-            check_metrics b;
-            note_area b;
-            Atomic.incr n_ok;
-            Some b
-      with
-      | Cacti_util.Floatx.Non_finite _ when not strict ->
-          Atomic.incr n_nonfinite;
-          None
-      | (Out_of_memory | Stack_overflow) as e -> raise e
-      | _ when not strict ->
-          Atomic.incr n_raised;
-          None
+        | (Out_of_memory | Stack_overflow) as e -> raise e
+        | _ when not strict ->
+            Atomic.incr n_raised;
+            None)
   in
   let banks = Cacti_util.Pool.parallel_filter_map ~chunk:4 pool eval screened in
   let counts =
     {
-      Cacti_util.Diag.candidates = !n_total;
+      Cacti_util.Diag.candidates = n_total;
       evaluated = Atomic.get n_ok;
-      geometry_rejected = !n_geometry;
-      page_rejected = !n_page;
-      area_pruned = Atomic.get n_pruned;
+      geometry_rejected = n_geometry;
+      page_rejected = n_page;
+      area_pruned = Atomic.get n_area_pruned;
+      bound_pruned = Atomic.get n_bound_pruned;
       nonviable = Atomic.get n_nonviable;
       nonfinite = Atomic.get n_nonfinite;
       raised = Atomic.get n_raised;
@@ -353,5 +485,8 @@ let enumerate_counts ?(pool = Cacti_util.Pool.serial) ?prune ?max_ndwl
   in
   (banks, counts)
 
-let enumerate ?pool ?prune ?max_ndwl ?max_ndbl ?strict spec =
-  fst (enumerate_counts ?pool ?prune ?max_ndwl ?max_ndbl ?strict spec)
+let enumerate ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict spec
+    =
+  fst
+    (enumerate_counts ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl
+       ?strict spec)

@@ -44,22 +44,82 @@ type t = {
 val evaluate : spec:Array_spec.t -> org:Org.t -> t option
 (** Full metrics for one candidate organization; [None] if invalid. *)
 
-type fault = Fault_nan | Fault_exn
+val evaluate_staged :
+  staged:Cacti_circuit.Staged.t -> spec:Array_spec.t -> org:Org.t -> t option
+(** {!evaluate} against precomputed staged constants
+    ([Mat.staged_of_spec spec]); bit-identical to {!evaluate}. *)
+
+type bounds = { b_area : float; b_time : float; b_energy : float }
+(** Admissible lower bounds on a candidate's final [area], [t_access] and
+    [e_read], computed from its geometry alone. *)
+
+val lower_bounds :
+  staged:Cacti_circuit.Staged.t ->
+  Array_spec.t ->
+  Org.t ->
+  Mat.geometry ->
+  bounds
+(** [lower_bounds ~staged spec] stages the per-spec constants and returns
+    the per-candidate bound function.  Each bound is provably [<=] the
+    metric {!evaluate} would report for that candidate: area counts the
+    cell matrix plus the sense-amp strip and control replication (the
+    cell matrix alone is organization-invariant, so the sense amps — per
+    active column on DRAM — carry all the discrimination); time counts
+    H-tree traversal over the minimum bank extent plus the closed-form
+    wordline flight and bitline development/charge-share RC; energy
+    counts H-tree link energy plus per-mat sensing and DRAM restore.
+    All kept strictly conservative against float rounding by a 0.999
+    factor. *)
+
+val area_lower_bound :
+  Array_spec.t -> Org.t -> Mat.geometry -> float
+(** [fun org g -> (lower_bounds ~staged spec org g).b_area] with freshly
+    staged constants. *)
+
+type bound_policy = { acctime_pct : float; energy_only : bool }
+(** Policy of the branch-and-bound prune (the [?bound] argument of
+    {!enumerate_counts}).  A candidate [c] is pruned when, against the
+    smallest-area candidate evaluated so far (the champion, of area [A],
+    access time [T] and read energy [E]):
+
+    - [c.b_area > A] and [c.b_time > T * (1 + acctime_pct)]; or
+    - [energy_only] and [c.b_area > A] and [c.b_time > T] and
+      [c.b_energy > E].
+
+    Both rules are sound for the staged selection of Section 2.4
+    ({!Cacti.Optimizer.select_result} with the same [max_acctime_pct]): if
+    such a [c] survived the final area filter, so would the champion
+    (its area is strictly smaller), so the time filter's [best_t] is at
+    most [T], which [c] fails; [c] can neither lower [best_area] nor any
+    objective normalization it participates in.  The [energy_only] rule
+    additionally requires that the objective weighs nothing but dynamic
+    read energy — with the champion inside the time filter, a candidate
+    worse on area, time and read energy can never attain a strictly
+    smaller objective.  It must not be set for any other weighting.
+
+    The prune is only valid when the sweep's consumer applies exactly that
+    staged selection; populations consumed whole (e.g. Pareto frontiers or
+    [solve_space]) must not pass [?bound]. *)
+
+type fault = Fault_nan | Fault_exn | Fault_force
 (** Test-only fault injection: [Fault_nan] poisons the candidate's access
     time with NaN after evaluation, [Fault_exn] raises inside the contained
-    region before evaluation. *)
+    region before evaluation, [Fault_force] evaluates the candidate
+    normally but bypasses the prunes (for pruning-soundness properties). *)
 
 val set_fault_hook : (int -> fault option) option -> unit
 (** Install (or with [None] clear) a hook consulted once per screened
     candidate, keyed by its position in the post-screen enumeration order.
-    Injected candidates bypass the area prune so the resulting [nonfinite] /
-    [raised] counts are identical for every worker count.  Test-only; the
-    hook must be cleared (and is global, so not reentrant) — production code
-    never sets it. *)
+    Injected candidates bypass the area and bound prunes so the resulting
+    [nonfinite] / [raised] counts are identical for every worker count.
+    Test-only; the hook must be cleared (and is global, so not reentrant) —
+    production code never sets it. *)
 
 val enumerate_counts :
   ?pool:Cacti_util.Pool.t ->
   ?prune:float ->
+  ?bound:bound_policy ->
+  ?mat_cache:(string -> (unit -> Mat.t option) -> Mat.t option) ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
   ?strict:bool ->
@@ -69,13 +129,23 @@ val enumerate_counts :
     {!Org.candidates}, plus the rejection histogram over every candidate
     considered.
 
-    [pool] fans the candidate evaluations out across domains; the returned
-    list is identical (same elements, same order) for any worker count.
-    [prune], when set to the optimizer's [max_area_pct], skips candidates
-    whose cheap area lower bound already exceeds the best area seen so far
-    by more than that fraction — such candidates can never survive the
-    optimizer's area filter, so every solution the staged selection of
-    Section 2.4 can return is unaffected.
+    [pool] fans the candidate evaluations out across domains; without
+    prunes the returned list is identical (same elements, same order) for
+    any worker count, and with them the staged-selection winner over the
+    list is.  [prune], when set to the optimizer's [max_area_pct], skips
+    candidates whose cheap area lower bound already exceeds the best area
+    seen so far by more than that fraction — such candidates can never
+    survive the optimizer's area filter, so every solution the staged
+    selection of Section 2.4 can return is unaffected.  [bound] extends
+    the prune to candidates that would survive the area filter but
+    provably cannot displace the selected solution (see {!bound_policy});
+    only pass it when the consumer is exactly that staged selection.
+
+    [mat_cache], keyed by {!Mat.fingerprint}, memoizes the mat circuit
+    solution shared by candidates with identical subarray geometry (within
+    this sweep and, through {!Cacti.Solve_cache}, across solves on the
+    same technology).  The cached value is the same pure function of the
+    key, so results are bit-identical with or without it.
 
     Per-candidate evaluation is fault-contained: an exception escaping the
     circuit model, or a non-finite / negative delay, energy, area or power,
@@ -86,6 +156,8 @@ val enumerate_counts :
 val enumerate :
   ?pool:Cacti_util.Pool.t ->
   ?prune:float ->
+  ?bound:bound_policy ->
+  ?mat_cache:(string -> (unit -> Mat.t option) -> Mat.t option) ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
   ?strict:bool ->

@@ -93,27 +93,165 @@ let classify ~spec ~(org : Org.t) =
 
 let geometry ~spec ~org = Result.to_option (classify ~spec ~org)
 
-let make ~spec ~org () =
-  let open Org in
-  let { Array_spec.ram; tech; _ } = spec in
-  let cell = Technology.cell tech ram in
-  let periph = Technology.peripheral_device tech ram in
-  let feature = Technology.feature_size tech in
-  let area_model = Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy in
+(* Hierarchical screen: walk the partition grid as nested loops (in exactly
+   the {!Org.candidates} order) and hoist each tiling check to the
+   outermost level whose dimensions determine it, bulk-counting the pruned
+   subtree instead of visiting its leaves.  Equivalent to running
+   {!classify} over the flat grid: every hoisted check maps to [`Geometry]
+   in [classify] (checks are order-independent for the count because all
+   of them yield [`Geometry]), and [`Page] is only ever decided at a leaf
+   where all geometry checks passed — the same condition under which the
+   flat screen reaches it.  Cuts a 64x64 SRAM sweep from ~63k classify
+   calls to ~245 interior probes plus the surviving leaves. *)
+let screen ?(max_ndwl = 64) ?(max_ndbl = 64) ~spec () =
+  let { Array_spec.ram; n_rows; row_bits; output_bits; page_bits; _ } = spec in
   let is_dram = Cell.is_dram ram in
+  let ndwls = Org.pow2s max_ndwl and ndbls = Org.pow2s max_ndbl in
+  let nspds = Org.nspds
+  and degs = Org.bl_muxes ~dram:is_dram
+  and ndsams = Org.ndsams in
+  let n_ns = List.length ndsams in
+  let leaves_per_deg = n_ns * n_ns in
+  let leaves_per_nspd = List.length degs * leaves_per_deg in
+  let leaves_per_ndwl =
+    List.length ndbls * List.length nspds * leaves_per_nspd
+  in
+  let n_total = List.length ndwls * leaves_per_ndwl in
+  let n_geometry = ref 0 and n_page = ref 0 in
+  let acc = ref [] in
+  let f_rows = float_of_int n_rows and f_row_bits = float_of_int row_bits in
+  List.iter
+    (fun ndwl ->
+      let mats_x = max 1 (ndwl / 2) in
+      let horiz = min ndwl 2 in
+      match exact_div output_bits mats_x with
+      | None -> n_geometry := !n_geometry + leaves_per_ndwl
+      | Some bits_per_mat ->
+          List.iter
+            (fun ndbl ->
+              let vert = min ndbl 2 in
+              let f_ndbl = float_of_int ndbl in
+              List.iter
+                (fun nspd ->
+                  let dims =
+                    match exact_div_f f_rows (f_ndbl *. nspd) with
+                    | None -> None
+                    | Some rows_sub -> (
+                        match
+                          exact_div_f (f_row_bits *. nspd) (float_of_int ndwl)
+                        with
+                        | None -> None
+                        | Some cols_sub ->
+                            if
+                              rows_sub < 16 || rows_sub > 4096 || cols_sub < 16
+                              || cols_sub > 8192
+                            then None
+                            else Some (rows_sub, cols_sub))
+                  in
+                  match dims with
+                  | None -> n_geometry := !n_geometry + leaves_per_nspd
+                  | Some (rows_sub, cols_sub) ->
+                      List.iter
+                        (fun deg ->
+                          let eff_deg = if is_dram then 1 else deg in
+                          match exact_div (horiz * cols_sub) eff_deg with
+                          | None ->
+                              n_geometry := !n_geometry + leaves_per_deg
+                          | Some sensed ->
+                              (* Checks 6+7 of [classify] combine to
+                                 [ns1 * ns2 * bits_per_mat = sensed]. *)
+                              let target =
+                                if
+                                  bits_per_mat > 0
+                                  && sensed mod bits_per_mat = 0
+                                then sensed / bits_per_mat
+                                else -1
+                              in
+                              if target < 0 then
+                                n_geometry := !n_geometry + leaves_per_deg
+                              else
+                                let sensed_per_access =
+                                  if is_dram then horiz * cols_sub else sensed
+                                in
+                                let page_ok =
+                                  match page_bits with
+                                  | None -> true
+                                  | Some p -> mats_x * sensed_per_access = p
+                                in
+                                let g =
+                                  {
+                                    g_rows_sub = rows_sub;
+                                    g_cols_sub = cols_sub;
+                                    g_horiz = horiz;
+                                    g_vert = vert;
+                                    g_out_bits = bits_per_mat;
+                                    g_sensed = sensed;
+                                    g_sensed_per_access = sensed_per_access;
+                                  }
+                                in
+                                List.iter
+                                  (fun ndsam_lev1 ->
+                                    List.iter
+                                      (fun ndsam_lev2 ->
+                                        if ndsam_lev1 * ndsam_lev2 = target
+                                        then
+                                          if page_ok then
+                                            acc :=
+                                              ( {
+                                                  Org.ndwl;
+                                                  ndbl;
+                                                  nspd;
+                                                  deg_bl_mux = deg;
+                                                  ndsam_lev1;
+                                                  ndsam_lev2;
+                                                },
+                                                g )
+                                              :: !acc
+                                          else incr n_page
+                                        else incr n_geometry)
+                                      ndsams)
+                                  ndsams)
+                        degs)
+                nspds)
+            ndbls)
+    ndwls;
+  (List.rev !acc, n_total, !n_geometry, !n_page)
+
+let staged_of_spec (spec : Array_spec.t) =
+  Staged.make ~tech:spec.Array_spec.tech ~ram:spec.Array_spec.ram
+    ~max_repeater_delay_penalty:spec.Array_spec.max_repeater_delay_penalty ()
+
+(* The circuit solution of a mat is fully determined by the staged
+   constants plus this tuple; candidates across the partition grid that
+   share it share the mat solution bit-for-bit (the remaining spec fields
+   — n_rows, output_bits, sleep_tx, repeater penalty — enter only at the
+   classify screen or the bank level). *)
+let fingerprint ~spec ~(org : Org.t) (g : geometry) =
+  let is_dram = Cell.is_dram spec.Array_spec.ram in
+  let deg = if is_dram then 1 else org.Org.deg_bl_mux in
+  Printf.sprintf "%s|%h|%s|%d|%d|%d|%d|%d|%d|%d"
+    (Cell.ram_kind_to_string spec.Array_spec.ram)
+    (Technology.feature_size spec.Array_spec.tech)
+    (match Technology.wire_projection spec.Array_spec.tech with
+    | Wire.Aggressive -> "a"
+    | Wire.Conservative -> "c")
+    g.g_rows_sub g.g_cols_sub g.g_horiz g.g_vert deg org.Org.ndsam_lev1
+    org.Org.ndsam_lev2
+
+let make_staged ~(staged : Staged.t) ~spec ~org () =
+  let open Org in
+  let { Staged.cell; periph; feature; area = area_model; is_dram; tech; ram; _ }
+      =
+    staged
+  in
   match geometry ~spec ~org with
   | None -> None
   | Some { g_rows_sub = rows_sub; g_cols_sub = cols_sub; g_horiz = horiz;
            g_vert = vert; g_out_bits = out_bits; g_sensed = sensed;
            g_sensed_per_access = _ } ->
       (* Sense amplifiers first (their input loading feeds the bitline). *)
-      let cell_pitch = Cell.width cell ~feature_size:feature in
       let deg = if is_dram then 1 else org.deg_bl_mux in
-      let sense =
-        Sense_amp.make ~device:periph ~area:area_model ~feature
-          ~cell_pitch:(if is_dram then 2. *. cell_pitch else cell_pitch)
-          ~deg_bl_mux:deg ()
-      in
+      let sense = Staged.sense staged ~deg_bl_mux:deg in
       let subarray =
         Subarray.make ~tech ~ram ~rows:rows_sub ~cols:cols_sub
           ~c_sense_input:(sense.Sense_amp.c_input /. float_of_int deg)
@@ -125,7 +263,7 @@ let make ~spec ~org () =
         let n_sense_amps = sensed in
         (* Row decoder: one strip serving all wordlines of the mat; the
            selected wordline spans the horizontal subarrays. *)
-        let wire_local = Technology.wire tech Local in
+        let wire_local = staged.Staged.wire_local in
         let c_line =
           float_of_int horiz *. subarray.Subarray.c_wordline
         in
@@ -175,8 +313,8 @@ let make ~spec ~org () =
         (* Per-mat support circuitry that CACTI folds into every mat: write
            drivers on the output columns, address latches/receivers and the
            self-timed control block.  Modeled as inverter-equivalents. *)
-        let ctl_inv = Gate.inverter ~area:area_model periph ~w_n:(10. *. feature) in
-        let wr_drv = Gate.inverter ~area:area_model periph ~w_n:(24. *. feature) in
+        let ctl_inv = staged.Staged.ctl_inv in
+        let wr_drv = staged.Staged.wr_drv in
         let n_ctl = 60 + (2 * Cacti_util.Floatx.clog2 (max 2 n_wordlines)) in
         let control_area =
           (float_of_int n_ctl *. ctl_inv.Gate.area)
@@ -274,3 +412,5 @@ let make ~spec ~org () =
             leakage;
             leakage_cells;
           }
+
+let make ~spec ~org () = make_staged ~staged:(staged_of_spec spec) ~spec ~org ()

@@ -56,7 +56,44 @@ val geometry : spec:Array_spec.t -> org:Org.t -> geometry option
 (** [Result.to_option (classify ~spec ~org)]: [None] exactly when {!make}
     would return [None] for a structural reason. *)
 
+val screen :
+  ?max_ndwl:int ->
+  ?max_ndbl:int ->
+  spec:Array_spec.t ->
+  unit ->
+  (Org.t * geometry) list * int * int * int
+(** Hierarchical tiling screen over the whole partition grid:
+    [(survivors, n_total, n_geometry, n_page)].  Equivalent to running
+    {!classify} on every element of [Org.candidates] — same survivor list
+    (in the same order, paired with their geometry) and same rejection
+    counts — but walks the grid as nested loops, hoisting each check to
+    the outermost level whose dimensions determine it and bulk-counting
+    pruned subtrees, so the cost is proportional to the interior of the
+    grid rather than its ~63k leaves. *)
+
 val make : spec:Array_spec.t -> org:Org.t -> unit -> t option
 (** [None] when the organization is geometrically or electrically invalid
     for the spec (non-integer tiling, DRAM signal too small, mux chain not
-    matching the output width, etc.). *)
+    matching the output width, etc.).  Equivalent to {!make_staged} with
+    freshly staged constants. *)
+
+val staged_of_spec : Array_spec.t -> Cacti_circuit.Staged.t
+(** The staged per-spec constants ({!Cacti_circuit.Staged.t}) for this
+    spec's technology, cell type and repeater delay penalty. *)
+
+val make_staged :
+  staged:Cacti_circuit.Staged.t ->
+  spec:Array_spec.t ->
+  org:Org.t ->
+  unit ->
+  t option
+(** {!make} against precomputed staged constants.  [staged] must be
+    [staged_of_spec spec] (or an equal record); the result is then
+    bit-identical to [make ~spec ~org ()]. *)
+
+val fingerprint : spec:Array_spec.t -> org:Org.t -> geometry -> string
+(** Memoization key of the mat solution: the cell type, feature size, wire
+    projection and the geometry/mux tuple that fully determine
+    {!make_staged}'s result.  Candidates across the partition grid (and
+    across specs on the same node) that share a fingerprint share the mat
+    solution bit-for-bit. *)

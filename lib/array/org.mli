@@ -29,6 +29,22 @@ val subarrays_per_mat : t -> int
 
 val candidates :
   ?max_ndwl:int -> ?max_ndbl:int -> dram:bool -> unit -> t list
-(** The enumeration grid.  For DRAM arrays [deg_bl_mux] is fixed at 1 —
-    every folded bitline pair owns a sense amplifier, because an ACTIVATE
-    must latch the whole row for writeback. *)
+(** The enumeration grid, in deterministic nested order (ndwl, ndbl, nspd,
+    deg_bl_mux, ndsam_lev1, ndsam_lev2 — outermost first).  For DRAM
+    arrays [deg_bl_mux] is fixed at 1 — every folded bitline pair owns a
+    sense amplifier, because an ACTIVATE must latch the whole row for
+    writeback.  The default 64×64 grids are cached and shared (the list is
+    immutable). *)
+
+(** {1 Grid axes}
+
+    The individual dimensions of {!candidates}, exposed so sweeps can walk
+    the grid hierarchically (hoisting checks that depend only on outer
+    dimensions) while preserving exactly the {!candidates} order. *)
+
+val pow2s : int -> int list
+(** [1; 2; 4; ...] up to and including the bound (if itself a power). *)
+
+val nspds : float list
+val bl_muxes : dram:bool -> int list
+val ndsams : int list

@@ -1,0 +1,86 @@
+open Cacti_tech
+
+(* Per-spec constants of the analytical model, computed once per
+   (technology, cell type, repeater-penalty) tuple and shared by every
+   candidate organization of a design-space sweep.  Everything here is a
+   pure function of its inputs, so evaluating a candidate through a staged
+   record is bit-identical to recomputing the constants inline. *)
+
+type t = {
+  ram : Cell.ram_kind;
+  is_dram : bool;
+  tech : Technology.t;
+  feature : float;
+  cell : Cell.t;
+  periph : Device.t;
+  area : Area_model.t;
+  wire_local : Wire.t;
+  cell_w : float;
+  cell_h : float;
+  repeater : Repeater.t;
+      (* semi-global H-tree repeater design under the spec's delay
+         penalty: the single most expensive per-candidate recomputation
+         (a spacing x sizing scan) in the unstaged evaluator *)
+  t_port : float;
+  ctl_inv : Gate.t;
+  wr_drv : Gate.t;
+  sense_by_deg : (int * Sense_amp.t) list;
+}
+
+let make_sense ~is_dram ~periph ~area ~feature ~cell_pitch deg =
+  Sense_amp.make ~device:periph ~area ~feature
+    ~cell_pitch:(if is_dram then 2. *. cell_pitch else cell_pitch)
+    ~deg_bl_mux:(if is_dram then 1 else deg) ()
+
+let make ~tech ~ram ~max_repeater_delay_penalty () =
+  let cell = Technology.cell tech ram in
+  let periph = Technology.peripheral_device tech ram in
+  let feature = Technology.feature_size tech in
+  let area =
+    Area_model.create ~feature_size:feature ~l_gate:periph.Device.l_phy
+  in
+  let is_dram = Cell.is_dram ram in
+  let cell_w = Cell.width cell ~feature_size:feature in
+  let cell_h = Cell.height cell ~feature_size:feature in
+  let wire_local = Technology.wire tech Wire.Local in
+  let repeater =
+    Repeater.design ~device:periph ~area ~feature
+      ~max_delay_penalty:max_repeater_delay_penalty
+      ~wire:(Technology.wire tech Wire.Semi_global) ()
+  in
+  let t_port = 3. *. Technology.fo4 tech periph.Device.kind in
+  let ctl_inv = Gate.inverter ~area periph ~w_n:(10. *. feature) in
+  let wr_drv = Gate.inverter ~area periph ~w_n:(24. *. feature) in
+  let degs = if is_dram then [ 1 ] else [ 1; 2; 4; 8 ] in
+  let sense_by_deg =
+    List.map
+      (fun d ->
+        (d, make_sense ~is_dram ~periph ~area ~feature ~cell_pitch:cell_w d))
+      degs
+  in
+  {
+    ram;
+    is_dram;
+    tech;
+    feature;
+    cell;
+    periph;
+    area;
+    wire_local;
+    cell_w;
+    cell_h;
+    repeater;
+    t_port;
+    ctl_inv;
+    wr_drv;
+    sense_by_deg;
+  }
+
+let sense t ~deg_bl_mux =
+  match List.assoc_opt deg_bl_mux t.sense_by_deg with
+  | Some s -> s
+  | None ->
+      (* Unknown mux degree (not in the staged table): compute on demand;
+         same expression as the staged entries, so still bit-identical. *)
+      make_sense ~is_dram:t.is_dram ~periph:t.periph ~area:t.area
+        ~feature:t.feature ~cell_pitch:t.cell_w deg_bl_mux

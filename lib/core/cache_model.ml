@@ -118,7 +118,8 @@ let describe_array (s : Cache_spec.t) part =
     (Cacti_tech.Cell.ram_kind_to_string s.Cache_spec.ram)
     part s.Cache_spec.capacity_bytes s.Cache_spec.assoc
 
-let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) s =
+let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?memo s
+    =
   let open Cacti_util in
   match (Cache_spec.validate s, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
@@ -133,7 +134,7 @@ let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) s =
       | dspec, tspec -> (
           let pool = Pool.create ?jobs () in
           let solve_one part spec =
-            Solve_cache.select_bank_result ~pool ~strict
+            Solve_cache.select_bank_result ~pool ~strict ?memo
               ~what:(describe_array s part) ~params spec
           in
           match solve_one "data array" dspec with
@@ -182,8 +183,13 @@ let solve_space ?jobs ?(params = Opt_params.default) s =
   in
   let cmp = make_comparator s in
   let open Opt_params in
+  (* The whole within-area population is the product here, so no
+     branch-and-bound pruning (it is only sound for the staged selection);
+     the mat memo is shared with the point solves and cannot change any
+     candidate. *)
   let candidates =
-    Bank.enumerate ~pool ~prune:params.max_area_pct dspec
+    Bank.enumerate ~pool ~prune:params.max_area_pct
+      ~mat_cache:Solve_cache.mat_memo dspec
   in
   if candidates = [] then []
   else

@@ -24,6 +24,7 @@ val solve_diag :
   ?jobs:int ->
   ?params:Opt_params.t ->
   ?strict:bool ->
+  ?memo:bool ->
   Cache_spec.t ->
   (t * Cacti_util.Diag.summary, Cacti_util.Diag.t list) result
 (** Fault-contained solve with structured diagnostics: validates the spec
@@ -32,7 +33,9 @@ val solve_diag :
     the sweeps (candidates considered, rejections by reason, memo hits).
     [Error] carries the validation or no-solution diagnostics.  [strict]
     (default false) disables the sweep's per-candidate fault containment so
-    the first NaN or exception propagates. *)
+    the first NaN or exception propagates.  [memo] (default true) is
+    {!Solve_cache.select_bank_result}'s escape hatch: [false] bypasses both
+    memo tables; the solution is bit-identical either way. *)
 
 val solve : ?jobs:int -> ?params:Opt_params.t -> ?strict:bool -> Cache_spec.t -> t
 (** Optimizer-selected solution.  [jobs] caps the worker domains used to

@@ -8,60 +8,164 @@ type outcome = {
   from_cache : bool;
 }
 
-type entry = {
-  e_bank : Bank.t;
-  e_counts : Cacti_util.Diag.counts;
-  mutable e_stamp : int;  (** last-use tick, for LRU eviction *)
-}
+(* Shared LRU machinery for the two memo tables (selected banks, mat
+   sub-solutions).  One mutex per table guards the hashtable, the hit/miss
+   counters and the recency clock; values are immutable so a reference
+   handed out under the lock stays valid after it is released. *)
+module Lru = struct
+  type 'v entry = {
+    value : 'v;
+    mutable stamp : int;  (** last-use tick, for LRU eviction *)
+  }
 
-let table : (string, entry) Hashtbl.t = Hashtbl.create 64
-let lock = Mutex.create ()
-let n_hits = ref 0
-let n_misses = ref 0
-let tick = ref 0
-let cap : int option ref = ref None
+  type 'v t = {
+    table : (string, 'v entry) Hashtbl.t;
+    lock : Mutex.t;
+    mutable hits : int;
+    mutable misses : int;
+    mutable tick : int;
+    mutable cap : int option;
+  }
 
-let touch e =
-  incr tick;
-  e.e_stamp <- !tick
+  let create () =
+    {
+      table = Hashtbl.create 64;
+      lock = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      tick = 0;
+      cap = None;
+    }
 
-(* Evict least-recently-used entries until the table fits the cap.  A full
-   scan per eviction is O(n), but evictions only happen on inserts past the
-   cap and the cap is thousands at most — the scan is noise next to the
-   design-space sweep that produced the entry. *)
-let enforce_cap () =
-  match !cap with
-  | None -> ()
-  | Some c ->
-      while Hashtbl.length table > c do
-        let victim =
-          Hashtbl.fold
-            (fun k e acc ->
-              match acc with
-              | Some (_, stamp) when stamp <= e.e_stamp -> acc
-              | _ -> Some (k, e.e_stamp))
-            table None
-        in
-        match victim with
-        | Some (k, _) -> Hashtbl.remove table k
-        | None -> ()
-      done
+  let touch t e =
+    t.tick <- t.tick + 1;
+    e.stamp <- t.tick
 
-let insert key bank counts =
-  incr tick;
-  Hashtbl.replace table key { e_bank = bank; e_counts = counts; e_stamp = !tick };
-  enforce_cap ()
+  (* Evict least-recently-used entries until the table fits the cap.  A
+     full scan per eviction is O(n), but evictions only happen on inserts
+     past the cap and the cap is thousands at most — the scan is noise next
+     to the design-space sweep that produced the entry. *)
+  let enforce_cap_locked t =
+    match t.cap with
+    | None -> ()
+    | Some c ->
+        while Hashtbl.length t.table > c do
+          let victim =
+            Hashtbl.fold
+              (fun k e acc ->
+                match acc with
+                | Some (_, stamp) when stamp <= e.stamp -> acc
+                | _ -> Some (k, e.stamp))
+              t.table None
+          in
+          match victim with
+          | Some (k, _) -> Hashtbl.remove t.table k
+          | None -> ()
+        done
+
+  let insert_locked t key value =
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.table key { value; stamp = t.tick };
+    enforce_cap_locked t
+
+  (* Counted lookup: a miss here is expected to be followed by a compute +
+     [publish]. *)
+  let find t key =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+            t.hits <- t.hits + 1;
+            touch t e;
+            Some e.value
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+
+  (* First store wins: two racing misses of the same key both compute the
+     (identical, deterministic) value; later hits share one copy.  The
+     adopting lookup is not counted as a hit — the caller did compute. *)
+  let publish t key value =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+            touch t e;
+            e.value
+        | None ->
+            insert_locked t key value;
+            value)
+
+  let memoize t key compute =
+    match find t key with
+    | Some v -> v
+    | None -> publish t key (compute ())
+
+  let stats t =
+    Mutex.protect t.lock (fun () -> { hits = t.hits; misses = t.misses })
+
+  let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+  let capacity t = Mutex.protect t.lock (fun () -> t.cap)
+
+  let set_capacity t ~what c =
+    (match c with
+    | Some c when c < 0 ->
+        invalid_arg (Printf.sprintf "%s: negative cap" what)
+    | _ -> ());
+    Mutex.protect t.lock (fun () ->
+        t.cap <- c;
+        enforce_cap_locked t)
+
+  let clear t =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.reset t.table;
+        t.hits <- 0;
+        t.misses <- 0)
+
+  (* Entries in least-recently-used-first order (re-inserting in dump order
+     reconstructs the LRU order). *)
+  let dump t =
+    let entries =
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.fold (fun k e acc -> (k, e.value, e.stamp) :: acc) t.table
+            [])
+    in
+    List.sort (fun (_, _, a) (_, _, b) -> compare (a : int) b) entries
+    |> List.map (fun (k, v, _) -> (k, v))
+
+  let restore t entries =
+    Mutex.protect t.lock (fun () ->
+        List.iter
+          (fun (k, v) ->
+            if not (Hashtbl.mem t.table k) then insert_locked t k v)
+          entries)
+end
+
+(* Selected-bank memo: one entry per (spec, params, bounds) solve. *)
+let banks : (Bank.t * Cacti_util.Diag.counts) Lru.t = Lru.create ()
+
+(* Mat sub-solution memo, keyed by [Mat.fingerprint]: candidates across
+   the partition grid — and across solves on the same technology node,
+   e.g. a cache's data and tag arrays or a warm server's request stream —
+   that share a subarray geometry share the mat circuit solution.  [None]
+   (electrically nonviable) results are memoized too: re-deriving a
+   rejection is as expensive as re-deriving a solution. *)
+let mats : Mat.t option Lru.t = Lru.create ()
+
+let mat_memo key compute = Lru.memoize mats key compute
 
 (* The canonical fingerprint of one solve: every input that can change the
    selected organization.  Floats are printed in hex so distinct values can
    never collide through decimal rounding.  The technology is identified by
-   its feature size — [Technology.at_nm] is a pure function of it. *)
+   its feature size and wire projection — [Technology.at_nm] is a pure
+   function of them. *)
 let fingerprint ~max_ndwl ~max_ndbl ~(params : Opt_params.t)
     (spec : Array_spec.t) =
   let w = params.Opt_params.weights in
-  Printf.sprintf "%s|%h|%d|%d|%d|%h|%b|%s|%d|%d|%h|%h|%h|%h|%h|%h|%h"
+  Printf.sprintf "%s|%h|%s|%d|%d|%d|%h|%b|%s|%d|%d|%h|%h|%h|%h|%h|%h|%h"
     (Cacti_tech.Cell.ram_kind_to_string spec.Array_spec.ram)
     (Cacti_tech.Technology.feature_size spec.Array_spec.tech)
+    (match Cacti_tech.Technology.wire_projection spec.Array_spec.tech with
+    | Cacti_tech.Wire.Aggressive -> "a"
+    | Cacti_tech.Wire.Conservative -> "c")
     spec.Array_spec.n_rows spec.Array_spec.row_bits
     spec.Array_spec.output_bits spec.Array_spec.max_repeater_delay_penalty
     spec.Array_spec.sleep_tx
@@ -79,38 +183,46 @@ let describe (spec : Array_spec.t) =
     spec.Array_spec.n_rows spec.Array_spec.row_bits
     spec.Array_spec.output_bits
 
+(* The branch-and-bound policy implied by the optimization parameters: the
+   time rule always uses the staged selection's own [max_acctime_pct]; the
+   energy rule is only sound when the objective weighs nothing but dynamic
+   energy (see {!Cacti_array.Bank.bound_policy}). *)
+let bound_policy (params : Opt_params.t) =
+  let w = params.Opt_params.weights in
+  {
+    Bank.acctime_pct = params.Opt_params.max_acctime_pct;
+    energy_only =
+      w.Opt_params.w_dynamic > 0. && w.Opt_params.w_leakage = 0.
+      && w.Opt_params.w_cycle = 0. && w.Opt_params.w_interleave = 0.;
+  }
+
 let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
-    ?(max_ndbl = 64) ?(strict = false) ?what ~params spec =
+    ?(max_ndbl = 64) ?(strict = false) ?(memo = true) ?what ~params spec =
   let open Cacti_util in
   match (Array_spec.validate spec, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
   | Error ds, Ok _ | Ok _, Error ds -> Error ds
   | Ok _, Ok _ -> (
       let key = fingerprint ~max_ndwl ~max_ndbl ~params spec in
-      let cached =
-        Mutex.protect lock (fun () ->
-            match Hashtbl.find_opt table key with
-            | Some e ->
-                incr n_hits;
-                touch e;
-                Some (e.e_bank, e.e_counts)
-            | None ->
-                incr n_misses;
-                None)
-      in
+      let cached = if memo then Lru.find banks key else None in
       match cached with
       | Some (b, counts) -> Ok { bank = b; counts; from_cache = true }
       | None -> (
           (* Enumerate outside the lock: it is the expensive, internally
              parallel part.  Two racing misses of the same key both compute
-             the (identical, deterministic) solution; the first store wins so
-             later hits share one value. *)
+             the (identical, deterministic) solution; the first store wins
+             so later hits share one value. *)
           let what = match what with Some w -> w | None -> describe spec in
+          let mat_cache = if memo then Some mat_memo else None in
           let candidates, counts =
             Bank.enumerate_counts ~pool ~prune:params.Opt_params.max_area_pct
-              ~max_ndwl ~max_ndbl ~strict spec
+              ~bound:(bound_policy params) ?mat_cache ~max_ndwl ~max_ndbl
+              ~strict spec
           in
-          match Optimizer.select_result ~what ~params candidates with
+          match
+            Profile.time "optimize" (fun () ->
+                Optimizer.select_result ~what ~params candidates)
+          with
           | Error msg ->
               (* Failed solves are not memoized: the failure is cheap to
                  reproduce and the histogram may matter to the caller. *)
@@ -122,19 +234,16 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
                 ]
           | Ok selected ->
               let bank, counts =
-                Mutex.protect lock (fun () ->
-                    match Hashtbl.find_opt table key with
-                    | Some e ->
-                        touch e;
-                        (e.e_bank, e.e_counts)
-                    | None ->
-                        insert key selected counts;
-                        (selected, counts))
+                if memo then Lru.publish banks key (selected, counts)
+                else (selected, counts)
               in
               Ok { bank; counts; from_cache = false }))
 
-let select_bank ?pool ?max_ndwl ?max_ndbl ?strict ?what ~params spec =
-  match select_bank_result ?pool ?max_ndwl ?max_ndbl ?strict ?what ~params spec with
+let select_bank ?pool ?max_ndwl ?max_ndbl ?strict ?memo ?what ~params spec =
+  match
+    select_bank_result ?pool ?max_ndwl ?max_ndbl ?strict ?memo ?what ~params
+      spec
+  with
   | Ok o -> o.bank
   | Error (d :: _ as ds) ->
       if d.Cacti_util.Diag.reason = "no_solution" then
@@ -142,25 +251,21 @@ let select_bank ?pool ?max_ndwl ?max_ndbl ?strict ?what ~params spec =
       else invalid_arg (Cacti_util.Diag.render ds)
   | Error [] -> assert false
 
-let stats () =
-  Mutex.protect lock (fun () -> { hits = !n_hits; misses = !n_misses })
+let stats () = Lru.stats banks
+let size () = Lru.size banks
+let capacity () = Lru.capacity banks
+let set_capacity c = Lru.set_capacity banks ~what:"Solve_cache.set_capacity" c
 
-let size () = Mutex.protect lock (fun () -> Hashtbl.length table)
-let capacity () = Mutex.protect lock (fun () -> !cap)
+let mat_stats () = Lru.stats mats
+let mat_size () = Lru.size mats
+let mat_capacity () = Lru.capacity mats
 
-let set_capacity c =
-  (match c with
-  | Some c when c < 0 -> invalid_arg "Solve_cache.set_capacity: negative cap"
-  | _ -> ());
-  Mutex.protect lock (fun () ->
-      cap := c;
-      enforce_cap ())
+let set_mat_capacity c =
+  Lru.set_capacity mats ~what:"Solve_cache.set_mat_capacity" c
 
 let clear () =
-  Mutex.protect lock (fun () ->
-      Hashtbl.reset table;
-      n_hits := 0;
-      n_misses := 0)
+  Lru.clear banks;
+  Lru.clear mats
 
 (* ---------------------------- persistence ---------------------------- *)
 
@@ -170,7 +275,9 @@ let clear () =
 
    followed by a Marshal'd (string * Bank.t * Diag.counts) list in
    least-recently-used-first order (so re-inserting in file order
-   reconstructs the LRU order).  The header is checked before any byte is
+   reconstructs the LRU order).  Only the selected-bank memo is persisted:
+   mat sub-solutions are cheap to rebuild and dominated by the bank memo
+   on the warm path.  The header is checked before any byte is
    unmarshalled: a wrong magic, format version or compiler version — or a
    truncated/corrupt payload — returns [Error], never raises, so callers
    can degrade to a cold start.  Marshal cannot validate the value's type;
@@ -178,19 +285,13 @@ let clear () =
    whenever [Bank.t], [Diag.counts] or this layout changes. *)
 
 let magic = "CACTI-SOLVE-CACHE"
-let format_version = 1
+let format_version = 2
 
 type file_payload = (string * Bank.t * Cacti_util.Diag.counts) list
 
 let save path =
   let entries =
-    Mutex.protect lock (fun () ->
-        Hashtbl.fold (fun k e acc -> (k, e.e_bank, e.e_counts, e.e_stamp) :: acc)
-          table [])
-  in
-  let entries =
-    List.sort (fun (_, _, _, a) (_, _, _, b) -> compare a b) entries
-    |> List.map (fun (k, b, c, _) -> (k, b, c))
+    Lru.dump banks |> List.map (fun (k, (b, c)) -> (k, b, c))
   in
   let tmp = path ^ ".tmp" in
   match
@@ -229,16 +330,9 @@ let load path =
                        Sys.ocaml_version)
                 else
                   let entries = (Marshal.from_channel ic : file_payload) in
-                  let n =
-                    Mutex.protect lock (fun () ->
-                        List.iter
-                          (fun (k, b, c) ->
-                            if not (Hashtbl.mem table k) then
-                              insert k b c)
-                          entries;
-                        List.length entries)
-                  in
-                  Ok n
+                  Lru.restore banks
+                    (List.map (fun (k, b, c) -> (k, (b, c))) entries);
+                  Ok (List.length entries)
             | _ -> Error "bad magic (not a solve-cache file)"
           with
           | r -> r

@@ -27,23 +27,33 @@ val select_bank_result :
   ?max_ndwl:int ->
   ?max_ndbl:int ->
   ?strict:bool ->
+  ?memo:bool ->
   ?what:string ->
   params:Opt_params.t ->
   Cacti_array.Array_spec.t ->
   (outcome, Cacti_util.Diag.t list) result
 (** [Optimizer.select_result ~params (Bank.enumerate_counts spec)] with
-    area-bound pruning, memoized.  Validates the spec and the optimization
-    parameters first; an invalid input or an empty surviving design space
-    returns structured diagnostics ([reason] ["no_solution"] carries a
-    ["sweep_counts"] info note with the rejection histogram).  Failed
-    solves are not memoized.  [strict] disables the sweep's per-candidate
-    fault containment. *)
+    area and branch-and-bound pruning (see
+    {!Cacti_array.Bank.bound_policy}; the energy rule engages only for
+    dynamic-energy-only weightings), memoized.  Validates the spec and the
+    optimization parameters first; an invalid input or an empty surviving
+    design space returns structured diagnostics ([reason] ["no_solution"]
+    carries a ["sweep_counts"] info note with the rejection histogram).
+    Failed solves are not memoized.  [strict] disables the sweep's
+    per-candidate fault containment.
+
+    [memo] (default true): when false, neither memo table is consulted or
+    written — the solve-level table is bypassed and the sweep runs without
+    the mat sub-solution cache.  The selected bank is bit-identical either
+    way (the escape hatch exists so the determinism tests can prove
+    that). *)
 
 val select_bank :
   ?pool:Cacti_util.Pool.t ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
   ?strict:bool ->
+  ?memo:bool ->
   ?what:string ->
   params:Opt_params.t ->
   Cacti_array.Array_spec.t ->
@@ -70,9 +80,34 @@ val set_capacity : int option -> unit
 
 val capacity : unit -> int option
 
+(** {1 Mat sub-solution memo}
+
+    A second, independent LRU table memoizes the mat circuit solution per
+    {!Cacti_array.Mat.fingerprint}.  Candidates across the partition grid
+    of one sweep — and across solves on the same technology node, e.g. a
+    cache's data and tag arrays or a warm server's request stream — share
+    identical subarray geometries, so their (expensive) mat solves collapse
+    to hash lookups.  Nonviable ([None]) results are memoized too.  The
+    table is not persisted by {!save}. *)
+
+val mat_memo :
+  string -> (unit -> Cacti_array.Mat.t option) -> Cacti_array.Mat.t option
+(** The memoizing wrapper threaded into
+    {!Cacti_array.Bank.enumerate_counts} as [?mat_cache]: looks the key up,
+    or computes, publishes (first store wins) and returns. *)
+
+val mat_stats : unit -> stats
+val mat_size : unit -> int
+val mat_capacity : unit -> int option
+
+val set_mat_capacity : int option -> unit
+(** Like {!set_capacity}, for the mat memo.  [None] (default) is
+    unbounded; a mat entry is a few hundred bytes, so even [Some 65536] is
+    modest. *)
+
 val clear : unit -> unit
-(** Drop all entries and reset the counters (used by benchmarks to measure
-    cold-vs-warm solve times). *)
+(** Drop all entries of both tables and reset their counters (used by
+    benchmarks to measure cold-vs-warm solve times). *)
 
 (** {1 Persistence}
 

@@ -461,6 +461,7 @@ let counts_to_json (c : Diag.counts) =
       ("geometry_rejected", Jsonx.Int c.Diag.geometry_rejected);
       ("page_rejected", Jsonx.Int c.Diag.page_rejected);
       ("area_pruned", Jsonx.Int c.Diag.area_pruned);
+      ("bound_pruned", Jsonx.Int c.Diag.bound_pruned);
       ("nonviable", Jsonx.Int c.Diag.nonviable);
       ("nonfinite", Jsonx.Int c.Diag.nonfinite);
       ("raised", Jsonx.Int c.Diag.raised);

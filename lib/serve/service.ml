@@ -126,6 +126,9 @@ let stats_json t =
   let sc = Cacti.Solve_cache.stats () in
   let size = Cacti.Solve_cache.size () in
   let cap = Cacti.Solve_cache.capacity () in
+  let ms = Cacti.Solve_cache.mat_stats () in
+  let msize = Cacti.Solve_cache.mat_size () in
+  let mcap = Cacti.Solve_cache.mat_capacity () in
   let depth = queue_depth t in
   let c = t.counters in
   Mutex.protect t.clock (fun () ->
@@ -163,6 +166,16 @@ let stats_json t =
                 ( "capacity",
                   match cap with None -> Jsonx.Null | Some n -> Jsonx.Int n );
                 ("hit_rate", Jsonx.num hit_rate);
+              ] );
+          ( "mat_memo",
+            Jsonx.Obj
+              [
+                ("hits", Jsonx.Int ms.Cacti.Solve_cache.hits);
+                ("misses", Jsonx.Int ms.Cacti.Solve_cache.misses);
+                ("size", Jsonx.Int msize);
+                ( "capacity",
+                  match mcap with None -> Jsonx.Null | Some n -> Jsonx.Int n
+                );
               ] );
           ( "queue",
             Jsonx.Obj

@@ -39,6 +39,7 @@ type counts = {
   geometry_rejected : int;
   page_rejected : int;
   area_pruned : int;
+  bound_pruned : int;
   nonviable : int;
   nonfinite : int;
   raised : int;
@@ -51,6 +52,7 @@ let zero_counts =
     geometry_rejected = 0;
     page_rejected = 0;
     area_pruned = 0;
+    bound_pruned = 0;
     nonviable = 0;
     nonfinite = 0;
     raised = 0;
@@ -63,6 +65,7 @@ let add_counts a b =
     geometry_rejected = a.geometry_rejected + b.geometry_rejected;
     page_rejected = a.page_rejected + b.page_rejected;
     area_pruned = a.area_pruned + b.area_pruned;
+    bound_pruned = a.bound_pruned + b.bound_pruned;
     nonviable = a.nonviable + b.nonviable;
     nonfinite = a.nonfinite + b.nonfinite;
     raised = a.raised + b.raised;
@@ -73,9 +76,9 @@ let faults c = c.nonfinite + c.raised
 let counts_to_string c =
   Printf.sprintf
     "%d candidates: %d evaluated; rejected: geometry %d, page %d, \
-     area-pruned %d, nonviable %d, nonfinite %d, raised %d"
+     area-pruned %d, bound-pruned %d, nonviable %d, nonfinite %d, raised %d"
     c.candidates c.evaluated c.geometry_rejected c.page_rejected c.area_pruned
-    c.nonviable c.nonfinite c.raised
+    c.bound_pruned c.nonviable c.nonfinite c.raised
 
 let pp_counts ppf c = Format.pp_print_string ppf (counts_to_string c)
 

@@ -55,7 +55,8 @@ val render : t list -> string
 
     One {!counts} per {!Cacti_array.Bank.enumerate}-style sweep.  The
     invariant [candidates = evaluated + geometry_rejected + page_rejected +
-    area_pruned + nonviable + nonfinite + raised] always holds. *)
+    area_pruned + bound_pruned + nonviable + nonfinite + raised] always
+    holds. *)
 
 type counts = {
   candidates : int;  (** organizations considered by the enumeration *)
@@ -64,6 +65,10 @@ type counts = {
       (** failed the integer-tiling / subarray-bound / mux-chain screen *)
   page_rejected : int;  (** failed the main-memory page constraint *)
   area_pruned : int;  (** skipped by the area lower-bound prune *)
+  bound_pruned : int;
+      (** skipped by the multi-metric branch-and-bound prune: provably
+          unable to displace the current best solution on area, access
+          time or (when only dynamic energy is weighted) read energy *)
   nonviable : int;  (** electrically non-viable (e.g. DRAM signal too small) *)
   nonfinite : int;
       (** produced a NaN/infinite/negative delay, energy or area and was
@@ -80,7 +85,8 @@ val faults : counts -> int
 
 val counts_to_string : counts -> string
 (** e.g. ["23040 candidates: 210 evaluated; rejected: geometry 22000, page 0,
-    area-pruned 830, nonviable 0, nonfinite 0, raised 0"]. *)
+    area-pruned 700, bound-pruned 130, nonviable 0, nonfinite 0,
+    raised 0"]. *)
 
 val pp_counts : Format.formatter -> counts -> unit
 

@@ -94,7 +94,7 @@ let test_bank_counts_partition () =
     Alcotest.(check int) (name ^ ": histogram partitions candidates")
       c.candidates
       (c.evaluated + c.geometry_rejected + c.page_rejected + c.area_pruned
-      + c.nonviable + c.nonfinite + c.raised);
+      + c.bound_pruned + c.nonviable + c.nonfinite + c.raised);
     Alcotest.(check int) (name ^ ": no faults on a clean sweep") 0 (faults c)
   in
   check_spec "sram" small_sram;
@@ -212,6 +212,96 @@ let test_comm_lowest_leakage () =
   Alcotest.(check bool) "COMM (LSTP periphery) leaks least" true
     (best_leak Cell.Comm_dram < 0.05 *. best_leak Cell.Sram)
 
+let test_screen_matches_flat_classify () =
+  (* The hierarchical screen must be indistinguishable from running
+     [classify] over the flat grid: same survivors (same order, same
+     geometry) and the same rejection histogram. *)
+  let check name ?(max_ndwl = 16) ?(max_ndbl = 16) s =
+    let dram = Cell.is_dram s.Array_spec.ram in
+    let flat_geo = ref 0 and flat_page = ref 0 and flat_total = ref 0 in
+    let flat =
+      Org.candidates ~max_ndwl ~max_ndbl ~dram ()
+      |> List.filter_map (fun org ->
+             incr flat_total;
+             match Mat.classify ~spec:s ~org with
+             | Ok g -> Some (org, g)
+             | Error `Page ->
+                 incr flat_page;
+                 None
+             | Error `Geometry ->
+                 incr flat_geo;
+                 None)
+    in
+    let fast, n_total, n_geometry, n_page =
+      Mat.screen ~max_ndwl ~max_ndbl ~spec:s ()
+    in
+    Alcotest.(check int) (name ^ ": total") !flat_total n_total;
+    Alcotest.(check int) (name ^ ": geometry") !flat_geo n_geometry;
+    Alcotest.(check int) (name ^ ": page") !flat_page n_page;
+    Alcotest.(check int) (name ^ ": survivors") (List.length flat)
+      (List.length fast);
+    Alcotest.(check bool) (name ^ ": identical survivor list") true
+      (flat = fast)
+  in
+  check "sram" small_sram;
+  check "sram odd widths" (spec ~rows:768 ~row_bits:1536 ~out:96 ());
+  check "lp-dram" (spec ~ram:Cell.Lp_dram ~rows:2048 ~row_bits:4096 ~out:512 ());
+  check "page-constrained comm-dram"
+    (spec ~ram:Cell.Comm_dram ~page_bits:8192 ~rows:4096 ~row_bits:8192
+       ~out:64 ());
+  check "mainmem-style grid" ~max_ndwl:32 ~max_ndbl:64
+    (spec ~ram:Cell.Comm_dram ~page_bits:16384 ~rows:16384 ~row_bits:16384
+       ~out:64 ())
+
+let test_lower_bounds_admissible () =
+  (* Every admissible bound must sit at or below the metric the full
+     evaluation reports — over every survivor of the grid, not just the
+     winners. *)
+  let check name s =
+    let staged = Mat.staged_of_spec s in
+    let survivors, _, _, _ = Mat.screen ~max_ndwl:16 ~max_ndbl:16 ~spec:s () in
+    let n = ref 0 in
+    List.iter
+      (fun (org, g) ->
+        match Bank.evaluate_staged ~staged ~spec:s ~org with
+        | None -> ()
+        | Some b ->
+            incr n;
+            let { Bank.b_area; b_time; b_energy } =
+              Bank.lower_bounds ~staged s org g
+            in
+            if b_area > b.Bank.area then
+              Alcotest.failf "%s %s: area bound %g > %g" name
+                (Org.to_string org) b_area b.Bank.area;
+            if b_time > b.Bank.t_access then
+              Alcotest.failf "%s %s: time bound %g > %g" name
+                (Org.to_string org) b_time b.Bank.t_access;
+            if b_energy > b.Bank.e_read then
+              Alcotest.failf "%s %s: energy bound %g > %g" name
+                (Org.to_string org) b_energy b.Bank.e_read)
+      survivors;
+    Alcotest.(check bool) (name ^ ": evaluated some") true (!n > 10)
+  in
+  check "sram" small_sram;
+  check "comm-dram" (spec ~ram:Cell.Comm_dram ~rows:8192 ~row_bits:8192 ~out:64 ())
+
+let test_staged_evaluate_identical () =
+  let staged = Mat.staged_of_spec small_sram in
+  let orgs =
+    [ org ~ndwl:2 ~ndbl:2 ~mux:4 (); org ~ndwl:4 ~ndbl:2 ~mux:2 ~ns1:2 () ]
+  in
+  List.iter
+    (fun o ->
+      let fresh = Bank.evaluate ~spec:small_sram ~org:o in
+      let fast = Bank.evaluate_staged ~staged ~spec:small_sram ~org:o in
+      (* [compare], not [=]: NaN-valued scratch fields (e.g. unbounded
+         DRAM timings) are unequal to themselves under [=]. *)
+      Alcotest.(check bool)
+        ("staged = fresh for " ^ Org.to_string o)
+        true
+        (compare fresh fast = 0))
+    orgs
+
 let prop_subarray_geometry =
   QCheck.Test.make ~name:"subarray area = w x h" ~count:50
     QCheck.(pair (int_range 16 1024) (int_range 16 1024))
@@ -247,12 +337,18 @@ let () =
           Alcotest.test_case "invalid orgs" `Quick test_mat_invalid_orgs_rejected;
           Alcotest.test_case "valid mat" `Quick test_mat_valid;
           Alcotest.test_case "dram restore" `Quick test_dram_mat_has_restore;
+          Alcotest.test_case "screen = flat classify" `Slow
+            test_screen_matches_flat_classify;
+          Alcotest.test_case "staged = fresh" `Quick
+            test_staged_evaluate_identical;
           QCheck_alcotest.to_alcotest prop_subarray_geometry;
         ] );
       ( "bank",
         [
           Alcotest.test_case "enumerate" `Quick test_bank_enumerate_nonempty;
           Alcotest.test_case "counts partition" `Slow test_bank_counts_partition;
+          Alcotest.test_case "lower bounds admissible" `Slow
+            test_lower_bounds_admissible;
           Alcotest.test_case "metrics positive" `Slow test_bank_metrics_positive;
           Alcotest.test_case "sram no refresh" `Quick test_bank_sram_no_refresh;
           Alcotest.test_case "dram timing invariants" `Slow test_bank_dram_timing_invariants;

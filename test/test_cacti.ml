@@ -377,8 +377,8 @@ let test_validate_results () =
 let counts_partition (c : Cacti_util.Diag.counts) =
   c.Cacti_util.Diag.evaluated + c.Cacti_util.Diag.geometry_rejected
   + c.Cacti_util.Diag.page_rejected + c.Cacti_util.Diag.area_pruned
-  + c.Cacti_util.Diag.nonviable + c.Cacti_util.Diag.nonfinite
-  + c.Cacti_util.Diag.raised
+  + c.Cacti_util.Diag.bound_pruned + c.Cacti_util.Diag.nonviable
+  + c.Cacti_util.Diag.nonfinite + c.Cacti_util.Diag.raised
 
 let test_solve_diag_summary () =
   Solve_cache.clear ();
@@ -476,6 +476,136 @@ let test_strict_mode_reraises () =
            ignore (Cache_model.solve ~jobs:1 ~strict:true spec);
            false
          with Cacti_util.Floatx.Non_finite _ -> true))
+
+(* --- staged solver: sub-solution memo and branch-and-bound ----------- *)
+
+let test_mat_memo_hits () =
+  Solve_cache.clear ();
+  (* Mat solutions are shared across specs on the same node: the second
+     sweep re-derives most of its subarray geometries from the first. *)
+  ignore
+    (Cache_model.solve (Cache_spec.create ~tech:t32 ~capacity_bytes:(1024 * 1024) ()));
+  let first = Solve_cache.mat_stats () in
+  Alcotest.(check bool) "cold sweep misses" true (first.Solve_cache.misses > 0);
+  ignore
+    (Cache_model.solve
+       (Cache_spec.create ~tech:t32 ~capacity_bytes:(2 * 1024 * 1024) ()));
+  let ms = Solve_cache.mat_stats () in
+  Alcotest.(check bool) "mat memo hits > 0" true (ms.Solve_cache.hits > 0);
+  Alcotest.(check bool) "mat memo populated" true (Solve_cache.mat_size () > 0);
+  Solve_cache.clear ()
+
+let test_memo_off_identity () =
+  (* [~memo:false] must bypass both tables entirely and still pick the
+     bit-identical design. *)
+  Solve_cache.clear ();
+  let spec = Cache_spec.create ~tech:t32 ~capacity_bytes:(128 * 1024) () in
+  let a =
+    match Cache_model.solve_diag ~memo:false spec with
+    | Ok (c, _) -> c
+    | Error ds -> Alcotest.fail (Cacti_util.Diag.render ds)
+  in
+  let s = Solve_cache.stats () and ms = Solve_cache.mat_stats () in
+  Alcotest.(check int) "no bank-table traffic" 0
+    (s.Solve_cache.hits + s.Solve_cache.misses);
+  Alcotest.(check int) "bank table empty" 0 (Solve_cache.size ());
+  Alcotest.(check int) "no mat-memo traffic" 0
+    (ms.Solve_cache.hits + ms.Solve_cache.misses);
+  Alcotest.(check int) "mat memo empty" 0 (Solve_cache.mat_size ());
+  let b = Cache_model.solve spec in
+  Alcotest.(check bool) "memo off = memo on, bit for bit" true
+    (compare a b = 0);
+  Solve_cache.clear ()
+
+(* The branch-and-bound policy the staged selection path uses for the
+   given optimizer parameters (mirrors Solve_cache's derivation). *)
+let policy_of (p : Opt_params.t) =
+  let w = p.Opt_params.weights in
+  {
+    Bank.acctime_pct = p.Opt_params.max_acctime_pct;
+    energy_only =
+      w.Opt_params.w_dynamic > 0. && w.Opt_params.w_leakage = 0.
+      && w.Opt_params.w_cycle = 0. && w.Opt_params.w_interleave = 0.;
+  }
+
+let test_prune_identity_and_soundness () =
+  (* Three views of the same design space must crown the same winner:
+     (1) the full, unpruned enumeration;
+     (2) the pruned enumeration (area + branch-and-bound);
+     (3) the pruned code path with every candidate force-evaluated via the
+         fault hook — i.e. the would-have-been-pruned candidates made to
+         compete, proving none of them beats the winner. *)
+  let check name ?(expect_fired = false) params s =
+    let pol = policy_of params in
+    let full = Bank.enumerate s in
+    let pruned, c =
+      Bank.enumerate_counts ~prune:params.Opt_params.max_area_pct ~bound:pol s
+    in
+    let forced =
+      Fun.protect
+        ~finally:(fun () -> Bank.set_fault_hook None)
+        (fun () ->
+          Bank.set_fault_hook (Some (fun _ -> Some Bank.Fault_force));
+          Bank.enumerate ~prune:params.Opt_params.max_area_pct ~bound:pol s)
+    in
+    if expect_fired then
+      Alcotest.(check bool) (name ^ ": bound prune fired") true
+        (c.Cacti_util.Diag.bound_pruned > 0);
+    Alcotest.(check int) (name ^ ": forced run evaluates everything")
+      (List.length full) (List.length forced);
+    let sel l = Optimizer.select ~params l in
+    let w_full = sel full and w_pruned = sel pruned and w_forced = sel forced in
+    Alcotest.(check bool) (name ^ ": pruned winner = full winner") true
+      (compare w_full w_pruned = 0);
+    Alcotest.(check bool) (name ^ ": no forced candidate beats it") true
+      (compare w_full w_forced = 0)
+  in
+  let sram =
+    Array_spec.create ~ram:Cacti_tech.Cell.Sram ~tech:t32 ~n_rows:2048
+      ~row_bits:4096 ~output_bits:512 ()
+  in
+  check "default weights" Opt_params.default sram;
+  (* Dynamic-energy-only weights exercise the [energy_only] prune rule. *)
+  let energy_params =
+    {
+      Opt_params.default with
+      Opt_params.weights =
+        { Opt_params.w_dynamic = 1.; w_leakage = 0.; w_cycle = 0.;
+          w_interleave = 0. };
+    }
+  in
+  check "energy-only weights" energy_params sram;
+  (* DRAM arrays sense every active column, so the sense-amp area term
+     gives the bound real discriminating power there — the prune must
+     actually fire, and fire soundly. *)
+  check "lp-dram" ~expect_fired:true Opt_params.default
+    (Array_spec.create ~ram:Cacti_tech.Cell.Lp_dram ~tech:t32 ~n_rows:8192
+       ~row_bits:8192 ~output_bits:512 ());
+  check "comm-dram" Opt_params.default
+    (Array_spec.create ~ram:Cacti_tech.Cell.Comm_dram ~tech:t32 ~n_rows:8192
+       ~row_bits:8192 ~output_bits:64 ())
+
+let prop_memo_identity =
+  (* Random valid cache specs: the memoized staged path and the bare
+     [~memo:false] path must select bit-identical designs. *)
+  QCheck.Test.make ~name:"random solves: memo on/off bit-identical" ~count:6
+    QCheck.(
+      triple (int_range 12 18) (oneofl [ 32; 64 ]) (oneofl [ 1; 2; 4; 8 ]))
+    (fun (log2_cap, block, assoc) ->
+      let spec =
+        Cache_spec.create ~tech:t32 ~capacity_bytes:(1 lsl log2_cap)
+          ~block_bytes:block ~assoc ()
+      in
+      Solve_cache.clear ();
+      match
+        (Cache_model.solve_diag ~memo:false spec, Cache_model.solve_diag spec)
+      with
+      | Ok (a, _), Ok (b, _) ->
+          Solve_cache.clear ();
+          compare a b = 0
+      | Error ds, _ | _, Error ds ->
+          Solve_cache.clear ();
+          QCheck.Test.fail_report (Cacti_util.Diag.render ds))
 
 (* Randomized robustness: no input, valid or not, may escape as a raw
    exception — and valid ones must produce all-finite metrics. *)
@@ -620,6 +750,14 @@ let () =
           Alcotest.test_case "page constraint" `Slow test_mainmem_page_size_respected;
           Alcotest.test_case "burst energy" `Slow test_mainmem_burst_energy_scales;
           Alcotest.test_case "validation" `Quick test_mainmem_create_validation;
+        ] );
+      ( "staged solver",
+        [
+          Alcotest.test_case "mat memo hits" `Slow test_mat_memo_hits;
+          Alcotest.test_case "memo off identity" `Slow test_memo_off_identity;
+          Alcotest.test_case "prune identity + soundness" `Slow
+            test_prune_identity_and_soundness;
+          QCheck_alcotest.to_alcotest prop_memo_identity;
         ] );
       ( "diagnostics",
         [
