@@ -141,8 +141,18 @@ let profile_flag =
   Arg.(value & flag
        & info [ "profile" ]
            ~doc:"Measure the solve: print per-phase wall-clock totals \
-                 (enumerate, mat-solve, optimize) and the candidate \
-                 rejection/prune histogram on stderr after the run.")
+                 (enumerate, column_build, kernel_eval, mat_solve, \
+                 incremental_reuse, optimize), the candidate \
+                 rejection/prune histogram and the memo-table counters \
+                 on stderr after the run.")
+
+let no_kernel_flag =
+  Arg.(value & flag
+       & info [ "no-kernel" ]
+           ~doc:"Solve through the per-candidate scalar reference path \
+                 instead of the columnar batch kernel.  The solution is \
+                 bit-identical; the flag exists for timing comparisons \
+                 and for cross-checking the kernel.")
 
 (* ------------------------------------------------------------------ *)
 (* Error rendering and exit codes                                       *)
@@ -189,11 +199,20 @@ let profile_report ~profile s =
     Format.eprintf "profile:@.";
     List.iter
       (fun (phase, secs, calls) ->
-        Format.eprintf "  %-10s %9.3f ms  %7d call%s@." phase (1e3 *. secs)
+        Format.eprintf "  %-16s %9.3f ms  %7d call%s@." phase (1e3 *. secs)
           calls
           (if calls = 1 then "" else "s"))
       (Profile.summary ());
-    Format.eprintf "  sweep      %s@." (Diag.counts_to_string s.Diag.sweeps)
+    Format.eprintf "  sweep            %s@."
+      (Diag.counts_to_string s.Diag.sweeps);
+    let m = Cacti.Solve_cache.mat_stats () in
+    Format.eprintf "  mat memo         %d hit(s), %d miss(es)@."
+      m.Cacti.Solve_cache.hits m.Cacti.Solve_cache.misses;
+    let i = Cacti.Solve_cache.incremental_stats () in
+    Format.eprintf
+      "  incremental      %d full, %d rows-only, %d miss(es)@."
+      i.Cacti.Solve_cache.full_hits i.Cacti.Solve_cache.rows_hits
+      i.Cacti.Solve_cache.misses
   end
 
 (* The --json success line: the same solution encoding the serve protocol
@@ -257,7 +276,7 @@ let cache_cmd =
   in
   let sleep = Arg.(value & flag & info [ "sleep-tx" ] ~doc:"Model sleep transistors.") in
   let run size assoc block banks ram mode sleep tech params jobs strict
-      want_summary json profile =
+      want_summary json profile no_kernel =
     guarded ~json @@ fun () ->
     with_tech ~json tech @@ fun tech ->
     match
@@ -268,7 +287,10 @@ let cache_cmd =
     | Error ds -> invalid ~json ds
     | Ok spec -> (
         profile_start profile;
-        match Cacti.Cache_model.solve_diag ?jobs ~params ~strict spec with
+        match
+          Cacti.Cache_model.solve_diag ?jobs ~params ~strict
+            ~kernel:(not no_kernel) spec
+        with
         | Error ds -> solve_failed ~json ds
         | Ok (c, s) when json ->
             profile_report ~profile s;
@@ -313,7 +335,7 @@ let cache_cmd =
     Term.(
       const run $ size $ assoc $ block $ banks $ ram $ mode $ sleep
       $ tech_nm $ opt_params $ jobs $ strict $ summary $ json_flag
-      $ profile_flag)
+      $ profile_flag $ no_kernel_flag)
   in
   Cmd.v
     (Cmd.info "cache"
@@ -335,7 +357,7 @@ let ram_cmd =
     Arg.(value & opt ram_conv Cacti_tech.Cell.Sram & info [ "ram" ] ~doc:"Technology.")
   in
   let run size word banks ram tech params jobs strict want_summary json
-      profile =
+      profile no_kernel =
     guarded ~json @@ fun () ->
     with_tech ~json tech @@ fun tech ->
     match
@@ -352,7 +374,10 @@ let ram_cmd =
     | Error ds -> invalid ~json ds
     | Ok spec -> (
         profile_start profile;
-        match Cacti.Ram_model.solve_diag ?jobs ~params ~strict spec with
+        match
+          Cacti.Ram_model.solve_diag ?jobs ~params ~strict
+            ~kernel:(not no_kernel) spec
+        with
         | Error ds -> solve_failed ~json ds
         | Ok (r, s) when json ->
             profile_report ~profile s;
@@ -386,7 +411,7 @@ let ram_cmd =
   let term =
     Term.(
       const run $ size $ word $ banks $ ram $ tech_nm $ opt_params $ jobs
-      $ strict $ summary $ json_flag $ profile_flag)
+      $ strict $ summary $ json_flag $ profile_flag $ no_kernel_flag)
   in
   Cmd.v (Cmd.info "ram" ~doc:"Model a plain (non-cache) memory macro.") term
 
@@ -411,7 +436,7 @@ let mainmem_cmd =
          & info [ "interface" ] ~doc:"IO interface: ddr3 or ddr4.")
   in
   let run bits banks io page prefetch burst iface tech jobs strict
-      want_summary json profile =
+      want_summary json profile no_kernel =
     guarded ~json @@ fun () ->
     with_tech ~json tech @@ fun tech ->
     match
@@ -421,7 +446,9 @@ let mainmem_cmd =
     | Error ds -> invalid ~json ds
     | Ok chip -> (
         profile_start profile;
-        match Cacti.Mainmem.solve_diag ?jobs ~strict chip with
+        match
+          Cacti.Mainmem.solve_diag ?jobs ~strict ~kernel:(not no_kernel) chip
+        with
         | Error ds -> solve_failed ~json ds
         | Ok (m, s) when json ->
             profile_report ~profile s;
@@ -455,13 +482,15 @@ let mainmem_cmd =
   let term =
     Term.(
       const run $ bits $ banks $ io $ page $ prefetch $ burst $ iface
-      $ tech_nm $ jobs $ strict $ summary $ json_flag $ profile_flag)
+      $ tech_nm $ jobs $ strict $ summary $ json_flag $ profile_flag
+      $ no_kernel_flag)
   in
   Cmd.v
     (Cmd.info "mainmem" ~doc:"Model a main-memory DRAM chip (Section 2.1).")
     term
 
 let () =
+  Tuning.solver_gc ();
   let info =
     Cmd.info "cacti_d" ~version:"1.0"
       ~doc:"CACTI-D: area/delay/energy models for SRAM, LP-DRAM and \

@@ -101,6 +101,10 @@ let workers =
                  (default 1; each solve is already parallel across domains).")
 
 let () =
+  Tuning.solver_gc ();
+  (* Phase accounting is cheap (a Hashtbl update per phase) and the stats
+     endpoint reports it, so the server always keeps it on. *)
+  Profile.set_enabled true;
   let info =
     Cmd.info "cacti_serve" ~version:"1.0"
       ~doc:"persistent CACTI-D solve service speaking JSONL (batch stdin or \

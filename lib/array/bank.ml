@@ -34,154 +34,53 @@ type t = {
   pipeline_stages : int;
 }
 
-(* The bank-level model on top of a solved mat: H-tree distribution,
-   timings, energies, leakage, refresh and area.  Pure float math against
-   the staged constants — no circuit design happens here. *)
-let assemble ~(staged : Staged.t) ~spec ~(org : Org.t) (mat : Mat.t) =
-  let { Array_spec.output_bits; _ } = spec in
-  let is_dram = staged.Staged.is_dram in
-  let cell = staged.Staged.cell in
+(* Materialize a [t] from a mat and its flat metrics record.  Both the
+   scalar path (via [assemble]) and the columnar kernel (after reading
+   the metrics back out of the result columns — a lossless float64
+   round-trip) build banks through this single constructor. *)
+let bank_of_metrics ~(staged : Staged.t) ~spec ~(org : Org.t) (mat : Mat.t)
+    (m : Soa_kernel.metrics) =
   let mats_x = Org.mats_x org and mats_y = Org.mats_y org in
-  let n_mats = mats_x * mats_y in
-  (* The page constraint is part of [Mat.geometry], so any surviving
-     mat already satisfies it. *)
-  let bank_w = float_of_int mats_x *. mat.Mat.width in
-  let bank_h = float_of_int mats_y *. mat.Mat.height in
-  let repeater = staged.Staged.repeater in
-  let htree = Htree.plan ~repeater ~bank_width:bank_w ~bank_height:bank_h in
-  let addr_bits = Array_spec.addr_bits spec + 8 in
-  let addr_link = Htree.link htree ~bits:addr_bits ~activity:1.0 () in
-  let data_out_link = Htree.link htree ~bits:output_bits ~activity:0.75 () in
-  let data_in_link = Htree.link htree ~bits:output_bits ~activity:0.75 () in
-  (* Port receivers/drivers at the bank boundary. *)
-  let t_port = staged.Staged.t_port in
-  let t_htree_in = addr_link.Stage.delay +. t_port in
-  let t_htree_out = data_out_link.Stage.delay +. t_port in
-  let t_access =
-    t_htree_in +. mat.Mat.t_row_path +. mat.Mat.t_bitline
-    +. mat.Mat.t_sense +. mat.Mat.t_column_out +. t_htree_out
-  in
-  let t_local_cycle =
-    mat.Mat.t_wordline +. mat.Mat.t_bitline +. mat.Mat.t_sense
-    +. mat.Mat.t_restore +. mat.Mat.t_precharge
-  in
-  let t_random_cycle = t_local_cycle in
-  let t_htree_stage = (t_htree_in +. t_htree_out) /. 6. in
-  let t_interleave =
-    max
-      (mat.Mat.t_bitline +. mat.Mat.t_sense +. mat.Mat.t_column_out)
-      t_htree_stage
-  in
-  let active_mats = mats_x in
-  let fam = float_of_int active_mats in
-  (* Energies. *)
-  let e_activate =
-    addr_link.Stage.energy +. (fam *. mat.Mat.e_row_activate)
-  in
-  let e_col_read =
-    (fam *. mat.Mat.e_column_read) +. data_out_link.Stage.energy
-  in
-  let e_col_write =
-    (fam *. mat.Mat.e_column_write) +. data_in_link.Stage.energy
-  in
-  let e_precharge = fam *. mat.Mat.e_precharge in
-  let e_read, e_write =
-    if is_dram then
-      (* SRAM-like interface with auto-precharge: a random read costs
-         ACTIVATE + column read + PRECHARGE. *)
-      ( e_activate +. e_col_read +. e_precharge,
-        e_activate +. e_col_write +. e_precharge )
-    else (e_activate +. e_col_read, e_activate +. e_col_write)
-  in
-  (* Leakage: mats (sleep transistors halve the non-active ones) +
-     H-tree repeaters. *)
-  let sleep_factor =
-    if spec.Array_spec.sleep_tx then
-      (fam +. (float_of_int (n_mats - active_mats) *. 0.5))
-      /. float_of_int n_mats
-    else 1.0
-  in
-  let p_leakage =
-    (float_of_int n_mats *. mat.Mat.leakage *. sleep_factor)
-    +. addr_link.Stage.leakage +. data_out_link.Stage.leakage
-    +. data_in_link.Stage.leakage
-  in
-  (* Refresh. *)
-  let p_refresh =
-    if not is_dram then 0.
-    else
-      let wordlines_per_mat =
-        mat.Mat.subarray.Subarray.rows
-        * (mat.Mat.n_subarrays / mat.Mat.horiz_subarrays)
-      in
-      let n_wordlines = wordlines_per_mat * mats_y in
-      (* Burst refresh shares command/decode overhead across rows and
-         skips the column circuitry entirely. *)
-      let refresh_efficiency = 0.75 in
-      let e_per_refresh =
-        refresh_efficiency
-        *. (fam *. (mat.Mat.e_row_activate +. mat.Mat.e_precharge))
-      in
-      float_of_int n_wordlines *. e_per_refresh /. cell.Cell.retention_time
-  in
-  (* DRAM interface timings. *)
-  let dram =
-    if not is_dram then None
-    else
-      let t_rcd =
-        t_htree_in +. mat.Mat.t_row_path +. mat.Mat.t_bitline
-        +. mat.Mat.t_sense
-      in
-      let t_cas = mat.Mat.t_column_out +. t_htree_out in
-      let t_ras =
-        mat.Mat.t_row_path +. mat.Mat.t_bitline +. mat.Mat.t_sense
-        +. mat.Mat.t_restore
-      in
-      let t_rp = mat.Mat.t_precharge +. (0.3 *. mat.Mat.t_wordline) in
-      Some
-        {
-          t_rcd;
-          t_cas;
-          t_ras;
-          t_rp;
-          t_rc = t_ras +. t_rp;
-          t_rrd = t_interleave;
-        }
-  in
-  (* Area. *)
-  let htree_silicon =
-    addr_link.Stage.area +. data_out_link.Stage.area
-    +. data_in_link.Stage.area
-  in
-  let area = ((bank_w *. bank_h) +. htree_silicon) *. 1.08 in
-  let cell_area_total =
-    float_of_int n_mats
-    *. float_of_int mat.Mat.n_subarrays
-    *. Subarray.cell_area mat.Mat.subarray
-  in
   {
     spec;
     org;
     mat;
-    n_mats;
-    active_mats;
-    width = bank_w;
-    height = bank_h;
-    area;
-    area_efficiency = cell_area_total /. area;
-    t_access;
-    t_random_cycle;
-    t_interleave;
-    dram;
-    e_read;
-    e_write;
-    e_activate;
-    e_precharge;
-    p_leakage;
-    p_refresh;
+    n_mats = mats_x * mats_y;
+    active_mats = mats_x;
+    width = m.Soa_kernel.m_width;
+    height = m.Soa_kernel.m_height;
+    area = m.Soa_kernel.m_area;
+    area_efficiency = m.Soa_kernel.m_area_efficiency;
+    t_access = m.Soa_kernel.m_t_access;
+    t_random_cycle = m.Soa_kernel.m_t_random_cycle;
+    t_interleave = m.Soa_kernel.m_t_interleave;
+    dram =
+      (if staged.Staged.is_dram then
+         Some
+           {
+             t_rcd = m.Soa_kernel.m_t_rcd;
+             t_cas = m.Soa_kernel.m_t_cas;
+             t_ras = m.Soa_kernel.m_t_ras;
+             t_rp = m.Soa_kernel.m_t_rp;
+             t_rc = m.Soa_kernel.m_t_rc;
+             t_rrd = m.Soa_kernel.m_t_rrd;
+           }
+       else None);
+    e_read = m.Soa_kernel.m_e_read;
+    e_write = m.Soa_kernel.m_e_write;
+    e_activate = m.Soa_kernel.m_e_activate;
+    e_precharge = m.Soa_kernel.m_e_precharge;
+    p_leakage = m.Soa_kernel.m_p_leakage;
+    p_refresh = m.Soa_kernel.m_p_refresh;
     n_subbanks = mats_y;
     pipeline_stages = mat.Mat.decoder.Decoder.n_stages + 3;
   }
+
+(* The bank-level model on top of a solved mat — see
+   {!Soa_kernel.metrics_of_mat} for the formulas. *)
+let assemble ~(staged : Staged.t) ~spec ~(org : Org.t) (mat : Mat.t) =
+  bank_of_metrics ~staged ~spec ~org mat
+    (Soa_kernel.metrics_of_mat ~staged ~spec ~org mat)
 
 let evaluate_staged ~staged ~spec ~org =
   match Mat.make_staged ~staged ~spec ~org () with
@@ -230,10 +129,19 @@ let evaluate ~spec ~org =
    tied or beaten the eventual winner. *)
 type bounds = { b_area : float; b_time : float; b_energy : float }
 
-let lower_bounds ~(staged : Staged.t) spec =
+(* The scalar-input core of the bound evaluation: all per-spec constants
+   (including the staged sense-amp area/energy, hoisted into per-degree
+   arrays so the hot path does no association-list lookups) are closed
+   over once; each call is then pure float math over the candidate's
+   parameter scalars.  [lower_bounds] feeds it from the (org, geometry)
+   records; the columnar kernel feeds it from the {!Soa_kernel} parameter
+   columns — which store [float_of_int] of the same integer expressions,
+   so both callers are bit-identical. *)
+let bounds_of ~(staged : Staged.t) spec =
   let { Array_spec.n_rows; row_bits; output_bits; _ } = spec in
   let cell_w = staged.Staged.cell_w and cell_h = staged.Staged.cell_h in
-  let ctl_inv = staged.Staged.ctl_inv and wr_drv = staged.Staged.wr_drv in
+  let ctl_area = staged.Staged.ctl_inv.Gate.area in
+  let wr_area = staged.Staged.wr_drv.Gate.area in
   let rep = staged.Staged.repeater in
   let t_port = staged.Staged.t_port in
   let cells_total =
@@ -252,69 +160,83 @@ let lower_bounds ~(staged : Staged.t) spec =
   let r_access = 0.15 *. vdd_cell /. cell.Cell.i_cell_on in
   let cs = cell.Cell.storage_cap in
   let e_restore_per_col = 0.75 *. cs *. vdd_cell *. vdd_cell in
-  fun (org : Org.t) (g : Mat.geometry) ->
-    let n_wordlines = g.Mat.g_rows_sub * g.Mat.g_vert in
-    let n_ctl = 60 + (2 * Cacti_util.Floatx.clog2 (max 2 n_wordlines)) in
-    let control =
-      (float_of_int n_ctl *. ctl_inv.Gate.area)
-      +. (float_of_int g.Mat.g_out_bits *. 2. *. wr_drv.Gate.area)
-    in
-    let eff_deg = if is_dram then 1 else org.Org.deg_bl_mux in
-    let n_sa =
-      if is_dram then g.Mat.g_horiz * g.Mat.g_cols_sub else g.Mat.g_sensed
-    in
-    let sa_area =
-      float_of_int n_sa
-      *. (Staged.sense staged ~deg_bl_mux:eff_deg).Sense_amp.area
-    in
+  let sense_area = Array.make 9 Float.nan in
+  let sense_energy = Array.make 9 Float.nan in
+  List.iter
+    (fun (d, (s : Sense_amp.t)) ->
+      if d >= 0 && d < 9 then begin
+        sense_area.(d) <- s.Sense_amp.area;
+        sense_energy.(d) <- s.Sense_amp.energy
+      end)
+    staged.Staged.sense_by_deg;
+  let sense_of eff_deg =
+    if eff_deg >= 0 && eff_deg < 9 && not (Float.is_nan sense_area.(eff_deg))
+    then (sense_area.(eff_deg), sense_energy.(eff_deg))
+    else
+      (* Degree outside the staged table: same on-demand fallback (and
+         therefore same values) as [Staged.sense]. *)
+      let s = Staged.sense staged ~deg_bl_mux:eff_deg in
+      (s.Sense_amp.area, s.Sense_amp.energy)
+  in
+  fun ~eff_deg ~f_n_ctl ~f_out_bits ~f_n_mats ~f_n_sa ~f_wspan ~f_hspan
+      ~f_line_cells ~f_rows ~f_sensed_pa ~f_mats_x ->
+    let s_area, s_energy = sense_of eff_deg in
+    let control = (f_n_ctl *. ctl_area) +. (f_out_bits *. 2. *. wr_area) in
+    let sa_area = f_n_sa *. s_area in
     let b_area =
-      0.999 *. 1.08
-      *. (cells_total
-         +. (float_of_int (Org.n_mats org) *. (control +. sa_area)))
+      0.999 *. 1.08 *. (cells_total +. (f_n_mats *. (control +. sa_area)))
     in
-    let w_lb =
-      float_of_int (Org.mats_x org * g.Mat.g_horiz * g.Mat.g_cols_sub)
-      *. cell_w
-    in
-    let h_lb =
-      float_of_int (Org.mats_y org * g.Mat.g_vert * g.Mat.g_rows_sub)
-      *. cell_h
-    in
+    let w_lb = f_wspan *. cell_w in
+    let h_lb = f_hspan *. cell_h in
     let span = w_lb +. h_lb in
     (* Wordline flight: exactly [Decoder.t_line] for this line length. *)
-    let line_cells = float_of_int (g.Mat.g_horiz * g.Mat.g_cols_sub) in
-    let t_wordline_lb = 0.38 *. line_cells *. line_cells *. wl_rc in
+    let t_wordline_lb = 0.38 *. f_line_cells *. f_line_cells *. wl_rc in
     (* Bitline: the distributed-RC floor of develop / charge-share. *)
-    let rows = float_of_int g.Mat.g_rows_sub in
     let t_bitline_lb =
       if is_dram then
-        let c_line = rows *. c_bl in
+        let c_line = f_rows *. c_bl in
         let c_eq = cs *. c_line /. (cs +. c_line) in
-        2.3 *. (r_access +. (0.5 *. rows *. r_bl)) *. c_eq
-      else 0.38 *. rows *. rows *. r_bl *. c_bl
+        2.3 *. (r_access +. (0.5 *. f_rows *. r_bl)) *. c_eq
+      else 0.38 *. f_rows *. f_rows *. r_bl *. c_bl
     in
     let b_time =
       0.999
       *. ((rep.Repeater.delay_per_m *. span) +. (2. *. t_port)
          +. t_wordline_lb +. t_bitline_lb)
     in
-    let sense_energy =
-      (Staged.sense staged ~deg_bl_mux:eff_deg).Sense_amp.energy
-    in
-    let fam = float_of_int (Org.mats_x org) in
     let e_mat_lb =
-      (float_of_int g.Mat.g_sensed_per_access *. sense_energy)
-      +.
-      if is_dram then
-        float_of_int (g.Mat.g_horiz * g.Mat.g_cols_sub) *. e_restore_per_col
-      else 0.
+      (f_sensed_pa *. s_energy)
+      +. (if is_dram then f_line_cells *. e_restore_per_col else 0.)
     in
     let b_energy =
       0.999
       *. ((energy_bits *. rep.Repeater.energy_per_m *. span /. 2.)
-         +. (fam *. e_mat_lb))
+         +. (f_mats_x *. e_mat_lb))
     in
     { b_area; b_time; b_energy }
+
+let lower_bounds ~(staged : Staged.t) spec =
+  let f = bounds_of ~staged spec in
+  let is_dram = staged.Staged.is_dram in
+  fun (org : Org.t) (g : Mat.geometry) ->
+    let n_wordlines = g.Mat.g_rows_sub * g.Mat.g_vert in
+    let n_ctl = 60 + (2 * Cacti_util.Floatx.clog2 (max 2 n_wordlines)) in
+    let eff_deg = if is_dram then 1 else org.Org.deg_bl_mux in
+    let n_sa =
+      if is_dram then g.Mat.g_horiz * g.Mat.g_cols_sub else g.Mat.g_sensed
+    in
+    f ~eff_deg ~f_n_ctl:(float_of_int n_ctl)
+      ~f_out_bits:(float_of_int g.Mat.g_out_bits)
+      ~f_n_mats:(float_of_int (Org.n_mats org))
+      ~f_n_sa:(float_of_int n_sa)
+      ~f_wspan:
+        (float_of_int (Org.mats_x org * g.Mat.g_horiz * g.Mat.g_cols_sub))
+      ~f_hspan:
+        (float_of_int (Org.mats_y org * g.Mat.g_vert * g.Mat.g_rows_sub))
+      ~f_line_cells:(float_of_int (g.Mat.g_horiz * g.Mat.g_cols_sub))
+      ~f_rows:(float_of_int g.Mat.g_rows_sub)
+      ~f_sensed_pa:(float_of_int g.Mat.g_sensed_per_access)
+      ~f_mats_x:(float_of_int (Org.mats_x org))
 
 let area_lower_bound spec =
   let lbs = lower_bounds ~staged:(Mat.staged_of_spec spec) spec in
@@ -334,13 +256,15 @@ let no_champion =
   { ch_area = Float.infinity; ch_time = Float.infinity;
     ch_energy = Float.infinity }
 
-let rec note_champion cell (b : t) =
+let rec note_champion_v cell ~area ~time ~energy =
   let cur = Atomic.get cell in
-  if b.area < cur.ch_area then
-    let next =
-      { ch_area = b.area; ch_time = b.t_access; ch_energy = b.e_read }
-    in
-    if not (Atomic.compare_and_set cell cur next) then note_champion cell b
+  if area < cur.ch_area then
+    let next = { ch_area = area; ch_time = time; ch_energy = energy } in
+    if not (Atomic.compare_and_set cell cur next) then
+      note_champion_v cell ~area ~time ~energy
+
+let note_champion cell (b : t) =
+  note_champion_v cell ~area:b.area ~time:b.t_access ~energy:b.e_read
 
 type bound_policy = { acctime_pct : float; energy_only : bool }
 
@@ -365,17 +289,95 @@ let check_metrics b =
   chk "p_leakage" b.p_leakage;
   chk "p_refresh" b.p_refresh
 
-let enumerate_counts ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
-    ?max_ndwl ?max_ndbl ?(strict = false) spec =
+(* The same checks, in the same order with the same messages, against the
+   flat metrics record — the kernel-path twin of [check_metrics]. *)
+let check_metrics_m (m : Soa_kernel.metrics) =
+  let chk what v = ignore (Cacti_util.Floatx.finite_pos ~what v) in
+  chk "t_access" m.Soa_kernel.m_t_access;
+  chk "t_random_cycle" m.Soa_kernel.m_t_random_cycle;
+  chk "t_interleave" m.Soa_kernel.m_t_interleave;
+  chk "area" m.Soa_kernel.m_area;
+  chk "e_read" m.Soa_kernel.m_e_read;
+  chk "e_write" m.Soa_kernel.m_e_write;
+  chk "e_activate" m.Soa_kernel.m_e_activate;
+  chk "e_precharge" m.Soa_kernel.m_e_precharge;
+  chk "p_leakage" m.Soa_kernel.m_p_leakage;
+  chk "p_refresh" m.Soa_kernel.m_p_refresh
+
+(* Memoize a sub-stage computation, storing the result so a raising
+   design re-raises identically on every hit (keeping per-candidate fault
+   counts equal between first and repeat encounters).  [cap] resets the
+   table when it grows past the bound, for tables that outlive a sweep. *)
+let memoized ?cap mu tbl key compute =
+  match Mutex.protect mu (fun () -> Hashtbl.find_opt tbl key) with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> (
+      let r =
+        try Ok (compute ())
+        with
+        | (Out_of_memory | Stack_overflow) as e -> raise e
+        | e -> Error e
+      in
+      Mutex.protect mu (fun () ->
+          (match cap with
+          | Some c when Hashtbl.length tbl >= c -> Hashtbl.reset tbl
+          | _ -> ());
+          if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key r);
+      match r with Ok v -> v | Error e -> raise e)
+
+(* Cross-sweep memo of the two expensive solver sub-stages.  A salt from
+   [Mat.fingerprint_salt] captures every spec input the subarray and
+   decoder designs read (cell kind, feature size, wire parasitics), so a
+   (salt, dims) key identifies a design across sweeps exactly as
+   [mat_cache] keys identify whole mats.  Consulted only on memoized
+   sweeps (when the caller supplies [mat_cache]); unmemoized sweeps get
+   fresh per-sweep tables so the reference path stays self-contained. *)
+let stage_memo_cap = 8192
+
+let g_sub_tbl : (string * (int * int * int), (Subarray.t, exn) result) Hashtbl.t
+    =
+  Hashtbl.create 512
+
+let g_sub_mu = Mutex.create ()
+
+let g_dec_tbl :
+    (string * (int * int * int * int), (Decoder.t, exn) result) Hashtbl.t =
+  Hashtbl.create 256
+
+let g_dec_mu = Mutex.create ()
+
+let reset_stage_memo () =
+  Mutex.protect g_sub_mu (fun () -> Hashtbl.reset g_sub_tbl);
+  Mutex.protect g_dec_mu (fun () -> Hashtbl.reset g_dec_tbl)
+
+(* A completed columnar sweep, before any bank record exists.  Consumers
+   either materialize every surviving candidate ({!enumerate_counts}) or
+   scan the metric columns and materialize only the selected one (the
+   staged-selection fast path in {!Cacti.Solve_cache}). *)
+type sweep = {
+  sw_spec : Array_spec.t;
+  sw_staged : Staged.t;
+  sw_soa : Soa_kernel.t;
+  sw_counts : Cacti_util.Diag.counts;
+}
+
+type run_result = Banks of t list * Cacti_util.Diag.counts | Soa of sweep
+
+let run ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
+    ?max_ndwl ?max_ndbl ?(strict = false) ?(kernel = true) ?screened spec =
   Cacti_util.Profile.time "enumerate" @@ fun () ->
   let staged = Mat.staged_of_spec spec in
+  let is_dram = staged.Staged.is_dram in
   (* Integer tiling, mux-chain and page constraints are pure arithmetic:
      screen them serially (and hierarchically — see {!Mat.screen}) before
-     fanning the expensive evaluations out. *)
+     fanning the expensive evaluations out.  A caller that already holds
+     the screen result (e.g. incremental re-solve) passes it in. *)
   let survivors, n_total, n_geometry, n_page =
-    Mat.screen ?max_ndwl ?max_ndbl ~spec ()
+    match screened with
+    | Some s -> s
+    | None -> Mat.screen ?max_ndwl ?max_ndbl ~spec ()
   in
-  let screened = List.mapi (fun i cand -> (i, cand)) survivors in
   let n_ok = Atomic.make 0
   and n_area_pruned = Atomic.make 0
   and n_bound_pruned = Atomic.make 0
@@ -383,94 +385,32 @@ let enumerate_counts ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
   and n_nonfinite = Atomic.make 0
   and n_raised = Atomic.make 0 in
   let champion = Atomic.make no_champion in
-  let lbs =
-    if prune <> None || bound <> None then Some (lower_bounds ~staged spec)
-    else None
-  in
+  let hook = !fault_hook in
+  let salt = Mat.fingerprint_salt ~spec in
   (* `Area: could never survive the max_area_pct filter.  `Bound: could
      survive it, but provably cannot displace the champion's candidate as
      the selected solution (see [bound_policy]).  Both compare monotone
      lower bounds against a monotonically improving champion, so a
      candidate pruned under any evaluation order is pruned soundly. *)
-  let prune_class org g =
-    match lbs with
-    | None -> `Eval
-    | Some lb -> (
-        let b = lb org g in
-        let ch = Atomic.get champion in
-        let area_cut =
-          match prune with
-          | Some max_area_pct ->
-              b.b_area > ch.ch_area *. (1. +. max_area_pct)
-          | None -> false
-        in
-        if area_cut then `Area
-        else
-          match bound with
-          | Some bp
-            when b.b_area > ch.ch_area
-                 && (b.b_time > ch.ch_time *. (1. +. bp.acctime_pct)
-                    || (bp.energy_only && b.b_time > ch.ch_time
-                       && b.b_energy > ch.ch_energy)) ->
-              `Bound
-          | _ -> `Eval)
-  in
-  let hook = !fault_hook in
-  let solve_mat org g =
-    let build () =
-      Cacti_util.Profile.time "mat_solve" (fun () ->
-          Mat.make_staged ~staged ~spec ~org ())
+  let decide b_area b_time b_energy =
+    let ch = Atomic.get champion in
+    let area_cut =
+      match prune with
+      | Some max_area_pct -> b_area > ch.ch_area *. (1. +. max_area_pct)
+      | None -> false
     in
-    match mat_cache with
-    | None -> build ()
-    | Some cache -> cache (Mat.fingerprint ~spec ~org g) build
+    if area_cut then `Area
+    else
+      match bound with
+      | Some bp
+        when b_area > ch.ch_area
+             && (b_time > ch.ch_time *. (1. +. bp.acctime_pct)
+                || (bp.energy_only && b_time > ch.ch_time
+                   && b_energy > ch.ch_energy)) ->
+          `Bound
+      | _ -> `Eval
   in
-  let eval (i, (org, g)) =
-    let injected = hook i in
-    (* Injected candidates bypass the (evaluation-order-dependent) prunes
-       so the fault counts are identical for every worker count — and so
-       [Fault_force] force-evaluates a candidate the prunes would skip. *)
-    match if injected = None then prune_class org g else `Eval with
-    | `Area ->
-        Atomic.incr n_area_pruned;
-        None
-    | `Bound ->
-        Atomic.incr n_bound_pruned;
-        None
-    | `Eval -> (
-        try
-          (match injected with
-          | Some Fault_exn -> failwith "Bank.enumerate: injected fault"
-          | _ -> ());
-          match (solve_mat org g, injected) with
-          | None, Some Fault_nan ->
-              raise
-                (Cacti_util.Floatx.Non_finite "t_access is nan (injected)")
-          | None, _ ->
-              Atomic.incr n_nonviable;
-              None
-          | Some mat, inj ->
-              let b = assemble ~staged ~spec ~org mat in
-              let b =
-                match inj with
-                | Some Fault_nan -> { b with t_access = Float.nan }
-                | _ -> b
-              in
-              check_metrics b;
-              note_champion champion b;
-              Atomic.incr n_ok;
-              Some b
-        with
-        | Cacti_util.Floatx.Non_finite _ when not strict ->
-            Atomic.incr n_nonfinite;
-            None
-        | (Out_of_memory | Stack_overflow) as e -> raise e
-        | _ when not strict ->
-            Atomic.incr n_raised;
-            None)
-  in
-  let banks = Cacti_util.Pool.parallel_filter_map ~chunk:4 pool eval screened in
-  let counts =
+  let counts () =
     {
       Cacti_util.Diag.candidates = n_total;
       evaluated = Atomic.get n_ok;
@@ -483,10 +423,258 @@ let enumerate_counts ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
       raised = Atomic.get n_raised;
     }
   in
-  (banks, counts)
+  if not kernel then begin
+    (* Scalar reference path: per-candidate record evaluation, kept
+       verbatim as the identity baseline for the columnar kernel. *)
+    let indexed = List.mapi (fun i cand -> (i, cand)) survivors in
+    let lbs =
+      if prune <> None || bound <> None then Some (lower_bounds ~staged spec)
+      else None
+    in
+    let prune_class org g =
+      match lbs with
+      | None -> `Eval
+      | Some lb ->
+          let b = lb org g in
+          decide b.b_area b.b_time b.b_energy
+    in
+    let solve_mat org g =
+      let build () =
+        Cacti_util.Profile.time "mat_solve" (fun () ->
+            Mat.make_staged ~staged ~spec ~org ())
+      in
+      match mat_cache with
+      | None -> build ()
+      | Some cache -> cache (Mat.fingerprint_key ~salt ~is_dram ~org g) build
+    in
+    let eval (i, (org, g)) =
+      let injected = hook i in
+      (* Injected candidates bypass the (evaluation-order-dependent) prunes
+         so the fault counts are identical for every worker count — and so
+         [Fault_force] force-evaluates a candidate the prunes would skip. *)
+      match if injected = None then prune_class org g else `Eval with
+      | `Area ->
+          Atomic.incr n_area_pruned;
+          None
+      | `Bound ->
+          Atomic.incr n_bound_pruned;
+          None
+      | `Eval -> (
+          try
+            (match injected with
+            | Some Fault_exn -> failwith "Bank.enumerate: injected fault"
+            | _ -> ());
+            match (solve_mat org g, injected) with
+            | None, Some Fault_nan ->
+                raise
+                  (Cacti_util.Floatx.Non_finite "t_access is nan (injected)")
+            | None, _ ->
+                Atomic.incr n_nonviable;
+                None
+            | Some mat, inj ->
+                let b = assemble ~staged ~spec ~org mat in
+                let b =
+                  match inj with
+                  | Some Fault_nan -> { b with t_access = Float.nan }
+                  | _ -> b
+                in
+                check_metrics b;
+                note_champion champion b;
+                Atomic.incr n_ok;
+                Some b
+          with
+          | Cacti_util.Floatx.Non_finite _ when not strict ->
+              Atomic.incr n_nonfinite;
+              None
+          | (Out_of_memory | Stack_overflow) as e -> raise e
+          | _ when not strict ->
+              Atomic.incr n_raised;
+              None)
+    in
+    let banks =
+      Cacti_util.Pool.parallel_filter_map ~chunk:4 pool eval indexed
+    in
+    Banks (banks, counts ())
+  end
+  else begin
+    (* Columnar kernel path.  Identical decision structure to the scalar
+       path (same prune comparisons against the same champion cell, same
+       fault containment, same candidate order per worker count), but the
+       data flows through {!Soa_kernel} columns: bounds are evaluated
+       branch-free over chunk ranges from the parameter columns, solved
+       metrics land in result columns, and surviving candidates
+       materialize into [t] records once, after the sweep. *)
+    let soa =
+      Cacti_util.Profile.time "column_build" (fun () ->
+          Soa_kernel.build ~is_dram survivors)
+    in
+    let n = soa.Soa_kernel.n in
+    let bounds_fn =
+      if prune <> None || bound <> None then Some (bounds_of ~staged spec)
+      else None
+    in
+    (* Sub-stage memo tables.  A sweep over ~2000 survivors has only
+       ~300 distinct subarrays and ~125 distinct decoders (the decoder
+       does not depend on the bitline-mux degree — none of its subarray
+       inputs do), so each is solved once.  Memoized sweeps share the
+       cross-sweep tables keyed by salt: the same designs recur across a
+       study matrix (sizes of one config share most subarray shapes), and
+       a decoder costs ~3 us to design. *)
+    let sub_of, dec_of =
+      if mat_cache <> None then
+        ( (fun ~rows ~cols ~deg ->
+            memoized ~cap:stage_memo_cap g_sub_mu g_sub_tbl
+              (salt, (rows, cols, deg))
+              (fun () -> Mat.subarray_of ~staged ~rows ~cols ~deg)),
+          fun (sub : Subarray.t) ~horiz ~vert ->
+            memoized ~cap:stage_memo_cap g_dec_mu g_dec_tbl
+              (salt, (sub.Subarray.rows, sub.Subarray.cols, horiz, vert))
+              (fun () -> Mat.decoder_of ~staged sub ~horiz ~vert) )
+      else
+        let sub_tbl = Hashtbl.create 512 and sub_mu = Mutex.create () in
+        let dec_tbl = Hashtbl.create 256 and dec_mu = Mutex.create () in
+        ( (fun ~rows ~cols ~deg ->
+            memoized sub_mu sub_tbl (rows, cols, deg) (fun () ->
+                Mat.subarray_of ~staged ~rows ~cols ~deg)),
+          fun (sub : Subarray.t) ~horiz ~vert ->
+            memoized dec_mu dec_tbl
+              (sub.Subarray.rows, sub.Subarray.cols, horiz, vert)
+              (fun () -> Mat.decoder_of ~staged sub ~horiz ~vert) )
+    in
+    let solve_mat org g =
+      let build () =
+        Cacti_util.Profile.time "mat_solve" (fun () ->
+            Mat.eval_geometry ~staged ~sub_of ~dec_of ~org g)
+      in
+      match mat_cache with
+      | None -> build ()
+      | Some cache -> cache (Mat.fingerprint_key ~salt ~is_dram ~org g) build
+    in
+    let status = soa.Soa_kernel.status in
+    let eval_one i =
+      let org = soa.Soa_kernel.orgs.(i) and g = soa.Soa_kernel.geos.(i) in
+      let injected = hook i in
+      let cls =
+        if injected <> None || bounds_fn = None then `Eval
+        else
+          decide soa.Soa_kernel.b_area.{i} soa.Soa_kernel.b_time.{i}
+            soa.Soa_kernel.b_energy.{i}
+      in
+      match cls with
+      | `Area ->
+          Atomic.incr n_area_pruned;
+          Bytes.set status i Soa_kernel.st_area_pruned
+      | `Bound ->
+          Atomic.incr n_bound_pruned;
+          Bytes.set status i Soa_kernel.st_bound_pruned
+      | `Eval -> (
+          try
+            (match injected with
+            | Some Fault_exn -> failwith "Bank.enumerate: injected fault"
+            | _ -> ());
+            match (solve_mat org g, injected) with
+            | None, Some Fault_nan ->
+                raise
+                  (Cacti_util.Floatx.Non_finite "t_access is nan (injected)")
+            | None, _ ->
+                Atomic.incr n_nonviable;
+                Bytes.set status i Soa_kernel.st_nonviable
+            | Some mat, inj ->
+                let m = Soa_kernel.metrics_of_mat ~staged ~spec ~org mat in
+                let m =
+                  match inj with
+                  | Some Fault_nan ->
+                      { m with Soa_kernel.m_t_access = Float.nan }
+                  | _ -> m
+                in
+                Soa_kernel.set_metrics soa i m;
+                check_metrics_m m;
+                note_champion_v champion ~area:m.Soa_kernel.m_area
+                  ~time:m.Soa_kernel.m_t_access ~energy:m.Soa_kernel.m_e_read;
+                Atomic.incr n_ok;
+                soa.Soa_kernel.mats.(i) <- Some mat;
+                Bytes.set status i Soa_kernel.st_ok
+          with
+          | Cacti_util.Floatx.Non_finite _ when not strict ->
+              Atomic.incr n_nonfinite;
+              Bytes.set status i Soa_kernel.st_nonfinite
+          | (Out_of_memory | Stack_overflow) as e -> raise e
+          | _ when not strict ->
+              Atomic.incr n_raised;
+              Bytes.set status i Soa_kernel.st_raised)
+    in
+    let chunk = 64 in
+    let n_chunks = (n + chunk - 1) / chunk in
+    Cacti_util.Profile.time "kernel_eval" (fun () ->
+        Cacti_util.Pool.run_chunked ~chunk:1 pool n_chunks (fun c ->
+            let lo = c * chunk in
+            let hi = min n (lo + chunk) in
+            (match bounds_fn with
+            | Some f ->
+                for i = lo to hi - 1 do
+                  let b =
+                    f ~eff_deg:soa.Soa_kernel.eff_deg.(i)
+                      ~f_n_ctl:soa.Soa_kernel.f_n_ctl.{i}
+                      ~f_out_bits:soa.Soa_kernel.f_out_bits.{i}
+                      ~f_n_mats:soa.Soa_kernel.f_n_mats.{i}
+                      ~f_n_sa:soa.Soa_kernel.f_n_sa.{i}
+                      ~f_wspan:soa.Soa_kernel.f_wspan.{i}
+                      ~f_hspan:soa.Soa_kernel.f_hspan.{i}
+                      ~f_line_cells:soa.Soa_kernel.f_line_cells.{i}
+                      ~f_rows:soa.Soa_kernel.f_rows.{i}
+                      ~f_sensed_pa:soa.Soa_kernel.f_sensed_pa.{i}
+                      ~f_mats_x:soa.Soa_kernel.f_mats_x.{i}
+                  in
+                  soa.Soa_kernel.b_area.{i} <- b.b_area;
+                  soa.Soa_kernel.b_time.{i} <- b.b_time;
+                  soa.Soa_kernel.b_energy.{i} <- b.b_energy
+                done
+            | None -> ());
+            for i = lo to hi - 1 do
+              eval_one i
+            done));
+    Soa { sw_spec = spec; sw_staged = staged; sw_soa = soa;
+          sw_counts = counts () }
+  end
 
-let enumerate ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict spec
-    =
+let sweep_bank sw i =
+  let soa = sw.sw_soa in
+  if Bytes.get soa.Soa_kernel.status i <> Soa_kernel.st_ok then
+    invalid_arg "Bank.sweep_bank: candidate did not evaluate";
+  bank_of_metrics ~staged:sw.sw_staged ~spec:sw.sw_spec
+    ~org:soa.Soa_kernel.orgs.(i)
+    (match soa.Soa_kernel.mats.(i) with Some m -> m | None -> assert false)
+    (Soa_kernel.get_metrics soa i)
+
+let materialize_all sw =
+  let soa = sw.sw_soa in
+  let banks = ref [] in
+  for i = soa.Soa_kernel.n - 1 downto 0 do
+    if Bytes.get soa.Soa_kernel.status i = Soa_kernel.st_ok then
+      banks := sweep_bank sw i :: !banks
+  done;
+  !banks
+
+let enumerate_counts ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl
+    ?strict ?kernel ?screened spec =
+  match
+    run ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict ?kernel
+      ?screened spec
+  with
+  | Banks (banks, counts) -> (banks, counts)
+  | Soa sw -> (materialize_all sw, sw.sw_counts)
+
+let enumerate_soa ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict
+    ?screened spec =
+  match
+    run ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict
+      ~kernel:true ?screened spec
+  with
+  | Soa sw -> sw
+  | Banks _ -> assert false
+
+let enumerate ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict
+    ?kernel ?screened spec =
   fst
     (enumerate_counts ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl
-       ?strict spec)
+       ?strict ?kernel ?screened spec)

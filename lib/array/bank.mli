@@ -49,6 +49,26 @@ val evaluate_staged :
 (** {!evaluate} against precomputed staged constants
     ([Mat.staged_of_spec spec]); bit-identical to {!evaluate}. *)
 
+val bank_of_metrics :
+  staged:Cacti_circuit.Staged.t ->
+  spec:Array_spec.t ->
+  org:Org.t ->
+  Mat.t ->
+  Soa_kernel.metrics ->
+  t
+(** Materialize a bank record from a solved mat and its flat metrics
+    (see {!Soa_kernel.metrics_of_mat}); the single constructor behind
+    both the scalar path and the columnar kernel. *)
+
+val assemble :
+  staged:Cacti_circuit.Staged.t ->
+  spec:Array_spec.t ->
+  org:Org.t ->
+  Mat.t ->
+  t
+(** The bank-level model on top of a solved mat:
+    [bank_of_metrics ... (Soa_kernel.metrics_of_mat ...)]. *)
+
 type bounds = { b_area : float; b_time : float; b_energy : float }
 (** Admissible lower bounds on a candidate's final [area], [t_access] and
     [e_read], computed from its geometry alone. *)
@@ -107,6 +127,12 @@ type fault = Fault_nan | Fault_exn | Fault_force
     region before evaluation, [Fault_force] evaluates the candidate
     normally but bypasses the prunes (for pruning-soundness properties). *)
 
+val reset_stage_memo : unit -> unit
+(** Clear the cross-sweep subarray/decoder design memo used by memoized
+    kernel sweeps.  Entries are pure functions of their (salt, dims)
+    keys, so this is never needed for correctness — it releases memory
+    and gives tests a cold-state baseline. *)
+
 val set_fault_hook : (int -> fault option) option -> unit
 (** Install (or with [None] clear) a hook consulted once per screened
     candidate, keyed by its position in the post-screen enumeration order.
@@ -119,10 +145,12 @@ val enumerate_counts :
   ?pool:Cacti_util.Pool.t ->
   ?prune:float ->
   ?bound:bound_policy ->
-  ?mat_cache:(string -> (unit -> Mat.t option) -> Mat.t option) ->
+  ?mat_cache:(Mat.mat_key -> (unit -> Mat.t option) -> Mat.t option) ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
   ?strict:bool ->
+  ?kernel:bool ->
+  ?screened:((Org.t * Mat.geometry) list * int * int * int) ->
   Array_spec.t ->
   t list * Cacti_util.Diag.counts
 (** All valid organizations of the spec, in the deterministic grid order of
@@ -141,11 +169,25 @@ val enumerate_counts :
     provably cannot displace the selected solution (see {!bound_policy});
     only pass it when the consumer is exactly that staged selection.
 
-    [mat_cache], keyed by {!Mat.fingerprint}, memoizes the mat circuit
+    [mat_cache], keyed by {!Mat.mat_key}, memoizes the mat circuit
     solution shared by candidates with identical subarray geometry (within
     this sweep and, through {!Cacti.Solve_cache}, across solves on the
     same technology).  The cached value is the same pure function of the
     key, so results are bit-identical with or without it.
+
+    [kernel] (default true) evaluates the sweep through the columnar
+    {!Soa_kernel} batch path: survivors are flattened into float64
+    parameter columns, bounds and metrics are computed over chunk ranges,
+    distinct subarray/decoder sub-stages are solved once per sweep, and
+    survivors materialize into records only at the end.  [~kernel:false]
+    selects the per-candidate scalar reference path.  Both paths are
+    bit-identical: same banks in the same order (at one worker; same
+    staged-selection winner at any worker count), same counts.
+
+    [screened] supplies a precomputed screen result
+    ([(survivors, n_total, n_geometry, n_page)], as returned by
+    {!Mat.screen} / {!Mat.screen_of_tree} for this spec and grid bounds)
+    so incremental re-solves skip re-screening.
 
     Per-candidate evaluation is fault-contained: an exception escaping the
     circuit model, or a non-finite / negative delay, energy, area or power,
@@ -157,10 +199,47 @@ val enumerate :
   ?pool:Cacti_util.Pool.t ->
   ?prune:float ->
   ?bound:bound_policy ->
-  ?mat_cache:(string -> (unit -> Mat.t option) -> Mat.t option) ->
+  ?mat_cache:(Mat.mat_key -> (unit -> Mat.t option) -> Mat.t option) ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
   ?strict:bool ->
+  ?kernel:bool ->
+  ?screened:((Org.t * Mat.geometry) list * int * int * int) ->
   Array_spec.t ->
   t list
 (** {!enumerate_counts} without the histogram. *)
+
+type sweep = {
+  sw_spec : Array_spec.t;
+  sw_staged : Cacti_circuit.Staged.t;
+  sw_soa : Soa_kernel.t;
+  sw_counts : Cacti_util.Diag.counts;
+}
+(** A completed kernel sweep still in columnar form: every evaluated
+    candidate's metrics live in the {!Soa_kernel.t} result columns, with
+    records not yet materialized.  Consumers that only need an argmin
+    (e.g. {!Cacti.Optimizer.select_soa_result}) can scan the columns and
+    materialize just the winner via {!sweep_bank}. *)
+
+val enumerate_soa :
+  ?pool:Cacti_util.Pool.t ->
+  ?prune:float ->
+  ?bound:bound_policy ->
+  ?mat_cache:(Mat.mat_key -> (unit -> Mat.t option) -> Mat.t option) ->
+  ?max_ndwl:int ->
+  ?max_ndbl:int ->
+  ?strict:bool ->
+  ?screened:((Org.t * Mat.geometry) list * int * int * int) ->
+  Array_spec.t ->
+  sweep
+(** {!enumerate_counts} with [~kernel:true], returning the sweep in
+    columnar form instead of materializing every surviving bank record.
+    [materialize_all]-ing the result (what {!enumerate_counts} does)
+    yields the exact list the scalar path produces. *)
+
+val sweep_bank : sweep -> int -> t
+(** Materialize candidate [i] of the sweep (its position in the screened
+    enumeration order) into a full bank record; bit-identical to the
+    record the scalar path builds for that candidate.  Raises
+    [Invalid_argument] if the candidate did not evaluate (status is not
+    [st_ok]). *)

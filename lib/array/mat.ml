@@ -93,18 +93,67 @@ let classify ~spec ~(org : Org.t) =
 
 let geometry ~spec ~org = Result.to_option (classify ~spec ~org)
 
-(* Hierarchical screen: walk the partition grid as nested loops (in exactly
-   the {!Org.candidates} order) and hoist each tiling check to the
-   outermost level whose dimensions determine it, bulk-counting the pruned
-   subtree instead of visiting its leaves.  Equivalent to running
-   {!classify} over the flat grid: every hoisted check maps to [`Geometry]
-   in [classify] (checks are order-independent for the count because all
-   of them yield [`Geometry]), and [`Page] is only ever decided at a leaf
-   where all geometry checks passed — the same condition under which the
-   flat screen reaches it.  Cuts a 64x64 SRAM sweep from ~63k classify
-   calls to ~245 interior probes plus the surviving leaves. *)
-let screen ?(max_ndwl = 64) ?(max_ndbl = 64) ~spec () =
-  let { Array_spec.ram; n_rows; row_bits; output_bits; page_bits; _ } = spec in
+(* Hierarchical screen, factored into a reusable tree.
+
+   The flat screen over [Org.candidates] runs [classify] ~63k times; the
+   hierarchical walk hoists each tiling check to the outermost loop level
+   whose dimensions determine it and bulk-counts pruned subtrees.  The key
+   further observation is that only ONE check depends on the spec's
+   [n_rows]: the rows-per-subarray division (and its 16..4096 bound).
+   Everything else — bits-per-mat (per ndwl), columns-per-subarray (per
+   ndwl x nspd), the sensing/mux-matching/page checks (per ndwl x nspd x
+   deg) — is a pure function of [row_bits], [output_bits], [page_bits] and
+   the cell kind.  So the screen splits into a rows-independent
+   {!screen_tree} built once, and a cheap {!screen_of_tree} instantiation
+   per [n_rows] that re-runs only the ~ndbl x nspd row divisions.  This
+   both accelerates a cold screen and lets {!Cacti_core.Solve_cache} reuse
+   the tree across specs that differ along the size / tech-node axes.
+
+   Equivalence with the flat screen: every hoisted check maps to
+   [`Geometry] in [classify] (the counts are order-independent because all
+   structural checks yield [`Geometry] — in particular the joint
+   rows/cols bound is a commutative conjunction, so splitting it between
+   build and instantiation preserves the count), and [`Page] is only ever
+   decided at a leaf where all geometry checks passed, exactly as in the
+   flat screen.  Survivors are emitted in [Org.candidates] order. *)
+
+type deg_node =
+  | Deg_fail
+  | Deg of {
+      dn_deg : int;
+      dn_page_ok : bool;
+      dn_tmpl : geometry;
+          (* rows-independent template: [g_rows_sub] and [g_vert] are 0
+             and are filled in at instantiation *)
+      dn_pairs : (int * int) list;
+          (* surviving (ndsam_lev1, ndsam_lev2) pairs, in grid order *)
+      dn_n_pairs : int;
+    }
+
+type nspd_node = Nspd_fail | Nspd of { nn_degs : deg_node array }
+
+type ndwl_node = Ndwl_fail | Ndwl of { wn_nspds : nspd_node array }
+
+type screen_tree = {
+  st_ndwls : (int * ndwl_node) array;
+  st_ndbls : int array;
+  st_nspds : float array;
+  st_n_total : int;
+  st_leaves_per_ndwl : int;
+  st_leaves_per_nspd : int;
+  st_leaves_per_deg : int;
+}
+
+let screen_key ?(max_ndwl = 64) ?(max_ndbl = 64) ~spec () =
+  let { Array_spec.ram; row_bits; output_bits; page_bits; _ } = spec in
+  Printf.sprintf "%s|%d|%d|%s|%d|%d"
+    (Cell.ram_kind_to_string ram)
+    row_bits output_bits
+    (match page_bits with None -> "-" | Some p -> string_of_int p)
+    max_ndwl max_ndbl
+
+let screen_tree ?(max_ndwl = 64) ?(max_ndbl = 64) ~spec () =
+  let { Array_spec.ram; row_bits; output_bits; page_bits; _ } = spec in
   let is_dram = Cell.is_dram ram in
   let ndwls = Org.pow2s max_ndwl and ndbls = Org.pow2s max_ndbl in
   let nspds = Org.nspds
@@ -117,300 +166,390 @@ let screen ?(max_ndwl = 64) ?(max_ndbl = 64) ~spec () =
     List.length ndbls * List.length nspds * leaves_per_nspd
   in
   let n_total = List.length ndwls * leaves_per_ndwl in
+  let f_row_bits = float_of_int row_bits in
+  let ndwl_entry ndwl =
+    let mats_x = max 1 (ndwl / 2) in
+    let horiz = min ndwl 2 in
+    match exact_div output_bits mats_x with
+    | None -> (ndwl, Ndwl_fail)
+    | Some bits_per_mat ->
+        let nspd_node nspd =
+          match exact_div_f (f_row_bits *. nspd) (float_of_int ndwl) with
+          | None -> Nspd_fail
+          | Some cols_sub when cols_sub < 16 || cols_sub > 8192 -> Nspd_fail
+          | Some cols_sub ->
+              let deg_node deg =
+                let eff_deg = if is_dram then 1 else deg in
+                match exact_div (horiz * cols_sub) eff_deg with
+                | None -> Deg_fail
+                | Some sensed ->
+                    (* Checks 6+7 of [classify] combine to
+                       [ns1 * ns2 * bits_per_mat = sensed]. *)
+                    let target =
+                      if bits_per_mat > 0 && sensed mod bits_per_mat = 0 then
+                        sensed / bits_per_mat
+                      else -1
+                    in
+                    if target < 0 then Deg_fail
+                    else
+                      let sensed_per_access =
+                        if is_dram then horiz * cols_sub else sensed
+                      in
+                      let page_ok =
+                        match page_bits with
+                        | None -> true
+                        | Some p -> mats_x * sensed_per_access = p
+                      in
+                      let pairs =
+                        List.concat_map
+                          (fun ns1 ->
+                            List.filter_map
+                              (fun ns2 ->
+                                if ns1 * ns2 = target then Some (ns1, ns2)
+                                else None)
+                              ndsams)
+                          ndsams
+                      in
+                      Deg
+                        {
+                          dn_deg = deg;
+                          dn_page_ok = page_ok;
+                          dn_tmpl =
+                            {
+                              g_rows_sub = 0;
+                              g_cols_sub = cols_sub;
+                              g_horiz = horiz;
+                              g_vert = 0;
+                              g_out_bits = bits_per_mat;
+                              g_sensed = sensed;
+                              g_sensed_per_access = sensed_per_access;
+                            };
+                          dn_pairs = pairs;
+                          dn_n_pairs = List.length pairs;
+                        }
+              in
+              Nspd { nn_degs = Array.of_list (List.map deg_node degs) }
+        in
+        (ndwl, Ndwl { wn_nspds = Array.of_list (List.map nspd_node nspds) })
+  in
+  {
+    st_ndwls = Array.of_list (List.map ndwl_entry ndwls);
+    st_ndbls = Array.of_list ndbls;
+    st_nspds = Array.of_list nspds;
+    st_n_total = n_total;
+    st_leaves_per_ndwl = leaves_per_ndwl;
+    st_leaves_per_nspd = leaves_per_nspd;
+    st_leaves_per_deg = leaves_per_deg;
+  }
+
+let screen_of_tree (tree : screen_tree) ~n_rows =
   let n_geometry = ref 0 and n_page = ref 0 in
   let acc = ref [] in
-  let f_rows = float_of_int n_rows and f_row_bits = float_of_int row_bits in
-  List.iter
-    (fun ndwl ->
-      let mats_x = max 1 (ndwl / 2) in
-      let horiz = min ndwl 2 in
-      match exact_div output_bits mats_x with
-      | None -> n_geometry := !n_geometry + leaves_per_ndwl
-      | Some bits_per_mat ->
-          List.iter
+  let f_rows = float_of_int n_rows in
+  Array.iter
+    (fun (ndwl, node) ->
+      match node with
+      | Ndwl_fail -> n_geometry := !n_geometry + tree.st_leaves_per_ndwl
+      | Ndwl { wn_nspds } ->
+          Array.iter
             (fun ndbl ->
               let vert = min ndbl 2 in
               let f_ndbl = float_of_int ndbl in
-              List.iter
-                (fun nspd ->
-                  let dims =
-                    match exact_div_f f_rows (f_ndbl *. nspd) with
-                    | None -> None
-                    | Some rows_sub -> (
-                        match
-                          exact_div_f (f_row_bits *. nspd) (float_of_int ndwl)
-                        with
-                        | None -> None
-                        | Some cols_sub ->
-                            if
-                              rows_sub < 16 || rows_sub > 4096 || cols_sub < 16
-                              || cols_sub > 8192
-                            then None
-                            else Some (rows_sub, cols_sub))
-                  in
-                  match dims with
-                  | None -> n_geometry := !n_geometry + leaves_per_nspd
-                  | Some (rows_sub, cols_sub) ->
-                      List.iter
-                        (fun deg ->
-                          let eff_deg = if is_dram then 1 else deg in
-                          match exact_div (horiz * cols_sub) eff_deg with
-                          | None ->
-                              n_geometry := !n_geometry + leaves_per_deg
-                          | Some sensed ->
-                              (* Checks 6+7 of [classify] combine to
-                                 [ns1 * ns2 * bits_per_mat = sensed]. *)
-                              let target =
-                                if
-                                  bits_per_mat > 0
-                                  && sensed mod bits_per_mat = 0
-                                then sensed / bits_per_mat
-                                else -1
-                              in
-                              if target < 0 then
-                                n_geometry := !n_geometry + leaves_per_deg
-                              else
-                                let sensed_per_access =
-                                  if is_dram then horiz * cols_sub else sensed
-                                in
-                                let page_ok =
-                                  match page_bits with
-                                  | None -> true
-                                  | Some p -> mats_x * sensed_per_access = p
-                                in
-                                let g =
+              Array.iteri
+                (fun si nspd ->
+                  match wn_nspds.(si) with
+                  | Nspd_fail ->
+                      n_geometry := !n_geometry + tree.st_leaves_per_nspd
+                  | Nspd { nn_degs } -> (
+                      match exact_div_f f_rows (f_ndbl *. nspd) with
+                      | Some rows_sub when rows_sub >= 16 && rows_sub <= 4096
+                        ->
+                          Array.iter
+                            (fun dn ->
+                              match dn with
+                              | Deg_fail ->
+                                  n_geometry :=
+                                    !n_geometry + tree.st_leaves_per_deg
+                              | Deg
                                   {
-                                    g_rows_sub = rows_sub;
-                                    g_cols_sub = cols_sub;
-                                    g_horiz = horiz;
-                                    g_vert = vert;
-                                    g_out_bits = bits_per_mat;
-                                    g_sensed = sensed;
-                                    g_sensed_per_access = sensed_per_access;
-                                  }
-                                in
-                                List.iter
-                                  (fun ndsam_lev1 ->
+                                    dn_deg;
+                                    dn_page_ok;
+                                    dn_tmpl;
+                                    dn_pairs;
+                                    dn_n_pairs;
+                                  } ->
+                                  n_geometry :=
+                                    !n_geometry
+                                    + (tree.st_leaves_per_deg - dn_n_pairs);
+                                  if not dn_page_ok then
+                                    n_page := !n_page + dn_n_pairs
+                                  else
+                                    let g =
+                                      {
+                                        dn_tmpl with
+                                        g_rows_sub = rows_sub;
+                                        g_vert = vert;
+                                      }
+                                    in
                                     List.iter
-                                      (fun ndsam_lev2 ->
-                                        if ndsam_lev1 * ndsam_lev2 = target
-                                        then
-                                          if page_ok then
-                                            acc :=
-                                              ( {
-                                                  Org.ndwl;
-                                                  ndbl;
-                                                  nspd;
-                                                  deg_bl_mux = deg;
-                                                  ndsam_lev1;
-                                                  ndsam_lev2;
-                                                },
-                                                g )
-                                              :: !acc
-                                          else incr n_page
-                                        else incr n_geometry)
-                                      ndsams)
-                                  ndsams)
-                        degs)
-                nspds)
-            ndbls)
-    ndwls;
-  (List.rev !acc, n_total, !n_geometry, !n_page)
+                                      (fun (ndsam_lev1, ndsam_lev2) ->
+                                        acc :=
+                                          ( {
+                                              Org.ndwl;
+                                              ndbl;
+                                              nspd;
+                                              deg_bl_mux = dn_deg;
+                                              ndsam_lev1;
+                                              ndsam_lev2;
+                                            },
+                                            g )
+                                          :: !acc)
+                                      dn_pairs)
+                            nn_degs
+                      | _ ->
+                          n_geometry := !n_geometry + tree.st_leaves_per_nspd))
+                tree.st_nspds)
+            tree.st_ndbls)
+    tree.st_ndwls;
+  (List.rev !acc, tree.st_n_total, !n_geometry, !n_page)
+
+let screen ?max_ndwl ?max_ndbl ~spec () =
+  screen_of_tree
+    (screen_tree ?max_ndwl ?max_ndbl ~spec ())
+    ~n_rows:spec.Array_spec.n_rows
 
 let staged_of_spec (spec : Array_spec.t) =
   Staged.make ~tech:spec.Array_spec.tech ~ram:spec.Array_spec.ram
     ~max_repeater_delay_penalty:spec.Array_spec.max_repeater_delay_penalty ()
 
 (* The circuit solution of a mat is fully determined by the staged
-   constants plus this tuple; candidates across the partition grid that
-   share it share the mat solution bit-for-bit (the remaining spec fields
-   — n_rows, output_bits, sleep_tx, repeater penalty — enter only at the
-   classify screen or the bank level). *)
-let fingerprint ~spec ~(org : Org.t) (g : geometry) =
-  let is_dram = Cell.is_dram spec.Array_spec.ram in
-  let deg = if is_dram then 1 else org.Org.deg_bl_mux in
-  Printf.sprintf "%s|%h|%s|%d|%d|%d|%d|%d|%d|%d"
+   constants plus the geometry/mux tuple; candidates across the partition
+   grid that share it share the mat solution bit-for-bit (the remaining
+   spec fields — n_rows, output_bits, sleep_tx, repeater penalty — enter
+   only at the classify screen or the bank level).
+
+   The key is split into a per-spec salt string (cell kind, feature size,
+   wire projection — hoisted out of the per-candidate loop so the sweep
+   allocates no strings) and the geometry/mux tuple packed into a single
+   tagged int.  The bit budget (13+14+2+2+4+5+5 = 45 bits) covers every
+   screened geometry: rows <= 4096, cols <= 8192, horiz/vert <= 2,
+   deg <= 8, ndsam <= 16 — packing is injective on screen survivors. *)
+
+type mat_key = { mk_salt : string; mk_packed : int }
+
+let fingerprint_salt ~spec =
+  Printf.sprintf "%s|%h|%s"
     (Cell.ram_kind_to_string spec.Array_spec.ram)
     (Technology.feature_size spec.Array_spec.tech)
     (match Technology.wire_projection spec.Array_spec.tech with
     | Wire.Aggressive -> "a"
     | Wire.Conservative -> "c")
-    g.g_rows_sub g.g_cols_sub g.g_horiz g.g_vert deg org.Org.ndsam_lev1
-    org.Org.ndsam_lev2
+
+let fingerprint_key ~salt ~is_dram ~(org : Org.t) (g : geometry) =
+  let deg = if is_dram then 1 else org.Org.deg_bl_mux in
+  let k = g.g_rows_sub in
+  let k = (k lsl 14) lor g.g_cols_sub in
+  let k = (k lsl 2) lor g.g_horiz in
+  let k = (k lsl 2) lor g.g_vert in
+  let k = (k lsl 4) lor deg in
+  let k = (k lsl 5) lor org.Org.ndsam_lev1 in
+  let k = (k lsl 5) lor org.Org.ndsam_lev2 in
+  { mk_salt = salt; mk_packed = k }
+
+let fingerprint ~spec ~(org : Org.t) (g : geometry) =
+  fingerprint_key
+    ~salt:(fingerprint_salt ~spec)
+    ~is_dram:(Cell.is_dram spec.Array_spec.ram)
+    ~org g
+
+(* The mat evaluation is split into its two expensive, highly shared
+   sub-stages — the subarray (bitline RC + cell geometry, a function of
+   (rows, cols, deg)) and the row decoder (a function of the subarray and
+   (horiz, vert)) — plus the closed-form combination of both with the
+   staged sense amp and output muxes.  The scalar path instantiates the
+   sub-stages directly; the SoA kernel supplies memoizing providers so
+   that a 2000-survivor sweep solves each distinct subarray (~300) and
+   decoder (~125) once.  Both paths run the exact same expressions on the
+   exact same float inputs, so they are bit-identical. *)
+
+let subarray_of ~(staged : Staged.t) ~rows ~cols ~deg =
+  (* Sense amplifiers first (their input loading feeds the bitline). *)
+  let sense = Staged.sense staged ~deg_bl_mux:deg in
+  Subarray.make ~tech:staged.Staged.tech ~ram:staged.Staged.ram ~rows ~cols
+    ~c_sense_input:(sense.Sense_amp.c_input /. float_of_int deg)
+
+let decoder_of ~(staged : Staged.t) (subarray : Subarray.t) ~horiz ~vert =
+  (* Row decoder: one strip serving all wordlines of the mat; the selected
+     wordline spans the horizontal subarrays. *)
+  let c_line = float_of_int horiz *. subarray.Subarray.c_wordline in
+  let r_line = float_of_int horiz *. subarray.Subarray.r_wordline in
+  Decoder.decoder ~periph:staged.Staged.periph ~area:staged.Staged.area
+    ~feature:staged.Staged.feature ~wire:staged.Staged.wire_local
+    ~n_select:(subarray.Subarray.rows * vert)
+    ~strip_length:(float_of_int vert *. subarray.Subarray.height)
+    ~c_line ~r_line ~v_line_swing:staged.Staged.cell.Cell.vpp ()
+
+let of_parts ~(staged : Staged.t) ~(org : Org.t) (g : geometry)
+    ~(subarray : Subarray.t) ~(decoder : Decoder.t) =
+  let { Staged.cell; periph; feature; is_dram; _ } = staged in
+  let { g_rows_sub = rows_sub; g_cols_sub = cols_sub; g_horiz = horiz;
+        g_vert = vert; g_out_bits = out_bits; g_sensed = sensed;
+        g_sensed_per_access = _ } =
+    g
+  in
+  let deg = if is_dram then 1 else org.Org.deg_bl_mux in
+  let sense = Staged.sense staged ~deg_bl_mux:deg in
+  let n_subarrays = horiz * vert in
+  let active_cols = horiz * cols_sub in
+  let n_sense_amps = sensed in
+  let n_wordlines = rows_sub * vert in
+  let t_row_path = decoder.Decoder.stage.Stage.delay in
+  let t_wordline = decoder.Decoder.t_gate_drive +. decoder.Decoder.t_line in
+  (* Bitline and sensing. *)
+  let vdd_p = periph.Device.vdd in
+  let t_bitline, t_sense, t_precharge, t_restore =
+    match (subarray.Subarray.sram_bl, subarray.Subarray.dram_bl) with
+    | Some bl, None ->
+        ( bl.Bitline.t_read_develop,
+          Cacti_circuit.Sense_amp.amplify sense ~signal:bl.Bitline.swing,
+          bl.Bitline.t_precharge,
+          0. )
+    | None, Some bl ->
+        ( bl.Bitline.t_charge_share,
+          Cacti_circuit.Sense_amp.amplify sense ~signal:bl.Bitline.signal,
+          bl.Bitline.t_precharge,
+          bl.Bitline.t_restore )
+    | _ -> assert false
+  in
+  (* Column path: bitline mux (SRAM), then the two Ndsam levels — all from
+     the staged tables (same pure expressions as inline construction). *)
+  let mux_bl = Staged.mux_bl staged ~deg_bl_mux:deg in
+  let mux1 = Staged.mux1 staged ~ndsam:org.Org.ndsam_lev1 in
+  let mux2 = Staged.mux2 staged ~ndsam:org.Org.ndsam_lev2 in
+  let t_column_out =
+    (if deg > 1 then mux_bl.Mux.delay else 0.)
+    +. mux1.Mux.delay +. mux2.Mux.delay
+  in
+  (* Per-mat support circuitry that CACTI folds into every mat: write
+     drivers on the output columns, address latches/receivers and the
+     self-timed control block.  Modeled as inverter-equivalents. *)
+  let ctl_inv = staged.Staged.ctl_inv in
+  let wr_drv = staged.Staged.wr_drv in
+  let n_ctl = 60 + (2 * Cacti_util.Floatx.clog2 (max 2 n_wordlines)) in
+  let control_area =
+    (float_of_int n_ctl *. ctl_inv.Gate.area)
+    +. (float_of_int out_bits *. 2. *. wr_drv.Gate.area)
+  in
+  let control_leakage =
+    (float_of_int n_ctl *. ctl_inv.Gate.leakage)
+    +. (float_of_int out_bits *. 2. *. wr_drv.Gate.leakage)
+  in
+  let control_energy =
+    float_of_int n_ctl *. 0.25
+    *. Gate.switching_energy ctl_inv ~c_load:ctl_inv.Gate.c_in
+  in
+  (* Energies. *)
+  let e_bl_activate_per_col, e_bl_write_per_col, e_pre_per_col =
+    match (subarray.Subarray.sram_bl, subarray.Subarray.dram_bl) with
+    | Some bl, None ->
+        (bl.Bitline.e_read_per_column, bl.Bitline.e_write_per_column, 0.)
+    | None, Some bl ->
+        ( bl.Bitline.e_activate_per_column,
+          bl.Bitline.e_write_per_column,
+          bl.Bitline.e_precharge_per_column )
+    | _ -> assert false
+  in
+  let sensed_per_access = if is_dram then active_cols else sensed in
+  let e_row_activate =
+    decoder.Decoder.stage.Stage.energy +. control_energy
+    +. (float_of_int active_cols *. e_bl_activate_per_col)
+    +. (float_of_int sensed_per_access *. sense.Sense_amp.energy)
+  in
+  let e_column_read =
+    float_of_int out_bits
+    *. ((if deg > 1 then mux_bl.Mux.e_per_output_bit else 0.)
+       +. mux1.Mux.e_per_output_bit +. mux2.Mux.e_per_output_bit
+       +. (0.5 *. 30. *. feature *. periph.Device.c_gate *. vdd_p *. vdd_p))
+  in
+  let e_column_write = float_of_int out_bits *. e_bl_write_per_col in
+  let e_precharge = float_of_int active_cols *. e_pre_per_col in
+  (* Leakage. *)
+  let n_cells = rows_sub * vert * cols_sub * horiz in
+  let leakage_cells =
+    float_of_int n_cells *. cell.Cell.i_cell_leak *. cell.Cell.vdd_cell
+  in
+  let n_sa_total =
+    if is_dram then active_cols * vert / vert else n_sense_amps
+  in
+  let leakage_periph =
+    decoder.Decoder.stage.Stage.leakage
+    +. (float_of_int n_sa_total *. sense.Sense_amp.leakage)
+    +. (float_of_int out_bits
+       *. (mux1.Mux.leakage +. mux2.Mux.leakage
+          +. if deg > 1 then mux_bl.Mux.leakage else 0.))
+  in
+  let leakage = leakage_cells +. leakage_periph +. control_leakage in
+  (* Geometry: decoder strip between the subarray halves; sense strip
+     below. *)
+  let core_w = float_of_int horiz *. subarray.Subarray.width in
+  let core_h = float_of_int vert *. subarray.Subarray.height in
+  let dec_strip_w = decoder.Decoder.stage.Stage.area /. core_h in
+  let sa_area =
+    (float_of_int n_sa_total *. sense.Sense_amp.area)
+    +. (float_of_int out_bits
+       *. (mux1.Mux.area_per_output_bit +. mux2.Mux.area_per_output_bit))
+    +. float_of_int sensed
+       *.
+       (if deg > 1 then mux_bl.Mux.area_per_output_bit /. float_of_int deg
+        else 0.)
+  in
+  let sa_strip_h = (sa_area +. control_area) /. core_w in
+  let width = core_w +. dec_strip_w in
+  let height = core_h +. sa_strip_h in
+  {
+    subarray;
+    n_subarrays;
+    horiz_subarrays = horiz;
+    width;
+    height;
+    area = width *. height;
+    decoder;
+    sense;
+    n_sense_amps = n_sa_total;
+    active_cols;
+    sensed_bits = sensed_per_access;
+    out_bits;
+    t_row_path;
+    t_wordline;
+    t_bitline;
+    t_sense;
+    t_column_out;
+    t_precharge;
+    t_restore;
+    e_row_activate;
+    e_column_read;
+    e_column_write;
+    e_precharge;
+    leakage;
+    leakage_cells;
+  }
+
+let eval_geometry ~(staged : Staged.t) ~sub_of ~dec_of ~(org : Org.t)
+    (g : geometry) =
+  let deg = if staged.Staged.is_dram then 1 else org.Org.deg_bl_mux in
+  let subarray = sub_of ~rows:g.g_rows_sub ~cols:g.g_cols_sub ~deg in
+  if not (Subarray.viable subarray) then None
+  else
+    let decoder = dec_of subarray ~horiz:g.g_horiz ~vert:g.g_vert in
+    Some (of_parts ~staged ~org g ~subarray ~decoder)
 
 let make_staged ~(staged : Staged.t) ~spec ~org () =
-  let open Org in
-  let { Staged.cell; periph; feature; area = area_model; is_dram; tech; ram; _ }
-      =
-    staged
-  in
   match geometry ~spec ~org with
   | None -> None
-  | Some { g_rows_sub = rows_sub; g_cols_sub = cols_sub; g_horiz = horiz;
-           g_vert = vert; g_out_bits = out_bits; g_sensed = sensed;
-           g_sensed_per_access = _ } ->
-      (* Sense amplifiers first (their input loading feeds the bitline). *)
-      let deg = if is_dram then 1 else org.deg_bl_mux in
-      let sense = Staged.sense staged ~deg_bl_mux:deg in
-      let subarray =
-        Subarray.make ~tech ~ram ~rows:rows_sub ~cols:cols_sub
-          ~c_sense_input:(sense.Sense_amp.c_input /. float_of_int deg)
-      in
-      if not (Subarray.viable subarray) then None
-      else
-        let n_subarrays = horiz * vert in
-        let active_cols = horiz * cols_sub in
-        let n_sense_amps = sensed in
-        (* Row decoder: one strip serving all wordlines of the mat; the
-           selected wordline spans the horizontal subarrays. *)
-        let wire_local = staged.Staged.wire_local in
-        let c_line =
-          float_of_int horiz *. subarray.Subarray.c_wordline
-        in
-        let r_line = float_of_int horiz *. subarray.Subarray.r_wordline in
-        let n_wordlines = rows_sub * vert in
-        let decoder =
-          Decoder.decoder ~periph ~area:area_model ~feature ~wire:wire_local
-            ~n_select:n_wordlines
-            ~strip_length:(float_of_int vert *. subarray.Subarray.height)
-            ~c_line ~r_line ~v_line_swing:cell.Cell.vpp ()
-        in
-        let t_row_path = decoder.Decoder.stage.Stage.delay in
-        let t_wordline = decoder.Decoder.t_gate_drive +. decoder.Decoder.t_line in
-        (* Bitline and sensing. *)
-        let vdd_p = periph.Device.vdd in
-        let t_bitline, t_sense, t_precharge, t_restore =
-          match (subarray.Subarray.sram_bl, subarray.Subarray.dram_bl) with
-          | Some bl, None ->
-              ( bl.Bitline.t_read_develop,
-                Cacti_circuit.Sense_amp.amplify sense ~signal:bl.Bitline.swing,
-                bl.Bitline.t_precharge,
-                0. )
-          | None, Some bl ->
-              ( bl.Bitline.t_charge_share,
-                Cacti_circuit.Sense_amp.amplify sense ~signal:bl.Bitline.signal,
-                bl.Bitline.t_precharge,
-                bl.Bitline.t_restore )
-          | _ -> assert false
-        in
-        (* Column path: bitline mux (SRAM), then the two Ndsam levels. *)
-        let mux_bl =
-          Mux.pass_gate_mux ~device:periph ~area:area_model ~feature
-            ~degree:deg ~c_in_next:sense.Sense_amp.c_input ()
-        in
-        let mux1 =
-          Mux.pass_gate_mux ~device:periph ~area:area_model ~feature
-            ~degree:org.ndsam_lev1 ~c_in_next:(20. *. feature *. periph.Device.c_gate) ()
-        in
-        let mux2 =
-          Mux.pass_gate_mux ~device:periph ~area:area_model ~feature
-            ~degree:org.ndsam_lev2 ~c_in_next:(30. *. feature *. periph.Device.c_gate) ()
-        in
-        let t_column_out =
-          (if deg > 1 then mux_bl.Mux.delay else 0.)
-          +. mux1.Mux.delay +. mux2.Mux.delay
-        in
-        (* Per-mat support circuitry that CACTI folds into every mat: write
-           drivers on the output columns, address latches/receivers and the
-           self-timed control block.  Modeled as inverter-equivalents. *)
-        let ctl_inv = staged.Staged.ctl_inv in
-        let wr_drv = staged.Staged.wr_drv in
-        let n_ctl = 60 + (2 * Cacti_util.Floatx.clog2 (max 2 n_wordlines)) in
-        let control_area =
-          (float_of_int n_ctl *. ctl_inv.Gate.area)
-          +. (float_of_int out_bits *. 2. *. wr_drv.Gate.area)
-        in
-        let control_leakage =
-          (float_of_int n_ctl *. ctl_inv.Gate.leakage)
-          +. (float_of_int out_bits *. 2. *. wr_drv.Gate.leakage)
-        in
-        let control_energy =
-          float_of_int n_ctl *. 0.25
-          *. Gate.switching_energy ctl_inv ~c_load:ctl_inv.Gate.c_in
-        in
-        (* Energies. *)
-        let e_bl_activate_per_col, e_bl_write_per_col, e_pre_per_col =
-          match (subarray.Subarray.sram_bl, subarray.Subarray.dram_bl) with
-          | Some bl, None ->
-              (bl.Bitline.e_read_per_column, bl.Bitline.e_write_per_column, 0.)
-          | None, Some bl ->
-              ( bl.Bitline.e_activate_per_column,
-                bl.Bitline.e_write_per_column,
-                bl.Bitline.e_precharge_per_column )
-          | _ -> assert false
-        in
-        let sensed_per_access = if is_dram then active_cols else sensed in
-        let e_row_activate =
-          decoder.Decoder.stage.Stage.energy +. control_energy
-          +. (float_of_int active_cols *. e_bl_activate_per_col)
-          +. (float_of_int sensed_per_access *. sense.Sense_amp.energy)
-        in
-        let e_column_read =
-          float_of_int out_bits
-          *. ((if deg > 1 then mux_bl.Mux.e_per_output_bit else 0.)
-             +. mux1.Mux.e_per_output_bit +. mux2.Mux.e_per_output_bit
-             +. (0.5 *. 30. *. feature *. periph.Device.c_gate *. vdd_p *. vdd_p))
-        in
-        let e_column_write =
-          float_of_int out_bits *. e_bl_write_per_col
-        in
-        let e_precharge = float_of_int active_cols *. e_pre_per_col in
-        (* Leakage. *)
-        let n_cells = rows_sub * vert * cols_sub * horiz in
-        let leakage_cells =
-          float_of_int n_cells *. cell.Cell.i_cell_leak *. cell.Cell.vdd_cell
-        in
-        let n_sa_total = if is_dram then active_cols * vert / vert else n_sense_amps in
-        let leakage_periph =
-          decoder.Decoder.stage.Stage.leakage
-          +. (float_of_int n_sa_total *. sense.Sense_amp.leakage)
-          +. (float_of_int out_bits
-             *. (mux1.Mux.leakage +. mux2.Mux.leakage
-                +. if deg > 1 then mux_bl.Mux.leakage else 0.))
-        in
-        let leakage = leakage_cells +. leakage_periph +. control_leakage in
-        (* Geometry: decoder strip between the subarray halves; sense strip
-           below. *)
-        let core_w = float_of_int horiz *. subarray.Subarray.width in
-        let core_h = float_of_int vert *. subarray.Subarray.height in
-        let dec_strip_w = decoder.Decoder.stage.Stage.area /. core_h in
-        let sa_area =
-          (float_of_int n_sa_total *. sense.Sense_amp.area)
-          +. (float_of_int out_bits
-             *. (mux1.Mux.area_per_output_bit +. mux2.Mux.area_per_output_bit))
-          +. float_of_int sensed
-             *. (if deg > 1 then mux_bl.Mux.area_per_output_bit /. float_of_int deg else 0.)
-        in
-        let sa_strip_h = (sa_area +. control_area) /. core_w in
-        let width = core_w +. dec_strip_w in
-        let height = core_h +. sa_strip_h in
-        Some
-          {
-            subarray;
-            n_subarrays;
-            horiz_subarrays = horiz;
-            width;
-            height;
-            area = width *. height;
-            decoder;
-            sense;
-            n_sense_amps = n_sa_total;
-            active_cols;
-            sensed_bits = sensed_per_access;
-            out_bits;
-            t_row_path;
-            t_wordline;
-            t_bitline;
-            t_sense;
-            t_column_out;
-            t_precharge;
-            t_restore;
-            e_row_activate;
-            e_column_read;
-            e_column_write;
-            e_precharge;
-            leakage;
-            leakage_cells;
-          }
+  | Some g ->
+      eval_geometry ~staged
+        ~sub_of:(fun ~rows ~cols ~deg -> subarray_of ~staged ~rows ~cols ~deg)
+        ~dec_of:(fun sub ~horiz ~vert -> decoder_of ~staged sub ~horiz ~vert)
+        ~org g
 
 let make ~spec ~org () = make_staged ~staged:(staged_of_spec spec) ~spec ~org ()

@@ -56,6 +56,32 @@ val geometry : spec:Array_spec.t -> org:Org.t -> geometry option
 (** [Result.to_option (classify ~spec ~org)]: [None] exactly when {!make}
     would return [None] for a structural reason. *)
 
+type screen_tree
+(** The [n_rows]-independent part of the hierarchical tiling screen: every
+    check except the rows-per-subarray division depends only on
+    [row_bits], [output_bits], [page_bits], the cell kind and the grid
+    bounds, so it is evaluated once into this tree and shared across
+    specs that differ only in size or technology node. *)
+
+val screen_tree :
+  ?max_ndwl:int -> ?max_ndbl:int -> spec:Array_spec.t -> unit -> screen_tree
+(** Build the rows-independent screen tree for a spec (defaults: 64x64
+    partition grid, matching {!screen}). *)
+
+val screen_of_tree :
+  screen_tree -> n_rows:int -> (Org.t * geometry) list * int * int * int
+(** Instantiate a screen tree for a row count:
+    [(survivors, n_total, n_geometry, n_page)], bit-identical (same
+    survivors in the same order, same counts) to {!screen} on the spec the
+    tree was built from with [n_rows] substituted. *)
+
+val screen_key :
+  ?max_ndwl:int -> ?max_ndbl:int -> spec:Array_spec.t -> unit -> string
+(** Identity of a {!screen_tree}: two specs with equal keys (and equal
+    grid bounds) produce equal trees.  Excludes [n_rows] — that axis is
+    resolved by {!screen_of_tree} — and the technology node, which the
+    purely arithmetic screen never reads. *)
+
 val screen :
   ?max_ndwl:int ->
   ?max_ndbl:int ->
@@ -69,7 +95,8 @@ val screen :
     counts — but walks the grid as nested loops, hoisting each check to
     the outermost level whose dimensions determine it and bulk-counting
     pruned subtrees, so the cost is proportional to the interior of the
-    grid rather than its ~63k leaves. *)
+    grid rather than its ~63k leaves.  Implemented as
+    [screen_of_tree (screen_tree ...) ~n_rows:spec.n_rows]. *)
 
 val make : spec:Array_spec.t -> org:Org.t -> unit -> t option
 (** [None] when the organization is geometrically or electrically invalid
@@ -91,9 +118,51 @@ val make_staged :
     [staged_of_spec spec] (or an equal record); the result is then
     bit-identical to [make ~spec ~org ()]. *)
 
-val fingerprint : spec:Array_spec.t -> org:Org.t -> geometry -> string
-(** Memoization key of the mat solution: the cell type, feature size, wire
-    projection and the geometry/mux tuple that fully determine
-    {!make_staged}'s result.  Candidates across the partition grid (and
-    across specs on the same node) that share a fingerprint share the mat
-    solution bit-for-bit. *)
+val eval_geometry :
+  staged:Cacti_circuit.Staged.t ->
+  sub_of:(rows:int -> cols:int -> deg:int -> Subarray.t) ->
+  dec_of:
+    (Subarray.t -> horiz:int -> vert:int -> Cacti_circuit.Decoder.t) ->
+  org:Org.t ->
+  geometry ->
+  t option
+(** Evaluate an already-screened geometry through caller-supplied
+    sub-stage providers.  [sub_of] must behave like {!subarray_of} and
+    [dec_of] like {!decoder_of} (e.g. memoized wrappers); the result is
+    then bit-identical to {!make_staged}.  [None] exactly when the
+    subarray is electrically nonviable. *)
+
+val subarray_of :
+  staged:Cacti_circuit.Staged.t -> rows:int -> cols:int -> deg:int ->
+  Subarray.t
+(** The subarray sub-stage of {!make_staged}: bitline RC and cell
+    geometry for a (rows, cols, effective bitline-mux degree) tuple. *)
+
+val decoder_of :
+  staged:Cacti_circuit.Staged.t ->
+  Subarray.t ->
+  horiz:int ->
+  vert:int ->
+  Cacti_circuit.Decoder.t
+(** The row-decoder sub-stage of {!make_staged}: depends only on the
+    subarray and the (horiz, vert) mat tiling — not on the bitline-mux
+    degree, since none of its subarray inputs do. *)
+
+type mat_key = { mk_salt : string; mk_packed : int }
+(** Memoization key of the mat solution: a per-spec salt (cell type,
+    feature size, wire projection) plus the geometry/mux tuple packed
+    into one int.  Candidates across the partition grid (and across specs
+    on the same node) that share a key share the mat solution
+    bit-for-bit.  Packing is injective for geometries produced by the
+    screen (which bounds every field). *)
+
+val fingerprint_salt : spec:Array_spec.t -> string
+(** The per-spec half of {!mat_key} — hoist it out of per-candidate
+    loops; building a key from a precomputed salt allocates no strings. *)
+
+val fingerprint_key :
+  salt:string -> is_dram:bool -> org:Org.t -> geometry -> mat_key
+(** Assemble a {!mat_key} from a precomputed {!fingerprint_salt}. *)
+
+val fingerprint : spec:Array_spec.t -> org:Org.t -> geometry -> mat_key
+(** [fingerprint_key ~salt:(fingerprint_salt ~spec) ...]. *)

@@ -25,12 +25,20 @@ type t = {
   ctl_inv : Gate.t;
   wr_drv : Gate.t;
   sense_by_deg : (int * Sense_amp.t) list;
+  mux_bl_by_deg : (int * Mux.t) list;
+  mux1_by_ndsam : (int * Mux.t) list;
+  mux2_by_ndsam : (int * Mux.t) list;
 }
 
 let make_sense ~is_dram ~periph ~area ~feature ~cell_pitch deg =
   Sense_amp.make ~device:periph ~area ~feature
     ~cell_pitch:(if is_dram then 2. *. cell_pitch else cell_pitch)
     ~deg_bl_mux:(if is_dram then 1 else deg) ()
+
+(* The output-mux degrees of the partition grid ({!Cacti_array.Org.ndsams});
+   degrees outside the table fall back to an on-demand computation of the
+   same pure expression, so staging them is invisible to the result. *)
+let staged_ndsams = [ 1; 2; 3; 4; 6; 8; 12; 16 ]
 
 let make ~tech ~ram ~max_repeater_delay_penalty () =
   let cell = Technology.cell tech ram in
@@ -58,6 +66,31 @@ let make ~tech ~ram ~max_repeater_delay_penalty () =
         (d, make_sense ~is_dram ~periph ~area ~feature ~cell_pitch:cell_w d))
       degs
   in
+  let mux_bl_by_deg =
+    List.map
+      (fun d ->
+        let s = List.assoc d sense_by_deg in
+        ( d,
+          Mux.pass_gate_mux ~device:periph ~area ~feature ~degree:d
+            ~c_in_next:s.Sense_amp.c_input () ))
+      degs
+  in
+  let mux1_by_ndsam =
+    List.map
+      (fun n ->
+        ( n,
+          Mux.pass_gate_mux ~device:periph ~area ~feature ~degree:n
+            ~c_in_next:(20. *. feature *. periph.Device.c_gate) () ))
+      staged_ndsams
+  in
+  let mux2_by_ndsam =
+    List.map
+      (fun n ->
+        ( n,
+          Mux.pass_gate_mux ~device:periph ~area ~feature ~degree:n
+            ~c_in_next:(30. *. feature *. periph.Device.c_gate) () ))
+      staged_ndsams
+  in
   {
     ram;
     is_dram;
@@ -74,6 +107,9 @@ let make ~tech ~ram ~max_repeater_delay_penalty () =
     ctl_inv;
     wr_drv;
     sense_by_deg;
+    mux_bl_by_deg;
+    mux1_by_ndsam;
+    mux2_by_ndsam;
   }
 
 let sense t ~deg_bl_mux =
@@ -84,3 +120,27 @@ let sense t ~deg_bl_mux =
          same expression as the staged entries, so still bit-identical. *)
       make_sense ~is_dram:t.is_dram ~periph:t.periph ~area:t.area
         ~feature:t.feature ~cell_pitch:t.cell_w deg_bl_mux
+
+let mux_bl t ~deg_bl_mux =
+  match List.assoc_opt deg_bl_mux t.mux_bl_by_deg with
+  | Some m -> m
+  | None ->
+      Mux.pass_gate_mux ~device:t.periph ~area:t.area ~feature:t.feature
+        ~degree:deg_bl_mux
+        ~c_in_next:(sense t ~deg_bl_mux).Sense_amp.c_input ()
+
+let mux1 t ~ndsam =
+  match List.assoc_opt ndsam t.mux1_by_ndsam with
+  | Some m -> m
+  | None ->
+      Mux.pass_gate_mux ~device:t.periph ~area:t.area ~feature:t.feature
+        ~degree:ndsam
+        ~c_in_next:(20. *. t.feature *. t.periph.Device.c_gate) ()
+
+let mux2 t ~ndsam =
+  match List.assoc_opt ndsam t.mux2_by_ndsam with
+  | Some m -> m
+  | None ->
+      Mux.pass_gate_mux ~device:t.periph ~area:t.area ~feature:t.feature
+        ~degree:ndsam
+        ~c_in_next:(30. *. t.feature *. t.periph.Device.c_gate) ()

@@ -30,7 +30,18 @@ type t = {
   wr_drv : Gate.t;  (** write-driver inverter equivalent (24 F) *)
   sense_by_deg : (int * Sense_amp.t) list;
       (** sense-amp design per bitline-mux degree *)
+  mux_bl_by_deg : (int * Mux.t) list;
+      (** bitline output mux per bitline-mux degree (drives the matching
+          staged sense amp) *)
+  mux1_by_ndsam : (int * Mux.t) list;
+      (** first-level sense-amp output mux per partition degree *)
+  mux2_by_ndsam : (int * Mux.t) list;
+      (** second-level sense-amp output mux per partition degree *)
 }
+
+val staged_ndsams : int list
+(** Output-mux degrees covered by the staged mux tables (the
+    {!Cacti_array.Org} partition grid). *)
 
 val make :
   tech:Cacti_tech.Technology.t ->
@@ -43,3 +54,15 @@ val sense : t -> deg_bl_mux:int -> Sense_amp.t
 (** The staged sense-amp design for the given (effective) bitline-mux
     degree; falls back to computing one on demand for degrees outside the
     staged table. *)
+
+val mux_bl : t -> deg_bl_mux:int -> Mux.t
+(** The staged bitline output mux for the given (effective) bitline-mux
+    degree; on-demand fallback outside the staged table. *)
+
+val mux1 : t -> ndsam:int -> Mux.t
+(** The staged first-level output mux for the given partition degree;
+    on-demand fallback outside the staged table. *)
+
+val mux2 : t -> ndsam:int -> Mux.t
+(** The staged second-level output mux for the given partition degree;
+    on-demand fallback outside the staged table. *)

@@ -118,8 +118,8 @@ let describe_array (s : Cache_spec.t) part =
     (Cacti_tech.Cell.ram_kind_to_string s.Cache_spec.ram)
     part s.Cache_spec.capacity_bytes s.Cache_spec.assoc
 
-let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?memo s
-    =
+let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?memo
+    ?kernel s =
   let open Cacti_util in
   match (Cache_spec.validate s, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
@@ -134,7 +134,7 @@ let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?memo s
       | dspec, tspec -> (
           let pool = Pool.create ?jobs () in
           let solve_one part spec =
-            Solve_cache.select_bank_result ~pool ~strict ?memo
+            Solve_cache.select_bank_result ~pool ~strict ?memo ?kernel
               ~what:(describe_array s part) ~params spec
           in
           match solve_one "data array" dspec with
@@ -159,37 +159,38 @@ let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?memo s
                         (make_comparator s),
                       summary ))))
 
-let solve ?jobs ?(params = Opt_params.default) ?(strict = false) s =
+let solve ?jobs ?(params = Opt_params.default) ?(strict = false) ?kernel s =
   let pool = Cacti_util.Pool.create ?jobs () in
   let dspec = with_repeater_penalty params (data_spec s) in
   let tspec = with_repeater_penalty params (tag_spec s) in
   let data =
-    Solve_cache.select_bank ~pool ~strict
+    Solve_cache.select_bank ~pool ~strict ?kernel
       ~what:(describe_array s "data array") ~params dspec
   in
   let tag =
-    Solve_cache.select_bank ~pool ~strict
+    Solve_cache.select_bank ~pool ~strict ?kernel
       ~what:(describe_array s "tag array") ~params tspec
   in
   combine s data tag (make_comparator s)
 
-let solve_space ?jobs ?(params = Opt_params.default) s =
+let solve_space ?jobs ?(params = Opt_params.default) ?kernel s =
   let pool = Cacti_util.Pool.create ?jobs () in
   let dspec = with_repeater_penalty params (data_spec s) in
   let tspec = with_repeater_penalty params (tag_spec s) in
   let tag =
-    Solve_cache.select_bank ~pool ~what:(describe_array s "tag array")
-      ~params tspec
+    Solve_cache.select_bank ~pool ?kernel
+      ~what:(describe_array s "tag array") ~params tspec
   in
   let cmp = make_comparator s in
   let open Opt_params in
   (* The whole within-area population is the product here, so no
      branch-and-bound pruning (it is only sound for the staged selection);
-     the mat memo is shared with the point solves and cannot change any
-     candidate. *)
+     the mat memo and the incremental screen context are shared with the
+     point solves and cannot change any candidate. *)
   let candidates =
     Bank.enumerate ~pool ~prune:params.max_area_pct
-      ~mat_cache:Solve_cache.mat_memo dspec
+      ~mat_cache:Solve_cache.mat_memo ?kernel
+      ~screened:(Solve_cache.screened_for dspec) dspec
   in
   if candidates = [] then []
   else

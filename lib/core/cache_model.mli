@@ -25,6 +25,7 @@ val solve_diag :
   ?params:Opt_params.t ->
   ?strict:bool ->
   ?memo:bool ->
+  ?kernel:bool ->
   Cache_spec.t ->
   (t * Cacti_util.Diag.summary, Cacti_util.Diag.t list) result
 (** Fault-contained solve with structured diagnostics: validates the spec
@@ -35,15 +36,25 @@ val solve_diag :
     (default false) disables the sweep's per-candidate fault containment so
     the first NaN or exception propagates.  [memo] (default true) is
     {!Solve_cache.select_bank_result}'s escape hatch: [false] bypasses both
-    memo tables; the solution is bit-identical either way. *)
+    memo tables; the solution is bit-identical either way.  [kernel]
+    (default true) selects the columnar batch sweep; [~kernel:false] the
+    scalar reference path — also bit-identical (see
+    {!Cacti_array.Bank.enumerate_counts}). *)
 
-val solve : ?jobs:int -> ?params:Opt_params.t -> ?strict:bool -> Cache_spec.t -> t
+val solve :
+  ?jobs:int ->
+  ?params:Opt_params.t ->
+  ?strict:bool ->
+  ?kernel:bool ->
+  Cache_spec.t ->
+  t
 (** Optimizer-selected solution.  [jobs] caps the worker domains used to
     fan out the candidate evaluations (default
     {!Cacti_util.Pool.default_jobs}); the result is identical for every
     worker count.  Data and tag solves are memoized in {!Solve_cache}.
     Raises {!Optimizer.No_solution} when no valid organization exists. *)
 
-val solve_space : ?jobs:int -> ?params:Opt_params.t -> Cache_spec.t -> t list
+val solve_space :
+  ?jobs:int -> ?params:Opt_params.t -> ?kernel:bool -> Cache_spec.t -> t list
 (** All combined solutions passing the staged constraints with the tag array
     fixed to its optimum — the population behind the Figure 1 bubbles. *)

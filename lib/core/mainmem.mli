@@ -89,14 +89,25 @@ val solve_diag :
   ?jobs:int ->
   ?params:Opt_params.t ->
   ?strict:bool ->
+  ?memo:bool ->
+  ?kernel:bool ->
   chip ->
   (t * Cacti_util.Diag.summary, Cacti_util.Diag.t list) result
 (** Fault-contained solve with structured diagnostics: validates the chip
     and the optimization parameters, then solves the bank, returning the
     chip model plus the sweep summary.  [strict] disables the sweep's
-    per-candidate fault containment. *)
+    per-candidate fault containment.  [memo] (default true) consults the
+    {!Solve_cache} tables; [~memo:false] solves table-free (bit-identical,
+    for determinism tests).  [kernel] (default true) selects the columnar
+    batch sweep; [~kernel:false] the bit-identical scalar path. *)
 
-val solve : ?jobs:int -> ?params:Opt_params.t -> ?strict:bool -> chip -> t
+val solve :
+  ?jobs:int ->
+  ?params:Opt_params.t ->
+  ?strict:bool ->
+  ?kernel:bool ->
+  chip ->
+  t
 (** Default parameters emphasize area efficiency (price per bit), like the
     commodity part of the Table 2 validation.  [jobs] caps the worker
     domains of the design-space sweep; solves are memoized in

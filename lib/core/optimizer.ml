@@ -76,6 +76,99 @@ let select ?what ~params candidates =
   | Ok b -> b
   | Error msg -> raise (No_solution msg)
 
+(* The staged selection of [select_result] fused over a kernel sweep's
+   metric columns, without materializing candidate records.  Bit-identical
+   to [select_result (Bank.materialize_all sw)]: the filters and argmins
+   read the very float64 column values the records are built from, the
+   ascending-index scans with strict [<] reproduce [min_by]'s first-wins
+   tie-breaking over the (ascending-order) materialized list, and the NaN
+   guards raise the same exceptions at the same points. *)
+let select_soa_result ?(what = "array") ~params (soa : Soa_kernel.t) =
+  let open Opt_params in
+  let n = soa.Soa_kernel.n in
+  let ok i = Bytes.get soa.Soa_kernel.status i = Soa_kernel.st_ok in
+  let area = Soa_kernel.col_area soa in
+  let t_access = Soa_kernel.col_t_access soa in
+  let t_random_cycle = Soa_kernel.col_t_random_cycle soa in
+  let t_interleave = Soa_kernel.col_t_interleave soa in
+  let e_read = Soa_kernel.col_e_read soa in
+  let p_leakage = Soa_kernel.col_p_leakage soa in
+  let p_refresh = Soa_kernel.col_p_refresh soa in
+  (* [min_by key] over the candidates passing [pass], with the same NaN
+     guard and empty-set error as the list version. *)
+  let min_key pass (key : Soa_kernel.col) =
+    let best = ref Float.nan and found = ref false in
+    for i = 0 to n - 1 do
+      if ok i && pass i then begin
+        let k = key.{i} in
+        if Float.is_nan k then invalid_arg "Optimizer.min_by: NaN key";
+        if (not !found) || k < !best then begin
+          best := k;
+          found := true
+        end
+      end
+    done;
+    if not !found then invalid_arg "Optimizer.min_by: empty candidate list";
+    !best
+  in
+  let any_ok = ref false in
+  for i = 0 to n - 1 do
+    if ok i then any_ok := true
+  done;
+  if not !any_ok then
+    Error
+      (Printf.sprintf "%s: no valid organization in the enumerated design space"
+         what)
+  else begin
+    let best_area = min_key (fun _ -> true) area in
+    let in_area i = area.{i} <= best_area *. (1. +. params.max_area_pct) in
+    let best_t = min_key in_area t_access in
+    let in_t i =
+      in_area i && t_access.{i} <= best_t *. (1. +. params.max_acctime_pct)
+    in
+    let any_t = ref false in
+    for i = 0 to n - 1 do
+      if ok i && in_t i then any_t := true
+    done;
+    (* [norm_of []] dies on [List.hd]; keep the failure identical. *)
+    if not !any_t then failwith "hd";
+    let col_min (c : Soa_kernel.col) =
+      let acc = ref Float.infinity in
+      for i = 0 to n - 1 do
+        if ok i && in_t i then acc := Stdlib.min !acc c.{i}
+      done;
+      !acc
+    in
+    let norm_e_read = col_min e_read in
+    let norm_p_leak = col_min p_leakage +. col_min p_refresh in
+    let norm_t_cycle = col_min t_random_cycle in
+    let norm_t_il = col_min t_interleave in
+    let w = params.weights in
+    let obj i =
+      let o =
+        (w.w_dynamic *. safe_div e_read.{i} norm_e_read)
+        +. (w.w_leakage
+           *. safe_div (p_leakage.{i} +. p_refresh.{i}) norm_p_leak)
+        +. (w.w_cycle *. safe_div t_random_cycle.{i} norm_t_cycle)
+        +. (w.w_interleave *. safe_div t_interleave.{i} norm_t_il)
+      in
+      if Float.is_nan o then
+        invalid_arg "Optimizer.objective: NaN objective (NaN metric or weight)"
+      else o
+    in
+    let best = ref (-1) and best_obj = ref Float.nan in
+    for i = 0 to n - 1 do
+      if ok i && in_t i then begin
+        let o = obj i in
+        if !best < 0 || o < !best_obj then begin
+          best := i;
+          best_obj := o
+        end
+      end
+    done;
+    Ok !best
+  end
+
 (* Sort-then-scan Pareto frontier: order candidates by (t_access, area) and
    keep the ones strictly improving the running area minimum; ties on both
    axes are all kept, exact duplicates included, matching the quadratic

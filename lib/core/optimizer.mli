@@ -38,6 +38,18 @@ val select :
   Cacti_array.Bank.t
 (** Like {!select_result} but raises {!No_solution} on an empty list. *)
 
+val select_soa_result :
+  ?what:string ->
+  params:Opt_params.t ->
+  Cacti_array.Soa_kernel.t ->
+  (int, string) result
+(** {!select_result} fused over a kernel sweep's metric columns: returns
+    the winning candidate's sweep index without materializing the losing
+    candidates' records.  Bit-identical to running {!select_result} on
+    [Bank.materialize_all] of the sweep — same winner (materialize it
+    with {!Cacti_array.Bank.sweep_bank}), same [Error] on an empty
+    evaluated set, same exceptions on NaN metrics. *)
+
 val pareto_access_area :
   Cacti_array.Bank.t list -> Cacti_array.Bank.t list
 (** The access-time/area Pareto frontier — the solutions plotted as bubbles

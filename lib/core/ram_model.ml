@@ -83,7 +83,8 @@ let assemble (s : spec) (bank : Bank.t) =
     area_efficiency = bank.Bank.area_efficiency;
   }
 
-let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) s =
+let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?kernel
+    s =
   let open Cacti_util in
   match (validate s, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
@@ -95,8 +96,8 @@ let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) s =
           Error [ Diag.error ~component:"ram_model" ~reason:"derived_spec" msg ]
       | aspec -> (
           match
-            Solve_cache.select_bank_result ~pool ~strict ~what:(describe s)
-              ~params aspec
+            Solve_cache.select_bank_result ~pool ~strict ?kernel
+              ~what:(describe s) ~params aspec
           with
           | Error ds -> Error ds
           | Ok o ->
@@ -109,10 +110,10 @@ let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) s =
               in
               Ok (assemble s o.Solve_cache.bank, summary)))
 
-let solve ?jobs ?(params = Opt_params.default) ?(strict = false) s =
+let solve ?jobs ?(params = Opt_params.default) ?(strict = false) ?kernel s =
   let pool = Cacti_util.Pool.create ?jobs () in
   let bank =
-    Solve_cache.select_bank ~pool ~strict ~what:(describe s) ~params
+    Solve_cache.select_bank ~pool ~strict ?kernel ~what:(describe s) ~params
       (bank_spec params s)
   in
   assemble s bank

@@ -45,14 +45,22 @@ val solve_diag :
   ?jobs:int ->
   ?params:Opt_params.t ->
   ?strict:bool ->
+  ?kernel:bool ->
   spec ->
   (t * Cacti_util.Diag.summary, Cacti_util.Diag.t list) result
 (** Fault-contained solve with structured diagnostics: validates the spec
     and the optimization parameters, then solves the bank, returning the
     macro model plus the sweep summary.  [strict] disables the sweep's
-    per-candidate fault containment. *)
+    per-candidate fault containment.  [kernel] (default true) selects the
+    columnar batch sweep; [~kernel:false] the bit-identical scalar path. *)
 
-val solve : ?jobs:int -> ?params:Opt_params.t -> ?strict:bool -> spec -> t
+val solve :
+  ?jobs:int ->
+  ?params:Opt_params.t ->
+  ?strict:bool ->
+  ?kernel:bool ->
+  spec ->
+  t
 (** [jobs] caps the worker domains of the design-space sweep; solves are
     memoized in {!Solve_cache}.  Raises {!Optimizer.No_solution} when no
     valid organization exists. *)

@@ -18,8 +18,8 @@ module Lru = struct
     mutable stamp : int;  (** last-use tick, for LRU eviction *)
   }
 
-  type 'v t = {
-    table : (string, 'v entry) Hashtbl.t;
+  type ('k, 'v) t = {
+    table : ('k, 'v entry) Hashtbl.t;
     lock : Mutex.t;
     mutable hits : int;
     mutable misses : int;
@@ -27,9 +27,9 @@ module Lru = struct
     mutable cap : int option;
   }
 
-  let create () =
+  let create ?(size = 64) () =
     {
-      table = Hashtbl.create 64;
+      table = Hashtbl.create size;
       lock = Mutex.create ();
       hits = 0;
       misses = 0;
@@ -83,7 +83,10 @@ module Lru = struct
 
   (* First store wins: two racing misses of the same key both compute the
      (identical, deterministic) value; later hits share one copy.  The
-     adopting lookup is not counted as a hit — the caller did compute. *)
+     adopting lookup is not counted as a hit — the caller did compute.
+     [Hashtbl.add], not [insert_locked]'s [replace]: the key was just
+     probed absent under the same lock, and add skips replace's removal
+     pass (this is the hot store of every cold sweep candidate). *)
   let publish t key value =
     Mutex.protect t.lock (fun () ->
         match Hashtbl.find_opt t.table key with
@@ -91,13 +94,20 @@ module Lru = struct
             touch t e;
             e.value
         | None ->
-            insert_locked t key value;
+            t.tick <- t.tick + 1;
+            Hashtbl.add t.table key { value; stamp = t.tick };
+            enforce_cap_locked t;
             value)
 
   let memoize t key compute =
     match find t key with
     | Some v -> v
     | None -> publish t key (compute ())
+
+  (* Unconditional replace (last store wins), for entries that are updated
+     in place — e.g. a screen context re-instantiated for a new row count. *)
+  let put t key value =
+    Mutex.protect t.lock (fun () -> insert_locked t key value)
 
   let stats t =
     Mutex.protect t.lock (fun () -> { hits = t.hits; misses = t.misses })
@@ -139,18 +149,85 @@ module Lru = struct
           entries)
 end
 
-(* Selected-bank memo: one entry per (spec, params, bounds) solve. *)
-let banks : (Bank.t * Cacti_util.Diag.counts) Lru.t = Lru.create ()
+(* Selected-bank memo: one entry per (spec, params, bounds) solve.  Keyed
+   by a string fingerprint so the persisted format is key-stable. *)
+let banks : (string, Bank.t * Cacti_util.Diag.counts) Lru.t = Lru.create ()
 
 (* Mat sub-solution memo, keyed by [Mat.fingerprint]: candidates across
    the partition grid — and across solves on the same technology node,
    e.g. a cache's data and tag arrays or a warm server's request stream —
    that share a subarray geometry share the mat circuit solution.  [None]
    (electrically nonviable) results are memoized too: re-deriving a
-   rejection is as expensive as re-deriving a solution. *)
-let mats : Mat.t option Lru.t = Lru.create ()
+   rejection is as expensive as re-deriving a solution.  The packed
+   {!Mat.mat_key} hashes as (salt string, int) — no per-candidate key
+   string is ever built. *)
+let mats : (Mat.mat_key, Mat.t option) Lru.t = Lru.create ~size:16384 ()
 
 let mat_memo key compute = Lru.memoize mats key compute
+
+(* ----------------------- incremental screening ----------------------- *)
+
+(* Screen contexts, keyed by [Mat.screen_key]: the rows-independent screen
+   tree plus the survivors of its most recent instantiation.  A re-solve
+   whose spec differs from a cached one only along the size axis (the
+   screen key excludes [n_rows] and the technology node) re-runs just the
+   rows-per-subarray division over the tree instead of re-screening the
+   whole partition grid; a spec differing only in technology reuses the
+   survivors outright. *)
+type screen_ctx = {
+  sc_tree : Mat.screen_tree;
+  sc_n_rows : int;  (** row count [sc_screened] was instantiated for *)
+  sc_screened : (Org.t * Mat.geometry) list * int * int * int;
+}
+
+let screens : (string, screen_ctx) Lru.t = Lru.create ()
+
+(* A screen context holds a full survivor list (~2k orgs), so keep the
+   working set modest; 32 covers every distinct (kind, geometry-shape)
+   combination the study matrix sweeps concurrently. *)
+let () = Lru.set_capacity screens ~what:"Solve_cache.screens" (Some 32)
+
+let inc_full = Atomic.make 0
+let inc_rows = Atomic.make 0
+let inc_miss = Atomic.make 0
+
+type incremental = { full_hits : int; rows_hits : int; misses : int }
+
+let incremental_stats () =
+  {
+    full_hits = Atomic.get inc_full;
+    rows_hits = Atomic.get inc_rows;
+    misses = Atomic.get inc_miss;
+  }
+
+let screened_for ?(max_ndwl = 64) ?(max_ndbl = 64) spec =
+  let key = Mat.screen_key ~max_ndwl ~max_ndbl ~spec () in
+  let n_rows = spec.Array_spec.n_rows in
+  match Lru.find screens key with
+  | Some ctx when ctx.sc_n_rows = n_rows ->
+      (* Same shape, same rows (the spec differs at most in technology,
+         which the arithmetic screen never reads): reuse outright. *)
+      Atomic.incr inc_full;
+      ctx.sc_screened
+  | Some ctx ->
+      (* Same shape, new size: only the rows division changed — re-walk
+         the prebuilt tree instead of re-screening the grid. *)
+      Atomic.incr inc_rows;
+      let screened =
+        Cacti_util.Profile.time "incremental_reuse" (fun () ->
+            Mat.screen_of_tree ctx.sc_tree ~n_rows)
+      in
+      Lru.put screens key
+        { ctx with sc_n_rows = n_rows; sc_screened = screened };
+      screened
+  | None ->
+      Atomic.incr inc_miss;
+      let tree = Mat.screen_tree ~max_ndwl ~max_ndbl ~spec () in
+      let screened = Mat.screen_of_tree tree ~n_rows in
+      ignore
+        (Lru.publish screens key
+           { sc_tree = tree; sc_n_rows = n_rows; sc_screened = screened });
+      screened
 
 (* The canonical fingerprint of one solve: every input that can change the
    selected organization.  Floats are printed in hex so distinct values can
@@ -197,7 +274,8 @@ let bound_policy (params : Opt_params.t) =
   }
 
 let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
-    ?(max_ndbl = 64) ?(strict = false) ?(memo = true) ?what ~params spec =
+    ?(max_ndbl = 64) ?(strict = false) ?(memo = true) ?(kernel = true) ?what
+    ~params spec =
   let open Cacti_util in
   match (Array_spec.validate spec, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
@@ -214,15 +292,42 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
              so later hits share one value. *)
           let what = match what with Some w -> w | None -> describe spec in
           let mat_cache = if memo then Some mat_memo else None in
-          let candidates, counts =
-            Bank.enumerate_counts ~pool ~prune:params.Opt_params.max_area_pct
-              ~bound:(bound_policy params) ?mat_cache ~max_ndwl ~max_ndbl
-              ~strict spec
+          (* The incremental screen context rides on [memo] too: with
+             [memo:false] the solve must not touch any shared table, so
+             the determinism tests can prove table-free identity. *)
+          let screened =
+            if memo then Some (screened_for ~max_ndwl ~max_ndbl spec)
+            else None
           in
-          match
-            Profile.time "optimize" (fun () ->
-                Optimizer.select_result ~what ~params candidates)
-          with
+          let selected, counts =
+            if kernel then
+              (* Fused kernel path: select over the sweep's metric columns
+                 and materialize only the winning record.  Bit-identical to
+                 materializing every survivor and selecting over the list
+                 (see {!Optimizer.select_soa_result}). *)
+              let sw =
+                Bank.enumerate_soa ~pool
+                  ~prune:params.Opt_params.max_area_pct
+                  ~bound:(bound_policy params) ?mat_cache ~max_ndwl
+                  ~max_ndbl ~strict ?screened spec
+              in
+              ( Result.map (Bank.sweep_bank sw)
+                  (Profile.time "optimize" (fun () ->
+                       Optimizer.select_soa_result ~what ~params
+                         sw.Bank.sw_soa)),
+                sw.Bank.sw_counts )
+            else
+              let candidates, counts =
+                Bank.enumerate_counts ~pool
+                  ~prune:params.Opt_params.max_area_pct
+                  ~bound:(bound_policy params) ?mat_cache ~max_ndwl
+                  ~max_ndbl ~strict ~kernel:false ?screened spec
+              in
+              ( Profile.time "optimize" (fun () ->
+                    Optimizer.select_result ~what ~params candidates),
+                counts )
+          in
+          match selected with
           | Error msg ->
               (* Failed solves are not memoized: the failure is cheap to
                  reproduce and the histogram may matter to the caller. *)
@@ -239,10 +344,11 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
               in
               Ok { bank; counts; from_cache = false }))
 
-let select_bank ?pool ?max_ndwl ?max_ndbl ?strict ?memo ?what ~params spec =
+let select_bank ?pool ?max_ndwl ?max_ndbl ?strict ?memo ?kernel ?what ~params
+    spec =
   match
-    select_bank_result ?pool ?max_ndwl ?max_ndbl ?strict ?memo ?what ~params
-      spec
+    select_bank_result ?pool ?max_ndwl ?max_ndbl ?strict ?memo ?kernel ?what
+      ~params spec
   with
   | Ok o -> o.bank
   | Error (d :: _ as ds) ->
@@ -265,7 +371,12 @@ let set_mat_capacity c =
 
 let clear () =
   Lru.clear banks;
-  Lru.clear mats
+  Lru.clear mats;
+  Lru.clear screens;
+  Cacti_array.Bank.reset_stage_memo ();
+  Atomic.set inc_full 0;
+  Atomic.set inc_rows 0;
+  Atomic.set inc_miss 0
 
 (* ---------------------------- persistence ---------------------------- *)
 

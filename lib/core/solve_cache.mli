@@ -28,6 +28,7 @@ val select_bank_result :
   ?max_ndbl:int ->
   ?strict:bool ->
   ?memo:bool ->
+  ?kernel:bool ->
   ?what:string ->
   params:Opt_params.t ->
   Cacti_array.Array_spec.t ->
@@ -42,11 +43,16 @@ val select_bank_result :
     Failed solves are not memoized.  [strict] disables the sweep's
     per-candidate fault containment.
 
-    [memo] (default true): when false, neither memo table is consulted or
+    [memo] (default true): when false, no memo table is consulted or
     written — the solve-level table is bypassed and the sweep runs without
-    the mat sub-solution cache.  The selected bank is bit-identical either
-    way (the escape hatch exists so the determinism tests can prove
-    that). *)
+    the mat sub-solution cache or the incremental screen context.  The
+    selected bank is bit-identical either way (the escape hatch exists so
+    the determinism tests can prove that).
+
+    [kernel] (default true) selects the columnar {!Cacti_array.Soa_kernel}
+    sweep; [~kernel:false] the per-candidate scalar reference path.  Both
+    are bit-identical (see {!Cacti_array.Bank.enumerate_counts}), so the
+    flag does not participate in the memo fingerprint. *)
 
 val select_bank :
   ?pool:Cacti_util.Pool.t ->
@@ -54,6 +60,7 @@ val select_bank :
   ?max_ndbl:int ->
   ?strict:bool ->
   ?memo:bool ->
+  ?kernel:bool ->
   ?what:string ->
   params:Opt_params.t ->
   Cacti_array.Array_spec.t ->
@@ -91,7 +98,9 @@ val capacity : unit -> int option
     table is not persisted by {!save}. *)
 
 val mat_memo :
-  string -> (unit -> Cacti_array.Mat.t option) -> Cacti_array.Mat.t option
+  Cacti_array.Mat.mat_key ->
+  (unit -> Cacti_array.Mat.t option) ->
+  Cacti_array.Mat.t option
 (** The memoizing wrapper threaded into
     {!Cacti_array.Bank.enumerate_counts} as [?mat_cache]: looks the key up,
     or computes, publishes (first store wins) and returns. *)
@@ -105,9 +114,41 @@ val set_mat_capacity : int option -> unit
     unbounded; a mat entry is a few hundred bytes, so even [Some 65536] is
     modest. *)
 
+(** {1 Incremental re-solve}
+
+    A third table caches screen contexts by {!Cacti_array.Mat.screen_key}:
+    the rows-independent screen tree plus the survivors of its latest
+    instantiation.  Because the key excludes [n_rows] and the technology
+    node, a re-solve that differs from a cached spec only in technology
+    reuses the screened survivors outright (a {e full hit}), and one that
+    differs only in size re-runs just the rows-per-subarray division over
+    the prebuilt tree (a {e rows hit}) — only specs with a genuinely new
+    shape (cell kind, associativity/row bits, port width, page size, grid
+    bounds) pay a full grid screen.  Consulted only on the memoized solve
+    path ([memo = true], after a bank-memo miss). *)
+
+type incremental = {
+  full_hits : int;  (** screened survivors reused outright *)
+  rows_hits : int;  (** tree reused, rows division re-instantiated *)
+  misses : int;  (** full grid screens (new shape) *)
+}
+
+val incremental_stats : unit -> incremental
+(** Cumulative counters since start-up (or the last {!clear}). *)
+
+val screened_for :
+  ?max_ndwl:int ->
+  ?max_ndbl:int ->
+  Cacti_array.Array_spec.t ->
+  (Cacti_array.Org.t * Cacti_array.Mat.geometry) list * int * int * int
+(** The screened survivors for a spec, through the incremental context:
+    bit-identical to [Mat.screen ~spec ()] with the same grid bounds
+    (defaults 64x64).  Updates the counters above. *)
+
 val clear : unit -> unit
-(** Drop all entries of both tables and reset their counters (used by
-    benchmarks to measure cold-vs-warm solve times). *)
+(** Drop all entries of every table (banks, mats, screen contexts) and
+    reset their counters (used by benchmarks to measure cold-vs-warm solve
+    times). *)
 
 (** {1 Persistence}
 

@@ -129,6 +129,10 @@ let stats_json t =
   let ms = Cacti.Solve_cache.mat_stats () in
   let msize = Cacti.Solve_cache.mat_size () in
   let mcap = Cacti.Solve_cache.mat_capacity () in
+  let inc = Cacti.Solve_cache.incremental_stats () in
+  (* Per-phase wall clock since startup; populated when phase accounting
+     is on (the server binary enables it at launch). *)
+  let phases = Cacti_util.Profile.summary () in
   let depth = queue_depth t in
   let c = t.counters in
   Mutex.protect t.clock (fun () ->
@@ -177,6 +181,24 @@ let stats_json t =
                   match mcap with None -> Jsonx.Null | Some n -> Jsonx.Int n
                 );
               ] );
+          ( "incremental",
+            Jsonx.Obj
+              [
+                ("full_hits", Jsonx.Int inc.Cacti.Solve_cache.full_hits);
+                ("rows_hits", Jsonx.Int inc.Cacti.Solve_cache.rows_hits);
+                ("misses", Jsonx.Int inc.Cacti.Solve_cache.misses);
+              ] );
+          ( "phases",
+            Jsonx.Obj
+              (List.map
+                 (fun (phase, secs, calls) ->
+                   ( phase,
+                     Jsonx.Obj
+                       [
+                         ("total_ms", Jsonx.num (1e3 *. secs));
+                         ("calls", Jsonx.Int calls);
+                       ] ))
+                 phases) );
           ( "queue",
             Jsonx.Obj
               [

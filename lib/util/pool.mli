@@ -22,6 +22,13 @@ val serial : t
 
 val jobs : t -> int
 
+val run_chunked : chunk:int -> t -> int -> (int -> unit) -> unit
+(** [run_chunked ~chunk t n body] runs [body i] for every [i] in
+    [0 .. n-1], claiming [chunk] consecutive indices per steal.  Within a
+    chunk indices are processed in order; at [jobs = 1] everything runs
+    in order on the caller.  Exceptions propagate after all domains join
+    (first one wins). *)
+
 val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map.  [chunk] (default 32) elements are claimed per
     steal.  Exceptions raised by [f] propagate after all domains join. *)

@@ -1,0 +1,9 @@
+(** Process-level runtime tuning for solver entry points. *)
+
+val solver_gc : unit -> unit
+(** Size the GC for design-space sweeps: a 2 Mw minor heap (the cold
+    sweep's short-lived circuit intermediates then die young instead of
+    being promoted) and [space_overhead = 200].  Affects scheduling only,
+    never results.  Call it once at process start from executables whose
+    workload is dominated by solves; the library itself never changes
+    global GC policy. *)

@@ -253,6 +253,69 @@ let test_screen_matches_flat_classify () =
     (spec ~ram:Cell.Comm_dram ~page_bits:16384 ~rows:16384 ~row_bits:16384
        ~out:64 ())
 
+let test_screen_tree_instantiation () =
+  (* The screen tree factors everything but the row count out of the
+     hierarchical screen: built once, it must instantiate at any row
+     count to exactly what a fresh screen on the resized spec computes —
+     that equivalence is what lets the incremental re-solve path reuse
+     the tree across capacity perturbations. *)
+  let base rows = spec ~rows ~row_bits:1536 ~out:96 () in
+  let tree = Mat.screen_tree ~max_ndwl:16 ~max_ndbl:16 ~spec:(base 512) () in
+  List.iter
+    (fun rows ->
+      let fresh = Mat.screen ~max_ndwl:16 ~max_ndbl:16 ~spec:(base rows) () in
+      let inst = Mat.screen_of_tree tree ~n_rows:rows in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d rows: instantiated tree = fresh screen" rows)
+        true
+        (compare fresh inst = 0))
+    [ 128; 512; 768; 4096 ];
+  (* Same factoring for a page-constrained DRAM grid. *)
+  let dbase rows =
+    spec ~ram:Cell.Comm_dram ~page_bits:8192 ~rows ~row_bits:8192 ~out:64 ()
+  in
+  let dtree = Mat.screen_tree ~max_ndwl:16 ~max_ndbl:16 ~spec:(dbase 4096) () in
+  List.iter
+    (fun rows ->
+      let fresh = Mat.screen ~max_ndwl:16 ~max_ndbl:16 ~spec:(dbase rows) () in
+      Alcotest.(check bool)
+        (Printf.sprintf "dram %d rows: instantiated tree = fresh screen" rows)
+        true
+        (compare fresh (Mat.screen_of_tree dtree ~n_rows:rows) = 0))
+    [ 2048; 8192 ]
+
+let test_kernel_scalar_identity () =
+  (* The columnar SoA kernel and the per-record scalar path must be
+     observationally indistinguishable: same banks (same order), same
+     rejection histogram.  [compare], not [=]: DRAM timing fields can
+     hold NaN. *)
+  let check name s =
+    let k = Bank.enumerate_counts ~max_ndwl:16 ~max_ndbl:16 ~kernel:true s in
+    let sc = Bank.enumerate_counts ~max_ndwl:16 ~max_ndbl:16 ~kernel:false s in
+    Alcotest.(check bool) (name ^ ": kernel = scalar") true (compare k sc = 0)
+  in
+  check "sram" small_sram;
+  check "lp-dram" (spec ~ram:Cell.Lp_dram ~rows:2048 ~row_bits:4096 ~out:512 ());
+  check "page-constrained comm-dram"
+    (spec ~ram:Cell.Comm_dram ~page_bits:8192 ~rows:4096 ~row_bits:8192
+       ~out:64 ())
+
+let prop_kernel_scalar_identity =
+  QCheck.Test.make ~name:"random specs: kernel = scalar bit-identical"
+    ~count:10
+    QCheck.(
+      triple (int_range 8 13) (int_range 9 13)
+        (oneofl [ Cell.Sram; Cell.Lp_dram; Cell.Comm_dram ]))
+    (fun (log_rows, log_row_bits, ram) ->
+      let row_bits = 1 lsl log_row_bits in
+      let s =
+        spec ~ram ~rows:(1 lsl log_rows) ~row_bits ~out:(min row_bits 64) ()
+      in
+      compare
+        (Bank.enumerate_counts ~max_ndwl:8 ~max_ndbl:8 ~kernel:true s)
+        (Bank.enumerate_counts ~max_ndwl:8 ~max_ndbl:8 ~kernel:false s)
+      = 0)
+
 let test_lower_bounds_admissible () =
   (* Every admissible bound must sit at or below the metric the full
      evaluation reports — over every survivor of the grid, not just the
@@ -341,6 +404,8 @@ let () =
             test_screen_matches_flat_classify;
           Alcotest.test_case "staged = fresh" `Quick
             test_staged_evaluate_identical;
+          Alcotest.test_case "screen tree = fresh screen" `Quick
+            test_screen_tree_instantiation;
           QCheck_alcotest.to_alcotest prop_subarray_geometry;
         ] );
       ( "bank",
@@ -358,6 +423,9 @@ let () =
           Alcotest.test_case "capacity vs area" `Slow test_capacity_monotone_area;
           Alcotest.test_case "density ordering" `Slow test_dram_denser_than_sram;
           Alcotest.test_case "comm leakage" `Slow test_comm_lowest_leakage;
+          Alcotest.test_case "kernel = scalar" `Slow
+            test_kernel_scalar_identity;
+          QCheck_alcotest.to_alcotest prop_kernel_scalar_identity;
           QCheck_alcotest.to_alcotest prop_bank_energy_scales_with_output;
         ] );
     ]

@@ -603,9 +603,122 @@ let prop_memo_identity =
       | Ok (a, _), Ok (b, _) ->
           Solve_cache.clear ();
           compare a b = 0
-      | Error ds, _ | _, Error ds ->
+      | Error a, Error b ->
+          (* A structured no-solution outcome (e.g. a degenerate tag array
+             with too few sets) is legitimate — but both paths must agree
+             on it. *)
           Solve_cache.clear ();
-          QCheck.Test.fail_report (Cacti_util.Diag.render ds))
+          List.map (fun d -> d.Cacti_util.Diag.reason) a
+          = List.map (fun d -> d.Cacti_util.Diag.reason) b
+      | Error ds, Ok _ | Ok _, Error ds ->
+          Solve_cache.clear ();
+          QCheck.Test.fail_report
+            ("one path failed, the other solved: " ^ Cacti_util.Diag.render ds))
+
+let test_fused_selection_identity () =
+  (* The fused columnar argmin must crown exactly the candidate the
+     list-based selection picks from the materialized records — area and
+     access-time filters, per-metric normalization and the weighted
+     objective included. *)
+  let check name params s =
+    let sw = Bank.enumerate_soa ~max_ndwl:16 ~max_ndbl:16 s in
+    let banks = Bank.enumerate ~max_ndwl:16 ~max_ndbl:16 s in
+    match
+      ( Optimizer.select_soa_result ~params sw.Bank.sw_soa,
+        Optimizer.select_result ~params banks )
+    with
+    | Ok i, Ok w ->
+        Alcotest.(check bool) (name ^ ": fused winner = list winner") true
+          (compare (Bank.sweep_bank sw i) w = 0)
+    | Error a, Error b -> Alcotest.(check string) (name ^ ": same error") b a
+    | Ok _, Error e | Error e, Ok _ ->
+        Alcotest.failf "%s: fused and list selection disagree: %s" name e
+  in
+  let sram =
+    Array_spec.create ~ram:Cacti_tech.Cell.Sram ~tech:t32 ~n_rows:2048
+      ~row_bits:4096 ~output_bits:512 ()
+  in
+  check "default weights" Opt_params.default sram;
+  check "energy-only weights"
+    {
+      Opt_params.default with
+      Opt_params.weights =
+        { Opt_params.w_dynamic = 1.; w_leakage = 0.; w_cycle = 0.;
+          w_interleave = 0. };
+    }
+    sram;
+  check "comm-dram" Opt_params.default
+    (Array_spec.create ~ram:Cacti_tech.Cell.Comm_dram ~tech:t32 ~n_rows:8192
+       ~row_bits:8192 ~output_bits:64 ())
+
+let test_incremental_resolve_identity () =
+  (* Perturbing a solved spec along one axis must answer from the screen
+     memo — capacity changes only the row count (the prebuilt tree is
+     re-instantiated), a technology change leaves the arithmetic screen
+     untouched (survivors reused outright) — and each warm re-solve must
+     be bit-identical to a cold start. *)
+  let t45 = Cacti_tech.Technology.at_nm 45. in
+  let base =
+    Cache_spec.create ~tech:t32 ~capacity_bytes:(1024 * 1024) ~assoc:8 ()
+  in
+  let size_perturbed =
+    Cache_spec.create ~tech:t32 ~capacity_bytes:(2 * 1024 * 1024) ~assoc:8 ()
+  in
+  let tech_perturbed =
+    Cache_spec.create ~tech:t45 ~capacity_bytes:(1024 * 1024) ~assoc:8 ()
+  in
+  let solve spec =
+    match Cache_model.solve_diag spec with
+    | Ok (c, _) -> c
+    | Error ds -> Alcotest.failf "solve failed: %s" (Cacti_util.Diag.render ds)
+  in
+  Fun.protect
+    ~finally:(fun () -> Solve_cache.clear ())
+    (fun () ->
+      Solve_cache.clear ();
+      ignore (solve base);
+      let i0 = Solve_cache.incremental_stats () in
+      let warm_size = solve size_perturbed in
+      let i1 = Solve_cache.incremental_stats () in
+      let warm_tech = solve tech_perturbed in
+      let i2 = Solve_cache.incremental_stats () in
+      Alcotest.(check bool) "capacity perturbation re-instantiates the tree"
+        true
+        (i1.Solve_cache.rows_hits > i0.Solve_cache.rows_hits);
+      Alcotest.(check bool) "tech perturbation reuses survivors outright" true
+        (i2.Solve_cache.full_hits > i1.Solve_cache.full_hits);
+      Solve_cache.clear ();
+      let cold_size = solve size_perturbed in
+      Solve_cache.clear ();
+      let cold_tech = solve tech_perturbed in
+      Alcotest.(check bool) "size-perturbed warm = cold" true
+        (compare warm_size cold_size = 0);
+      Alcotest.(check bool) "tech-perturbed warm = cold" true
+        (compare warm_tech cold_tech = 0))
+
+let test_kernel_forced_invalidation () =
+  (* [Fault_force] through the full staged solve on the kernel path:
+     every candidate the area/bound prunes would skip is force-evaluated
+     through the columnar pipeline, and none of them may displace the
+     winner — the prunes invalidated no viable design. *)
+  let spec =
+    Cache_spec.create ~tech:t32 ~capacity_bytes:(256 * 1024) ~assoc:8 ()
+  in
+  let solve () =
+    match Cache_model.solve_diag ~memo:false spec with
+    | Ok (c, _) -> c
+    | Error ds -> Alcotest.failf "solve failed: %s" (Cacti_util.Diag.render ds)
+  in
+  let normal = solve () in
+  let forced =
+    Fun.protect
+      ~finally:(fun () -> Bank.set_fault_hook None)
+      (fun () ->
+        Bank.set_fault_hook (Some (fun _ -> Some Bank.Fault_force));
+        solve ())
+  in
+  Alcotest.(check bool) "forced evaluation crowns the same design" true
+    (compare normal forced = 0)
 
 (* Randomized robustness: no input, valid or not, may escape as a raw
    exception — and valid ones must produce all-finite metrics. *)
@@ -757,6 +870,12 @@ let () =
           Alcotest.test_case "memo off identity" `Slow test_memo_off_identity;
           Alcotest.test_case "prune identity + soundness" `Slow
             test_prune_identity_and_soundness;
+          Alcotest.test_case "fused selection identity" `Slow
+            test_fused_selection_identity;
+          Alcotest.test_case "incremental re-solve identity" `Slow
+            test_incremental_resolve_identity;
+          Alcotest.test_case "kernel forced invalidation" `Slow
+            test_kernel_forced_invalidation;
           QCheck_alcotest.to_alcotest prop_memo_identity;
         ] );
       ( "diagnostics",
