@@ -22,7 +22,7 @@ open Cacti_server
 let log_diags ds =
   List.iter (fun d -> prerr_endline (Diag.to_string d)) ds
 
-let run batch socket cache_file jobs queue_bound workers =
+let run batch socket cache_file jobs queue_bound workers drain_ms =
   match (batch, socket) with
   | false, None ->
       prerr_endline
@@ -50,17 +50,27 @@ let run batch socket cache_file jobs queue_bound workers =
                 (Unix.error_message e);
               Diag.exit_usage
           | server ->
-              let stop _ =
-                (* Stop transports first so the save sees a quiesced memo
-                   table, then leave through the normal exit path. *)
-                Server.stop server;
-                save_cache ();
-                exit Diag.exit_ok
-              in
-              Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-              Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+              (* The handler only records the request: an OCaml signal
+                 handler runs in whichever thread next re-enters OCaml
+                 code, which could be a solver worker — and Server.stop
+                 joins the workers, so draining from the handler can
+                 deadlock on its own thread (or never run at all while
+                 every thread is parked in a blocking call). *)
+              let stop_requested = Atomic.make false in
+              let request_stop _ = Atomic.set stop_requested true in
+              Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
               Printf.eprintf "cacti_serve: listening on %s\n%!" path;
-              Server.wait server;
+              (* The main thread polls instead of parking in Server.wait:
+                 its 50 ms re-entries into OCaml are what guarantee the
+                 handler a place to run. *)
+              while not (Atomic.get stop_requested) do
+                Thread.delay 0.05
+              done;
+              (* Graceful drain: refuse new requests, let in-flight work
+                 finish (or cancel it past the budget), then save the
+                 warm cache against a quiesced memo table. *)
+              Server.stop ~drain_ms server;
               save_cache ();
               Diag.exit_ok))
 
@@ -100,6 +110,14 @@ let workers =
            ~doc:"Solver threads draining the admission queue in socket mode \
                  (default 1; each solve is already parallel across domains).")
 
+let drain_ms =
+  Arg.(value & opt float 2000.
+       & info [ "drain-ms" ] ~docv:"MS"
+           ~doc:"On SIGTERM/SIGINT, let admitted requests finish for up to \
+                 $(docv) milliseconds before cancelling what is still \
+                 solving (answered serve/draining); then save the cache and \
+                 exit 0.")
+
 let () =
   Tuning.solver_gc ();
   (* Phase accounting is cheap (a Hashtbl update per phase) and the stats
@@ -118,7 +136,8 @@ let () =
   in
   let term =
     Term.(
-      const run $ batch $ socket $ cache_file $ jobs $ queue_bound $ workers)
+      const run $ batch $ socket $ cache_file $ jobs $ queue_bound $ workers
+      $ drain_ms)
   in
   match Cmd.eval_value (Cmd.v info term) with
   | Ok (`Ok code) -> exit code

@@ -364,9 +364,11 @@ type sweep = {
 
 type run_result = Banks of t list * Cacti_util.Diag.counts | Soa of sweep
 
-let run ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
-    ?max_ndwl ?max_ndbl ?(strict = false) ?(kernel = true) ?screened spec =
+let run ?(pool = Cacti_util.Pool.serial) ?(cancel = Cacti_util.Cancel.never)
+    ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?(strict = false)
+    ?(kernel = true) ?screened spec =
   Cacti_util.Profile.time "enumerate" @@ fun () ->
+  Cacti_util.Cancel.check cancel;
   let staged = Mat.staged_of_spec spec in
   let is_dram = staged.Staged.is_dram in
   (* Integer tiling, mux-chain and page constraints are pure arithmetic:
@@ -448,6 +450,9 @@ let run ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
       | Some cache -> cache (Mat.fingerprint_key ~salt ~is_dram ~org g) build
     in
     let eval (i, (org, g)) =
+      (* Cancellation poll, outside the containment below: a fired token
+         must abort the sweep, not be counted as a candidate fault. *)
+      Cacti_util.Cancel.check cancel;
       let injected = hook i in
       (* Injected candidates bypass the (evaluation-order-dependent) prunes
          so the fault counts are identical for every worker count — and so
@@ -506,7 +511,7 @@ let run ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
        materialize into [t] records once, after the sweep. *)
     let soa =
       Cacti_util.Profile.time "column_build" (fun () ->
-          Soa_kernel.build ~is_dram survivors)
+          Soa_kernel.build ~cancel ~is_dram survivors)
     in
     let n = soa.Soa_kernel.n in
     let bounds_fn =
@@ -607,6 +612,11 @@ let run ?(pool = Cacti_util.Pool.serial) ?prune ?bound ?mat_cache
     let n_chunks = (n + chunk - 1) / chunk in
     Cacti_util.Profile.time "kernel_eval" (fun () ->
         Cacti_util.Pool.run_chunked ~chunk:1 pool n_chunks (fun c ->
+            (* One cancellation poll per partition chunk, outside the
+               per-candidate containment: every pool domain observes a
+               fired token within one chunk and unwinds, so an expired
+               solve aborts in milliseconds. *)
+            Cacti_util.Cancel.check cancel;
             let lo = c * chunk in
             let hi = min n (lo + chunk) in
             (match bounds_fn with
@@ -655,26 +665,26 @@ let materialize_all sw =
   done;
   !banks
 
-let enumerate_counts ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl
-    ?strict ?kernel ?screened spec =
+let enumerate_counts ?pool ?cancel ?prune ?bound ?mat_cache ?max_ndwl
+    ?max_ndbl ?strict ?kernel ?screened spec =
   match
-    run ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict ?kernel
-      ?screened spec
+    run ?pool ?cancel ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict
+      ?kernel ?screened spec
   with
   | Banks (banks, counts) -> (banks, counts)
   | Soa sw -> (materialize_all sw, sw.sw_counts)
 
-let enumerate_soa ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict
-    ?screened spec =
+let enumerate_soa ?pool ?cancel ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl
+    ?strict ?screened spec =
   match
-    run ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict
+    run ?pool ?cancel ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict
       ~kernel:true ?screened spec
   with
   | Soa sw -> sw
   | Banks _ -> assert false
 
-let enumerate ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl ?strict
-    ?kernel ?screened spec =
+let enumerate ?pool ?cancel ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl
+    ?strict ?kernel ?screened spec =
   fst
-    (enumerate_counts ?pool ?prune ?bound ?mat_cache ?max_ndwl ?max_ndbl
-       ?strict ?kernel ?screened spec)
+    (enumerate_counts ?pool ?cancel ?prune ?bound ?mat_cache ?max_ndwl
+       ?max_ndbl ?strict ?kernel ?screened spec)

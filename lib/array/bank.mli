@@ -143,6 +143,7 @@ val set_fault_hook : (int -> fault option) option -> unit
 
 val enumerate_counts :
   ?pool:Cacti_util.Pool.t ->
+  ?cancel:Cacti_util.Cancel.t ->
   ?prune:float ->
   ?bound:bound_policy ->
   ?mat_cache:(Mat.mat_key -> (unit -> Mat.t option) -> Mat.t option) ->
@@ -193,10 +194,20 @@ val enumerate_counts :
     circuit model, or a non-finite / negative delay, energy, area or power,
     rejects that candidate (counted under [raised] / [nonfinite]) instead of
     killing the sweep.  [strict] (default false) disables the containment
-    and lets the first such failure propagate. *)
+    and lets the first such failure propagate.
+
+    [cancel] is polled at partition boundaries — once per evaluation chunk
+    on the kernel path, once per candidate on the scalar path, every few
+    hundred candidates inside the column build — {e outside} the fault
+    containment, so a fired token aborts the whole sweep with
+    {!Cacti_util.Cancel.Cancelled} within milliseconds instead of being
+    counted as a candidate fault.  A token that never fires changes
+    nothing: solutions and counts are bit-identical to a run without
+    one. *)
 
 val enumerate :
   ?pool:Cacti_util.Pool.t ->
+  ?cancel:Cacti_util.Cancel.t ->
   ?prune:float ->
   ?bound:bound_policy ->
   ?mat_cache:(Mat.mat_key -> (unit -> Mat.t option) -> Mat.t option) ->
@@ -223,6 +234,7 @@ type sweep = {
 
 val enumerate_soa :
   ?pool:Cacti_util.Pool.t ->
+  ?cancel:Cacti_util.Cancel.t ->
   ?prune:float ->
   ?bound:bound_policy ->
   ?mat_cache:(Mat.mat_key -> (unit -> Mat.t option) -> Mat.t option) ->

@@ -86,7 +86,7 @@ type t = {
 
 let fcol n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
 
-let build ~is_dram survivors =
+let build ?(cancel = Cacti_util.Cancel.never) ~is_dram survivors =
   let orgs = Array.of_list (List.map fst survivors) in
   let geos = Array.of_list (List.map snd survivors) in
   let n = Array.length orgs in
@@ -115,6 +115,7 @@ let build ~is_dram survivors =
     }
   in
   for i = 0 to n - 1 do
+    if i land 511 = 0 then Cacti_util.Cancel.check cancel;
     let org = orgs.(i) and g = geos.(i) in
     let mats_x = Org.mats_x org and mats_y = Org.mats_y org in
     (* Each scalar below is [float_of_int] of the exact integer expression

@@ -80,12 +80,14 @@ type t = {
   mats : Mat.t option array;  (** solved mats of evaluated candidates *)
 }
 
-val build : is_dram:bool -> (Org.t * Mat.geometry) list -> t
+val build :
+  ?cancel:Cacti_util.Cancel.t -> is_dram:bool -> (Org.t * Mat.geometry) list -> t
 (** Flatten screened survivors into parameter columns (the column_build
     phase).  Every scalar stored is [float_of_int] of the exact integer
     expression the record-based bound evaluation computes, so feeding a
     kernel from the columns is bit-identical to feeding it from the
-    records. *)
+    records.  [cancel] is polled every few hundred candidates; a fired
+    token aborts the build with {!Cacti_util.Cancel.Cancelled}. *)
 
 val set_metrics : t -> int -> metrics -> unit
 val get_metrics : t -> int -> metrics

@@ -118,8 +118,8 @@ let describe_array (s : Cache_spec.t) part =
     (Cacti_tech.Cell.ram_kind_to_string s.Cache_spec.ram)
     part s.Cache_spec.capacity_bytes s.Cache_spec.assoc
 
-let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?memo
-    ?kernel s =
+let solve_diag ?jobs ?cancel ?(params = Opt_params.default) ?(strict = false)
+    ?memo ?kernel s =
   let open Cacti_util in
   match (Cache_spec.validate s, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
@@ -134,7 +134,7 @@ let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?memo
       | dspec, tspec -> (
           let pool = Pool.create ?jobs () in
           let solve_one part spec =
-            Solve_cache.select_bank_result ~pool ~strict ?memo ?kernel
+            Solve_cache.select_bank_result ~pool ?cancel ~strict ?memo ?kernel
               ~what:(describe_array s part) ~params spec
           in
           match solve_one "data array" dspec with

@@ -22,6 +22,7 @@ type t = {
 
 val solve_diag :
   ?jobs:int ->
+  ?cancel:Cacti_util.Cancel.t ->
   ?params:Opt_params.t ->
   ?strict:bool ->
   ?memo:bool ->
@@ -39,7 +40,10 @@ val solve_diag :
     memo tables; the solution is bit-identical either way.  [kernel]
     (default true) selects the columnar batch sweep; [~kernel:false] the
     scalar reference path — also bit-identical (see
-    {!Cacti_array.Bank.enumerate_counts}). *)
+    {!Cacti_array.Bank.enumerate_counts}).  [cancel] is threaded into both
+    sweeps; a fired token aborts the solve with
+    {!Cacti_util.Cancel.Cancelled} (see
+    {!Solve_cache.select_bank_result}). *)
 
 val solve :
   ?jobs:int ->

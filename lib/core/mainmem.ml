@@ -181,8 +181,8 @@ let assemble params (c : chip) (bank : Bank.t) =
     area_efficiency;
   }
 
-let solve_diag ?jobs ?(params = Opt_params.area_optimal) ?(strict = false)
-    ?memo ?kernel (c : chip) =
+let solve_diag ?jobs ?cancel ?(params = Opt_params.area_optimal)
+    ?(strict = false) ?memo ?kernel (c : chip) =
   let open Cacti_util in
   match (validate c, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
@@ -194,8 +194,9 @@ let solve_diag ?jobs ?(params = Opt_params.area_optimal) ?(strict = false)
           Error [ Diag.error ~component:"mainmem" ~reason:"derived_spec" msg ]
       | spec -> (
           match
-            Solve_cache.select_bank_result ~pool ~max_ndwl:128 ~max_ndbl:256
-              ~strict ?memo ?kernel ~what:(describe_bank c) ~params spec
+            Solve_cache.select_bank_result ~pool ?cancel ~max_ndwl:128
+              ~max_ndbl:256 ~strict ?memo ?kernel ~what:(describe_bank c)
+              ~params spec
           with
           | Error ds -> Error ds
           | Ok o ->

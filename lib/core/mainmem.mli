@@ -87,6 +87,7 @@ type t = {
 
 val solve_diag :
   ?jobs:int ->
+  ?cancel:Cacti_util.Cancel.t ->
   ?params:Opt_params.t ->
   ?strict:bool ->
   ?memo:bool ->
@@ -99,7 +100,9 @@ val solve_diag :
     per-candidate fault containment.  [memo] (default true) consults the
     {!Solve_cache} tables; [~memo:false] solves table-free (bit-identical,
     for determinism tests).  [kernel] (default true) selects the columnar
-    batch sweep; [~kernel:false] the bit-identical scalar path. *)
+    batch sweep; [~kernel:false] the bit-identical scalar path.  [cancel]
+    aborts the sweep with {!Cacti_util.Cancel.Cancelled} when the token
+    fires (see {!Solve_cache.select_bank_result}). *)
 
 val solve :
   ?jobs:int ->

@@ -83,8 +83,8 @@ let assemble (s : spec) (bank : Bank.t) =
     area_efficiency = bank.Bank.area_efficiency;
   }
 
-let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?kernel
-    s =
+let solve_diag ?jobs ?cancel ?(params = Opt_params.default) ?(strict = false)
+    ?kernel s =
   let open Cacti_util in
   match (validate s, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
@@ -96,7 +96,7 @@ let solve_diag ?jobs ?(params = Opt_params.default) ?(strict = false) ?kernel
           Error [ Diag.error ~component:"ram_model" ~reason:"derived_spec" msg ]
       | aspec -> (
           match
-            Solve_cache.select_bank_result ~pool ~strict ?kernel
+            Solve_cache.select_bank_result ~pool ?cancel ~strict ?kernel
               ~what:(describe s) ~params aspec
           with
           | Error ds -> Error ds

@@ -43,6 +43,7 @@ type t = {
 
 val solve_diag :
   ?jobs:int ->
+  ?cancel:Cacti_util.Cancel.t ->
   ?params:Opt_params.t ->
   ?strict:bool ->
   ?kernel:bool ->
@@ -52,7 +53,9 @@ val solve_diag :
     and the optimization parameters, then solves the bank, returning the
     macro model plus the sweep summary.  [strict] disables the sweep's
     per-candidate fault containment.  [kernel] (default true) selects the
-    columnar batch sweep; [~kernel:false] the bit-identical scalar path. *)
+    columnar batch sweep; [~kernel:false] the bit-identical scalar path.
+    [cancel] aborts the sweep with {!Cacti_util.Cancel.Cancelled} when the
+    token fires (see {!Solve_cache.select_bank_result}). *)
 
 val solve :
   ?jobs:int ->

@@ -273,9 +273,9 @@ let bound_policy (params : Opt_params.t) =
       && w.Opt_params.w_cycle = 0. && w.Opt_params.w_interleave = 0.;
   }
 
-let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
-    ?(max_ndbl = 64) ?(strict = false) ?(memo = true) ?(kernel = true) ?what
-    ~params spec =
+let select_bank_result ?(pool = Cacti_util.Pool.serial) ?cancel
+    ?(max_ndwl = 64) ?(max_ndbl = 64) ?(strict = false) ?(memo = true)
+    ?(kernel = true) ?what ~params spec =
   let open Cacti_util in
   match (Array_spec.validate spec, Opt_params.validate params) with
   | Error d1, Error d2 -> Error (d1 @ d2)
@@ -306,7 +306,7 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
                  materializing every survivor and selecting over the list
                  (see {!Optimizer.select_soa_result}). *)
               let sw =
-                Bank.enumerate_soa ~pool
+                Bank.enumerate_soa ~pool ?cancel
                   ~prune:params.Opt_params.max_area_pct
                   ~bound:(bound_policy params) ?mat_cache ~max_ndwl
                   ~max_ndbl ~strict ?screened spec
@@ -318,7 +318,7 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
                 sw.Bank.sw_counts )
             else
               let candidates, counts =
-                Bank.enumerate_counts ~pool
+                Bank.enumerate_counts ~pool ?cancel
                   ~prune:params.Opt_params.max_area_pct
                   ~bound:(bound_policy params) ?mat_cache ~max_ndwl
                   ~max_ndbl ~strict ~kernel:false ?screened spec
@@ -344,11 +344,11 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?(max_ndwl = 64)
               in
               Ok { bank; counts; from_cache = false }))
 
-let select_bank ?pool ?max_ndwl ?max_ndbl ?strict ?memo ?kernel ?what ~params
-    spec =
+let select_bank ?pool ?cancel ?max_ndwl ?max_ndbl ?strict ?memo ?kernel ?what
+    ~params spec =
   match
-    select_bank_result ?pool ?max_ndwl ?max_ndbl ?strict ?memo ?kernel ?what
-      ~params spec
+    select_bank_result ?pool ?cancel ?max_ndwl ?max_ndbl ?strict ?memo
+      ?kernel ?what ~params spec
   with
   | Ok o -> o.bank
   | Error (d :: _ as ds) ->
@@ -382,23 +382,44 @@ let clear () =
 
 (* On-disk format: one text header line
 
-     CACTI-SOLVE-CACHE <format_version> <Sys.ocaml_version>
+     CACTI-SOLVE-CACHE <format_version> <Sys.ocaml_version> <md5hex> <len>
 
-   followed by a Marshal'd (string * Bank.t * Diag.counts) list in
-   least-recently-used-first order (so re-inserting in file order
-   reconstructs the LRU order).  Only the selected-bank memo is persisted:
-   mat sub-solutions are cheap to rebuild and dominated by the bank memo
-   on the warm path.  The header is checked before any byte is
-   unmarshalled: a wrong magic, format version or compiler version — or a
-   truncated/corrupt payload — returns [Error], never raises, so callers
-   can degrade to a cold start.  Marshal cannot validate the value's type;
-   the version tokens are the guard, and [format_version] must be bumped
-   whenever [Bank.t], [Diag.counts] or this layout changes. *)
+   followed by exactly [len] bytes: a Marshal'd
+   (string * Bank.t * Diag.counts) list in least-recently-used-first
+   order (so re-inserting in file order reconstructs the LRU order).
+   Only the selected-bank memo is persisted: mat sub-solutions are cheap
+   to rebuild and dominated by the bank memo on the warm path.
+
+   Crash safety: the payload is written to a [.tmp] sibling, fsync'd,
+   and atomically renamed over the destination, with a best-effort fsync
+   of the containing directory so the rename itself survives a power
+   cut.  The header's MD5 digest and byte length are checked before any
+   byte is unmarshalled, so a torn or bit-flipped payload is detected
+   deterministically (Marshal would otherwise read garbage or crash).
+   Every failure mode — wrong magic, version or compiler mismatch,
+   short read, checksum mismatch — returns [Error], never raises, so
+   callers degrade to a cold start.  Marshal cannot validate the value's
+   type; the version tokens are the guard, and [format_version] must be
+   bumped whenever [Bank.t], [Diag.counts] or this layout changes. *)
 
 let magic = "CACTI-SOLVE-CACHE"
-let format_version = 2
+let format_version = 3
 
 type file_payload = (string * Bank.t * Cacti_util.Diag.counts) list
+
+(* Flush application + OS buffers for the channel's file. *)
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Persist the directory entry created by rename(2); best-effort — some
+   filesystems refuse fsync on a directory fd. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
 
 let save path =
   let entries =
@@ -406,18 +427,27 @@ let save path =
   in
   let tmp = path ^ ".tmp" in
   match
+    let payload = Marshal.to_string (entries : file_payload) [] in
     let oc = open_out_bin tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        Printf.fprintf oc "%s %d %s\n" magic format_version Sys.ocaml_version;
-        Marshal.to_channel oc (entries : file_payload) []);
-    Sys.rename tmp path
+        Printf.fprintf oc "%s %d %s %s %d\n" magic format_version
+          Sys.ocaml_version
+          (Digest.to_hex (Digest.string payload))
+          (String.length payload);
+        output_string oc payload;
+        fsync_out oc);
+    Sys.rename tmp path;
+    fsync_dir (Filename.dirname path)
   with
   | () -> Ok (List.length entries)
   | exception Sys_error msg ->
       (try Sys.remove tmp with Sys_error _ -> ());
       Error msg
+  | exception Unix.Unix_error (e, fn, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
 
 let load path =
   match open_in_bin path with
@@ -429,21 +459,42 @@ let load path =
           match
             let header = input_line ic in
             match String.split_on_char ' ' header with
-            | [ m; v; ocaml ] when m = magic ->
+            | m :: v :: rest when m = magic -> (
                 if int_of_string_opt v <> Some format_version then
                   Error
                     (Printf.sprintf "format version %s, expected %d" v
                        format_version)
-                else if ocaml <> Sys.ocaml_version then
-                  Error
-                    (Printf.sprintf
-                       "written by OCaml %s, this binary is %s" ocaml
-                       Sys.ocaml_version)
                 else
-                  let entries = (Marshal.from_channel ic : file_payload) in
-                  Lru.restore banks
-                    (List.map (fun (k, b, c) -> (k, (b, c))) entries);
-                  Ok (List.length entries)
+                  match rest with
+                  | [ ocaml; digest; len ] -> (
+                      if ocaml <> Sys.ocaml_version then
+                        Error
+                          (Printf.sprintf
+                             "written by OCaml %s, this binary is %s" ocaml
+                             Sys.ocaml_version)
+                      else
+                        match int_of_string_opt len with
+                        | None ->
+                            Error
+                              (Printf.sprintf "bad payload length %S" len)
+                        | Some len ->
+                            let payload = really_input_string ic len in
+                            if
+                              Digest.to_hex (Digest.string payload) <> digest
+                            then
+                              Error
+                                "checksum mismatch (torn or corrupt \
+                                 payload)"
+                            else
+                              let entries =
+                                (Marshal.from_string payload 0 : file_payload)
+                              in
+                              Lru.restore banks
+                                (List.map
+                                   (fun (k, b, c) -> (k, (b, c)))
+                                   entries);
+                              Ok (List.length entries))
+                  | _ -> Error "malformed header")
             | _ -> Error "bad magic (not a solve-cache file)"
           with
           | r -> r

@@ -24,6 +24,7 @@ type outcome = {
 
 val select_bank_result :
   ?pool:Cacti_util.Pool.t ->
+  ?cancel:Cacti_util.Cancel.t ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
   ?strict:bool ->
@@ -52,10 +53,17 @@ val select_bank_result :
     [kernel] (default true) selects the columnar {!Cacti_array.Soa_kernel}
     sweep; [~kernel:false] the per-candidate scalar reference path.  Both
     are bit-identical (see {!Cacti_array.Bank.enumerate_counts}), so the
-    flag does not participate in the memo fingerprint. *)
+    flag does not participate in the memo fingerprint.
+
+    [cancel] is threaded into the sweep and polled at partition
+    boundaries (see {!Cacti_array.Bank.enumerate_counts}); a fired token
+    aborts the solve with {!Cacti_util.Cancel.Cancelled}.  Cancelled
+    solves are never memoized (only successful sweeps are), and a token
+    that never fires leaves the solution bit-identical. *)
 
 val select_bank :
   ?pool:Cacti_util.Pool.t ->
+  ?cancel:Cacti_util.Cancel.t ->
   ?max_ndwl:int ->
   ?max_ndbl:int ->
   ?strict:bool ->
@@ -154,12 +162,14 @@ val clear : unit -> unit
 
     Save/load the memo table so a restarted process starts warm.  The file
     is a one-line versioned header (magic, format version, compiler
-    version) followed by a marshalled entry list; {!save} writes to a
-    temporary file and atomically renames it over the destination, so a
-    crash mid-save can never corrupt an existing cache file.  {!load}
-    validates the header before unmarshalling and returns [Error] — never
-    raises — on a missing, truncated, corrupt or version-mismatched file,
-    so callers degrade to a cold start. *)
+    version, MD5 digest, payload length) followed by the marshalled entry
+    list; {!save} writes to a temporary file, fsyncs it, atomically
+    renames it over the destination and fsyncs the containing directory
+    (best-effort), so a crash — even a power cut — mid-save can never
+    corrupt an existing cache file.  {!load} validates the header, the
+    payload length and the checksum before unmarshalling and returns
+    [Error] — never raises — on a missing, truncated, torn, corrupt or
+    version-mismatched file, so callers degrade to a cold start. *)
 
 val save : string -> (int, string) result
 (** Write every entry to [path]; returns the entry count. *)

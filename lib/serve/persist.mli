@@ -2,11 +2,13 @@
     {!Cacti.Solve_cache.save}/[load] in the structured diagnostics the
     daemon logs.
 
-    Loading is always best-effort — a missing, truncated, corrupt or
-    version-mismatched file degrades to a cold start with a
+    Loading is always best-effort — a missing, truncated, torn, corrupt
+    or version-mismatched file degrades to a cold start with a
     [warning[serve/cache_load]] (missing files are only an [info]: a first
     boot is not a fault).  Saving failures are [warning[serve/cache_save]];
-    the daemon keeps running either way. *)
+    the daemon keeps running either way.  Both paths pass through the
+    {!Chaos} points ["persist.load"]/["persist.save"], and an injected or
+    real I/O exception is contained to the same warnings. *)
 
 val load : string -> Cacti_util.Diag.t list
 (** Merge the file into {!Cacti.Solve_cache}; returns the diagnostics to

@@ -9,9 +9,16 @@ type params = {
   opt : Cacti.Opt_params.t;
   strict : bool;
   jobs : int option;
+  deadline_ms : float option;
 }
 
-let default_params = { opt = Cacti.Opt_params.default; strict = false; jobs = None }
+let default_params =
+  {
+    opt = Cacti.Opt_params.default;
+    strict = false;
+    jobs = None;
+    deadline_ms = None;
+  }
 
 type request =
   | Solve of { id : Jsonx.t; spec : spec; params : params }
@@ -303,6 +310,15 @@ let decode_params ctx obj =
   in
   let strict = Option.value (opt_bool ctx obj "strict") ~default:false in
   let jobs = opt_int ctx obj "jobs" in
+  let deadline_ms =
+    match opt_float ctx obj "deadline_ms" with
+    | None -> None
+    | Some d when Float.is_finite d && d > 0. -> Some d
+    | Some d ->
+        bad ctx "field \"deadline_ms\" must be a positive finite number, got %g"
+          d;
+        None
+  in
   let opt =
     {
       Cacti.Opt_params.max_area_pct =
@@ -317,7 +333,7 @@ let decode_params ctx obj =
         Option.value weights ~default:base.Cacti.Opt_params.weights;
     }
   in
-  { opt; strict; jobs }
+  { opt; strict; jobs; deadline_ms }
 
 let encode_params (p : params) =
   let open Cacti.Opt_params in
@@ -336,7 +352,11 @@ let encode_params (p : params) =
      :: ( "max_repeater_delay_penalty",
           Jsonx.num p.opt.max_repeater_delay_penalty )
      :: ("strict", Jsonx.Bool p.strict)
-     :: (match p.jobs with None -> [] | Some j -> [ ("jobs", Jsonx.Int j) ]))
+     :: ((match p.jobs with None -> [] | Some j -> [ ("jobs", Jsonx.Int j) ])
+        @
+        match p.deadline_ms with
+        | None -> []
+        | Some d -> [ ("deadline_ms", Jsonx.num d) ]))
 
 (* ---------------------------- requests ------------------------------ *)
 
@@ -482,6 +502,7 @@ type response = {
   r_diagnostics : Diag.t list;
   r_wall_ms : float;
   r_cache_hits : int;
+  r_retry_after_ms : float option;
 }
 
 let response_to_json r =
@@ -494,6 +515,9 @@ let response_to_json r =
         @ (match r.r_diagnostics with
           | [] -> []
           | ds -> [ ("diagnostics", Jsonx.List (List.map diag_to_json ds)) ])
+        @ (match r.r_retry_after_ms with
+          | None -> []
+          | Some ms -> [ ("retry_after_ms", Jsonx.num ms) ])
         @ [
             ( "timing",
               Jsonx.Obj
@@ -545,6 +569,8 @@ let response_of_json j =
         r_diagnostics = diags;
         r_wall_ms = wall_ms;
         r_cache_hits = cache_hits;
+        r_retry_after_ms =
+          Option.bind (Jsonx.member "retry_after_ms" j) Jsonx.get_float;
       }
 
 (* ---------------------------- solutions ----------------------------- *)

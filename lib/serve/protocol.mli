@@ -37,6 +37,11 @@ type params = {
   opt : Cacti.Opt_params.t;
   strict : bool;  (** disable per-candidate fault containment *)
   jobs : int option;  (** worker domains for the sweep; [None] = server default *)
+  deadline_ms : float option;
+      (** request deadline, milliseconds from admission; the server sheds
+          the request (still queued) or cancels its solve (in flight) once
+          the budget is spent.  Must be positive and finite; [None] = no
+          deadline *)
 }
 
 val default_params : params
@@ -69,6 +74,9 @@ type response = {
   r_diagnostics : Cacti_util.Diag.t list;  (** non-empty iff not [r_ok] *)
   r_wall_ms : float;
   r_cache_hits : int;  (** memo hits while answering this request *)
+  r_retry_after_ms : float option;
+      (** on refusals (overload, draining): a hint for when to retry,
+          estimated from the queue depth and recent solve latency *)
 }
 
 val response_to_json : response -> Cacti_util.Jsonx.t

@@ -23,6 +23,7 @@ type t = {
   mutable workers : Thread.t list;
   conns : (Unix.file_descr, unit) Hashtbl.t;
   conns_lock : Mutex.t;
+  stop_lock : Mutex.t;  (** serializes concurrent {!stop} calls *)
   mutable stopped : bool;
 }
 
@@ -30,6 +31,8 @@ let track t fd = Mutex.protect t.conns_lock (fun () -> Hashtbl.replace t.conns f
 
 let untrack t fd =
   Mutex.protect t.conns_lock (fun () -> Hashtbl.remove t.conns fd)
+
+let live_conns t = Mutex.protect t.conns_lock (fun () -> Hashtbl.length t.conns)
 
 let handle_conn t fd =
   track t fd;
@@ -41,6 +44,7 @@ let handle_conn t fd =
   let reply line =
     try
       Mutex.protect wlock (fun () ->
+          Chaos.fire "server.write";
           output_string oc line;
           output_char oc '\n';
           flush oc)
@@ -49,19 +53,34 @@ let handle_conn t fd =
   in
   (try
      while true do
-       let line = input_line ic in
-       if String.trim line <> "" then begin
-         let service = t.service in
-         let accepted =
-           Service.submit service (fun () ->
-               reply (Service.handle_line service line))
-         in
-         if not accepted then reply (Service.reject_overloaded service line)
-       end
+       let line = Chaos.mangle "server.read" (input_line ic) in
+       if String.trim line <> "" then Service.admit t.service ~reply line
      done
    with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
   untrack t fd;
   try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A socket file may be left behind by a crashed server or belong to a
+   live one.  Probe with connect(2): a refused/absent peer means stale
+   (unlink and rebind), an accepted connection means another server owns
+   the path (surface EADDRINUSE instead of silently hijacking it). *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception Unix.Unix_error _ ->
+          (* Not conclusively dead (e.g. EACCES): treat as live rather
+             than unlink something we cannot vouch for. *)
+          true
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path));
+    try Sys.remove path with Sys_error _ -> ()
+  end
 
 let start ?(workers = 1) ?(backlog = 16) service ~path () =
   if workers < 1 then invalid_arg "Server.start: workers must be positive";
@@ -69,7 +88,7 @@ let start ?(workers = 1) ?(backlog = 16) service ~path () =
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  if Sys.file_exists path then Sys.remove path;
+  claim_socket_path path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind listen_fd (Unix.ADDR_UNIX path);
@@ -86,15 +105,21 @@ let start ?(workers = 1) ?(backlog = 16) service ~path () =
       workers = [];
       conns = Hashtbl.create 8;
       conns_lock = Mutex.create ();
+      stop_lock = Mutex.create ();
       stopped = false;
     }
   in
   let accept_loop () =
     try
       while not t.stopped do
-        let fd, _ = Unix.accept t.listen_fd in
-        if t.stopped then (try Unix.close fd with Unix.Unix_error _ -> ())
-        else ignore (Thread.create (handle_conn t) fd)
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+            if t.stopped then (try Unix.close fd with Unix.Unix_error _ -> ())
+            else ignore (Thread.create (handle_conn t) fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            (* a signal (e.g. a shutdown request) landed in this thread:
+               re-check the stop flag and keep accepting *)
+            ()
       done
     with Unix.Unix_error _ | Sys_error _ -> ()
     (* listen socket closed: stop *)
@@ -108,27 +133,58 @@ let wait t =
   Option.iter Thread.join t.accept_thread;
   List.iter Thread.join t.workers
 
-let stop t =
-  if not t.stopped then begin
-    t.stopped <- true;
-    (* A thread already blocked in accept(2) does not observe close(2) of
-       the listening socket on Linux; wake it with a throwaway connection
-       before closing. *)
-    (try
-       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-       (try Unix.connect fd (Unix.ADDR_UNIX t.path)
-        with Unix.Unix_error _ -> ());
-       Unix.close fd
-     with Unix.Unix_error _ -> ());
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    Service.stop_workers t.service;
-    (* Shutting the connections down unblocks their reader threads. *)
-    Mutex.protect t.conns_lock (fun () ->
-        Hashtbl.iter
-          (fun fd () ->
-            try Unix.shutdown fd Unix.SHUTDOWN_ALL
-            with Unix.Unix_error _ -> ())
-          t.conns);
-    (try Sys.remove t.path with Sys_error _ -> ());
-    wait t
-  end
+(* Poll until [cond] or the budget runs out; coarse 2 ms ticks are fine
+   for a shutdown path. *)
+let wait_until ~budget_ms cond =
+  let deadline = Unix.gettimeofday () +. (budget_ms /. 1e3) in
+  let rec go () =
+    if cond () then true
+    else if Unix.gettimeofday () >= deadline then cond ()
+    else begin
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let stop ?(drain_ms = 0.) t =
+  Mutex.protect t.stop_lock (fun () ->
+      if not t.stopped then begin
+        (* Phase 1 — stop taking on work: refuse new requests, stop
+           accepting connections.  Established connections stay open so
+           queued and in-flight responses can still be written. *)
+        Service.begin_drain t.service;
+        t.stopped <- true;
+        (* A thread already blocked in accept(2) does not observe
+           close(2) of the listening socket on Linux; wake it with a
+           throwaway connection before closing. *)
+        (try
+           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           (try Unix.connect fd (Unix.ADDR_UNIX t.path)
+            with Unix.Unix_error _ -> ());
+           Unix.close fd
+         with Unix.Unix_error _ -> ());
+        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+        (* Phase 2 — drain: let the workers finish what was admitted,
+           up to the budget; then cancel whatever is still solving and
+           give the cancellations a moment to unwind and answer. *)
+        let drained =
+          drain_ms > 0.
+          && wait_until ~budget_ms:drain_ms (fun () -> Service.idle t.service)
+        in
+        if not drained then begin
+          Service.cancel_inflight t.service;
+          ignore
+            (wait_until ~budget_ms:1000. (fun () -> Service.idle t.service))
+        end;
+        Service.stop_workers t.service;
+        (* Shutting the connections down unblocks their reader threads. *)
+        Mutex.protect t.conns_lock (fun () ->
+            Hashtbl.iter
+              (fun fd () ->
+                try Unix.shutdown fd Unix.SHUTDOWN_ALL
+                with Unix.Unix_error _ -> ())
+              t.conns);
+        (try Sys.remove t.path with Sys_error _ -> ());
+        wait t
+      end)

@@ -6,12 +6,12 @@
 
     {b Socket} serves concurrent clients over a Unix-domain socket: one
     reader thread per connection feeds the service's bounded admission
-    queue, a fixed pool of worker threads answers, and each connection
-    serializes its response writes under a mutex so lines from concurrent
-    workers never interleave.  Responses to one connection may be
-    reordered with respect to its requests (match on [id]); requests
-    refused by the admission queue are answered [serve/queue_full]
-    immediately. *)
+    queue via {!Service.admit}, a fixed pool of worker threads answers,
+    and each connection serializes its response writes under a mutex so
+    lines from concurrent workers never interleave.  Responses to one
+    connection may be reordered with respect to its requests (match on
+    [id]); requests refused by the admission queue are answered
+    [serve/queue_full] (or [serve/draining]) immediately. *)
 
 val run_batch : Service.t -> in_channel -> out_channel -> int
 (** Answer every line until EOF (responses flushed per line); returns the
@@ -22,16 +22,28 @@ type t
 
 val start :
   ?workers:int -> ?backlog:int -> Service.t -> path:string -> unit -> t
-(** Bind and listen on [path] (an existing socket file is replaced) and
-    start accepting.  [workers] (default 1) is the number of solver
-    threads draining the admission queue — each solve already fans out
-    across domains via the service's pool, so more workers trade solve
-    latency for concurrency between requests.  Raises [Unix.Unix_error]
-    if the socket cannot be bound. *)
+(** Bind and listen on [path] and start accepting.  An existing socket
+    file is probed with connect(2) first: a stale file (no listener) is
+    removed and replaced, a live one raises
+    [Unix.Unix_error (EADDRINUSE, "bind", path)] instead of hijacking a
+    running server's socket.  [workers] (default 1) is the number of
+    solver threads draining the admission queue — each solve already fans
+    out across domains via the service's pool, so more workers trade
+    solve latency for concurrency between requests.  Raises
+    [Unix.Unix_error] if the socket cannot be bound. *)
 
 val wait : t -> unit
 (** Block until the server is stopped. *)
 
-val stop : t -> unit
-(** Stop accepting, drain the workers, remove the socket file and return
-    once {!wait} would.  Established connections are closed. *)
+val stop : ?drain_ms:float -> t -> unit
+(** Graceful shutdown.  Immediately stops accepting connections and
+    refuses new request lines with [serve/draining]; then lets admitted
+    work finish for up to [drain_ms] milliseconds (default 0); whatever
+    is still running past the budget is cancelled through the service's
+    drain token and answered [serve/draining].  Finally stops the
+    workers, closes established connections, removes the socket file and
+    returns once {!wait} would.  Safe to call from multiple threads or
+    more than once; later calls return after the first completes. *)
+
+val live_conns : t -> int
+(** Established connections currently tracked (readers not yet closed). *)

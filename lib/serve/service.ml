@@ -5,34 +5,56 @@ open Cacti_util
 let n_buckets = 28
 
 type counters = {
+  mutable c_lines : int;
+      (** every non-empty input line, counted once at entry (transport
+          invariant: [c_lines] = sum of the outcome counters) *)
   mutable c_cache : int;
   mutable c_ram : int;
   mutable c_mainmem : int;
   mutable c_stats : int;
   mutable c_malformed : int;  (** lines that never decoded to a request *)
+  mutable c_worker_faults : int;
+      (** exceptions that escaped a queue worker's job (also counted under
+          [o_internal_error]) *)
   mutable o_ok : int;
   mutable o_invalid : int;  (** bad request / bad spec / bad params *)
   mutable o_no_solution : int;
   mutable o_internal_error : int;  (** contained exception *)
   mutable o_overloaded : int;
+  mutable o_deadline_exceeded : int;  (** shed in queue or cancelled mid-solve *)
+  mutable o_draining : int;  (** refused or cancelled by a drain *)
   mutable lat_sum_ms : float;
   mutable lat_count : int;
   lat_buckets : int array;
 }
 
+(* One admitted request, parsed exactly once at the transport edge. *)
+type job = {
+  j_json : Jsonx.t;
+  j_id : Jsonx.t;
+  j_reply : string -> unit;
+  j_admitted : float;
+  j_deadline : float;  (** absolute; [infinity] when no deadline *)
+}
+
 type t = {
   jobs : int option;
   queue_bound : int;
-  queue : (unit -> unit) Queue.t;
+  queue : job Queue.t;
   qlock : Mutex.t;
   qcond : Condition.t;
-  mutable stopping : bool;
+  mutable stopping : bool;  (** workers exit once the queue drains *)
+  mutable is_draining : bool;  (** new admissions refused *)
+  in_flight : int Atomic.t;  (** jobs dequeued, response not yet written *)
+  drain : Cancel.t;  (** parent token of every solve; fired to cancel *)
+  log : Diag.t -> unit;
   clock : Mutex.t;  (** guards [counters] *)
   counters : counters;
   started_at : float;
 }
 
-let create ?jobs ?(queue_bound = 64) () =
+let create ?jobs ?(queue_bound = 64)
+    ?(log = fun d -> prerr_endline (Diag.to_string d)) () =
   if queue_bound < 1 then
     invalid_arg "Service.create: queue_bound must be positive";
   {
@@ -42,19 +64,27 @@ let create ?jobs ?(queue_bound = 64) () =
     qlock = Mutex.create ();
     qcond = Condition.create ();
     stopping = false;
+    is_draining = false;
+    in_flight = Atomic.make 0;
+    drain = Cancel.create ~reason:"drain" ();
+    log;
     clock = Mutex.create ();
     counters =
       {
+        c_lines = 0;
         c_cache = 0;
         c_ram = 0;
         c_mainmem = 0;
         c_stats = 0;
         c_malformed = 0;
+        c_worker_faults = 0;
         o_ok = 0;
         o_invalid = 0;
         o_no_solution = 0;
         o_internal_error = 0;
         o_overloaded = 0;
+        o_deadline_exceeded = 0;
+        o_draining = 0;
         lat_sum_ms = 0.;
         lat_count = 0;
         lat_buckets = Array.make n_buckets 0;
@@ -63,6 +93,10 @@ let create ?jobs ?(queue_bound = 64) () =
   }
 
 (* --------------------------- accounting ----------------------------- *)
+
+let count_line t =
+  Mutex.protect t.clock (fun () ->
+      t.counters.c_lines <- t.counters.c_lines + 1)
 
 let count_kind t kind =
   Mutex.protect t.clock (fun () ->
@@ -82,7 +116,14 @@ let count_outcome t outcome =
       | `Invalid -> c.o_invalid <- c.o_invalid + 1
       | `No_solution -> c.o_no_solution <- c.o_no_solution + 1
       | `Internal_error -> c.o_internal_error <- c.o_internal_error + 1
-      | `Overloaded -> c.o_overloaded <- c.o_overloaded + 1)
+      | `Overloaded -> c.o_overloaded <- c.o_overloaded + 1
+      | `Deadline_exceeded ->
+          c.o_deadline_exceeded <- c.o_deadline_exceeded + 1
+      | `Draining -> c.o_draining <- c.o_draining + 1)
+
+let count_worker_fault t =
+  Mutex.protect t.clock (fun () ->
+      t.counters.c_worker_faults <- t.counters.c_worker_faults + 1)
 
 let bucket_of_ms ms =
   let us = ms *. 1e3 in
@@ -121,6 +162,23 @@ let percentile_ms buckets total q =
   end
 
 let queue_depth t = Mutex.protect t.qlock (fun () -> Queue.length t.queue)
+let in_flight t = Atomic.get t.in_flight
+let draining t = t.is_draining
+
+let idle t =
+  Mutex.protect t.qlock (fun () -> Queue.is_empty t.queue)
+  && Atomic.get t.in_flight = 0
+
+(* When should a refused client retry?  Rough but self-correcting: the
+   mean observed solve latency times the work queued ahead of it. *)
+let retry_after_ms t depth =
+  let mean =
+    Mutex.protect t.clock (fun () ->
+        let c = t.counters in
+        if c.lat_count = 0 then 50.
+        else c.lat_sum_ms /. Float.of_int c.lat_count)
+  in
+  Float.max 1. (mean *. Float.of_int (depth + 1))
 
 let stats_json t =
   let sc = Cacti.Solve_cache.stats () in
@@ -134,6 +192,7 @@ let stats_json t =
      is on (the server binary enables it at launch). *)
   let phases = Cacti_util.Profile.summary () in
   let depth = queue_depth t in
+  let inflight = Atomic.get t.in_flight in
   let c = t.counters in
   Mutex.protect t.clock (fun () ->
       let lookups = sc.Cacti.Solve_cache.hits + sc.Cacti.Solve_cache.misses in
@@ -146,6 +205,7 @@ let stats_json t =
           ( "requests",
             Jsonx.Obj
               [
+                ("lines", Jsonx.Int c.c_lines);
                 ("cache", Jsonx.Int c.c_cache);
                 ("ram", Jsonx.Int c.c_ram);
                 ("mainmem", Jsonx.Int c.c_mainmem);
@@ -160,7 +220,11 @@ let stats_json t =
                 ("no_solution", Jsonx.Int c.o_no_solution);
                 ("internal_error", Jsonx.Int c.o_internal_error);
                 ("overloaded", Jsonx.Int c.o_overloaded);
+                ("deadline_exceeded", Jsonx.Int c.o_deadline_exceeded);
+                ("draining", Jsonx.Int c.o_draining);
               ] );
+          ( "faults",
+            Jsonx.Obj [ ("worker", Jsonx.Int c.c_worker_faults) ] );
           ( "solve_cache",
             Jsonx.Obj
               [
@@ -204,6 +268,8 @@ let stats_json t =
               [
                 ("depth", Jsonx.Int depth);
                 ("bound", Jsonx.Int t.queue_bound);
+                ("in_flight", Jsonx.Int inflight);
+                ("draining", Jsonx.Bool t.is_draining);
               ] );
           ( "latency_ms",
             Jsonx.Obj
@@ -229,25 +295,25 @@ let stats_json t =
 
 (* ----------------------------- solving ------------------------------ *)
 
-let solve_spec t (params : Protocol.params) spec =
+let solve_spec t ~cancel (params : Protocol.params) spec =
   let jobs = match params.Protocol.jobs with Some j -> Some j | None -> t.jobs in
   let p = params.Protocol.opt and strict = params.Protocol.strict in
   match spec with
   | Protocol.Cache s ->
-      Cacti.Cache_model.solve_diag ?jobs ~params:p ~strict s
+      Cacti.Cache_model.solve_diag ?jobs ~cancel ~params:p ~strict s
       |> Result.map (fun (c, sum) -> (Protocol.cache_solution c, sum))
   | Protocol.Ram s ->
-      Cacti.Ram_model.solve_diag ?jobs ~params:p ~strict s
+      Cacti.Ram_model.solve_diag ?jobs ~cancel ~params:p ~strict s
       |> Result.map (fun (r, sum) -> (Protocol.ram_solution r, sum))
   | Protocol.Mainmem chip ->
-      Cacti.Mainmem.solve_diag ?jobs ~params:p ~strict chip
+      Cacti.Mainmem.solve_diag ?jobs ~cancel ~params:p ~strict chip
       |> Result.map (fun (m, sum) -> (Protocol.mainmem_solution m, sum))
 
 let classify_error ds =
   if List.exists (fun d -> d.Diag.reason = "no_solution") ds then `No_solution
   else `Invalid
 
-let respond ~id ~t0 ?(cache_hits = 0) body =
+let respond ~id ~t0 ?(cache_hits = 0) ?retry_after body =
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   let ok, solution, diags =
     match body with
@@ -263,10 +329,12 @@ let respond ~id ~t0 ?(cache_hits = 0) body =
         r_diagnostics = diags;
         r_wall_ms = wall_ms;
         r_cache_hits = cache_hits;
+        r_retry_after_ms = retry_after;
       } )
 
-let handle_json t j =
+let handle_json ?admitted_at t j =
   let t0 = Unix.gettimeofday () in
+  let admitted = Option.value admitted_at ~default:t0 in
   let wall_ms, response =
     match Protocol.parse_request j with
     | Error ds ->
@@ -290,22 +358,54 @@ let handle_json t j =
           | Protocol.Cache _ -> `Cache
           | Protocol.Ram _ -> `Ram
           | Protocol.Mainmem _ -> `Mainmem);
+        (* Per-request cancellation: the deadline token (absolute, from
+           admission time so queueing counts against the budget) chains to
+           the service's drain token; a no-deadline request still cancels
+           on drain. *)
+        let cancel =
+          match params.Protocol.deadline_ms with
+          | Some d ->
+              Cancel.create ~reason:"deadline"
+                ~deadline_at:(admitted +. (d /. 1e3))
+                ~parent:t.drain ()
+          | None -> t.drain
+        in
         (* Per-request fault containment: whatever escapes the model —
            including in strict mode, where the sweep re-raises on purpose —
-           is this request's problem, never the server's. *)
+           is this request's problem, never the server's.  Cancellation is
+           not a fault: it maps to its own typed outcome. *)
         let result =
           try
-            solve_spec t params spec
+            Chaos.fire "service.slow_solve";
+            solve_spec t ~cancel params spec
             |> Result.map_error (fun ds -> (classify_error ds, ds))
-          with exn ->
-            ( Error
+          with
+          | Cancel.Cancelled "drain" ->
+              Error
+                ( `Draining,
+                  [
+                    Diag.error ~component:"serve" ~reason:"draining"
+                      "server draining: in-flight solve cancelled";
+                  ] )
+          | Cancel.Cancelled _ ->
+              Error
+                ( `Deadline_exceeded,
+                  [
+                    Diag.errorf ~component:"serve" ~reason:"deadline_exceeded"
+                      "deadline of %g ms exceeded mid-solve (%.1f ms since \
+                       admission)"
+                      (Option.value params.Protocol.deadline_ms ~default:0.)
+                      ((Unix.gettimeofday () -. admitted) *. 1e3);
+                  ] )
+          | exn ->
+              Error
                 ( `Internal_error,
                   [
                     Diag.errorf ~component:"serve" ~reason:"internal_error"
                       "uncontained exception answering %s request: %s"
                       (Protocol.kind_of_request req)
                       (Printexc.to_string exn);
-                  ] ) )
+                  ] )
         in
         (match result with
         | Ok (solution, summary) ->
@@ -319,6 +419,7 @@ let handle_json t j =
   response
 
 let handle_line t line =
+  count_line t;
   match Jsonx.parse line with
   | Ok j -> Jsonx.to_string (handle_json t j)
   | Error msg ->
@@ -333,43 +434,109 @@ let handle_line t line =
 
 (* -------------------------- admission queue ------------------------- *)
 
-let submit t job =
-  Mutex.protect t.qlock (fun () ->
-      if t.stopping || Queue.length t.queue >= t.queue_bound then false
-      else begin
-        Queue.push job t.queue;
-        Condition.signal t.qcond;
-        true
-      end)
-
-let reject_overloaded t line =
-  count_outcome t `Overloaded;
-  let id =
-    match Jsonx.parse line with
-    | Ok j -> Protocol.request_id j
-    | Error _ -> Jsonx.Null
-  in
+let refusal ~id ~reason ?retry_after msg =
   Jsonx.to_string
     (Protocol.response_to_json
        {
          Protocol.r_id = id;
          r_ok = false;
          r_solution = None;
-         r_diagnostics =
-           [
-             Diag.errorf ~component:"serve" ~reason:"queue_full"
-               "admission queue full (%d pending): retry later" t.queue_bound;
-           ];
+         r_diagnostics = [ Diag.error ~component:"serve" ~reason msg ];
          r_wall_ms = 0.;
          r_cache_hits = 0;
+         r_retry_after_ms = retry_after;
        })
+
+(* Admission-time deadline extraction: the raw ["params"]["deadline_ms"]
+   number, without the full request decode (that happens once, in the
+   worker).  An invalid value admits with no deadline and is then
+   rejected by the decode's validation. *)
+let deadline_of_json j =
+  match
+    Option.bind (Jsonx.member "params" j) (fun p ->
+        Option.bind (Jsonx.member "deadline_ms" p) Jsonx.get_float)
+  with
+  | Some d when Float.is_finite d && d > 0. -> Some d
+  | _ -> None
+
+let admit t ~reply line =
+  count_line t;
+  match Jsonx.parse line with
+  | Error msg ->
+      count_kind t `Malformed;
+      count_outcome t `Invalid;
+      let _, response =
+        respond ~id:Jsonx.Null ~t0:(Unix.gettimeofday ())
+          (Error [ Diag.error ~component:"protocol" ~reason:"parse_error" msg ])
+      in
+      reply (Jsonx.to_string response)
+  | Ok j -> (
+      let id = Protocol.request_id j in
+      if t.is_draining then begin
+        count_outcome t `Draining;
+        reply
+          (refusal ~id ~reason:"draining"
+             "server draining: not accepting new requests")
+      end
+      else
+        let now = Unix.gettimeofday () in
+        let deadline =
+          match deadline_of_json j with
+          | Some d -> now +. (d /. 1e3)
+          | None -> Float.infinity
+        in
+        let job =
+          {
+            j_json = j;
+            j_id = id;
+            j_reply = reply;
+            j_admitted = now;
+            j_deadline = deadline;
+          }
+        in
+        let admitted =
+          Mutex.protect t.qlock (fun () ->
+              if
+                t.stopping || t.is_draining
+                || Queue.length t.queue >= t.queue_bound
+              then false
+              else begin
+                Queue.push job t.queue;
+                Condition.signal t.qcond;
+                true
+              end)
+        in
+        if not admitted then
+          if t.is_draining || t.stopping then begin
+            count_outcome t `Draining;
+            reply
+              (refusal ~id ~reason:"draining"
+                 "server draining: not accepting new requests")
+          end
+          else begin
+            count_outcome t `Overloaded;
+            let depth = queue_depth t in
+            reply
+              (refusal ~id ~reason:"queue_full"
+                 ~retry_after:(retry_after_ms t depth)
+                 (Printf.sprintf
+                    "admission queue full (%d of %d pending): retry later"
+                    depth t.queue_bound))
+          end)
 
 let run_worker t =
   let rec loop () =
     let job =
       Mutex.protect t.qlock (fun () ->
           let rec wait () =
-            if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+            if not (Queue.is_empty t.queue) then begin
+              let j = Queue.pop t.queue in
+              (* Claim the job inside the queue lock so a drain's idle
+                 check can never observe "queue empty, nothing in
+                 flight" between our pop and the increment. *)
+              Atomic.incr t.in_flight;
+              Some j
+            end
             else if t.stopping then None
             else begin
               Condition.wait t.qcond t.qlock;
@@ -381,12 +548,58 @@ let run_worker t =
     match job with
     | None -> ()
     | Some job ->
-        (try job () with _ -> ());
+        let now = Unix.gettimeofday () in
+        (if now > job.j_deadline then begin
+           (* Shed without solving: the deadline expired while queued. *)
+           count_outcome t `Deadline_exceeded;
+           let waited_ms = (now -. job.j_admitted) *. 1e3 in
+           try
+             job.j_reply
+               (refusal ~id:job.j_id ~reason:"deadline_exceeded"
+                  ~retry_after:(retry_after_ms t (queue_depth t))
+                  (Printf.sprintf
+                     "deadline exceeded after %.1f ms in queue (never solved)"
+                     waited_ms))
+           with _ -> ()
+         end
+         else
+           (* [handle_json] is total, so anything escaping here is a
+              transport-or-injected fault around it: count it, surface a
+              warning, and answer the client best-effort.  The outcome
+              was not yet counted (handle_json counts on its way out), so
+              this branch owns the line's outcome. *)
+           match
+             Chaos.fire "service.worker";
+             Jsonx.to_string (handle_json ~admitted_at:job.j_admitted t job.j_json)
+           with
+           | response -> ( try job.j_reply response with _ -> ())
+           | exception exn ->
+               count_worker_fault t;
+               count_outcome t `Internal_error;
+               t.log
+                 (Diag.warningf ~component:"serve" ~reason:"worker_fault"
+                    "exception escaped a queue worker: %s"
+                    (Printexc.to_string exn));
+               (try
+                  job.j_reply
+                    (refusal ~id:job.j_id ~reason:"internal_error"
+                       (Printf.sprintf "worker fault: %s"
+                          (Printexc.to_string exn)))
+                with _ -> ()));
+        Atomic.decr t.in_flight;
         loop ()
   in
   loop ()
 
+(* ------------------------------ drain ------------------------------- *)
+
+let begin_drain t =
+  Mutex.protect t.qlock (fun () -> t.is_draining <- true)
+
+let cancel_inflight t = Cancel.cancel t.drain
+
 let stop_workers t =
   Mutex.protect t.qlock (fun () ->
+      t.is_draining <- true;
       t.stopping <- true;
       Condition.broadcast t.qcond)

@@ -5,29 +5,58 @@
     malformed JSON, an undecodable request, an invalid spec, an empty
     design space, and even a stray exception escaping the model all become
     [ok: false] responses with structured diagnostics, so one poisoned
-    request can never take the server down.
+    request can never take the server down.  An exception that escapes a
+    queue worker {e around} the handler (transport failure, injected
+    fault) is likewise contained: counted under [internal_error] and the
+    [worker] fault counter, logged as a [serve/worker_fault] warning, and
+    answered best-effort.
 
     {b Admission queue.}  A bounded queue decouples transport threads
     (which accept requests) from solver workers (which answer them).
-    {!submit} refuses work beyond the bound — the caller replies
-    "overloaded" immediately instead of buffering unboundedly.  The batch
-    transport bypasses the queue and calls {!handle_line} synchronously.
+    {!admit} parses each line once at the edge and either enqueues it or
+    refuses it immediately — [serve/queue_full] past the bound (with a
+    [retry_after_ms] hint), [serve/draining] once a drain began.  The
+    batch transport bypasses the queue and calls {!handle_line}
+    synchronously.
+
+    {b Deadlines.}  A request's [params.deadline_ms] starts at admission.
+    A job still queued past its deadline is shed without solving
+    ([serve/deadline_exceeded]); one already solving carries a
+    {!Cacti_util.Cancel.t} token polled at the sweep's partition
+    boundaries, so the solve aborts within milliseconds and answers
+    [serve/deadline_exceeded].  Requests without a deadline are never
+    cancelled (except by {!cancel_inflight}) and their solutions are
+    bit-identical to an undeadlined server's.
+
+    {b Counter partition.}  Every non-empty line is counted once at entry
+    ([requests.lines]) and lands in exactly one outcome counter, so
+    [lines = ok + invalid + no_solution + internal_error + overloaded +
+    deadline_exceeded + draining] holds at every quiescent point — the
+    chaos soak asserts it under fault injection.
 
     {b Observability.}  Every request is counted by kind and outcome, and
     its wall time lands in a log₂ latency histogram; a ["stats"] request
     (or {!stats_json}) exposes the counters, the {!Cacti.Solve_cache}
-    hit rate and the live queue depth. *)
+    hit rate, the live queue depth and the in-flight count. *)
 
 type t
 
-val create : ?jobs:int -> ?queue_bound:int -> unit -> t
+val create :
+  ?jobs:int ->
+  ?queue_bound:int ->
+  ?log:(Cacti_util.Diag.t -> unit) ->
+  unit ->
+  t
 (** [jobs]: worker domains per design-space sweep (the
     {!Cacti_util.Pool}), default {!Cacti_util.Pool.default_jobs}; a
     request's [params.jobs] overrides it.  [queue_bound]: admission-queue
-    capacity, default 64. *)
+    capacity, default 64.  [log]: sink for server-side warnings (worker
+    faults); default prints to stderr. *)
 
-val handle_json : t -> Cacti_util.Jsonx.t -> Cacti_util.Jsonx.t
-(** Answer one parsed request; total and exception-safe. *)
+val handle_json : ?admitted_at:float -> t -> Cacti_util.Jsonx.t -> Cacti_util.Jsonx.t
+(** Answer one parsed request; total and exception-safe.  [admitted_at]
+    (default now) anchors the request's deadline, so time spent queued
+    counts against its budget. *)
 
 val handle_line : t -> string -> string
 (** The full wire path: parse one JSONL line, answer it, print the
@@ -38,22 +67,39 @@ val stats_json : t -> Cacti_util.Jsonx.t
 
 (** {1 Admission queue} *)
 
-val submit : t -> (unit -> unit) -> bool
-(** Enqueue a job for the solver workers; [false] when the queue is at its
-    bound (the caller must answer "overloaded") or the service is
-    stopping. *)
-
-val reject_overloaded : t -> string -> string
-(** The [ok: false] [queue_full] response line for a request line that
-    {!submit} refused; counts the request under the [overloaded]
-    outcome. *)
+val admit : t -> reply:(string -> unit) -> string -> unit
+(** Admit one request line from a transport thread: parse it once, then
+    enqueue it for the workers or answer it immediately through [reply] —
+    malformed lines, [serve/draining] refusals, and [serve/queue_full]
+    refusals (with queue depth and a [retry_after_ms] hint) never touch
+    the queue.  [reply] is retained until the job's response is written;
+    it must tolerate being called from a worker thread. *)
 
 val queue_depth : t -> int
 
+val in_flight : t -> int
+(** Jobs dequeued by a worker whose response is not yet written. *)
+
+val idle : t -> bool
+(** No queued and no in-flight work (the drain's termination test). *)
+
 val run_worker : t -> unit
 (** Dequeue and run jobs until {!stop_workers}; meant for a dedicated
-    thread per worker. *)
+    thread per worker.  Sheds queued jobs whose deadline already expired
+    without solving them. *)
 
 val stop_workers : t -> unit
 (** Wake every {!run_worker} and make it return once the queue drains;
-    subsequent {!submit}s are refused. *)
+    subsequent {!admit}s are refused. *)
+
+(** {1 Graceful drain} *)
+
+val begin_drain : t -> unit
+(** Stop admitting: every subsequent {!admit} answers [serve/draining].
+    Queued and in-flight work continues. *)
+
+val draining : t -> bool
+
+val cancel_inflight : t -> unit
+(** Fire the drain token every solve chains to: in-flight sweeps abort at
+    their next poll point and answer [serve/draining].  Irreversible. *)

@@ -1,0 +1,37 @@
+type t = {
+  flag : bool Atomic.t;
+  deadline_at : float;  (** absolute epoch seconds; [infinity] = none *)
+  parent : t option;
+  reason : string;
+}
+
+exception Cancelled of string
+
+let never =
+  {
+    flag = Atomic.make false;
+    deadline_at = Float.infinity;
+    parent = None;
+    reason = "cancelled";
+  }
+
+let create ?(reason = "cancelled") ?(deadline_at = Float.infinity) ?parent ()
+    =
+  { flag = Atomic.make false; deadline_at; parent; reason }
+
+let cancel t = Atomic.set t.flag true
+
+(* The reason of the first fired token walking up the chain: an explicit
+   [cancel] or a passed deadline at this level reports this token's
+   reason; otherwise defer to the ancestors. *)
+let rec why t =
+  if
+    Atomic.get t.flag
+    || (t.deadline_at < Float.infinity && Unix.gettimeofday () > t.deadline_at)
+  then Some t.reason
+  else match t.parent with None -> None | Some p -> why p
+
+let cancelled t = why t <> None
+
+let check t =
+  match why t with None -> () | Some reason -> raise (Cancelled reason)

@@ -128,15 +128,16 @@ let request_arb =
      identical Technology.t *)
   let nm = map (fun i -> float_of_int i /. 100.) (int_range 3200 9000) in
   let params =
-    map3
-      (fun opt strict jobs -> { Protocol.opt; strict; jobs })
-      (oneofl
-         [
-           Cacti.Opt_params.default; Cacti.Opt_params.delay_optimal;
-           Cacti.Opt_params.area_optimal; Cacti.Opt_params.energy_optimal;
-         ])
-      bool
-      (oneofl [ None; Some 1; Some 4 ])
+    let* opt =
+      oneofl
+        [
+          Cacti.Opt_params.default; Cacti.Opt_params.delay_optimal;
+          Cacti.Opt_params.area_optimal; Cacti.Opt_params.energy_optimal;
+        ]
+    and* strict = bool
+    and* jobs = oneofl [ None; Some 1; Some 4 ]
+    and* deadline_ms = oneofl [ None; Some 25.; Some 1500.5 ] in
+    return { Protocol.opt; strict; jobs; deadline_ms }
   in
   let cache_spec =
     let* nm = nm
@@ -247,6 +248,7 @@ let test_response_roundtrip () =
       r_diagnostics = [];
       r_wall_ms = 3.25;
       r_cache_hits = 2;
+      r_retry_after_ms = None;
     };
   check_rt
     {
@@ -260,6 +262,7 @@ let test_response_roundtrip () =
         ];
       r_wall_ms = 0.01;
       r_cache_hits = 0;
+      r_retry_after_ms = Some 12.5;
     }
 
 (* -------------------------- batch service ------------------------- *)
@@ -274,6 +277,58 @@ let get path j =
 
 let get_int path j = Option.bind (get path j) Jsonx.get_int
 let get_bool path j = Option.bind (get path j) Jsonx.get_bool
+
+let reasons_of r =
+  match get [ "diagnostics" ] r with
+  | Some (Jsonx.List ds) ->
+      List.filter_map
+        (fun d -> Option.bind (Jsonx.member "reason" d) Jsonx.get_string)
+        ds
+  | _ -> []
+
+(* Thread-safe reply sink for Service.admit: refusals answer inline from
+   the admitting thread, everything else from a worker thread. *)
+let collector () =
+  let m = Mutex.create () in
+  let replies = ref [] in
+  let reply s = Mutex.protect m (fun () -> replies := s :: !replies) in
+  (reply, fun () -> Mutex.protect m (fun () -> List.rev !replies))
+
+let wait_for ?(budget_s = 10.) cond =
+  let deadline = Unix.gettimeofday () +. budget_s in
+  while (not (cond ())) && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done
+
+(* Every counted line lands in exactly one outcome bucket — or is still
+   queued or in flight, not yet answered.  The stats object must exhibit
+   the partition at any instant. *)
+let check_partition stats =
+  let oi path = Option.value ~default:0 (get_int path stats) in
+  let sum =
+    List.fold_left
+      (fun a k -> a + oi [ "outcomes"; k ])
+      (oi [ "queue"; "depth" ] + oi [ "queue"; "in_flight" ])
+      [
+        "ok"; "invalid"; "no_solution"; "internal_error"; "overloaded";
+        "deadline_exceeded"; "draining";
+      ]
+  in
+  Alcotest.(check (option int))
+    "counter partition: lines = outcomes + pending" (Some sum)
+    (get_int [ "requests"; "lines" ] stats)
+
+(* A sweep big enough that a cold solve spans many cancellation poll
+   points (2 MiB, 8-way, 32 nm). *)
+let big_cache_req ~id ?deadline_ms () =
+  let params =
+    match deadline_ms with
+    | None -> ""
+    | Some d -> Printf.sprintf {|,"params":{"deadline_ms":%g}|} d
+  in
+  Printf.sprintf
+    {|{"id":%d,"kind":"cache","spec":{"tech_nm":32,"capacity_bytes":2097152,"assoc":8}%s}|}
+    id params
 
 let test_batch_memo () =
   Cacti.Solve_cache.clear ();
@@ -516,52 +571,215 @@ let test_persist_corrupt_cold_start () =
 (* ------------------------- admission queue ------------------------ *)
 
 let test_queue_backpressure () =
-  let service = Service.create ~queue_bound:1 () in
-  Alcotest.(check bool) "first job admitted" true (Service.submit service ignore);
-  Alcotest.(check int) "queued" 1 (Service.queue_depth service);
-  Alcotest.(check bool)
-    "job beyond the bound refused" false
-    (Service.submit service ignore);
-  let r = Jsonx.parse_exn (Service.reject_overloaded service (cache_req ~id:7)) in
-  Alcotest.(check (option bool)) "overload not ok" (Some false) (get_bool [ "ok" ] r);
+  let service = Service.create ~queue_bound:1 ~log:ignore () in
+  let reply, replies = collector () in
+  (* no worker is running, so the first admit parks in the queue *)
+  Service.admit service ~reply (cache_req ~id:6);
+  Alcotest.(check int) "first request queued" 1 (Service.queue_depth service);
+  Alcotest.(check int) "no reply yet" 0 (List.length (replies ()));
+  (* the second overflows the bound and is refused inline *)
+  Service.admit service ~reply (cache_req ~id:7);
+  Alcotest.(check int) "still one queued" 1 (Service.queue_depth service);
+  let r = Jsonx.parse_exn (List.nth (replies ()) 0) in
+  Alcotest.(check (option bool))
+    "overload not ok" (Some false) (get_bool [ "ok" ] r);
   Alcotest.(check (option int)) "overload echoes id" (Some 7) (get_int [ "id" ] r);
-  Service.stop_workers service;
   Alcotest.(check bool)
-    "refused after stop" false
-    (Service.submit service ignore)
+    "queue_full reason" true
+    (List.mem "queue_full" (reasons_of r));
+  Alcotest.(check bool)
+    "retry hint present" true
+    (match Option.bind (get [ "retry_after_ms" ] r) Jsonx.get_float with
+    | Some v -> v >= 1.
+    | None -> false);
+  Service.stop_workers service;
+  Service.admit service ~reply (cache_req ~id:8);
+  let r = Jsonx.parse_exn (List.nth (replies ()) 1) in
+  Alcotest.(check bool)
+    "refused as draining after stop" true
+    (List.mem "draining" (reasons_of r));
+  check_partition (Service.stats_json service)
 
 let test_queue_worker_drain () =
-  let service = Service.create ~queue_bound:8 () in
-  let m = Mutex.create () in
-  let ran = ref 0 in
-  let job () =
-    Mutex.lock m;
-    incr ran;
-    Mutex.unlock m
-  in
+  with_cold_cache @@ fun () ->
+  let service = Service.create ~queue_bound:8 ~log:ignore () in
+  let reply, replies = collector () in
   let worker = Thread.create (fun () -> Service.run_worker service) () in
-  for _ = 1 to 5 do
-    Alcotest.(check bool) "admitted" true (Service.submit service job)
+  for i = 1 to 5 do
+    Service.admit service ~reply (cache_req ~id:i)
   done;
-  let deadline = Unix.gettimeofday () +. 5. in
-  while !ran < 5 && Unix.gettimeofday () < deadline do
-    Thread.yield ()
-  done;
+  wait_for (fun () -> List.length (replies ()) >= 5);
   Service.stop_workers service;
   Thread.join worker;
-  Alcotest.(check int) "all jobs ran" 5 !ran;
-  Alcotest.(check int) "queue drained" 0 (Service.queue_depth service)
+  let got = List.map Jsonx.parse_exn (replies ()) in
+  Alcotest.(check int) "all five answered" 5 (List.length got);
+  Alcotest.(check (list int))
+    "ids echoed once each" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare (List.filter_map (get_int [ "id" ]) got));
+  List.iter
+    (fun r ->
+      Alcotest.(check (option bool)) "ok" (Some true) (get_bool [ "ok" ] r))
+    got;
+  Alcotest.(check int) "queue drained" 0 (Service.queue_depth service);
+  Alcotest.(check bool) "idle" true (Service.idle service);
+  check_partition (Service.stats_json service)
+
+(* ---------------------------- deadlines --------------------------- *)
+
+let test_deadline_queued_shed () =
+  let service = Service.create ~queue_bound:8 ~log:ignore () in
+  let reply, replies = collector () in
+  (* admit with a 5 ms budget, but start the worker only after it
+     expired: the job must be shed without solving *)
+  Service.admit service ~reply (big_cache_req ~id:41 ~deadline_ms:5. ());
+  Thread.delay 0.02;
+  let worker = Thread.create (fun () -> Service.run_worker service) () in
+  wait_for (fun () -> List.length (replies ()) >= 1);
+  Service.stop_workers service;
+  Thread.join worker;
+  let r = Jsonx.parse_exn (List.hd (replies ())) in
+  Alcotest.(check (option bool)) "shed not ok" (Some false) (get_bool [ "ok" ] r);
+  Alcotest.(check (option int)) "shed echoes id" (Some 41) (get_int [ "id" ] r);
+  Alcotest.(check bool)
+    "deadline_exceeded reason" true
+    (List.mem "deadline_exceeded" (reasons_of r));
+  Alcotest.(check bool)
+    "retry hint present" true
+    (Option.is_some (get [ "retry_after_ms" ] r));
+  let stats = Service.stats_json service in
+  Alcotest.(check (option int))
+    "counted as deadline_exceeded" (Some 1)
+    (get_int [ "outcomes"; "deadline_exceeded" ] stats);
+  check_partition stats
+
+let test_deadline_cancels_mid_solve () =
+  with_cold_cache @@ fun () ->
+  let service = Service.create ~log:ignore () in
+  (* baseline: the same cold sweep run to completion *)
+  let t0 = Unix.gettimeofday () in
+  let r_full =
+    Jsonx.parse_exn (Service.handle_line service (big_cache_req ~id:1 ()))
+  in
+  let full_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Alcotest.(check (option bool))
+    "baseline ok" (Some true) (get_bool [ "ok" ] r_full);
+  (* identical spec, cold again, under a 1 ms budget: the solver must
+     abort at a poll point, not run the sweep to completion *)
+  Cacti.Solve_cache.clear ();
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Jsonx.parse_exn
+      (Service.handle_line service (big_cache_req ~id:2 ~deadline_ms:1. ()))
+  in
+  let cancelled_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Alcotest.(check (option bool))
+    "cancelled not ok" (Some false) (get_bool [ "ok" ] r);
+  Alcotest.(check bool)
+    "deadline_exceeded reason" true
+    (List.mem "deadline_exceeded" (reasons_of r));
+  Alcotest.(check bool)
+    (Printf.sprintf "cancelled solve returned early (%.1f ms vs %.1f ms full)"
+       cancelled_ms full_ms)
+    true
+    (cancelled_ms < Float.max (full_ms /. 2.) 25.);
+  let stats = Service.stats_json service in
+  Alcotest.(check (option int))
+    "counted as deadline_exceeded" (Some 1)
+    (get_int [ "outcomes"; "deadline_exceeded" ] stats);
+  check_partition stats
+
+let test_deadline_noop_bit_identity () =
+  with_cold_cache @@ fun () ->
+  let service = Service.create ~log:ignore () in
+  let sol r = Option.get (get [ "solution" ] r) in
+  let r_plain = Jsonx.parse_exn (Service.handle_line service (cache_req ~id:1)) in
+  (* cold again so the deadlined request re-runs the whole sweep *)
+  Cacti.Solve_cache.clear ();
+  let r_dl =
+    Jsonx.parse_exn
+      (Service.handle_line service
+         {|{"id":2,"kind":"cache","spec":{"tech_nm":45,"capacity_bytes":65536,"assoc":4},"params":{"deadline_ms":600000}}|})
+  in
+  Alcotest.(check (option bool))
+    "ok under a generous deadline" (Some true) (get_bool [ "ok" ] r_dl);
+  Alcotest.(check bool)
+    "solution bit-identical with and without a deadline" true
+    (Jsonx.equal (sol r_plain) (sol r_dl))
+
+(* -------------------------- fault injection ----------------------- *)
+
+let test_worker_fault_contained () =
+  Chaos.reset ();
+  let lm = Mutex.create () in
+  let logged = ref [] in
+  let service =
+    Service.create ~queue_bound:8
+      ~log:(fun d -> Mutex.protect lm (fun () -> logged := d :: !logged))
+      ()
+  in
+  let reply, replies = collector () in
+  Chaos.arm "service.worker" Chaos.Exn;
+  Fun.protect ~finally:Chaos.reset @@ fun () ->
+  let worker = Thread.create (fun () -> Service.run_worker service) () in
+  Service.admit service ~reply (cache_req ~id:77);
+  wait_for (fun () -> List.length (replies ()) >= 1);
+  Service.stop_workers service;
+  Thread.join worker;
+  let r = Jsonx.parse_exn (List.hd (replies ())) in
+  Alcotest.(check (option bool))
+    "best-effort answer, not ok" (Some false) (get_bool [ "ok" ] r);
+  Alcotest.(check (option int)) "id echoed" (Some 77) (get_int [ "id" ] r);
+  Alcotest.(check bool)
+    "internal_error reason" true
+    (List.mem "internal_error" (reasons_of r));
+  let stats = Service.stats_json service in
+  Alcotest.(check (option int))
+    "counted as internal_error" (Some 1)
+    (get_int [ "outcomes"; "internal_error" ] stats);
+  Alcotest.(check (option int))
+    "worker fault counter" (Some 1)
+    (get_int [ "faults"; "worker" ] stats);
+  check_partition stats;
+  Alcotest.(check bool)
+    "warning[serve/worker_fault] logged" true
+    (List.exists
+       (fun d ->
+         d.Diag.severity = Diag.Warning && d.Diag.reason = "worker_fault")
+       !logged)
+
+(* ------------------------------ drain ----------------------------- *)
+
+let test_drain_refusal () =
+  let service = Service.create ~log:ignore () in
+  let reply, replies = collector () in
+  Alcotest.(check bool) "not draining yet" false (Service.draining service);
+  Service.begin_drain service;
+  Alcotest.(check bool) "draining" true (Service.draining service);
+  Service.admit service ~reply (cache_req ~id:5);
+  let r = Jsonx.parse_exn (List.hd (replies ())) in
+  Alcotest.(check (option bool)) "refused" (Some false) (get_bool [ "ok" ] r);
+  Alcotest.(check (option int)) "id echoed" (Some 5) (get_int [ "id" ] r);
+  Alcotest.(check bool)
+    "draining reason" true
+    (List.mem "draining" (reasons_of r));
+  check_partition (Service.stats_json service)
 
 (* -------------------------- socket server ------------------------- *)
+
+let sock_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cacti_serve_%s_%d.sock" tag (Unix.getpid ()))
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
 
 let test_socket_concurrent_clients () =
   let service = Service.create () in
   (* warm the memo so client solves are instant *)
   ignore (Service.handle_line service (cache_req ~id:0));
-  let path =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "cacti_serve_test_%d.sock" (Unix.getpid ()))
-  in
+  let path = sock_path "test" in
   let server = Server.start ~workers:2 service ~path () in
   let n_clients = 3 and per_client = 8 in
   let results = Array.make n_clients [] in
@@ -604,6 +822,149 @@ let test_socket_concurrent_clients () =
         got)
     results
 
+let test_socket_drain_cancels_inflight () =
+  with_cold_cache @@ fun () ->
+  Chaos.reset ();
+  let service = Service.create ~log:ignore () in
+  let path = sock_path "drain" in
+  let server = Server.start ~workers:1 service ~path () in
+  (* hold the solve at the injection point long enough that the stop's
+     drain token deterministically fires mid-request *)
+  Chaos.arm "service.slow_solve" (Chaos.Delay 0.05);
+  Fun.protect ~finally:Chaos.reset @@ fun () ->
+  let fd = connect path in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc (big_cache_req ~id:1 ());
+  output_char oc '\n';
+  flush oc;
+  wait_for ~budget_s:5. (fun () -> Service.in_flight service = 1);
+  Alcotest.(check int) "solve in flight" 1 (Service.in_flight service);
+  (* a zero drain budget fires the drain token: the in-flight sweep must
+     abort and answer serve/draining rather than run to completion *)
+  Server.stop ~drain_ms:0. server;
+  let r = Jsonx.parse_exn (input_line ic) in
+  Alcotest.(check (option bool))
+    "in-flight work answered" (Some false) (get_bool [ "ok" ] r);
+  Alcotest.(check bool)
+    "draining reason" true
+    (List.mem "draining" (reasons_of r));
+  (* stop is idempotent *)
+  Server.stop server;
+  Unix.close fd;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists path);
+  check_partition (Service.stats_json service)
+
+let test_socket_stop_concurrent () =
+  let path = sock_path "race" in
+  let server = Server.start (Service.create ~log:ignore ()) ~path () in
+  let stoppers =
+    List.init 2 (fun _ ->
+        Thread.create (fun () -> Server.stop ~drain_ms:50. server) ())
+  in
+  List.iter Thread.join stoppers;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists path);
+  (* the path is immediately reusable by a fresh server *)
+  let server2 = Server.start (Service.create ~log:ignore ()) ~path () in
+  Server.stop server2;
+  Alcotest.(check bool) "socket removed again" false (Sys.file_exists path)
+
+let test_socket_liveness_probe () =
+  let path = sock_path "probe" in
+  (* a stale socket file: bound once, its listener long gone *)
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX path);
+  Unix.close stale;
+  Alcotest.(check bool) "stale file left behind" true (Sys.file_exists path);
+  let service = Service.create ~log:ignore () in
+  ignore (Service.handle_line service (cache_req ~id:0));
+  let server = Server.start service ~path () in
+  (* a second server must refuse to hijack the live socket *)
+  (match Server.start (Service.create ~log:ignore ()) ~path () with
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ()
+  | _ -> Alcotest.fail "second bind on a live socket must raise EADDRINUSE");
+  (* the probe did not disturb the running server *)
+  let fd = connect path in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc (cache_req ~id:3);
+  output_char oc '\n';
+  flush oc;
+  let r = Jsonx.parse_exn (input_line ic) in
+  Alcotest.(check (option bool))
+    "first server still answers" (Some true) (get_bool [ "ok" ] r);
+  Unix.close fd;
+  Server.stop server;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists path)
+
+(* Line discipline under arbitrary bytes: every newline-terminated
+   non-blank line gets exactly one well-formed response line — garbage
+   parses to a typed refusal, never to silence or a crash. *)
+let lines_arb =
+  let open QCheck.Gen in
+  let line_char =
+    map (fun i -> if i = Char.code '\n' then ' ' else Char.chr i)
+      (int_range 1 255)
+  in
+  let garbage = string_size ~gen:line_char (int_bound 40) in
+  let valid = map (fun id -> cache_req ~id) (int_bound 1000) in
+  let stats = return {|{"id":0,"kind":"stats"}|} in
+  QCheck.make
+    ~print:(fun ls -> String.concat " | " ls)
+    (list_size (int_range 1 6) (oneof [ garbage; garbage; valid; stats ]))
+
+let test_socket_fuzz_line_discipline () =
+  with_cold_cache @@ fun () ->
+  Chaos.reset ();
+  let service = Service.create ~queue_bound:64 ~log:ignore () in
+  ignore (Service.handle_line service (cache_req ~id:0));
+  let path = sock_path "fuzz" in
+  let server = Server.start ~workers:2 service ~path () in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let prop lines =
+    let fd = connect path in
+    (* a stalled server must fail the property, not hang the suite *)
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    flush oc;
+    let expected =
+      List.length (List.filter (fun l -> String.trim l <> "") lines)
+    in
+    let got = ref 0 and well_formed = ref true in
+    (try
+       for _ = 1 to expected do
+         (match Jsonx.parse (input_line ic) with
+         | Ok _ -> ()
+         | Error _ -> well_formed := false);
+         incr got
+       done
+     with End_of_file | Sys_blocked_io | Sys_error _ | Unix.Unix_error _ -> ());
+    (* and not one line more *)
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2;
+    let extra =
+      match input_line ic with
+      | _ -> true
+      | exception (End_of_file | Sys_blocked_io | Sys_error _
+                  | Unix.Unix_error _) ->
+          false
+    in
+    Unix.close fd;
+    if not (!got = expected && !well_formed && not extra) then
+      QCheck.Test.fail_reportf
+        "wanted %d response(s), got %d (well-formed: %b, extra line: %b)"
+        expected !got !well_formed extra
+    else true
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"one response per non-blank line" ~count:20
+       lines_arb prop)
+
 (* ------------------------------ main ------------------------------ *)
 
 let () =
@@ -645,9 +1006,32 @@ let () =
           Alcotest.test_case "backpressure" `Quick test_queue_backpressure;
           Alcotest.test_case "worker drain" `Quick test_queue_worker_drain;
         ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "queued job shed" `Quick test_deadline_queued_shed;
+          Alcotest.test_case "mid-solve cancellation" `Quick
+            test_deadline_cancels_mid_solve;
+          Alcotest.test_case "no deadline, bit-identical" `Quick
+            test_deadline_noop_bit_identity;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "worker fault contained" `Quick
+            test_worker_fault_contained;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "refusal while draining" `Quick test_drain_refusal;
+          Alcotest.test_case "stop cancels in-flight" `Quick
+            test_socket_drain_cancels_inflight;
+          Alcotest.test_case "concurrent stop" `Quick test_socket_stop_concurrent;
+          Alcotest.test_case "liveness probe" `Quick test_socket_liveness_probe;
+        ] );
       ( "socket",
         [
           Alcotest.test_case "concurrent clients" `Quick
             test_socket_concurrent_clients;
+          Alcotest.test_case "fuzz line discipline" `Quick
+            test_socket_fuzz_line_discipline;
         ] );
     ]

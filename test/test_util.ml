@@ -329,6 +329,56 @@ let prop_intmap_model =
         m;
       not !extra)
 
+(* ------------------------------ cancel ----------------------------- *)
+
+let test_cancel_flag () =
+  let t = Cancel.create ~reason:"test" () in
+  Alcotest.(check bool) "fresh token quiet" false (Cancel.cancelled t);
+  Cancel.check t;
+  (* a poll on a live token is a no-op *)
+  Cancel.cancel t;
+  Cancel.cancel t;
+  (* idempotent *)
+  Alcotest.(check (option string)) "why" (Some "test") (Cancel.why t);
+  Alcotest.check_raises "check raises" (Cancel.Cancelled "test") (fun () ->
+      Cancel.check t)
+
+let test_cancel_deadline () =
+  let fired =
+    Cancel.create ~reason:"deadline"
+      ~deadline_at:(Unix.gettimeofday () -. 0.001)
+      ()
+  in
+  Alcotest.(check bool)
+    "past deadline counts as fired" true (Cancel.cancelled fired);
+  Alcotest.(check (option string)) "why" (Some "deadline") (Cancel.why fired);
+  let quiet =
+    Cancel.create ~reason:"deadline"
+      ~deadline_at:(Unix.gettimeofday () +. 3600.)
+      ()
+  in
+  Alcotest.(check bool) "future deadline quiet" false (Cancel.cancelled quiet)
+
+let test_cancel_parent_chain () =
+  let drain = Cancel.create ~reason:"drain" () in
+  let child = Cancel.create ~reason:"deadline" ~parent:drain () in
+  Alcotest.(check bool) "child quiet" false (Cancel.cancelled child);
+  Cancel.cancel drain;
+  Alcotest.(check bool) "child fires with parent" true (Cancel.cancelled child);
+  Alcotest.(check (option string))
+    "carries the parent's reason" (Some "drain") (Cancel.why child);
+  (* firing a child never propagates up *)
+  let p = Cancel.create ~reason:"p" () in
+  let c = Cancel.create ~reason:"c" ~parent:p () in
+  Cancel.cancel c;
+  Alcotest.(check (option string)) "child's own reason" (Some "c") (Cancel.why c);
+  Alcotest.(check bool) "parent untouched" false (Cancel.cancelled p)
+
+let test_cancel_never () =
+  Alcotest.(check bool) "never is quiet" false (Cancel.cancelled Cancel.never);
+  Cancel.check Cancel.never;
+  Alcotest.(check (option string)) "never why" None (Cancel.why Cancel.never)
+
 let () =
   Alcotest.run "util"
     [
@@ -387,5 +437,12 @@ let () =
           Alcotest.test_case "map order" `Quick test_pool_map_order;
           Alcotest.test_case "filter_map order" `Quick test_pool_filter_map_order;
           Alcotest.test_case "exception" `Quick test_pool_exception_propagates;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "flag" `Quick test_cancel_flag;
+          Alcotest.test_case "deadline" `Quick test_cancel_deadline;
+          Alcotest.test_case "parent chain" `Quick test_cancel_parent_chain;
+          Alcotest.test_case "never" `Quick test_cancel_never;
         ] );
     ]
