@@ -189,7 +189,7 @@ let solve_space ?jobs ?(params = Opt_params.default) ?kernel s =
      point solves and cannot change any candidate. *)
   let candidates =
     Bank.enumerate ~pool ~prune:params.max_area_pct
-      ~mat_cache:Solve_cache.mat_memo ?kernel
+      ~mat_cache:(Solve_cache.mat_memo_here ()) ?kernel
       ~screened:(Solve_cache.screened_for dspec) dspec
   in
   if candidates = [] then []

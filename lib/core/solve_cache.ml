@@ -1,6 +1,7 @@
 open Cacti_array
+module Lru = Cacti_util.Lru
 
-type stats = { hits : int; misses : int }
+type stats = Lru.stats = { hits : int; misses : int }
 
 type outcome = {
   bank : Bank.t;
@@ -8,164 +9,7 @@ type outcome = {
   from_cache : bool;
 }
 
-(* Shared LRU machinery for the two memo tables (selected banks, mat
-   sub-solutions).  One mutex per table guards the hashtable, the hit/miss
-   counters and the recency clock; values are immutable so a reference
-   handed out under the lock stays valid after it is released. *)
-module Lru = struct
-  type 'v entry = {
-    value : 'v;
-    mutable stamp : int;  (** last-use tick, for LRU eviction *)
-  }
-
-  type ('k, 'v) t = {
-    table : ('k, 'v entry) Hashtbl.t;
-    lock : Mutex.t;
-    mutable hits : int;
-    mutable misses : int;
-    mutable tick : int;
-    mutable cap : int option;
-  }
-
-  let create ?(size = 64) () =
-    {
-      table = Hashtbl.create size;
-      lock = Mutex.create ();
-      hits = 0;
-      misses = 0;
-      tick = 0;
-      cap = None;
-    }
-
-  let touch t e =
-    t.tick <- t.tick + 1;
-    e.stamp <- t.tick
-
-  (* Evict least-recently-used entries until the table fits the cap.  A
-     full scan per eviction is O(n), but evictions only happen on inserts
-     past the cap and the cap is thousands at most — the scan is noise next
-     to the design-space sweep that produced the entry. *)
-  let enforce_cap_locked t =
-    match t.cap with
-    | None -> ()
-    | Some c ->
-        while Hashtbl.length t.table > c do
-          let victim =
-            Hashtbl.fold
-              (fun k e acc ->
-                match acc with
-                | Some (_, stamp) when stamp <= e.stamp -> acc
-                | _ -> Some (k, e.stamp))
-              t.table None
-          in
-          match victim with
-          | Some (k, _) -> Hashtbl.remove t.table k
-          | None -> ()
-        done
-
-  let insert_locked t key value =
-    t.tick <- t.tick + 1;
-    Hashtbl.replace t.table key { value; stamp = t.tick };
-    enforce_cap_locked t
-
-  (* Counted lookup: a miss here is expected to be followed by a compute +
-     [publish]. *)
-  let find t key =
-    Mutex.protect t.lock (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some e ->
-            t.hits <- t.hits + 1;
-            touch t e;
-            Some e.value
-        | None ->
-            t.misses <- t.misses + 1;
-            None)
-
-  (* First store wins: two racing misses of the same key both compute the
-     (identical, deterministic) value; later hits share one copy.  The
-     adopting lookup is not counted as a hit — the caller did compute.
-     [Hashtbl.add], not [insert_locked]'s [replace]: the key was just
-     probed absent under the same lock, and add skips replace's removal
-     pass (this is the hot store of every cold sweep candidate). *)
-  let publish t key value =
-    Mutex.protect t.lock (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some e ->
-            touch t e;
-            e.value
-        | None ->
-            t.tick <- t.tick + 1;
-            Hashtbl.add t.table key { value; stamp = t.tick };
-            enforce_cap_locked t;
-            value)
-
-  let memoize t key compute =
-    match find t key with
-    | Some v -> v
-    | None -> publish t key (compute ())
-
-  (* Unconditional replace (last store wins), for entries that are updated
-     in place — e.g. a screen context re-instantiated for a new row count. *)
-  let put t key value =
-    Mutex.protect t.lock (fun () -> insert_locked t key value)
-
-  let stats t =
-    Mutex.protect t.lock (fun () -> { hits = t.hits; misses = t.misses })
-
-  let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
-  let capacity t = Mutex.protect t.lock (fun () -> t.cap)
-
-  let set_capacity t ~what c =
-    (match c with
-    | Some c when c < 0 ->
-        invalid_arg (Printf.sprintf "%s: negative cap" what)
-    | _ -> ());
-    Mutex.protect t.lock (fun () ->
-        t.cap <- c;
-        enforce_cap_locked t)
-
-  let clear t =
-    Mutex.protect t.lock (fun () ->
-        Hashtbl.reset t.table;
-        t.hits <- 0;
-        t.misses <- 0)
-
-  (* Entries in least-recently-used-first order (re-inserting in dump order
-     reconstructs the LRU order). *)
-  let dump t =
-    let entries =
-      Mutex.protect t.lock (fun () ->
-          Hashtbl.fold (fun k e acc -> (k, e.value, e.stamp) :: acc) t.table
-            [])
-    in
-    List.sort (fun (_, _, a) (_, _, b) -> compare (a : int) b) entries
-    |> List.map (fun (k, v, _) -> (k, v))
-
-  let restore t entries =
-    Mutex.protect t.lock (fun () ->
-        List.iter
-          (fun (k, v) ->
-            if not (Hashtbl.mem t.table k) then insert_locked t k v)
-          entries)
-end
-
-(* Selected-bank memo: one entry per (spec, params, bounds) solve.  Keyed
-   by a string fingerprint so the persisted format is key-stable. *)
-let banks : (string, Bank.t * Cacti_util.Diag.counts) Lru.t = Lru.create ()
-
-(* Mat sub-solution memo, keyed by [Mat.fingerprint]: candidates across
-   the partition grid — and across solves on the same technology node,
-   e.g. a cache's data and tag arrays or a warm server's request stream —
-   that share a subarray geometry share the mat circuit solution.  [None]
-   (electrically nonviable) results are memoized too: re-deriving a
-   rejection is as expensive as re-deriving a solution.  The packed
-   {!Mat.mat_key} hashes as (salt string, int) — no per-candidate key
-   string is ever built. *)
-let mats : (Mat.mat_key, Mat.t option) Lru.t = Lru.create ~size:16384 ()
-
-let mat_memo key compute = Lru.memoize mats key compute
-
-(* ----------------------- incremental screening ----------------------- *)
+(* ------------------------------ shards ------------------------------- *)
 
 (* Screen contexts, keyed by [Mat.screen_key]: the rows-independent screen
    tree plus the survivors of its most recent instantiation.  A re-solve
@@ -180,54 +24,135 @@ type screen_ctx = {
   sc_screened : (Org.t * Mat.geometry) list * int * int * int;
 }
 
-let screens : (string, screen_ctx) Lru.t = Lru.create ()
+(* One independent set of memo tables.  A fleet-sharded server gives each
+   worker shard its own instance so warm entries are partitioned (never
+   duplicated) and the per-table mutexes stop being process-wide choke
+   points; everything else — the CLIs, the study harness, tests — uses
+   the process-wide [default_shard] without knowing shards exist.
 
-(* A screen context holds a full survivor list (~2k orgs), so keep the
-   working set modest; 32 covers every distinct (kind, geometry-shape)
-   combination the study matrix sweeps concurrently. *)
-let () = Lru.set_capacity screens ~what:"Solve_cache.screens" (Some 32)
+   [Bank]'s cross-spec stage memo stays deliberately global: it caches
+   deterministic gate sizings keyed by spec salt, so sharing it across
+   shards is free deduplication, not contention on the solve path. *)
+type shard = {
+  sh_banks : (string, Bank.t * Cacti_util.Diag.counts) Lru.t;
+      (** selected-bank memo: one entry per (spec, params, bounds) solve,
+          keyed by a string fingerprint so the persisted format is
+          key-stable *)
+  sh_mats : (Mat.mat_key, Mat.t option) Lru.t;
+      (** mat sub-solution memo, keyed by [Mat.fingerprint]: candidates
+          across the partition grid — and across solves on the same
+          technology node — that share a subarray geometry share the mat
+          circuit solution.  [None] (electrically nonviable) results are
+          memoized too: re-deriving a rejection is as expensive as
+          re-deriving a solution. *)
+  sh_screens : (string, screen_ctx) Lru.t;
+  sh_inc_full : int Atomic.t;
+  sh_inc_rows : int Atomic.t;
+  sh_inc_miss : int Atomic.t;
+}
 
-let inc_full = Atomic.make 0
-let inc_rows = Atomic.make 0
-let inc_miss = Atomic.make 0
+let create_shard () =
+  let screens = Lru.create () in
+  (* A screen context holds a full survivor list (~2k orgs), so keep the
+     working set modest; 32 covers every distinct (kind, geometry-shape)
+     combination the study matrix sweeps concurrently. *)
+  Lru.set_capacity screens ~what:"Solve_cache.screens" (Some 32);
+  {
+    sh_banks = Lru.create ();
+    sh_mats = Lru.create ~size:16384 ();
+    sh_screens = screens;
+    sh_inc_full = Atomic.make 0;
+    sh_inc_rows = Atomic.make 0;
+    sh_inc_miss = Atomic.make 0;
+  }
+
+let default_shard = create_shard ()
+
+(* Dynamic shard scoping, bound per thread: a server worker binds its
+   shard once around its whole drain loop, and every Solve_cache entry
+   point resolves the binding at its own entry — on the binding thread —
+   then captures the shard in any closure it hands into the (multi-domain)
+   sweep.  Code that never binds resolves to [default_shard], which is
+   bit-for-bit the pre-sharding behaviour. *)
+let bindings : (int, shard) Hashtbl.t = Hashtbl.create 8
+let bindings_lock = Mutex.create ()
+let self_id () = Thread.id (Thread.self ())
+
+let current_shard () =
+  Mutex.protect bindings_lock (fun () ->
+      match Hashtbl.find_opt bindings (self_id ()) with
+      | Some sh -> sh
+      | None -> default_shard)
+
+let with_shard sh f =
+  let tid = self_id () in
+  let prev =
+    Mutex.protect bindings_lock (fun () ->
+        let p = Hashtbl.find_opt bindings tid in
+        Hashtbl.replace bindings tid sh;
+        p)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect bindings_lock (fun () ->
+          match prev with
+          | Some p -> Hashtbl.replace bindings tid p
+          | None -> Hashtbl.remove bindings tid))
+    f
+
+(* Capture the shard NOW (on the calling thread): the returned closure is
+   handed into the sweep and invoked from pool domains, whose threads
+   carry no binding. *)
+let mat_memo_here () =
+  let sh = current_shard () in
+  fun key compute -> Lru.memoize sh.sh_mats key compute
+
+let mat_memo key compute = Lru.memoize (current_shard ()).sh_mats key compute
+
+(* ----------------------- incremental screening ----------------------- *)
 
 type incremental = { full_hits : int; rows_hits : int; misses : int }
 
-let incremental_stats () =
+let shard_incremental_stats sh =
   {
-    full_hits = Atomic.get inc_full;
-    rows_hits = Atomic.get inc_rows;
-    misses = Atomic.get inc_miss;
+    full_hits = Atomic.get sh.sh_inc_full;
+    rows_hits = Atomic.get sh.sh_inc_rows;
+    misses = Atomic.get sh.sh_inc_miss;
   }
 
-let screened_for ?(max_ndwl = 64) ?(max_ndbl = 64) spec =
+let incremental_stats () = shard_incremental_stats (current_shard ())
+
+let screened_for_shard sh ?(max_ndwl = 64) ?(max_ndbl = 64) spec =
   let key = Mat.screen_key ~max_ndwl ~max_ndbl ~spec () in
   let n_rows = spec.Array_spec.n_rows in
-  match Lru.find screens key with
+  match Lru.find sh.sh_screens key with
   | Some ctx when ctx.sc_n_rows = n_rows ->
       (* Same shape, same rows (the spec differs at most in technology,
          which the arithmetic screen never reads): reuse outright. *)
-      Atomic.incr inc_full;
+      Atomic.incr sh.sh_inc_full;
       ctx.sc_screened
   | Some ctx ->
       (* Same shape, new size: only the rows division changed — re-walk
          the prebuilt tree instead of re-screening the grid. *)
-      Atomic.incr inc_rows;
+      Atomic.incr sh.sh_inc_rows;
       let screened =
         Cacti_util.Profile.time "incremental_reuse" (fun () ->
             Mat.screen_of_tree ctx.sc_tree ~n_rows)
       in
-      Lru.put screens key
+      Lru.put sh.sh_screens key
         { ctx with sc_n_rows = n_rows; sc_screened = screened };
       screened
   | None ->
-      Atomic.incr inc_miss;
+      Atomic.incr sh.sh_inc_miss;
       let tree = Mat.screen_tree ~max_ndwl ~max_ndbl ~spec () in
       let screened = Mat.screen_of_tree tree ~n_rows in
       ignore
-        (Lru.publish screens key
+        (Lru.publish sh.sh_screens key
            { sc_tree = tree; sc_n_rows = n_rows; sc_screened = screened });
       screened
+
+let screened_for ?max_ndwl ?max_ndbl spec =
+  screened_for_shard (current_shard ()) ?max_ndwl ?max_ndbl spec
 
 (* The canonical fingerprint of one solve: every input that can change the
    selected organization.  Floats are printed in hex so distinct values can
@@ -281,8 +206,11 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?cancel
   | Error d1, Error d2 -> Error (d1 @ d2)
   | Error ds, Ok _ | Ok _, Error ds -> Error ds
   | Ok _, Ok _ -> (
+      (* Resolve the shard once, here, on the caller's thread; the memo
+         closures below run inside pool domains and must not re-resolve. *)
+      let sh = current_shard () in
       let key = fingerprint ~max_ndwl ~max_ndbl ~params spec in
-      let cached = if memo then Lru.find banks key else None in
+      let cached = if memo then Lru.find sh.sh_banks key else None in
       match cached with
       | Some (b, counts) -> Ok { bank = b; counts; from_cache = true }
       | None -> (
@@ -291,12 +219,16 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?cancel
              the (identical, deterministic) solution; the first store wins
              so later hits share one value. *)
           let what = match what with Some w -> w | None -> describe spec in
-          let mat_cache = if memo then Some mat_memo else None in
+          let mat_cache =
+            if memo then
+              Some (fun key compute -> Lru.memoize sh.sh_mats key compute)
+            else None
+          in
           (* The incremental screen context rides on [memo] too: with
              [memo:false] the solve must not touch any shared table, so
              the determinism tests can prove table-free identity. *)
           let screened =
-            if memo then Some (screened_for ~max_ndwl ~max_ndbl spec)
+            if memo then Some (screened_for_shard sh ~max_ndwl ~max_ndbl spec)
             else None
           in
           let selected, counts =
@@ -339,7 +271,7 @@ let select_bank_result ?(pool = Cacti_util.Pool.serial) ?cancel
                 ]
           | Ok selected ->
               let bank, counts =
-                if memo then Lru.publish banks key (selected, counts)
+                if memo then Lru.publish sh.sh_banks key (selected, counts)
                 else (selected, counts)
               in
               Ok { bank; counts; from_cache = false }))
@@ -357,26 +289,42 @@ let select_bank ?pool ?cancel ?max_ndwl ?max_ndbl ?strict ?memo ?kernel ?what
       else invalid_arg (Cacti_util.Diag.render ds)
   | Error [] -> assert false
 
-let stats () = Lru.stats banks
-let size () = Lru.size banks
-let capacity () = Lru.capacity banks
-let set_capacity c = Lru.set_capacity banks ~what:"Solve_cache.set_capacity" c
+(* ------------------------ stats and capacity ------------------------- *)
 
-let mat_stats () = Lru.stats mats
-let mat_size () = Lru.size mats
-let mat_capacity () = Lru.capacity mats
+let shard_stats sh = Lru.stats sh.sh_banks
+let shard_size sh = Lru.size sh.sh_banks
+let shard_capacity sh = Lru.capacity sh.sh_banks
 
-let set_mat_capacity c =
-  Lru.set_capacity mats ~what:"Solve_cache.set_mat_capacity" c
+let set_shard_capacity sh c =
+  Lru.set_capacity sh.sh_banks ~what:"Solve_cache.set_capacity" c
+
+let shard_mat_stats sh = Lru.stats sh.sh_mats
+let shard_mat_size sh = Lru.size sh.sh_mats
+let shard_mat_capacity sh = Lru.capacity sh.sh_mats
+
+let set_shard_mat_capacity sh c =
+  Lru.set_capacity sh.sh_mats ~what:"Solve_cache.set_mat_capacity" c
+
+let stats () = shard_stats (current_shard ())
+let size () = shard_size (current_shard ())
+let capacity () = shard_capacity (current_shard ())
+let set_capacity c = set_shard_capacity (current_shard ()) c
+let mat_stats () = shard_mat_stats (current_shard ())
+let mat_size () = shard_mat_size (current_shard ())
+let mat_capacity () = shard_mat_capacity (current_shard ())
+let set_mat_capacity c = set_shard_mat_capacity (current_shard ()) c
+
+let clear_shard sh =
+  Lru.clear sh.sh_banks;
+  Lru.clear sh.sh_mats;
+  Lru.clear sh.sh_screens;
+  Atomic.set sh.sh_inc_full 0;
+  Atomic.set sh.sh_inc_rows 0;
+  Atomic.set sh.sh_inc_miss 0
 
 let clear () =
-  Lru.clear banks;
-  Lru.clear mats;
-  Lru.clear screens;
-  Cacti_array.Bank.reset_stage_memo ();
-  Atomic.set inc_full 0;
-  Atomic.set inc_rows 0;
-  Atomic.set inc_miss 0
+  clear_shard (current_shard ());
+  Cacti_array.Bank.reset_stage_memo ()
 
 (* ---------------------------- persistence ---------------------------- *)
 
@@ -389,6 +337,10 @@ let clear () =
    order (so re-inserting in file order reconstructs the LRU order).
    Only the selected-bank memo is persisted: mat sub-solutions are cheap
    to rebuild and dominated by the bank memo on the warm path.
+
+   Sharded servers persist one such file per shard (the serve layer names
+   the siblings), so the format needs no routing metadata and stays at
+   version 3.
 
    Crash safety: the payload is written to a [.tmp] sibling, fsync'd,
    and atomically renamed over the destination, with a best-effort fsync
@@ -421,9 +373,10 @@ let fsync_dir dir =
       (try Unix.close fd with Unix.Unix_error _ -> ())
   | exception Unix.Unix_error _ -> ()
 
-let save path =
+let save ?shard path =
+  let sh = match shard with Some s -> s | None -> current_shard () in
   let entries =
-    Lru.dump banks |> List.map (fun (k, (b, c)) -> (k, b, c))
+    Lru.dump sh.sh_banks |> List.map (fun (k, (b, c)) -> (k, b, c))
   in
   let tmp = path ^ ".tmp" in
   match
@@ -449,7 +402,8 @@ let save path =
       (try Sys.remove tmp with Sys_error _ -> ());
       Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
 
-let load path =
+let load ?shard path =
+  let sh = match shard with Some s -> s | None -> current_shard () in
   match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic -> (
@@ -489,7 +443,7 @@ let load path =
                               let entries =
                                 (Marshal.from_string payload 0 : file_payload)
                               in
-                              Lru.restore banks
+                              Lru.restore sh.sh_banks
                                 (List.map
                                    (fun (k, b, c) -> (k, (b, c)))
                                    entries);

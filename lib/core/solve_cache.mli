@@ -7,12 +7,46 @@
     a canonical fingerprint of the array spec, the optimization parameters
     and the enumeration bounds, so repeated solves cost one hash lookup.
 
-    The table is a process-wide singleton protected by a mutex, safe to use
-    from multiple domains (e.g. under {!Cacti_util.Pool}).  Entries are
-    deterministic, so a racing recomputation can only store the same
-    solution. *)
+    The tables live in {e shards}: independent instances of the whole
+    memo set (banks, mats, screen contexts).  Every entry point below
+    resolves the calling thread's bound shard — [default_shard] when the
+    thread never bound one — so the historical process-wide-singleton
+    behaviour is exactly the default, and a sharded server binds one
+    private shard per worker thread with {!with_shard} to partition its
+    warm set without duplicating entries.  Each table is protected by a
+    mutex, safe to use from multiple domains (e.g. under
+    {!Cacti_util.Pool}).  Entries are deterministic, so a racing
+    recomputation can only store the same solution. *)
 
 type stats = { hits : int; misses : int }
+
+(** {1 Shards} *)
+
+type shard
+(** One independent set of memo tables (selected banks, mat
+    sub-solutions, screen contexts, incremental counters).
+    {!Cacti_array.Bank}'s cross-spec stage memo is deliberately {e not}
+    per-shard: it holds deterministic gate sizings keyed by spec salt, so
+    sharing it is deduplication, not contention. *)
+
+val default_shard : shard
+(** The shard every unbound thread resolves to — the process-wide
+    singleton all pre-sharding callers (CLIs, studies, tests) use. *)
+
+val create_shard : unit -> shard
+(** A fresh, empty, unbounded shard. *)
+
+val with_shard : shard -> (unit -> 'a) -> 'a
+(** [with_shard sh f] runs [f] with the calling thread's current shard
+    set to [sh] (restoring the previous binding on exit, exceptions
+    included).  The binding is per-thread: pool domains spawned inside
+    [f] do {e not} inherit it — the solve entry points resolve the shard
+    on the calling thread and capture it in the closures they hand to the
+    sweep, which is why nothing inside a solve may call back into the
+    thread-resolving API from a domain. *)
+
+val current_shard : unit -> shard
+(** The calling thread's bound shard, or {!default_shard}. *)
 
 type outcome = {
   bank : Cacti_array.Bank.t;
@@ -113,6 +147,15 @@ val mat_memo :
     {!Cacti_array.Bank.enumerate_counts} as [?mat_cache]: looks the key up,
     or computes, publishes (first store wins) and returns. *)
 
+val mat_memo_here :
+  unit ->
+  Cacti_array.Mat.mat_key ->
+  (unit -> Cacti_array.Mat.t option) ->
+  Cacti_array.Mat.t option
+(** [mat_memo_here ()] resolves the calling thread's shard {e now} and
+    returns a memoizer pinned to it — the form to thread into a sweep,
+    whose pool domains must not re-resolve the binding. *)
+
 val mat_stats : unit -> stats
 val mat_size : unit -> int
 val mat_capacity : unit -> int option
@@ -154,9 +197,30 @@ val screened_for :
     (defaults 64x64).  Updates the counters above. *)
 
 val clear : unit -> unit
-(** Drop all entries of every table (banks, mats, screen contexts) and
-    reset their counters (used by benchmarks to measure cold-vs-warm solve
+(** Drop all entries of every table (banks, mats, screen contexts) of the
+    calling thread's shard, reset their counters, and reset the global
+    stage memo (used by benchmarks to measure cold-vs-warm solve
     times). *)
+
+(** {1 Per-shard accessors}
+
+    The same counters and knobs as above, addressed explicitly — for the
+    serve layer's per-shard stats and capacity partitioning.  [stats ()]
+    is [shard_stats (current_shard ())], and so on. *)
+
+val shard_stats : shard -> stats
+val shard_size : shard -> int
+val shard_capacity : shard -> int option
+val set_shard_capacity : shard -> int option -> unit
+val shard_mat_stats : shard -> stats
+val shard_mat_size : shard -> int
+val shard_mat_capacity : shard -> int option
+val set_shard_mat_capacity : shard -> int option -> unit
+val shard_incremental_stats : shard -> incremental
+
+val clear_shard : shard -> unit
+(** Like {!clear} for one explicit shard, without touching the global
+    stage memo. *)
 
 (** {1 Persistence}
 
@@ -171,9 +235,12 @@ val clear : unit -> unit
     [Error] — never raises — on a missing, truncated, torn, corrupt or
     version-mismatched file, so callers degrade to a cold start. *)
 
-val save : string -> (int, string) result
-(** Write every entry to [path]; returns the entry count. *)
+val save : ?shard:shard -> string -> (int, string) result
+(** Write every entry of the shard (default: the calling thread's) to
+    [path]; returns the entry count.  A sharded server persists one file
+    per shard — the format carries no routing metadata. *)
 
-val load : string -> (int, string) result
-(** Merge the file's entries into the table (existing keys win, the
-    capacity bound is enforced); returns the number of entries read. *)
+val load : ?shard:shard -> string -> (int, string) result
+(** Merge the file's entries into the shard's table (existing keys win,
+    the capacity bound is enforced); returns the number of entries
+    read. *)

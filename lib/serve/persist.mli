@@ -17,3 +17,13 @@ val load : string -> Cacti_util.Diag.t list
 val save : string -> Cacti_util.Diag.t list
 (** Persist the current memo table atomically; returns the diagnostics to
     log (never raises, never empty). *)
+
+val load_service : Service.t -> string -> Cacti_util.Diag.t list
+(** Per-shard warm start: shard 0 loads the base path itself (so a
+    single-shard server reads exactly the pre-sharding file), shard
+    [i > 0] its [".shard<i>"] sibling.  A shard-count change across
+    restarts is harmless — fingerprint-keyed entries just warm the shard
+    that now owns their slot. *)
+
+val save_service : Service.t -> string -> Cacti_util.Diag.t list
+(** Per-shard snapshot to the same file layout {!load_service} reads. *)

@@ -1,0 +1,170 @@
+(* Idle-time pre-solver: see presolve.mli for the contract. *)
+
+open Cacti_util
+
+type grid = {
+  nodes_nm : float list;
+  capacities : int list;
+  assocs : int list;
+}
+
+(* The four built-in ITRS nodes crossed with the L1-through-L3 sizes a
+   fleet actually asks about.  48 points: one idle pass on a warm box is
+   seconds, and every later in-grid request is a response-cache hit. *)
+let default_grid =
+  {
+    nodes_nm = [ 90.; 65.; 45.; 32. ];
+    capacities =
+      [ 32 * 1024; 64 * 1024; 128 * 1024; 256 * 1024; 512 * 1024; 1 lsl 20 ];
+    assocs = [ 4; 8 ];
+  }
+
+let points grid =
+  List.concat_map
+    (fun nm ->
+      List.concat_map
+        (fun cap ->
+          List.map
+            (fun assoc ->
+              Jsonx.Obj
+                [
+                  ("kind", Jsonx.String "cache");
+                  ( "spec",
+                    Jsonx.Obj
+                      [
+                        ("tech_nm", Jsonx.num nm);
+                        ("capacity_bytes", Jsonx.Int cap);
+                        ("assoc", Jsonx.Int assoc);
+                      ] );
+                ])
+            grid.assocs)
+        grid.capacities)
+    grid.nodes_nm
+
+type t = {
+  service : Service.t;
+  grid_points : Jsonx.t list;
+  period_s : float option;
+  on_pass : unit -> unit;
+  cancel : Cancel.t;
+  mutable thread : Thread.t option;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  (* progress counters, all under [lock] *)
+  mutable points_done : int;
+  mutable solved : int;
+  mutable already_warm : int;
+  mutable failed : int;
+  mutable passes : int;
+}
+
+let stats_json t =
+  Mutex.protect t.lock (fun () ->
+      Jsonx.Obj
+        [
+          ("grid_points", Jsonx.Int (List.length t.grid_points));
+          ("points_done", Jsonx.Int t.points_done);
+          ("solved", Jsonx.Int t.solved);
+          ("already_warm", Jsonx.Int t.already_warm);
+          ("failed", Jsonx.Int t.failed);
+          ("passes", Jsonx.Int t.passes);
+          ("stopped", Jsonx.Bool t.stopping);
+        ])
+
+let stopped t =
+  Mutex.protect t.lock (fun () -> t.stopping) || Cancel.cancelled t.cancel
+
+(* Low priority by construction: before each point, wait out any client
+   work.  The 10 ms poll keeps the pre-solver from stealing the single
+   CPU's cycles the moment a real request lands. *)
+let wait_for_idle t =
+  while
+    (not (stopped t))
+    && Service.queue_depth t.service + Service.in_flight t.service > 0
+  do
+    Thread.delay 0.01
+  done
+
+let run_pass t =
+  List.iter
+    (fun point ->
+      if not (stopped t) then begin
+        wait_for_idle t;
+        if not (stopped t) then begin
+          let outcome =
+            match Service.presolve_point ~cancel:t.cancel t.service point with
+            | `Solved -> `Solved
+            | `Warm -> `Warm
+            | `Failed m -> `Failed m
+            | exception Cancel.Cancelled _ -> `Cancelled
+          in
+          Mutex.protect t.lock (fun () ->
+              match outcome with
+              | `Solved ->
+                  t.points_done <- t.points_done + 1;
+                  t.solved <- t.solved + 1
+              | `Warm ->
+                  t.points_done <- t.points_done + 1;
+                  t.already_warm <- t.already_warm + 1
+              | `Failed _ ->
+                  t.points_done <- t.points_done + 1;
+                  t.failed <- t.failed + 1
+              | `Cancelled -> ())
+        end
+      end)
+    t.grid_points
+
+(* Interruptible between-pass sleep: 50 ms polls bound [stop] latency
+   without a timed condition wait (which the stdlib does not have). *)
+let sleep_between_passes t period =
+  let deadline = Unix.gettimeofday () +. period in
+  while (not (stopped t)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.05
+  done
+
+let run t =
+  let rec passes () =
+    run_pass t;
+    if not (stopped t) then begin
+      Mutex.protect t.lock (fun () -> t.passes <- t.passes + 1);
+      (try t.on_pass () with _ -> ());
+      match t.period_s with
+      | None -> ()
+      | Some period ->
+          sleep_between_passes t period;
+          if not (stopped t) then passes ()
+    end
+  in
+  passes ()
+
+let start ?(grid = default_grid) ?period_s ?(on_pass = fun () -> ()) service =
+  let t =
+    {
+      service;
+      grid_points = points grid;
+      period_s;
+      on_pass;
+      (* Chained to the drain token: a server drain cancels an in-flight
+         pre-solve exactly like an in-flight request. *)
+      cancel =
+        Cancel.create ~reason:"presolve_stop"
+          ~parent:(Service.drain_token service) ();
+      thread = None;
+      lock = Mutex.create ();
+      stopping = false;
+      points_done = 0;
+      solved = 0;
+      already_warm = 0;
+      failed = 0;
+      passes = 0;
+    }
+  in
+  Service.register_stats service "presolve" (fun () -> stats_json t);
+  t.thread <- Some (Thread.create run t);
+  t
+
+let stop t =
+  Mutex.protect t.lock (fun () -> t.stopping <- true);
+  Cancel.cancel t.cancel;
+  Option.iter Thread.join t.thread;
+  t.thread <- None

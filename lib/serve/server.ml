@@ -15,17 +15,27 @@ let run_batch service ic oc =
    with End_of_file -> ());
   !n
 
+type listener = {
+  l_fd : Unix.file_descr;
+  l_kind : [ `Jsonl of string  (** unix socket path *)
+           | `Http of int  (** bound TCP port *) ];
+}
+
 type t = {
   service : Service.t;
-  listen_fd : Unix.file_descr;
-  path : string;
-  mutable accept_thread : Thread.t option;
+  listeners : listener list;
+  mutable accept_threads : Thread.t list;
   mutable workers : Thread.t list;
   conns : (Unix.file_descr, unit) Hashtbl.t;
   conns_lock : Mutex.t;
   stop_lock : Mutex.t;  (** serializes concurrent {!stop} calls *)
   mutable stopped : bool;
 }
+
+let http_port t =
+  List.find_map
+    (function { l_kind = `Http port; _ } -> Some port | _ -> None)
+    t.listeners
 
 let track t fd = Mutex.protect t.conns_lock (fun () -> Hashtbl.replace t.conns fd ())
 
@@ -34,8 +44,7 @@ let untrack t fd =
 
 let live_conns t = Mutex.protect t.conns_lock (fun () -> Hashtbl.length t.conns)
 
-let handle_conn t fd =
-  track t fd;
+let handle_jsonl_conn t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   (* One response line at a time per connection: workers race to answer,
@@ -51,12 +60,18 @@ let handle_conn t fd =
     with Sys_error _ | Unix.Unix_error _ -> ()
     (* client went away; drop the response *)
   in
-  (try
-     while true do
-       let line = Chaos.mangle "server.read" (input_line ic) in
-       if String.trim line <> "" then Service.admit t.service ~reply line
-     done
-   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  try
+    while true do
+      let line = Chaos.mangle "server.read" (input_line ic) in
+      if String.trim line <> "" then Service.admit t.service ~reply line
+    done
+  with End_of_file | Sys_error _ | Unix.Unix_error _ -> ()
+
+let handle_conn t kind fd =
+  track t fd;
+  (match kind with
+  | `Jsonl _ -> handle_jsonl_conn t fd
+  | `Http _ -> ( try Http.serve_conn t.service fd with _ -> ()));
   untrack t fd;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -82,26 +97,63 @@ let claim_socket_path path =
     try Sys.remove path with Sys_error _ -> ()
   end
 
-let start ?(workers = 1) ?(backlog = 16) service ~path () =
+let bind_unix ~backlog path =
+  claim_socket_path path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { l_fd = fd; l_kind = `Jsonl path }
+
+let bind_http ~backlog (host, port) =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ ->
+      invalid_arg (Printf.sprintf "Server.start: bad HTTP address %S" host)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (* port 0 asks the kernel for an ephemeral port; report the real one *)
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { l_fd = fd; l_kind = `Http bound }
+
+let start ?(workers = 1) ?(backlog = 16) ?path ?http service () =
   if workers < 1 then invalid_arg "Server.start: workers must be positive";
+  if path = None && http = None then
+    invalid_arg "Server.start: need at least one of ~path / ~http";
   (* A write to a disconnected client must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  claim_socket_path path;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let listeners = ref [] in
   (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX path);
-     Unix.listen listen_fd backlog
+     Option.iter (fun p -> listeners := [ bind_unix ~backlog p ]) path;
+     Option.iter
+       (fun hp -> listeners := bind_http ~backlog hp :: !listeners)
+       http
    with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     List.iter
+       (fun l -> try Unix.close l.l_fd with Unix.Unix_error _ -> ())
+       !listeners;
      raise e);
   let t =
     {
       service;
-      listen_fd;
-      path;
-      accept_thread = None;
+      listeners = !listeners;
+      accept_threads = [];
       workers = [];
       conns = Hashtbl.create 8;
       conns_lock = Mutex.create ();
@@ -109,13 +161,13 @@ let start ?(workers = 1) ?(backlog = 16) service ~path () =
       stopped = false;
     }
   in
-  let accept_loop () =
+  let accept_loop l () =
     try
       while not t.stopped do
-        match Unix.accept t.listen_fd with
+        match Unix.accept l.l_fd with
         | fd, _ ->
             if t.stopped then (try Unix.close fd with Unix.Unix_error _ -> ())
-            else ignore (Thread.create (handle_conn t) fd)
+            else ignore (Thread.create (handle_conn t l.l_kind) fd)
         | exception Unix.Unix_error (Unix.EINTR, _, _) ->
             (* a signal (e.g. a shutdown request) landed in this thread:
                re-check the stop flag and keep accepting *)
@@ -124,13 +176,22 @@ let start ?(workers = 1) ?(backlog = 16) service ~path () =
     with Unix.Unix_error _ | Sys_error _ -> ()
     (* listen socket closed: stop *)
   in
-  t.accept_thread <- Some (Thread.create accept_loop ());
+  t.accept_threads <-
+    List.map (fun l -> Thread.create (accept_loop l) ()) t.listeners;
+  (* Every shard needs at least one worker draining its queue; extra
+     workers are spread round-robin so a hot shard still gets request
+     concurrency. *)
+  let n_workers = max workers (Service.n_shards service) in
   t.workers <-
-    List.init workers (fun _ -> Thread.create Service.run_worker service);
+    List.init n_workers (fun k ->
+        Thread.create
+          (fun () ->
+            Service.run_shard_worker service (k mod Service.n_shards service))
+          ());
   t
 
 let wait t =
-  Option.iter Thread.join t.accept_thread;
+  List.iter Thread.join t.accept_threads;
   List.iter Thread.join t.workers
 
 (* Poll until [cond] or the budget runs out; coarse 2 ms ticks are fine
@@ -147,6 +208,26 @@ let wait_until ~budget_ms cond =
   in
   go ()
 
+(* A thread already blocked in accept(2) does not observe close(2) of
+   the listening socket on Linux; wake it with a throwaway connection
+   before closing. *)
+let wake_listener l =
+  try
+    match l.l_kind with
+    | `Jsonl path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with Unix.Unix_error _ -> ());
+        Unix.close fd
+    | `Http port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect fd
+             (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+         with Unix.Unix_error _ -> ());
+        Unix.close fd
+  with Unix.Unix_error _ -> ()
+
 let stop ?(drain_ms = 0.) t =
   Mutex.protect t.stop_lock (fun () ->
       if not t.stopped then begin
@@ -155,16 +236,10 @@ let stop ?(drain_ms = 0.) t =
            queued and in-flight responses can still be written. *)
         Service.begin_drain t.service;
         t.stopped <- true;
-        (* A thread already blocked in accept(2) does not observe
-           close(2) of the listening socket on Linux; wake it with a
-           throwaway connection before closing. *)
-        (try
-           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-           (try Unix.connect fd (Unix.ADDR_UNIX t.path)
-            with Unix.Unix_error _ -> ());
-           Unix.close fd
-         with Unix.Unix_error _ -> ());
-        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+        List.iter wake_listener t.listeners;
+        List.iter
+          (fun l -> try Unix.close l.l_fd with Unix.Unix_error _ -> ())
+          t.listeners;
         (* Phase 2 — drain: let the workers finish what was admitted,
            up to the budget; then cancel whatever is still solving and
            give the cancellations a moment to unwind and answer. *)
@@ -185,6 +260,11 @@ let stop ?(drain_ms = 0.) t =
                 try Unix.shutdown fd Unix.SHUTDOWN_ALL
                 with Unix.Unix_error _ -> ())
               t.conns);
-        (try Sys.remove t.path with Sys_error _ -> ());
+        List.iter
+          (function
+            | { l_kind = `Jsonl path; _ } -> (
+                try Sys.remove path with Sys_error _ -> ())
+            | _ -> ())
+          t.listeners;
         wait t
       end)

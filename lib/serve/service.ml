@@ -4,6 +4,15 @@ open Cacti_util
    [2^i, 2^(i+1)) microseconds; 28 buckets span 1 us .. ~2.2 min. *)
 let n_buckets = 28
 
+(* Completion-timestamp ring for the observed service rate (drives
+   retry_after_ms); 128 samples is ~a second of warm traffic and months
+   of idle — the window below also bounds it in time. *)
+let comp_ring = 128
+
+(* Only completions this recent count toward the service rate: an idle
+   gap must not dilute the rate the next burst's refusals hint with. *)
+let rate_window_s = 10.
+
 type counters = {
   mutable c_lines : int;
       (** every non-empty input line, counted once at entry (transport
@@ -26,24 +35,54 @@ type counters = {
   mutable lat_sum_ms : float;
   mutable lat_count : int;
   lat_buckets : int array;
+  completions : float array;  (** ring of completion wall-clock stamps *)
+  mutable comp_next : int;
+  mutable comp_count : int;
 }
 
 (* One admitted request, parsed exactly once at the transport edge. *)
 type job = {
   j_json : Jsonx.t;
   j_id : Jsonx.t;
+  j_route : string;  (** canonical routing key, reused as the response-cache key *)
   j_reply : string -> unit;
   j_admitted : float;
   j_deadline : float;  (** absolute; [infinity] when no deadline *)
 }
 
+(* A memoized wire answer: everything needed to rebuild the response
+   without decoding the request or touching the solver.  [re_cache_hits]
+   is the array-lookup count a fully warm solve of this kind reports, so
+   a response-cache hit is indistinguishable from a bank-memo hit on the
+   wire. *)
+type resp_entry = {
+  re_solution : Jsonx.t;
+  re_rendered : string;
+      (** [re_solution] rendered once at store time, so fast-path hits
+          splice it into the wire line instead of re-walking a
+          multi-kilobyte tree per request *)
+  re_cache_hits : int;
+  re_kind : [ `Cache | `Ram | `Mainmem ];
+}
+
+(* One worker shard: its own queue (own lock — admission and drain stop
+   contending on a single mutex), its own Solve_cache instance, and its
+   own response cache. *)
+type shard_q = {
+  sq_index : int;
+  sq_queue : job Queue.t;
+  sq_lock : Mutex.t;
+  sq_cond : Condition.t;
+  sq_cache : Cacti.Solve_cache.shard;
+  sq_resp : (string, resp_entry) Lru.t option;  (** [None]: fast path off *)
+}
+
 type t = {
   jobs : int option;
-  queue_bound : int;
-  queue : job Queue.t;
-  qlock : Mutex.t;
-  qcond : Condition.t;
-  mutable stopping : bool;  (** workers exit once the queue drains *)
+  queue_bound : int;  (** per shard *)
+  shards : shard_q array;
+  ring : Hashring.t;
+  mutable stopping : bool;  (** workers exit once their queue drains *)
   mutable is_draining : bool;  (** new admissions refused *)
   in_flight : int Atomic.t;  (** jobs dequeued, response not yet written *)
   drain : Cancel.t;  (** parent token of every solve; fired to cancel *)
@@ -51,18 +90,43 @@ type t = {
   clock : Mutex.t;  (** guards [counters] *)
   counters : counters;
   started_at : float;
+  mutable aux_stats : (string * (unit -> Jsonx.t)) list;
+      (** extra stats sections (e.g. the pre-solver), guarded by [clock] *)
 }
 
-let create ?jobs ?(queue_bound = 64)
+let create ?jobs ?(queue_bound = 64) ?(shards = 1) ?(resp_cache = 4096)
     ?(log = fun d -> prerr_endline (Diag.to_string d)) () =
   if queue_bound < 1 then
     invalid_arg "Service.create: queue_bound must be positive";
+  if shards < 1 then invalid_arg "Service.create: shards must be positive";
+  if resp_cache < 0 then
+    invalid_arg "Service.create: resp_cache must be non-negative";
+  let mk_shard i =
+    {
+      sq_index = i;
+      sq_queue = Queue.create ();
+      sq_lock = Mutex.create ();
+      sq_cond = Condition.create ();
+      (* One shard routes everything to the process-wide default tables,
+         so --cache-file persistence and every pre-sharding caller see
+         the historical singleton behaviour. *)
+      sq_cache =
+        (if shards = 1 then Cacti.Solve_cache.default_shard
+         else Cacti.Solve_cache.create_shard ());
+      sq_resp =
+        (if resp_cache = 0 then None
+         else begin
+           let lru = Lru.create () in
+           Lru.set_capacity lru ~what:"Service.resp_cache" (Some resp_cache);
+           Some lru
+         end);
+    }
+  in
   {
     jobs;
     queue_bound;
-    queue = Queue.create ();
-    qlock = Mutex.create ();
-    qcond = Condition.create ();
+    shards = Array.init shards mk_shard;
+    ring = Hashring.create shards;
     stopping = false;
     is_draining = false;
     in_flight = Atomic.make 0;
@@ -88,9 +152,55 @@ let create ?jobs ?(queue_bound = 64)
         lat_sum_ms = 0.;
         lat_count = 0;
         lat_buckets = Array.make n_buckets 0;
+        completions = Array.make comp_ring 0.;
+        comp_next = 0;
+        comp_count = 0;
       };
     started_at = Unix.gettimeofday ();
+    aux_stats = [];
   }
+
+let n_shards t = Array.length t.shards
+let shard_cache t i = t.shards.(i).sq_cache
+let drain_token t = t.drain
+
+let register_stats t name fn =
+  Mutex.protect t.clock (fun () ->
+      t.aux_stats <- t.aux_stats @ [ (name, fn) ])
+
+(* ----------------------------- routing ------------------------------- *)
+
+(* The routing key of a request: the canonical (sorted-key) JSON of
+   everything that determines its solution — kind, spec, and params minus
+   the per-call knobs ([deadline_ms], [jobs]) that cannot change the
+   selected organization.  Computed from the raw parsed JSON so the fast
+   path never decodes a request; two spellings of the same spec that
+   differ in defaulted fields route independently (they deduplicate at
+   the Solve_cache fingerprint inside a shard). *)
+let routing_key j =
+  let kind =
+    Option.value
+      (Option.bind (Jsonx.member "kind" j) Jsonx.get_string)
+      ~default:""
+  in
+  let spec = Option.value (Jsonx.member "spec" j) ~default:(Jsonx.Obj []) in
+  let params =
+    match Jsonx.member "params" j with
+    | Some (Jsonx.Obj kvs) ->
+        Jsonx.Obj
+          (List.filter
+             (fun (k, _) -> k <> "deadline_ms" && k <> "jobs")
+             kvs)
+    | Some v -> v
+    | None -> Jsonx.Obj []
+  in
+  Jsonx.to_canonical_string
+    (Jsonx.Obj
+       [ ("kind", Jsonx.String kind); ("params", params); ("spec", spec) ])
+
+let route_of t j =
+  let key = routing_key j in
+  (key, t.shards.(Hashring.lookup t.ring key))
 
 (* --------------------------- accounting ----------------------------- *)
 
@@ -136,7 +246,11 @@ let record_latency t ms =
       c.lat_sum_ms <- c.lat_sum_ms +. ms;
       c.lat_count <- c.lat_count + 1;
       let b = bucket_of_ms ms in
-      c.lat_buckets.(b) <- c.lat_buckets.(b) + 1)
+      c.lat_buckets.(b) <- c.lat_buckets.(b) + 1;
+      (* The same event is a completion for the service-rate estimate. *)
+      c.completions.(c.comp_next) <- Unix.gettimeofday ();
+      c.comp_next <- (c.comp_next + 1) mod comp_ring;
+      c.comp_count <- c.comp_count + 1)
 
 (* Percentile estimate from the histogram: the geometric middle of the
    bucket where the cumulative count crosses the quantile.  Good to a
@@ -161,137 +275,251 @@ let percentile_ms buckets total q =
     Float.pow 2. (Float.of_int !found +. 0.5) /. 1e3
   end
 
-let queue_depth t = Mutex.protect t.qlock (fun () -> Queue.length t.queue)
+let shard_depth sq = Mutex.protect sq.sq_lock (fun () -> Queue.length sq.sq_queue)
+
+let queue_depth t =
+  Array.fold_left (fun acc sq -> acc + shard_depth sq) 0 t.shards
+
 let in_flight t = Atomic.get t.in_flight
 let draining t = t.is_draining
 
 let idle t =
-  Mutex.protect t.qlock (fun () -> Queue.is_empty t.queue)
+  Array.for_all
+    (fun sq -> Mutex.protect sq.sq_lock (fun () -> Queue.is_empty sq.sq_queue))
+    t.shards
   && Atomic.get t.in_flight = 0
 
-(* When should a refused client retry?  Rough but self-correcting: the
-   mean observed solve latency times the work queued ahead of it. *)
+(* Completions per second over the recent window, from the timestamp
+   ring.  [None] until two completions land inside the window. *)
+let service_rate t =
+  let now = Unix.gettimeofday () in
+  Mutex.protect t.clock (fun () ->
+      let c = t.counters in
+      let n = min c.comp_count comp_ring in
+      let cutoff = now -. rate_window_s in
+      (* Walk newest to oldest; stop at the window edge. *)
+      let in_window = ref 0 and oldest = ref now in
+      (try
+         for k = 1 to n do
+           let stamp = c.completions.((c.comp_next - k + (2 * comp_ring)) mod comp_ring) in
+           if stamp < cutoff then raise Exit;
+           incr in_window;
+           oldest := stamp
+         done
+       with Exit -> ());
+      if !in_window < 2 then None
+      else
+        let span = Float.max (now -. !oldest) 1e-3 in
+        Some (Float.of_int !in_window /. span))
+
+(* When should a refused client retry?  Long enough for the work queued
+   ahead of it to clear at the observed recent service rate; before any
+   completion lands, fall back to the mean-latency heuristic (and before
+   any latency is recorded, to a flat 50 ms). *)
 let retry_after_ms t depth =
-  let mean =
-    Mutex.protect t.clock (fun () ->
-        let c = t.counters in
-        if c.lat_count = 0 then 50.
-        else c.lat_sum_ms /. Float.of_int c.lat_count)
+  match service_rate t with
+  | Some rate -> Float.max 1. (Float.of_int (depth + 1) /. rate *. 1e3)
+  | None ->
+      let mean =
+        Mutex.protect t.clock (fun () ->
+            let c = t.counters in
+            if c.lat_count = 0 then 50.
+            else c.lat_sum_ms /. Float.of_int c.lat_count)
+      in
+      Float.max 1. (mean *. Float.of_int (depth + 1))
+
+(* ------------------------------ stats -------------------------------- *)
+
+let lru_section ?(extra = []) (s : Lru.stats) size cap =
+  let lookups = s.Lru.hits + s.Lru.misses in
+  let hit_rate =
+    if lookups = 0 then 0.
+    else Float.of_int s.Lru.hits /. Float.of_int lookups
   in
-  Float.max 1. (mean *. Float.of_int (depth + 1))
+  Jsonx.Obj
+    ([
+       ("hits", Jsonx.Int s.Lru.hits);
+       ("misses", Jsonx.Int s.Lru.misses);
+       ("size", Jsonx.Int size);
+       ( "capacity",
+         match cap with None -> Jsonx.Null | Some n -> Jsonx.Int n );
+       ("hit_rate", Jsonx.num hit_rate);
+     ]
+    @ extra)
+
+let resp_stats sq =
+  match sq.sq_resp with
+  | None -> (Lru.{ hits = 0; misses = 0 }, 0, None)
+  | Some lru -> (Lru.stats lru, Lru.size lru, Lru.capacity lru)
 
 let stats_json t =
-  let sc = Cacti.Solve_cache.stats () in
-  let size = Cacti.Solve_cache.size () in
-  let cap = Cacti.Solve_cache.capacity () in
-  let ms = Cacti.Solve_cache.mat_stats () in
-  let msize = Cacti.Solve_cache.mat_size () in
-  let mcap = Cacti.Solve_cache.mat_capacity () in
-  let inc = Cacti.Solve_cache.incremental_stats () in
+  let module SC = Cacti.Solve_cache in
+  (* Aggregate the shard tables; the per-shard split follows below. *)
+  let sum f = Array.fold_left (fun acc sq -> acc + f sq) 0 t.shards in
+  let sum_cap f =
+    (* Total capacity is meaningful only when every shard is bounded. *)
+    Array.fold_left
+      (fun acc sq ->
+        match (acc, f sq) with
+        | Some a, Some c -> Some (a + c)
+        | _ -> None)
+      (Some 0) t.shards
+  in
+  let sc_hits = sum (fun sq -> (SC.shard_stats sq.sq_cache).SC.hits) in
+  let sc_misses = sum (fun sq -> (SC.shard_stats sq.sq_cache).SC.misses) in
+  let sc_size = sum (fun sq -> SC.shard_size sq.sq_cache) in
+  let sc_cap = sum_cap (fun sq -> SC.shard_capacity sq.sq_cache) in
+  let mat_hits = sum (fun sq -> (SC.shard_mat_stats sq.sq_cache).SC.hits) in
+  let mat_misses =
+    sum (fun sq -> (SC.shard_mat_stats sq.sq_cache).SC.misses)
+  in
+  let mat_size = sum (fun sq -> SC.shard_mat_size sq.sq_cache) in
+  let mat_cap = sum_cap (fun sq -> SC.shard_mat_capacity sq.sq_cache) in
+  let inc_full =
+    sum (fun sq -> (SC.shard_incremental_stats sq.sq_cache).SC.full_hits)
+  in
+  let inc_rows =
+    sum (fun sq -> (SC.shard_incremental_stats sq.sq_cache).SC.rows_hits)
+  in
+  let inc_miss =
+    sum (fun sq -> (SC.shard_incremental_stats sq.sq_cache).SC.misses)
+  in
+  let rc_hits = sum (fun sq -> let s, _, _ = resp_stats sq in s.Lru.hits) in
+  let rc_misses =
+    sum (fun sq -> let s, _, _ = resp_stats sq in s.Lru.misses)
+  in
+  let rc_size = sum (fun sq -> let _, n, _ = resp_stats sq in n) in
+  let rc_cap =
+    sum_cap (fun sq ->
+        let _, _, c = resp_stats sq in
+        c)
+  in
+  let shard_sections =
+    Array.to_list
+      (Array.map
+         (fun sq ->
+           let scs = SC.shard_stats sq.sq_cache in
+           let rcs, rcn, rcc = resp_stats sq in
+           Jsonx.Obj
+             [
+               ("shard", Jsonx.Int sq.sq_index);
+               ("depth", Jsonx.Int (shard_depth sq));
+               ( "solve_cache",
+                 lru_section
+                   { Lru.hits = scs.SC.hits; misses = scs.SC.misses }
+                   (SC.shard_size sq.sq_cache)
+                   (SC.shard_capacity sq.sq_cache) );
+               ("response_cache", lru_section rcs rcn rcc);
+             ])
+         t.shards)
+  in
   (* Per-phase wall clock since startup; populated when phase accounting
      is on (the server binary enables it at launch). *)
   let phases = Cacti_util.Profile.summary () in
   let depth = queue_depth t in
   let inflight = Atomic.get t.in_flight in
+  let rate = service_rate t in
   let c = t.counters in
+  let aux = Mutex.protect t.clock (fun () -> t.aux_stats) in
+  let aux_sections = List.map (fun (name, fn) -> (name, fn ())) aux in
   Mutex.protect t.clock (fun () ->
-      let lookups = sc.Cacti.Solve_cache.hits + sc.Cacti.Solve_cache.misses in
-      let hit_rate =
-        if lookups = 0 then 0.
-        else Float.of_int sc.Cacti.Solve_cache.hits /. Float.of_int lookups
-      in
       Jsonx.Obj
-        [
-          ( "requests",
-            Jsonx.Obj
-              [
-                ("lines", Jsonx.Int c.c_lines);
-                ("cache", Jsonx.Int c.c_cache);
-                ("ram", Jsonx.Int c.c_ram);
-                ("mainmem", Jsonx.Int c.c_mainmem);
-                ("stats", Jsonx.Int c.c_stats);
-                ("malformed", Jsonx.Int c.c_malformed);
-              ] );
-          ( "outcomes",
-            Jsonx.Obj
-              [
-                ("ok", Jsonx.Int c.o_ok);
-                ("invalid", Jsonx.Int c.o_invalid);
-                ("no_solution", Jsonx.Int c.o_no_solution);
-                ("internal_error", Jsonx.Int c.o_internal_error);
-                ("overloaded", Jsonx.Int c.o_overloaded);
-                ("deadline_exceeded", Jsonx.Int c.o_deadline_exceeded);
-                ("draining", Jsonx.Int c.o_draining);
-              ] );
-          ( "faults",
-            Jsonx.Obj [ ("worker", Jsonx.Int c.c_worker_faults) ] );
-          ( "solve_cache",
-            Jsonx.Obj
-              [
-                ("hits", Jsonx.Int sc.Cacti.Solve_cache.hits);
-                ("misses", Jsonx.Int sc.Cacti.Solve_cache.misses);
-                ("size", Jsonx.Int size);
-                ( "capacity",
-                  match cap with None -> Jsonx.Null | Some n -> Jsonx.Int n );
-                ("hit_rate", Jsonx.num hit_rate);
-              ] );
-          ( "mat_memo",
-            Jsonx.Obj
-              [
-                ("hits", Jsonx.Int ms.Cacti.Solve_cache.hits);
-                ("misses", Jsonx.Int ms.Cacti.Solve_cache.misses);
-                ("size", Jsonx.Int msize);
-                ( "capacity",
-                  match mcap with None -> Jsonx.Null | Some n -> Jsonx.Int n
-                );
-              ] );
-          ( "incremental",
-            Jsonx.Obj
-              [
-                ("full_hits", Jsonx.Int inc.Cacti.Solve_cache.full_hits);
-                ("rows_hits", Jsonx.Int inc.Cacti.Solve_cache.rows_hits);
-                ("misses", Jsonx.Int inc.Cacti.Solve_cache.misses);
-              ] );
-          ( "phases",
-            Jsonx.Obj
-              (List.map
-                 (fun (phase, secs, calls) ->
-                   ( phase,
-                     Jsonx.Obj
-                       [
-                         ("total_ms", Jsonx.num (1e3 *. secs));
-                         ("calls", Jsonx.Int calls);
-                       ] ))
-                 phases) );
-          ( "queue",
-            Jsonx.Obj
-              [
-                ("depth", Jsonx.Int depth);
-                ("bound", Jsonx.Int t.queue_bound);
-                ("in_flight", Jsonx.Int inflight);
-                ("draining", Jsonx.Bool t.is_draining);
-              ] );
-          ( "latency_ms",
-            Jsonx.Obj
-              [
-                ("count", Jsonx.Int c.lat_count);
-                ( "mean",
-                  Jsonx.num
-                    (if c.lat_count = 0 then 0.
-                     else c.lat_sum_ms /. Float.of_int c.lat_count) );
-                ( "p50",
-                  Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.50) );
-                ( "p90",
-                  Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.90) );
-                ( "p99",
-                  Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.99) );
-                ( "histogram_us_log2",
-                  Jsonx.List
-                    (Array.to_list
-                       (Array.map (fun n -> Jsonx.Int n) c.lat_buckets)) );
-              ] );
-          ("uptime_s", Jsonx.num (Unix.gettimeofday () -. t.started_at));
-        ])
+        ([
+           ( "requests",
+             Jsonx.Obj
+               [
+                 ("lines", Jsonx.Int c.c_lines);
+                 ("cache", Jsonx.Int c.c_cache);
+                 ("ram", Jsonx.Int c.c_ram);
+                 ("mainmem", Jsonx.Int c.c_mainmem);
+                 ("stats", Jsonx.Int c.c_stats);
+                 ("malformed", Jsonx.Int c.c_malformed);
+               ] );
+           ( "outcomes",
+             Jsonx.Obj
+               [
+                 ("ok", Jsonx.Int c.o_ok);
+                 ("invalid", Jsonx.Int c.o_invalid);
+                 ("no_solution", Jsonx.Int c.o_no_solution);
+                 ("internal_error", Jsonx.Int c.o_internal_error);
+                 ("overloaded", Jsonx.Int c.o_overloaded);
+                 ("deadline_exceeded", Jsonx.Int c.o_deadline_exceeded);
+                 ("draining", Jsonx.Int c.o_draining);
+               ] );
+           ( "faults",
+             Jsonx.Obj [ ("worker", Jsonx.Int c.c_worker_faults) ] );
+           ( "solve_cache",
+             lru_section
+               { Lru.hits = sc_hits; misses = sc_misses }
+               sc_size sc_cap );
+           ( "response_cache",
+             lru_section
+               { Lru.hits = rc_hits; misses = rc_misses }
+               rc_size rc_cap );
+           ( "mat_memo",
+             Jsonx.Obj
+               [
+                 ("hits", Jsonx.Int mat_hits);
+                 ("misses", Jsonx.Int mat_misses);
+                 ("size", Jsonx.Int mat_size);
+                 ( "capacity",
+                   match mat_cap with
+                   | None -> Jsonx.Null
+                   | Some n -> Jsonx.Int n );
+               ] );
+           ( "incremental",
+             Jsonx.Obj
+               [
+                 ("full_hits", Jsonx.Int inc_full);
+                 ("rows_hits", Jsonx.Int inc_rows);
+                 ("misses", Jsonx.Int inc_miss);
+               ] );
+           ("shards", Jsonx.List shard_sections);
+           ( "phases",
+             Jsonx.Obj
+               (List.map
+                  (fun (phase, secs, calls) ->
+                    ( phase,
+                      Jsonx.Obj
+                        [
+                          ("total_ms", Jsonx.num (1e3 *. secs));
+                          ("calls", Jsonx.Int calls);
+                        ] ))
+                  phases) );
+           ( "queue",
+             Jsonx.Obj
+               [
+                 ("depth", Jsonx.Int depth);
+                 ("bound", Jsonx.Int t.queue_bound);
+                 ("shards", Jsonx.Int (Array.length t.shards));
+                 ("in_flight", Jsonx.Int inflight);
+                 ("draining", Jsonx.Bool t.is_draining);
+                 ( "service_rate_rps",
+                   match rate with None -> Jsonx.Null | Some r -> Jsonx.num r
+                 );
+               ] );
+           ( "latency_ms",
+             Jsonx.Obj
+               [
+                 ("count", Jsonx.Int c.lat_count);
+                 ( "mean",
+                   Jsonx.num
+                     (if c.lat_count = 0 then 0.
+                      else c.lat_sum_ms /. Float.of_int c.lat_count) );
+                 ( "p50",
+                   Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.50) );
+                 ( "p90",
+                   Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.90) );
+                 ( "p99",
+                   Jsonx.num (percentile_ms c.lat_buckets c.lat_count 0.99) );
+                 ( "histogram_us_log2",
+                   Jsonx.List
+                     (Array.to_list
+                        (Array.map (fun n -> Jsonx.Int n) c.lat_buckets)) );
+               ] );
+           ("uptime_s", Jsonx.num (Unix.gettimeofday () -. t.started_at));
+         ]
+        @ aux_sections))
 
 (* ----------------------------- solving ------------------------------ *)
 
@@ -332,96 +560,249 @@ let respond ~id ~t0 ?(cache_hits = 0) ?retry_after body =
         r_retry_after_ms = retry_after;
       } )
 
-let handle_json ?admitted_at t j =
-  let t0 = Unix.gettimeofday () in
-  let admitted = Option.value admitted_at ~default:t0 in
-  let wall_ms, response =
-    match Protocol.parse_request j with
-    | Error ds ->
-        (* Envelope kinds stay meaningful even for undecodable requests:
-           only lines with no recognizable kind count as malformed. *)
-        (match Option.bind (Jsonx.member "kind" j) Jsonx.get_string with
-        | Some "cache" -> count_kind t `Cache
-        | Some "ram" -> count_kind t `Ram
-        | Some "mainmem" -> count_kind t `Mainmem
-        | Some "stats" -> count_kind t `Stats
-        | Some _ | None -> count_kind t `Malformed);
-        count_outcome t `Invalid;
-        respond ~id:(Protocol.request_id j) ~t0 (Error ds)
-    | Ok (Protocol.Stats { id }) ->
-        count_kind t `Stats;
-        count_outcome t `Ok;
-        respond ~id ~t0 (Ok (stats_json t))
-    | Ok (Protocol.Solve { id; spec; params } as req) ->
-        count_kind t
-          (match spec with
-          | Protocol.Cache _ -> `Cache
-          | Protocol.Ram _ -> `Ram
-          | Protocol.Mainmem _ -> `Mainmem);
-        (* Per-request cancellation: the deadline token (absolute, from
-           admission time so queueing counts against the budget) chains to
-           the service's drain token; a no-deadline request still cancels
-           on drain. *)
-        let cancel =
-          match params.Protocol.deadline_ms with
-          | Some d ->
-              Cancel.create ~reason:"deadline"
-                ~deadline_at:(admitted +. (d /. 1e3))
-                ~parent:t.drain ()
-          | None -> t.drain
-        in
-        (* Per-request fault containment: whatever escapes the model —
-           including in strict mode, where the sweep re-raises on purpose —
-           is this request's problem, never the server's.  Cancellation is
-           not a fault: it maps to its own typed outcome. *)
-        let result =
-          try
-            Chaos.fire "service.slow_solve";
-            solve_spec t ~cancel params spec
-            |> Result.map_error (fun ds -> (classify_error ds, ds))
-          with
-          | Cancel.Cancelled "drain" ->
-              Error
-                ( `Draining,
-                  [
-                    Diag.error ~component:"serve" ~reason:"draining"
-                      "server draining: in-flight solve cancelled";
-                  ] )
-          | Cancel.Cancelled _ ->
-              Error
-                ( `Deadline_exceeded,
-                  [
-                    Diag.errorf ~component:"serve" ~reason:"deadline_exceeded"
-                      "deadline of %g ms exceeded mid-solve (%.1f ms since \
-                       admission)"
-                      (Option.value params.Protocol.deadline_ms ~default:0.)
-                      ((Unix.gettimeofday () -. admitted) *. 1e3);
-                  ] )
-          | exn ->
-              Error
-                ( `Internal_error,
-                  [
-                    Diag.errorf ~component:"serve" ~reason:"internal_error"
-                      "uncontained exception answering %s request: %s"
-                      (Protocol.kind_of_request req)
-                      (Printexc.to_string exn);
-                  ] )
-        in
-        (match result with
-        | Ok (solution, summary) ->
+let kind_tag = function
+  | Protocol.Cache _ -> `Cache
+  | Protocol.Ram _ -> `Ram
+  | Protocol.Mainmem _ -> `Mainmem
+
+(* The array-lookup count a fully warm solve of this kind reports: a
+   cache solves its data and tag arrays, the others one array.  Stored
+   with the response-cache entry so a fast-path hit reports the same
+   [timing.cache_hits] a bank-memo hit would. *)
+let warm_hits_of_kind = function `Cache -> 2 | `Ram -> 1 | `Mainmem -> 1
+
+let store_response sq route ~kind solution =
+  match sq.sq_resp with
+  | None -> ()
+  | Some resp ->
+      ignore
+        (Lru.publish resp route
+           {
+             re_solution = solution;
+             re_rendered = Jsonx.to_string solution;
+             re_cache_hits = warm_hits_of_kind kind;
+             re_kind = kind;
+           })
+
+(* Raw-JSON deadline extraction (also used at admission): the
+   ["params"]["deadline_ms"] number without the full request decode.  An
+   invalid value admits with no deadline and is then rejected by the
+   decode's validation. *)
+let deadline_of_json j =
+  match
+    Option.bind (Jsonx.member "params" j) (fun p ->
+        Option.bind (Jsonx.member "deadline_ms" p) Jsonx.get_float)
+  with
+  | Some d when Float.is_finite d && d > 0. -> Some d
+  | _ -> None
+
+(* Response-cache fast path: answer a previously solved request from its
+   memoized wire answer, skipping the decode, the validation and the
+   solver entirely.  The slow path's failure semantics are mirrored so
+   the fast path is observationally identical under chaos and deadlines:
+   the [service.slow_solve] injection point still fires (a delay can
+   still push the request past its deadline, an injected exception is
+   still contained), a fired drain token still answers
+   [serve/draining]. *)
+let fast_eligible j =
+  match Option.bind (Jsonx.member "kind" j) Jsonx.get_string with
+  | Some ("cache" | "ram" | "mainmem") -> true
+  | _ -> false
+
+(* The failure mirroring both fast-path renderers share. *)
+let fast_result t ~admitted j e =
+  try
+    Chaos.fire "service.slow_solve";
+    if Cancel.cancelled t.drain then
+      Error
+        ( `Draining,
+          [
+            Diag.error ~component:"serve" ~reason:"draining"
+              "server draining: in-flight solve cancelled";
+          ] )
+    else
+      match deadline_of_json j with
+      | Some d when Unix.gettimeofday () > admitted +. (d /. 1e3) ->
+          Error
+            ( `Deadline_exceeded,
+              [
+                Diag.errorf ~component:"serve" ~reason:"deadline_exceeded"
+                  "deadline of %g ms exceeded mid-solve (%.1f ms since \
+                   admission)"
+                  d
+                  ((Unix.gettimeofday () -. admitted) *. 1e3);
+              ] )
+      | _ -> Ok e
+  with exn ->
+    Error
+      ( `Internal_error,
+        [
+          Diag.errorf ~component:"serve" ~reason:"internal_error"
+            "uncontained exception answering memoized request: %s"
+            (Printexc.to_string exn);
+        ] )
+
+(* [counted:false] is the admission-time probe: a miss there is followed
+   by the owning worker's counted lookup for the same request, so only
+   hits may touch the hit/miss counters (the uncounted [mem]-then-[find]
+   race is benign — an eviction in the window just counts one extra
+   miss). *)
+let fast_lookup ~counted sq j route =
+  match sq.sq_resp with
+  | None -> None
+  | Some _ when not (fast_eligible j) -> None
+  | Some resp ->
+      if counted then Lru.find resp route
+      else if Lru.mem resp route then Lru.find resp route
+      else None
+
+let try_fast_path t ~route sq ~admitted j t0 =
+  match fast_lookup ~counted:true sq j route with
+  | None -> None
+  | Some e ->
+      count_kind t e.re_kind;
+      let id = Protocol.request_id j in
+      Some
+        (match fast_result t ~admitted j e with
+        | Ok e ->
             count_outcome t `Ok;
-            respond ~id ~t0 ~cache_hits:summary.Diag.cache_hits (Ok solution)
+            respond ~id ~t0 ~cache_hits:e.re_cache_hits (Ok e.re_solution)
         | Error (outcome, ds) ->
             count_outcome t outcome;
             respond ~id ~t0 (Error ds))
+
+(* Admission-time warm answer, already rendered: the wire line is
+   composed by splicing the solution text stored with the entry — field
+   order and number formatting match [Protocol.response_to_json] +
+   [Jsonx.to_string] byte-for-byte, so the spliced line is exactly what
+   the tree path would print (wall_ms aside, which is genuinely
+   per-request). *)
+let try_fast_line t ~route sq ~admitted j t0 =
+  match fast_lookup ~counted:false sq j route with
+  | None -> None
+  | Some e -> (
+      count_kind t e.re_kind;
+      let id = Protocol.request_id j in
+      match fast_result t ~admitted j e with
+      | Ok e ->
+          count_outcome t `Ok;
+          let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          record_latency t wall_ms;
+          Some
+            (Printf.sprintf
+               {|{"id":%s,"ok":true,"solution":%s,"timing":{"wall_ms":%s,"cache_hits":%d}}|}
+               (Jsonx.to_string id) e.re_rendered
+               (Jsonx.to_string (Jsonx.num wall_ms))
+               e.re_cache_hits)
+      | Error (outcome, ds) ->
+          count_outcome t outcome;
+          let wall_ms, response = respond ~id ~t0 (Error ds) in
+          record_latency t wall_ms;
+          Some (Jsonx.to_string response))
+
+let handle_routed ?admitted_at t (route, sq) j =
+  let t0 = Unix.gettimeofday () in
+  let admitted = Option.value admitted_at ~default:t0 in
+  let wall_ms, response =
+    match try_fast_path t ~route sq ~admitted j t0 with
+    | Some r -> r
+    | None -> (
+        match Protocol.parse_request j with
+        | Error ds ->
+            (* Envelope kinds stay meaningful even for undecodable requests:
+               only lines with no recognizable kind count as malformed. *)
+            (match Option.bind (Jsonx.member "kind" j) Jsonx.get_string with
+            | Some "cache" -> count_kind t `Cache
+            | Some "ram" -> count_kind t `Ram
+            | Some "mainmem" -> count_kind t `Mainmem
+            | Some "stats" -> count_kind t `Stats
+            | Some _ | None -> count_kind t `Malformed);
+            count_outcome t `Invalid;
+            respond ~id:(Protocol.request_id j) ~t0 (Error ds)
+        | Ok (Protocol.Stats { id }) ->
+            count_kind t `Stats;
+            count_outcome t `Ok;
+            respond ~id ~t0 (Ok (stats_json t))
+        | Ok (Protocol.Solve { id; spec; params } as req) ->
+            count_kind t (kind_tag spec);
+            (* Per-request cancellation: the deadline token (absolute, from
+               admission time so queueing counts against the budget) chains
+               to the service's drain token; a no-deadline request still
+               cancels on drain. *)
+            let cancel =
+              match params.Protocol.deadline_ms with
+              | Some d ->
+                  Cancel.create ~reason:"deadline"
+                    ~deadline_at:(admitted +. (d /. 1e3))
+                    ~parent:t.drain ()
+              | None -> t.drain
+            in
+            (* Per-request fault containment: whatever escapes the model —
+               including in strict mode, where the sweep re-raises on
+               purpose — is this request's problem, never the server's.
+               Cancellation is not a fault: it maps to its own typed
+               outcome. *)
+            let result =
+              try
+                Chaos.fire "service.slow_solve";
+                solve_spec t ~cancel params spec
+                |> Result.map_error (fun ds -> (classify_error ds, ds))
+              with
+              | Cancel.Cancelled "drain" ->
+                  Error
+                    ( `Draining,
+                      [
+                        Diag.error ~component:"serve" ~reason:"draining"
+                          "server draining: in-flight solve cancelled";
+                      ] )
+              | Cancel.Cancelled _ ->
+                  Error
+                    ( `Deadline_exceeded,
+                      [
+                        Diag.errorf ~component:"serve"
+                          ~reason:"deadline_exceeded"
+                          "deadline of %g ms exceeded mid-solve (%.1f ms \
+                           since admission)"
+                          (Option.value params.Protocol.deadline_ms
+                             ~default:0.)
+                          ((Unix.gettimeofday () -. admitted) *. 1e3);
+                      ] )
+              | exn ->
+                  Error
+                    ( `Internal_error,
+                      [
+                        Diag.errorf ~component:"serve"
+                          ~reason:"internal_error"
+                          "uncontained exception answering %s request: %s"
+                          (Protocol.kind_of_request req)
+                          (Printexc.to_string exn);
+                      ] )
+            in
+            (match result with
+            | Ok (solution, summary) ->
+                count_outcome t `Ok;
+                store_response sq route ~kind:(kind_tag spec) solution;
+                respond ~id ~t0 ~cache_hits:summary.Diag.cache_hits
+                  (Ok solution)
+            | Error (outcome, ds) ->
+                count_outcome t outcome;
+                respond ~id ~t0 (Error ds)))
   in
   record_latency t wall_ms;
   response
 
+let handle_json ?admitted_at t j = handle_routed ?admitted_at t (route_of t j) j
+
 let handle_line t line =
   count_line t;
   match Jsonx.parse line with
-  | Ok j -> Jsonx.to_string (handle_json t j)
+  | Ok j ->
+      (* The batch transport routes too: requests land on the owning
+         shard's tables, so a batch warm-up and the socket/HTTP paths
+         share one warm set. *)
+      let ((_, sq) as route) = route_of t j in
+      Cacti.Solve_cache.with_shard sq.sq_cache (fun () ->
+          Jsonx.to_string (handle_routed t route j))
   | Error msg ->
       let t0 = Unix.gettimeofday () in
       count_kind t `Malformed;
@@ -431,6 +812,39 @@ let handle_line t line =
           (Error [ Diag.error ~component:"protocol" ~reason:"parse_error" msg ])
       in
       Jsonx.to_string response
+
+(* --------------------------- pre-solving ----------------------------- *)
+
+(* Solve one grid point exactly as an admitted request would be solved —
+   same routing key, same shard, same memo tables — but outside the
+   request counters: pre-solve traffic is not client traffic and must not
+   disturb the [lines = outcomes] partition or the latency histogram.
+   Failures are contained and reported; [Cancel.Cancelled] propagates so
+   a drain aborts the walk. *)
+let presolve_point ?cancel t j =
+  let route, sq = route_of t j in
+  let already_warm =
+    match sq.sq_resp with
+    | Some resp -> Lru.mem resp route
+    | None -> false
+  in
+  if already_warm then `Warm
+  else
+    match Protocol.parse_request j with
+    | Ok (Protocol.Solve { spec; params; _ }) -> (
+        let cancel = Option.value cancel ~default:t.drain in
+        match
+          Cacti.Solve_cache.with_shard sq.sq_cache (fun () ->
+              solve_spec t ~cancel params spec)
+        with
+        | Ok (solution, _summary) ->
+            store_response sq route ~kind:(kind_tag spec) solution;
+            `Solved
+        | Error ds -> `Failed (Diag.render ds)
+        | exception (Cancel.Cancelled _ as e) -> raise e
+        | exception exn -> `Failed (Printexc.to_string exn))
+    | Ok (Protocol.Stats _) -> `Failed "stats request in pre-solve grid"
+    | Error ds -> `Failed (Diag.render ds)
 
 (* -------------------------- admission queue ------------------------- *)
 
@@ -446,18 +860,6 @@ let refusal ~id ~reason ?retry_after msg =
          r_cache_hits = 0;
          r_retry_after_ms = retry_after;
        })
-
-(* Admission-time deadline extraction: the raw ["params"]["deadline_ms"]
-   number, without the full request decode (that happens once, in the
-   worker).  An invalid value admits with no deadline and is then
-   rejected by the decode's validation. *)
-let deadline_of_json j =
-  match
-    Option.bind (Jsonx.member "params" j) (fun p ->
-        Option.bind (Jsonx.member "deadline_ms" p) Jsonx.get_float)
-  with
-  | Some d when Float.is_finite d && d > 0. -> Some d
-  | _ -> None
 
 let admit t ~reply line =
   count_line t;
@@ -479,7 +881,17 @@ let admit t ~reply line =
              "server draining: not accepting new requests")
       end
       else
+        let route, sq = route_of t j in
         let now = Unix.gettimeofday () in
+        (* Warm fast path at admission: a response-cache hit is answered
+           in-line on the transport thread, skipping the queue and the
+           worker handoff entirely — warm requests neither occupy queue
+           slots nor pay two context switches.  Misses fall through to
+           the queue (and the worker re-probes, counted, in case a
+           duplicate in front of it warmed the entry meanwhile). *)
+        match try_fast_line t ~route sq ~admitted:now j now with
+        | Some line -> reply line
+        | None ->
         let deadline =
           match deadline_of_json j with
           | Some d -> now +. (d /. 1e3)
@@ -489,20 +901,21 @@ let admit t ~reply line =
           {
             j_json = j;
             j_id = id;
+            j_route = route;
             j_reply = reply;
             j_admitted = now;
             j_deadline = deadline;
           }
         in
         let admitted =
-          Mutex.protect t.qlock (fun () ->
+          Mutex.protect sq.sq_lock (fun () ->
               if
                 t.stopping || t.is_draining
-                || Queue.length t.queue >= t.queue_bound
+                || Queue.length sq.sq_queue >= t.queue_bound
               then false
               else begin
-                Queue.push job t.queue;
-                Condition.signal t.qcond;
+                Queue.push job sq.sq_queue;
+                Condition.signal sq.sq_cond;
                 true
               end)
         in
@@ -515,22 +928,23 @@ let admit t ~reply line =
           end
           else begin
             count_outcome t `Overloaded;
-            let depth = queue_depth t in
+            let depth = shard_depth sq in
             reply
               (refusal ~id ~reason:"queue_full"
                  ~retry_after:(retry_after_ms t depth)
                  (Printf.sprintf
-                    "admission queue full (%d of %d pending): retry later"
-                    depth t.queue_bound))
+                    "admission queue full (%d of %d pending on shard %d): \
+                     retry later"
+                    depth t.queue_bound sq.sq_index))
           end)
 
-let run_worker t =
+let worker_loop t sq =
   let rec loop () =
     let job =
-      Mutex.protect t.qlock (fun () ->
+      Mutex.protect sq.sq_lock (fun () ->
           let rec wait () =
-            if not (Queue.is_empty t.queue) then begin
-              let j = Queue.pop t.queue in
+            if not (Queue.is_empty sq.sq_queue) then begin
+              let j = Queue.pop sq.sq_queue in
               (* Claim the job inside the queue lock so a drain's idle
                  check can never observe "queue empty, nothing in
                  flight" between our pop and the increment. *)
@@ -539,7 +953,7 @@ let run_worker t =
             end
             else if t.stopping then None
             else begin
-              Condition.wait t.qcond t.qlock;
+              Condition.wait sq.sq_cond sq.sq_lock;
               wait ()
             end
           in
@@ -556,7 +970,7 @@ let run_worker t =
            try
              job.j_reply
                (refusal ~id:job.j_id ~reason:"deadline_exceeded"
-                  ~retry_after:(retry_after_ms t (queue_depth t))
+                  ~retry_after:(retry_after_ms t (shard_depth sq))
                   (Printf.sprintf
                      "deadline exceeded after %.1f ms in queue (never solved)"
                      waited_ms))
@@ -570,7 +984,9 @@ let run_worker t =
               this branch owns the line's outcome. *)
            match
              Chaos.fire "service.worker";
-             Jsonx.to_string (handle_json ~admitted_at:job.j_admitted t job.j_json)
+             Jsonx.to_string
+               (handle_routed ~admitted_at:job.j_admitted t
+                  (job.j_route, sq) job.j_json)
            with
            | response -> ( try job.j_reply response with _ -> ())
            | exception exn ->
@@ -591,15 +1007,27 @@ let run_worker t =
   in
   loop ()
 
+let run_shard_worker t shard =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Service.run_shard_worker: no such shard";
+  let sq = t.shards.(shard) in
+  (* Bind the shard's Solve_cache for the whole drain loop: every solve
+     this worker runs hits the shard's own tables. *)
+  Cacti.Solve_cache.with_shard sq.sq_cache (fun () -> worker_loop t sq)
+
+let run_worker t = run_shard_worker t 0
+
 (* ------------------------------ drain ------------------------------- *)
 
-let begin_drain t =
-  Mutex.protect t.qlock (fun () -> t.is_draining <- true)
+let begin_drain t = t.is_draining <- true
 
 let cancel_inflight t = Cancel.cancel t.drain
 
 let stop_workers t =
-  Mutex.protect t.qlock (fun () ->
-      t.is_draining <- true;
-      t.stopping <- true;
-      Condition.broadcast t.qcond)
+  t.is_draining <- true;
+  Array.iter
+    (fun sq ->
+      Mutex.protect sq.sq_lock (fun () ->
+          t.stopping <- true;
+          Condition.broadcast sq.sq_cond))
+    t.shards

@@ -1,0 +1,72 @@
+(* Consistent-hash ring with virtual nodes.
+
+   Routes string keys (request fingerprints) to one of [n] shards so that
+   (a) load spreads near-uniformly — each shard owns [vnodes] points on
+   the ring, smoothing the variance a single point per shard would have —
+   and (b) changing the shard count moves only the keys that must move:
+   the ring for n+1 shards is the ring for n shards plus shard n's own
+   points, so a key changes owner only if one of the new points landed
+   between the key and its previous successor.  About 1/(n+1) of the key
+   space remaps, versus (a) everything for modular hashing.
+
+   Positions come from MD5 ([Digest.string]) of "shard/vnode" labels, and
+   key lookups hash the key the same way, so routing is a pure function
+   of (n, vnodes, key): identical across processes, restarts and
+   architectures — a warm snapshot saved by one fleet peer lands on the
+   same shard when another peer loads it.  OCaml's polymorphic
+   [Hashtbl.hash] is also deterministic but folds only a prefix of long
+   strings; fingerprints share long common prefixes, so MD5 it is. *)
+
+type t = {
+  n_shards : int;
+  vnodes : int;
+  points : int array;  (** sorted ring positions *)
+  owners : int array;  (** [owners.(i)] owns [points.(i)] *)
+}
+
+(* First 62 bits of the MD5 digest as a non-negative int.  62, not 63:
+   [Bytes.get_int64_le] is signed, masking to 62 bits keeps the result
+   positive on every platform without Int64 boxing in the comparison
+   loop. *)
+let hash_key s =
+  let d = Digest.string s in
+  let raw = Bytes.get_int64_le (Bytes.unsafe_of_string d) 0 in
+  Int64.to_int (Int64.logand raw 0x3FFF_FFFF_FFFF_FFFFL)
+
+let position ~shard ~vnode =
+  hash_key (Printf.sprintf "shard-%d/vnode-%d" shard vnode)
+
+let create ?(vnodes = 64) n =
+  if n < 1 then invalid_arg "Hashring.create: need at least one shard";
+  if vnodes < 1 then invalid_arg "Hashring.create: need at least one vnode";
+  let pts =
+    Array.init (n * vnodes) (fun i ->
+        let shard = i / vnodes and vnode = i mod vnodes in
+        (position ~shard ~vnode, shard))
+  in
+  (* Ties (MD5 collisions across labels — astronomically unlikely but
+     cheap to pin down) break toward the lower shard index so the ring is
+     a deterministic function of (n, vnodes) alone. *)
+  Array.sort compare pts;
+  {
+    n_shards = n;
+    vnodes;
+    points = Array.map fst pts;
+    owners = Array.map snd pts;
+  }
+
+let shards t = t.n_shards
+let vnodes t = t.vnodes
+
+(* First ring point >= h, wrapping past the last point to the first. *)
+let successor t h =
+  let lo = ref 0 and hi = ref (Array.length t.points) in
+  (* invariant: points.(lo-1) < h <= points.(hi) (with sentinels) *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = Array.length t.points then 0 else !lo
+
+let lookup t key =
+  if t.n_shards = 1 then 0 else t.owners.(successor t (hash_key key))

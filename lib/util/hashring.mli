@@ -1,0 +1,25 @@
+(** Consistent-hash ring with virtual nodes.
+
+    Routes string keys to one of [n] shards.  Routing is a pure,
+    platform-independent function of [(n, vnodes, key)] (positions are
+    MD5-derived), so shard assignment survives restarts and agrees across
+    fleet peers.  Growing or shrinking the shard count remaps only
+    ~[1/n] of the key space: the ring for [n+1] shards is the ring for
+    [n] shards plus the new shard's own points. *)
+
+type t
+
+val create : ?vnodes:int -> int -> t
+(** [create ?vnodes n] builds the ring for shards [0 .. n-1], each owning
+    [vnodes] (default 64) points.  Raises [Invalid_argument] when [n] or
+    [vnodes] is below 1. *)
+
+val lookup : t -> string -> int
+(** Shard index owning [key]: the owner of the first ring point at or
+    after MD5[key], wrapping around. *)
+
+val shards : t -> int
+(** Shard count the ring was built for. *)
+
+val vnodes : t -> int
+(** Virtual nodes per shard. *)

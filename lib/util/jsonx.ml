@@ -89,6 +89,20 @@ let to_string v =
   go v;
   Buffer.contents buf
 
+(* Sort object keys recursively (byte order, stable) so two spellings of
+   the same object print identically; array order and number spellings
+   are preserved. *)
+let rec canonicalize = function
+  | Obj kvs ->
+      Obj
+        (List.stable_sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (List.map (fun (k, v) -> (k, canonicalize v)) kvs))
+  | List l -> List (List.map canonicalize l)
+  | v -> v
+
+let to_canonical_string v = to_string (canonicalize v)
+
 let to_string_pretty v =
   let buf = Buffer.create 256 in
   let pad n = Buffer.add_string buf (String.make n ' ') in

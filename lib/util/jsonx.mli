@@ -49,6 +49,13 @@ val to_string : t -> string
 val to_string_pretty : t -> string
 (** 2-space indented, for human consumption ([cacti_d --json]). *)
 
+val to_canonical_string : t -> string
+(** Compact like {!to_string}, but object keys are sorted (recursively,
+    byte order) so two spellings of the same object print identically —
+    the routing/deduplication key for the serve layer.  Array order and
+    number spellings are preserved: [Int 1] and [Float 1.] stay
+    distinct. *)
+
 val pp : Format.formatter -> t -> unit
 (** [to_string_pretty] through a formatter. *)
 

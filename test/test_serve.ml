@@ -355,13 +355,21 @@ let test_batch_memo () =
       Alcotest.(check bool) "same solution" true (Jsonx.equal (sol r) first))
     responses;
   (* the stats request confirms the memoization from the server's own
-     counters (before the direct solve below adds two more hits) *)
+     counters: the first request misses the response cache and cold-solves
+     (two bank-memo misses, data + tag); the three repeats are answered
+     from the response cache without ever reaching the solve tables *)
   let stats =
     Jsonx.parse_exn
       (Service.handle_line service {|{"id":"s","kind":"stats"}|})
   in
   Alcotest.(check (option int))
-    "memo hits total" (Some 6)
+    "response-cache hits total" (Some 3)
+    (get_int [ "solution"; "response_cache"; "hits" ] stats);
+  Alcotest.(check (option int))
+    "response-cache misses total" (Some 1)
+    (get_int [ "solution"; "response_cache"; "misses" ] stats);
+  Alcotest.(check (option int))
+    "memo hits total" (Some 0)
     (get_int [ "solution"; "solve_cache"; "hits" ] stats);
   Alcotest.(check (option int))
     "memo misses total" (Some 2)
@@ -654,7 +662,10 @@ let test_deadline_queued_shed () =
 
 let test_deadline_cancels_mid_solve () =
   with_cold_cache @@ fun () ->
-  let service = Service.create ~log:ignore () in
+  (* response cache off: this test must re-run the cold sweep so the
+     cancellation fires mid-solve, not answer from the memoized wire
+     response *)
+  let service = Service.create ~resp_cache:0 ~log:ignore () in
   (* baseline: the same cold sweep run to completion *)
   let t0 = Unix.gettimeofday () in
   let r_full =
@@ -690,7 +701,8 @@ let test_deadline_cancels_mid_solve () =
 
 let test_deadline_noop_bit_identity () =
   with_cold_cache @@ fun () ->
-  let service = Service.create ~log:ignore () in
+  (* response cache off so the deadlined request genuinely re-solves *)
+  let service = Service.create ~resp_cache:0 ~log:ignore () in
   let sol r = Option.get (get [ "solution" ] r) in
   let r_plain = Jsonx.parse_exn (Service.handle_line service (cache_req ~id:1)) in
   (* cold again so the deadlined request re-runs the whole sweep *)
@@ -965,6 +977,413 @@ let test_socket_fuzz_line_discipline () =
     (QCheck.Test.make ~name:"one response per non-blank line" ~count:20
        lines_arb prop)
 
+(* ----------------------------- sharding --------------------------- *)
+
+let spec_line ~id i =
+  let nodes = [| 90.; 65.; 45.; 32. |] in
+  if i mod 3 = 2 then
+    Printf.sprintf
+      {|{"id":%d,"kind":"ram","spec":{"tech_nm":%g,"capacity_bytes":%d,"word_bits":64}}|}
+      id nodes.(i mod 4)
+      (16384 lsl (i mod 3))
+  else
+    Printf.sprintf
+      {|{"id":%d,"kind":"cache","spec":{"tech_nm":%g,"capacity_bytes":%d,"assoc":%d}}|}
+      id nodes.(i mod 4)
+      (32768 lsl (i mod 3))
+      (if i mod 2 = 0 then 4 else 8)
+
+let test_sharded_bit_identity () =
+  with_cold_cache @@ fun () ->
+  (* reference: one shard, no response cache, i.e. the pre-sharding
+     solve path; subject: a sharded service with the warm fast path on *)
+  let reference = Service.create ~resp_cache:0 ~log:ignore () in
+  let sharded = Service.create ~shards:3 ~log:ignore () in
+  let sol r = Option.get (get [ "solution" ] r) in
+  List.iter
+    (fun i ->
+      let line = spec_line ~id:i i in
+      let want = sol (Jsonx.parse_exn (Service.handle_line reference line)) in
+      let cold = sol (Jsonx.parse_exn (Service.handle_line sharded line)) in
+      (* second time through: answered by the shard's response cache *)
+      let warm = sol (Jsonx.parse_exn (Service.handle_line sharded line)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "spec %d: sharded cold solution identical" i)
+        true (Jsonx.equal want cold);
+      Alcotest.(check bool)
+        (Printf.sprintf "spec %d: sharded warm solution identical" i)
+        true (Jsonx.equal want warm))
+    [ 0; 1; 2; 3; 4; 5 ];
+  (* per-shard sections: one per shard, and their cache counters add up
+     to the aggregates *)
+  let stats = Service.stats_json sharded in
+  let shards =
+    match get [ "shards" ] stats with
+    | Some (Jsonx.List l) -> l
+    | _ -> Alcotest.fail "stats.shards missing"
+  in
+  Alcotest.(check int) "one section per shard" 3 (List.length shards);
+  let sum path =
+    List.fold_left
+      (fun acc s -> acc + Option.value ~default:0 (get_int path s))
+      0 shards
+  in
+  Alcotest.(check (option int))
+    "per-shard response hits sum to aggregate"
+    (Some (sum [ "response_cache"; "hits" ]))
+    (get_int [ "response_cache"; "hits" ] stats);
+  Alcotest.(check (option int))
+    "per-shard solve misses sum to aggregate"
+    (Some (sum [ "solve_cache"; "misses" ]))
+    (get_int [ "solve_cache"; "misses" ] stats);
+  check_partition stats
+
+let test_routing_key_ignores_per_call_knobs () =
+  let key s = Service.routing_key (Jsonx.parse_exn s) in
+  let base =
+    {|{"id":1,"kind":"cache","spec":{"tech_nm":45,"capacity_bytes":65536,"assoc":4}}|}
+  in
+  let tweaked =
+    {|{"id":99,"kind":"cache","spec":{"assoc":4,"capacity_bytes":65536,"tech_nm":45},"params":{"deadline_ms":5,"jobs":2}}|}
+  in
+  Alcotest.(check string)
+    "id, key order, deadline and jobs do not affect routing" (key base)
+    (key tweaked);
+  let other =
+    {|{"id":1,"kind":"cache","spec":{"tech_nm":45,"capacity_bytes":131072,"assoc":4}}|}
+  in
+  Alcotest.(check bool)
+    "a different spec routes differently" true
+    (key base <> key other)
+
+(* --------------------------- retry_after -------------------------- *)
+
+let test_retry_after_rate_based () =
+  with_cold_cache @@ fun () ->
+  let service = Service.create ~queue_bound:1 ~log:ignore () in
+  Alcotest.(check bool)
+    "no rate before completions" true
+    (Service.service_rate service = None);
+  (* establish a service rate: one cold solve, then warm repeats *)
+  for i = 0 to 4 do
+    ignore (Service.handle_line service (cache_req ~id:i))
+  done;
+  let rate =
+    match Service.service_rate service with
+    | Some r -> r
+    | None -> Alcotest.fail "service rate unknown after five completions"
+  in
+  Alcotest.(check bool) "positive rate" true (rate > 0.);
+  (* overflow the queue with specs the response cache has never seen
+     (warm repeats would be answered inline and never queue): the
+     refusal's hint must come from the observed rate (clearing depth+1
+     jobs), not the flat fallback *)
+  let reply, replies = collector () in
+  Service.admit service ~reply (big_cache_req ~id:10 ());
+  Service.admit service ~reply
+    {|{"id":11,"kind":"cache","spec":{"tech_nm":90,"capacity_bytes":524288,"assoc":8}}|};
+  let r = Jsonx.parse_exn (List.hd (replies ())) in
+  Alcotest.(check bool)
+    "queue_full refusal" true
+    (List.mem "queue_full" (reasons_of r));
+  let hint =
+    match Option.bind (get [ "retry_after_ms" ] r) Jsonx.get_float with
+    | Some v -> v
+    | None -> Alcotest.fail "refusal carries no retry_after_ms"
+  in
+  (* two jobs must clear (one queued + this one); the rate was measured
+     over warm sub-ms traffic, so the hint is small but never below the
+     1 ms floor.  10x headroom absorbs clock skew between the admit and
+     the test's own rate sample. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hint %.1f ms tracks rate %.1f/s" hint rate)
+    true
+    (hint >= 1. && hint <= Float.max 10. (10. *. (2. /. rate *. 1e3)))
+
+(* ------------------------------ http ------------------------------ *)
+
+let test_http_parse_request_line () =
+  (match Http.parse_request_line "POST /solve HTTP/1.1" with
+  | Ok (m, t, v) ->
+      Alcotest.(check string) "method" "POST" m;
+      Alcotest.(check string) "target" "/solve" t;
+      Alcotest.(check string) "version" "HTTP/1.1" v
+  | Error e -> Alcotest.failf "should parse: %s" e);
+  let bad s =
+    match Http.parse_request_line s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+  in
+  bad "";
+  bad "GET /x";
+  bad "GET /x HTTP/1.1 extra";
+  bad "GET /x FTP/1.0"
+
+let test_http_parse_header () =
+  (match Http.parse_header "Content-Type: application/json" with
+  | Ok (n, v) ->
+      Alcotest.(check string) "name lowercased" "content-type" n;
+      Alcotest.(check string) "value trimmed" "application/json" v
+  | Error e -> Alcotest.failf "should parse: %s" e);
+  (match Http.parse_header "X-Empty:" with
+  | Ok (n, v) ->
+      Alcotest.(check string) "empty value name" "x-empty" n;
+      Alcotest.(check string) "empty value" "" v
+  | Error e -> Alcotest.failf "empty value should parse: %s" e);
+  (match Http.parse_header "no colon here" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "colonless header should not parse");
+  Alcotest.(check (option string))
+    "case-insensitive lookup" (Some "42")
+    (Http.header_value [ ("content-length", "42") ] "Content-Length")
+
+let test_http_keep_alive () =
+  let req ?(version = "HTTP/1.1") headers =
+    { Http.meth = "GET"; target = "/"; version; headers; body = "" }
+  in
+  Alcotest.(check bool) "1.1 default keep" true (Http.keep_alive (req []));
+  Alcotest.(check bool)
+    "1.1 close honoured" false
+    (Http.keep_alive (req [ ("connection", "close") ]));
+  Alcotest.(check bool)
+    "1.0 default close" false
+    (Http.keep_alive (req ~version:"HTTP/1.0" []));
+  Alcotest.(check bool)
+    "1.0 keep-alive honoured" true
+    (Http.keep_alive (req ~version:"HTTP/1.0" [ ("connection", "keep-alive") ]))
+
+let test_http_status_of_body () =
+  let ok_line = {|{"id":1,"ok":true,"solution":{},"timing":{"wall_ms":0.1,"cache_hits":2}}|} in
+  Alcotest.(check int) "ok -> 200" 200 (fst (Http.status_of_body ok_line));
+  (* per-request errors stay in-band *)
+  let invalid =
+    {|{"id":1,"ok":false,"diagnostics":[{"severity":"error","component":"cache_spec","reason":"non_pow2_block","message":"x"}],"timing":{"wall_ms":0.1,"cache_hits":0}}|}
+  in
+  Alcotest.(check int) "invalid spec -> 200" 200 (fst (Http.status_of_body invalid));
+  let queue_full =
+    {|{"id":7,"ok":false,"diagnostics":[{"severity":"error","component":"serve","reason":"queue_full","message":"x"}],"retry_after_ms":1800.5,"timing":{"wall_ms":0.1,"cache_hits":0}}|}
+  in
+  let status, extra = Http.status_of_body queue_full in
+  Alcotest.(check int) "queue_full -> 429" 429 status;
+  Alcotest.(check (option string))
+    "Retry-After rounds up to seconds" (Some "2")
+    (List.assoc_opt "Retry-After" extra);
+  let draining =
+    {|{"id":7,"ok":false,"diagnostics":[{"severity":"error","component":"serve","reason":"draining","message":"x"}],"timing":{"wall_ms":0.1,"cache_hits":0}}|}
+  in
+  Alcotest.(check int) "draining -> 503" 503 (fst (Http.status_of_body draining))
+
+(* A minimal raw-socket HTTP client: one exchange, returns (status,
+   headers, body).  Deliberately independent of Http's own parser. *)
+let http_exchange ic oc ~meth ~target ?(body = "") () =
+  Printf.fprintf oc "%s %s HTTP/1.1\r\nHost: test\r\n" meth target;
+  if body <> "" || meth = "POST" then
+    Printf.fprintf oc "Content-Length: %d\r\n" (String.length body);
+  output_string oc "\r\n";
+  output_string oc body;
+  flush oc;
+  let status_line = input_line ic in
+  let status =
+    match String.split_on_char ' ' (String.trim status_line) with
+    | _ :: code :: _ -> int_of_string code
+    | _ -> Alcotest.failf "bad status line %S" status_line
+  in
+  let headers = ref [] in
+  let rec drain () =
+    let l = String.trim (input_line ic) in
+    if l <> "" then begin
+      (match String.index_opt l ':' with
+      | Some i ->
+          headers :=
+            ( String.lowercase_ascii (String.sub l 0 i),
+              String.trim (String.sub l (i + 1) (String.length l - i - 1)) )
+            :: !headers
+      | None -> ());
+      drain ()
+    end
+  in
+  drain ();
+  let len =
+    match List.assoc_opt "content-length" !headers with
+    | Some v -> int_of_string v
+    | None -> Alcotest.fail "response has no Content-Length"
+  in
+  let body = really_input_string ic len in
+  (status, !headers, body)
+
+let test_http_end_to_end () =
+  with_cold_cache @@ fun () ->
+  let service = Service.create ~log:ignore () in
+  let server = Server.start ~workers:1 service ~http:("127.0.0.1", 0) () in
+  let port = Option.get (Server.http_port server) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* two solves over one connection: the keep-alive path *)
+  let st, _, b = http_exchange ic oc ~meth:"POST" ~target:"/solve"
+      ~body:(cache_req ~id:1) () in
+  Alcotest.(check int) "solve 200" 200 st;
+  let r = Jsonx.parse_exn b in
+  Alcotest.(check (option bool)) "solve ok" (Some true) (get_bool [ "ok" ] r);
+  Alcotest.(check (option int)) "id echoed" (Some 1) (get_int [ "id" ] r);
+  let st, _, b = http_exchange ic oc ~meth:"POST" ~target:"/solve"
+      ~body:(cache_req ~id:2) () in
+  Alcotest.(check int) "second solve on same connection" 200 st;
+  Alcotest.(check (option int))
+    "warm repeat hits the response cache" (Some 2)
+    (get_int [ "timing"; "cache_hits" ] (Jsonx.parse_exn b));
+  (* an in-band error is HTTP 200 *)
+  let st, _, b = http_exchange ic oc ~meth:"POST" ~target:"/solve"
+      ~body:{|{"id":3,"kind":"tlb","spec":{}}|} () in
+  Alcotest.(check int) "invalid request stays 200" 200 st;
+  Alcotest.(check (option bool))
+    "but not ok" (Some false)
+    (get_bool [ "ok" ] (Jsonx.parse_exn b));
+  (* stats and health *)
+  let st, _, b = http_exchange ic oc ~meth:"GET" ~target:"/stats" () in
+  Alcotest.(check int) "stats 200" 200 st;
+  Alcotest.(check (option int))
+    "both solves counted" (Some 2)
+    (get_int [ "solution"; "requests"; "cache" ] (Jsonx.parse_exn b));
+  let st, _, b = http_exchange ic oc ~meth:"GET" ~target:"/healthz" () in
+  Alcotest.(check int) "healthz 200" 200 st;
+  Alcotest.(check bool)
+    "healthz says ok" true
+    (Jsonx.equal (Jsonx.parse_exn b)
+       (Jsonx.Obj [ ("status", Jsonx.String "ok") ]));
+  (* unknown target and unknown method on a known one *)
+  let st, _, _ = http_exchange ic oc ~meth:"GET" ~target:"/nope" () in
+  Alcotest.(check int) "404" 404 st;
+  let st, hs, _ = http_exchange ic oc ~meth:"PUT" ~target:"/solve" () in
+  Alcotest.(check int) "405" 405 st;
+  Alcotest.(check (option string))
+    "405 advertises Allow" (Some "POST") (List.assoc_opt "allow" hs);
+  (* a drain flips health to 503 and refuses solves with 503 *)
+  Service.begin_drain service;
+  let st, _, b = http_exchange ic oc ~meth:"GET" ~target:"/healthz" () in
+  Alcotest.(check int) "healthz 503 while draining" 503 st;
+  Alcotest.(check bool)
+    "healthz says draining" true
+    (Jsonx.equal (Jsonx.parse_exn b)
+       (Jsonx.Obj [ ("status", Jsonx.String "draining") ]));
+  let st, _, b = http_exchange ic oc ~meth:"POST" ~target:"/solve"
+      ~body:(cache_req ~id:4) () in
+  Alcotest.(check int) "draining solve 503" 503 st;
+  Alcotest.(check bool)
+    "draining reason in band" true
+    (List.mem "draining" (reasons_of (Jsonx.parse_exn b)));
+  Unix.close fd;
+  Server.stop server;
+  check_partition (Service.stats_json service)
+
+let test_http_framing_limits () =
+  let service = Service.create ~log:ignore () in
+  let server = Server.start ~workers:1 service ~http:("127.0.0.1", 0) () in
+  let port = Option.get (Server.http_port server) in
+  let roundtrip send =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc send;
+    flush oc;
+    let status_line = input_line ic in
+    let status =
+      match String.split_on_char ' ' (String.trim status_line) with
+      | _ :: code :: _ -> int_of_string code
+      | _ -> Alcotest.failf "bad status line %S" status_line
+    in
+    (* after an error response the server closes: reading to EOF must
+       terminate rather than hang *)
+    (try
+       while true do
+         ignore (input_line ic)
+       done
+     with End_of_file -> ());
+    Unix.close fd;
+    status
+  in
+  Alcotest.(check int) "garbage request line -> 400" 400
+    (roundtrip "NOT-HTTP\r\n\r\n");
+  Alcotest.(check int) "chunked rejected -> 400" 400
+    (roundtrip
+       "POST /solve HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  Alcotest.(check int) "oversized body -> 413" 413
+    (roundtrip
+       (Printf.sprintf "POST /solve HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+          (2 * 1024 * 1024)));
+  Server.stop server
+
+(* ----------------------------- presolve --------------------------- *)
+
+let test_presolve_warms_grid () =
+  with_cold_cache @@ fun () ->
+  let service = Service.create ~shards:2 ~log:ignore () in
+  (* 55 nm sits between the built-in nodes, so nothing else in the suite
+     can have warmed these entries *)
+  let grid =
+    { Presolve.nodes_nm = [ 55. ]; capacities = [ 32768; 65536 ]; assocs = [ 4 ] }
+  in
+  let pre = Presolve.start ~grid service in
+  wait_for ~budget_s:60. (fun () ->
+      Option.value ~default:0 (get_int [ "passes" ] (Presolve.stats_json pre))
+      >= 1);
+  Presolve.stop pre;
+  let ps = Presolve.stats_json pre in
+  Alcotest.(check (option int)) "both points walked" (Some 2)
+    (get_int [ "points_done" ] ps);
+  Alcotest.(check (option int)) "no failures" (Some 0) (get_int [ "failed" ] ps);
+  (* the pre-solver registered itself in the service stats, and its
+     traffic stayed outside the request counters *)
+  let stats = Service.stats_json service in
+  Alcotest.(check bool)
+    "presolve section registered" true
+    (Option.is_some (get [ "presolve"; "passes" ] stats));
+  Alcotest.(check (option int))
+    "presolve traffic uncounted" (Some 0)
+    (get_int [ "requests"; "lines" ] stats);
+  check_partition stats;
+  (* every in-grid request is now answered from the response cache *)
+  let hits () =
+    Option.value ~default:0
+      (get_int [ "response_cache"; "hits" ] (Service.stats_json service))
+  in
+  let h0 = hits () in
+  List.iteri
+    (fun i point ->
+      let line =
+        Jsonx.to_string
+          (match point with
+          | Jsonx.Obj fields -> Jsonx.Obj (("id", Jsonx.Int i) :: fields)
+          | j -> j)
+      in
+      let r = Jsonx.parse_exn (Service.handle_line service line) in
+      Alcotest.(check (option bool))
+        (Printf.sprintf "grid point %d ok" i)
+        (Some true) (get_bool [ "ok" ] r))
+    (Presolve.points grid);
+  Alcotest.(check int) "all in-grid requests were warm hits" (h0 + 2) (hits ())
+
+let test_presolve_stop_is_prompt () =
+  with_cold_cache @@ fun () ->
+  let service = Service.create ~log:ignore () in
+  (* a grid big enough that the walk cannot finish instantly *)
+  let pre = Presolve.start service in
+  wait_for ~budget_s:60. (fun () ->
+      Option.value ~default:0 (get_int [ "points_done" ] (Presolve.stats_json pre))
+      >= 1);
+  let t0 = Unix.gettimeofday () in
+  Presolve.stop pre;
+  let stop_s = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "stop returned in %.2f s" stop_s)
+    true (stop_s < 30.);
+  Alcotest.(check (option bool))
+    "reports stopped" (Some true)
+    (get_bool [ "stopped" ] (Presolve.stats_json pre))
+
 (* ------------------------------ main ------------------------------ *)
 
 let () =
@@ -1033,5 +1452,28 @@ let () =
             test_socket_concurrent_clients;
           Alcotest.test_case "fuzz line discipline" `Quick
             test_socket_fuzz_line_discipline;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "bit-identical to unsharded" `Quick
+            test_sharded_bit_identity;
+          Alcotest.test_case "routing key" `Quick
+            test_routing_key_ignores_per_call_knobs;
+          Alcotest.test_case "rate-based retry hint" `Quick
+            test_retry_after_rate_based;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "request line" `Quick test_http_parse_request_line;
+          Alcotest.test_case "headers" `Quick test_http_parse_header;
+          Alcotest.test_case "keep-alive" `Quick test_http_keep_alive;
+          Alcotest.test_case "status mapping" `Quick test_http_status_of_body;
+          Alcotest.test_case "end to end" `Quick test_http_end_to_end;
+          Alcotest.test_case "framing limits" `Quick test_http_framing_limits;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "warms the grid" `Quick test_presolve_warms_grid;
+          Alcotest.test_case "prompt stop" `Quick test_presolve_stop_is_prompt;
         ] );
     ]
