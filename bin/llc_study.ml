@@ -3,6 +3,7 @@
      llc_study --apps ft.B,cg.C --configs nol3,sram,cm_dram_c \
                --instructions 48000000 --csv results.csv
      llc_study --trace refs.trc --configs sram,cm_dram_c
+     llc_study --replay refs.trc --cpu skl --configs sram,cm_dram_c
 
    Exit codes: 0 success, 1 usage error, 2 invalid input (bad trace file,
    bad spec), 3 no solution in a CACTI solve.  Errors are rendered as one
@@ -67,7 +68,97 @@ let run_trace ?jobs ~params kinds tr =
       { Mcsim.Study.app; config = b; stats; sys })
     builts
 
-let run kinds apps instructions seed csv jobs trace =
+(* Real-trace replay (--replay): re-run the study's configurations
+   against a recorded memory-access trace with real CPU replacement
+   policies (lib/replay), instead of the timed synthetic engine.  The
+   trace is loaded once into immutable packed arrays; each configuration
+   replays it independently on the pool, so the results are identical for
+   any --jobs value. *)
+let run_replay_mode ?jobs ~cpu kinds path csv =
+  let policies_r =
+    match cpu with
+    | None -> Ok Mcsim.Engine.lru_policies
+    | Some name ->
+        Result.map
+          (fun (p : Mcsim.Policy.preset) ->
+            {
+              Mcsim.Engine.l1_policy = p.Mcsim.Policy.l1;
+              l2_policy = p.Mcsim.Policy.l2;
+              l3_policy = p.Mcsim.Policy.l3;
+            })
+          (Mcsim.Policy.preset_of_string name)
+  in
+  match policies_r with
+  | Error d -> fail_diags [ d ] Cacti_util.Diag.exit_invalid_spec
+  | Ok policies ->
+      let tr = Mcreplay.Trace_io.load path in
+      let builts = List.map (fun kind -> Mcsim.Study.build ?jobs kind) kinds in
+      let pool = Cacti_util.Pool.create ?jobs () in
+      let results =
+        Cacti_util.Pool.parallel_map ~chunk:1 pool
+          (fun (b : Mcsim.Study.built) ->
+            let cfg =
+              Mcreplay.Replayer.of_machine ~policies b.Mcsim.Study.machine
+            in
+            let r = Mcreplay.Replayer.create cfg in
+            Mcreplay.Trace_io.iter_packed tr ~f:(fun ~tid ~write ~addr ->
+                ignore (Mcreplay.Replayer.step r ~tid ~write ~addr));
+            (b, Mcreplay.Replayer.summary r))
+          builts
+      in
+      let pct n d = if d = 0 then 0. else 100. *. float_of_int n /. float_of_int d in
+      let rows =
+        List.map
+          (fun ((b : Mcsim.Study.built), (s : Mcreplay.Replayer.summary)) ->
+            ( Mcsim.Study.kind_name b.Mcsim.Study.kind,
+              pct s.Mcreplay.Replayer.l1_hits s.Mcreplay.Replayer.accesses,
+              pct s.Mcreplay.Replayer.l2_hits s.Mcreplay.Replayer.l2_accesses,
+              pct s.Mcreplay.Replayer.l3_hits s.Mcreplay.Replayer.l3_accesses,
+              s.Mcreplay.Replayer.mem_accesses,
+              s.Mcreplay.Replayer.writebacks,
+              if s.Mcreplay.Replayer.accesses = 0 then 0.
+              else
+                float_of_int s.Mcreplay.Replayer.total_cycles
+                /. float_of_int s.Mcreplay.Replayer.accesses ))
+          results
+      in
+      let t =
+        Cacti_util.Table.create
+          [
+            "config"; "L1 hit %"; "L2 hit %"; "L3 hit %"; "mem refs";
+            "writebacks"; "avg cycles";
+          ]
+      in
+      List.iter
+        (fun (cfg, l1, l2, l3, mem, wb, avg) ->
+          Cacti_util.Table.add_row t
+            [
+              cfg;
+              Cacti_util.Table.cell_f ~dec:2 l1;
+              Cacti_util.Table.cell_f ~dec:2 l2;
+              Cacti_util.Table.cell_f ~dec:2 l3;
+              string_of_int mem;
+              string_of_int wb;
+              Cacti_util.Table.cell_f ~dec:2 avg;
+            ])
+        rows;
+      Cacti_util.Table.print t;
+      (match csv with
+      | None -> ()
+      | Some out ->
+          let oc = open_out out in
+          output_string oc
+            "config,l1_hit_pct,l2_hit_pct,l3_hit_pct,mem_accesses,writebacks,avg_cycles\n";
+          List.iter
+            (fun (cfg, l1, l2, l3, mem, wb, avg) ->
+              Printf.fprintf oc "%s,%.4f,%.4f,%.4f,%d,%d,%.4f\n" cfg l1 l2 l3
+                mem wb avg)
+            rows;
+          close_out oc;
+          Printf.printf "wrote %s\n" out);
+      Cacti_util.Diag.exit_ok
+
+let run_study kinds apps instructions seed csv jobs trace =
   let params =
     {
       Mcsim.Engine.default_params with
@@ -142,14 +233,26 @@ let run kinds apps instructions seed csv jobs trace =
   if diags = [] then Cacti_util.Diag.exit_ok
   else fail_diags diags Cacti_util.Diag.exit_invalid_spec
 
-let run_guarded kinds apps instructions seed csv jobs trace =
+let run kinds apps instructions seed csv jobs trace replay cpu =
+  match replay with
+  | Some path -> run_replay_mode ?jobs ~cpu kinds path csv
+  | None -> run_study kinds apps instructions seed csv jobs trace
+
+let run_guarded kinds apps instructions seed csv jobs trace replay cpu =
   let open Cacti_util in
-  try run kinds apps instructions seed csv jobs trace with
+  try run kinds apps instructions seed csv jobs trace replay cpu with
   | Mcsim.Trace.Parse_error { path; line; msg } ->
       fail_diags
         [
           Diag.errorf ~component:"trace" ~reason:"parse_error" "%s:%d: %s"
             path line msg;
+        ]
+        Diag.exit_invalid_spec
+  | Mcreplay.Trace_io.Parse_error { path; line; msg } ->
+      fail_diags
+        [
+          Diag.errorf ~component:"replay" ~reason:"trace_parse_error"
+            "%s:%d: %s" path line msg;
         ]
         Diag.exit_invalid_spec
   | Sys_error msg ->
@@ -201,10 +304,27 @@ let cmd =
                    for the format) instead of the synthetic NPB apps; \
                    $(b,--apps) is ignored.")
   in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a real memory-access trace (text or binary, see \
+                   cacti_replay) through each configuration's hierarchy \
+                   with real CPU replacement policies instead of running \
+                   the timed engine; $(b,--apps), $(b,--instructions), \
+                   $(b,--seed) and $(b,--trace) are ignored.")
+  in
+  let cpu =
+    Arg.(value & opt (some string) None
+         & info [ "cpu" ] ~docv:"NAME"
+             ~doc:"With $(b,--replay): CPU preset selecting per-level \
+                   replacement policies (nehalem|snb|ivb|hsw|skl|cfl; \
+                   default LRU everywhere). Unknown names are rejected \
+                   with the valid list.")
+  in
   let term =
     Term.(
       const run_guarded $ kinds $ apps $ instructions $ seed $ csv $ jobs
-      $ trace)
+      $ trace $ replay $ cpu)
   in
   Cmd.v
     (Cmd.info "llc_study" ~version:"1.0"

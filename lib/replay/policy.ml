@@ -1,0 +1,5 @@
+(* The policy machinery lives in [Mcsim.Policy] so that [Cache_sim] (below
+   the replay layer) can dispatch on it; re-exported here so the replay
+   subsystem presents one coherent surface ([Mcreplay.Policy],
+   [Mcreplay.Trace_io], [Mcreplay.Replayer], [Mcreplay.Report]). *)
+include Mcsim.Policy

@@ -1,0 +1,344 @@
+open Mcsim
+
+type level = { lines : int; assoc : int; latency : int; policy : Policy.t }
+
+type config = {
+  l1 : level;
+  l2 : level;
+  l3 : level option;
+  mem_latency : int;
+  line_bytes : int;
+  n_cores : int;
+}
+
+let lru_level ~lines ~assoc ~latency =
+  { lines; assoc; latency; policy = Policy.Lru }
+
+let default_config =
+  {
+    l1 = lru_level ~lines:512 ~assoc:8 ~latency:4;
+    l2 = lru_level ~lines:16384 ~assoc:16 ~latency:14;
+    l3 = Some (lru_level ~lines:131072 ~assoc:16 ~latency:42);
+    mem_latency = 200;
+    line_bytes = 64;
+    n_cores = 1;
+  }
+
+let with_policies ~l1 ~l2 ~l3 cfg =
+  {
+    cfg with
+    l1 = { cfg.l1 with policy = l1 };
+    l2 = { cfg.l2 with policy = l2 };
+    l3 = Option.map (fun lv -> { lv with policy = l3 }) cfg.l3;
+  }
+
+let with_preset (p : Policy.preset) cfg =
+  with_policies ~l1:p.Policy.l1 ~l2:p.Policy.l2 ~l3:p.Policy.l3 cfg
+
+let of_machine ?(policies = Engine.lru_policies) (m : Machine.t) =
+  let level (c : Machine.cache_params) policy =
+    { lines = c.Machine.lines; assoc = c.Machine.assoc;
+      latency = c.Machine.latency; policy }
+  in
+  let l3 =
+    Option.map
+      (fun (p : Machine.l3_params) ->
+        {
+          lines = p.Machine.bank.Machine.lines * p.Machine.n_banks;
+          assoc = p.Machine.bank.Machine.assoc;
+          latency = p.Machine.bank.Machine.latency + p.Machine.xbar_latency;
+          policy = policies.Engine.l3_policy;
+        })
+      m.Machine.l3
+  in
+  let t = m.Machine.mem.Machine.timing in
+  {
+    l1 = level m.Machine.l1 policies.Engine.l1_policy;
+    l2 = level m.Machine.l2 policies.Engine.l2_policy;
+    l3;
+    mem_latency =
+      t.Dram_sim.t_ctrl + t.Dram_sim.t_rcd + t.Dram_sim.t_cas
+      + t.Dram_sim.t_burst;
+    line_bytes = 64;
+    n_cores = m.Machine.n_cores;
+  }
+
+type outcome = {
+  mutable level : int;
+  mutable cycles : int;
+  mutable l1_victim : int;
+  mutable l2_victim : int;
+  mutable l3_victim : int;
+  mutable writebacks : int;
+  mutable invalidations : int;
+  mutable c2c : bool;
+}
+
+(* Flat counter block, mirrored into [summary] on demand. *)
+type acc = {
+  mutable accesses : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable l1_hits : int;
+  mutable l2_accesses : int;
+  mutable l2_hits : int;
+  mutable l3_accesses : int;
+  mutable l3_hits : int;
+  mutable mem_accesses : int;
+  mutable l1_evictions : int;
+  mutable l2_evictions : int;
+  mutable l3_evictions : int;
+  mutable wb : int;
+  mutable invals : int;
+  mutable c2c : int;
+  mutable total_cycles : int;
+}
+
+type t = {
+  cfg : config;
+  line_shift : int;
+  l1s : Cache_sim.t array;
+  l2s : Cache_sim.t array;
+  l3c : Cache_sim.t option;
+  a : acc;
+  out : outcome;
+}
+
+(* MESI encoding shared with Cache_sim's unboxed API. *)
+let st_s = 1
+let st_e = 2
+let st_m = 3
+
+let create cfg =
+  if cfg.n_cores <= 0 then invalid_arg "Replayer.create: n_cores";
+  if cfg.mem_latency <= 0 then invalid_arg "Replayer.create: mem_latency";
+  if cfg.line_bytes <= 0 || not (Cacti_util.Floatx.is_pow2 cfg.line_bytes)
+  then invalid_arg "Replayer.create: line_bytes must be a power of two";
+  let mk (lv : level) =
+    Cache_sim.create ~assoc:lv.assoc ~policy:lv.policy ~lines:lv.lines ()
+  in
+  {
+    cfg;
+    line_shift = Cacti_util.Floatx.clog2 cfg.line_bytes;
+    l1s = Array.init cfg.n_cores (fun _ -> mk cfg.l1);
+    l2s = Array.init cfg.n_cores (fun _ -> mk cfg.l2);
+    l3c = Option.map mk cfg.l3;
+    a =
+      {
+        accesses = 0; reads = 0; writes = 0; l1_hits = 0; l2_accesses = 0;
+        l2_hits = 0; l3_accesses = 0; l3_hits = 0; mem_accesses = 0;
+        l1_evictions = 0; l2_evictions = 0; l3_evictions = 0; wb = 0;
+        invals = 0; c2c = 0; total_cycles = 0;
+      };
+    out =
+      {
+        level = 0; cycles = 0; l1_victim = -1; l2_victim = -1;
+        l3_victim = -1; writebacks = 0; invalidations = 0; c2c = false;
+      };
+  }
+
+let config t = t.cfg
+
+(* Push one dirty line down to the L3 (updating or allocating its copy) or,
+   without an L3, to memory.  An L3 allocation can itself evict — the
+   cascade is recorded. *)
+let push_dirty_down t o line =
+  match t.l3c with
+  | Some l3 ->
+      if Cache_sim.probe_int l3 line <> 0 then
+        Cache_sim.set_state_int l3 ~line st_m
+      else begin
+        let ev = Cache_sim.fill_packed l3 ~line ~state_int:st_m in
+        if ev >= 0 then begin
+          t.a.l3_evictions <- t.a.l3_evictions + 1;
+          if o.l3_victim < 0 then o.l3_victim <- ev;
+          if ev land 3 = st_m then begin
+            t.a.wb <- t.a.wb + 1;
+            o.writebacks <- o.writebacks + 1
+          end
+        end
+      end
+  | None ->
+      t.a.wb <- t.a.wb + 1;
+      o.writebacks <- o.writebacks + 1
+
+let fill_l2 t o core line state_int =
+  let ev = Cache_sim.fill_packed t.l2s.(core) ~line ~state_int in
+  if ev >= 0 then begin
+    t.a.l2_evictions <- t.a.l2_evictions + 1;
+    if o.l2_victim < 0 then o.l2_victim <- ev;
+    let v = ev lsr 2 in
+    (* inclusion: the L1 copy of an evicted L2 line dies with it *)
+    Cache_sim.set_state_int t.l1s.(core) ~line:v 0;
+    if ev land 3 = st_m then push_dirty_down t o v
+  end
+
+let fill_l1 t o core line state_int =
+  let ev = Cache_sim.fill_packed t.l1s.(core) ~line ~state_int in
+  if ev >= 0 then begin
+    t.a.l1_evictions <- t.a.l1_evictions + 1;
+    if o.l1_victim < 0 then o.l1_victim <- ev;
+    if ev land 3 = st_m then
+      (* write back into the L2 copy (inclusion guarantees presence) *)
+      Cache_sim.set_state_int t.l2s.(core) ~line:(ev lsr 2) st_m
+  end
+
+(* Invalidate every other core's copy (a write claiming exclusivity). *)
+let invalidate_others t o core line =
+  for c = 0 to t.cfg.n_cores - 1 do
+    if c <> core && Cache_sim.probe_int t.l2s.(c) line <> 0 then begin
+      Cache_sim.set_state_int t.l2s.(c) ~line 0;
+      Cache_sim.set_state_int t.l1s.(c) ~line 0;
+      t.a.invals <- t.a.invals + 1;
+      o.invalidations <- o.invalidations + 1
+    end
+  done
+
+(* A peer core holding the line dirty; -1 when none. *)
+let dirty_owner t core line =
+  let owner = ref (-1) in
+  let c = ref 0 in
+  while !owner < 0 && !c < t.cfg.n_cores do
+    if !c <> core && Cache_sim.probe_int t.l2s.(!c) line = st_m then
+      owner := !c
+    else incr c
+  done;
+  !owner
+
+let step t ~tid ~write ~addr =
+  let o = t.out in
+  let a = t.a in
+  o.level <- 0;
+  o.cycles <- 0;
+  o.l1_victim <- -1;
+  o.l2_victim <- -1;
+  o.l3_victim <- -1;
+  o.writebacks <- 0;
+  o.invalidations <- 0;
+  o.c2c <- false;
+  let line = addr lsr t.line_shift in
+  let core = tid mod t.cfg.n_cores in
+  a.accesses <- a.accesses + 1;
+  if write then a.writes <- a.writes + 1 else a.reads <- a.reads + 1;
+  let l1 = t.l1s.(core) and l2 = t.l2s.(core) in
+  let s1 = Cache_sim.access_int l1 ~line ~write in
+  if s1 >= 0 then begin
+    a.l1_hits <- a.l1_hits + 1;
+    if write then begin
+      (* claiming exclusivity on a shared line invalidates peers *)
+      if s1 = st_s && t.cfg.n_cores > 1 then invalidate_others t o core line;
+      if s1 <> st_m then Cache_sim.set_state_int l2 ~line st_m
+    end;
+    o.level <- 0;
+    o.cycles <- t.cfg.l1.latency
+  end
+  else begin
+    a.l2_accesses <- a.l2_accesses + 1;
+    let s2 = Cache_sim.access_int l2 ~line ~write in
+    if s2 >= 0 then begin
+      a.l2_hits <- a.l2_hits + 1;
+      if write && s2 = st_s && t.cfg.n_cores > 1 then
+        invalidate_others t o core line;
+      fill_l1 t o core line (if write then st_m else st_s);
+      o.level <- 1;
+      o.cycles <- t.cfg.l1.latency + t.cfg.l2.latency
+    end
+    else begin
+      (* L2 miss: resolve coherence against peer caches first. *)
+      if t.cfg.n_cores > 1 then begin
+        let owner = dirty_owner t core line in
+        if owner >= 0 then begin
+          a.c2c <- a.c2c + 1;
+          o.c2c <- true;
+          if write then invalidate_others t o core line
+          else begin
+            (* downgrade the owner and push its dirty data down *)
+            Cache_sim.set_state_int t.l2s.(owner) ~line st_s;
+            Cache_sim.set_state_int t.l1s.(owner) ~line 0;
+            push_dirty_down t o line
+          end
+        end
+        else if write then invalidate_others t o core line
+      end;
+      match t.l3c with
+      | Some l3 ->
+          a.l3_accesses <- a.l3_accesses + 1;
+          let s3 = Cache_sim.access_int l3 ~line ~write:false in
+          if s3 >= 0 then begin
+            a.l3_hits <- a.l3_hits + 1;
+            fill_l2 t o core line (if write then st_m else st_s);
+            fill_l1 t o core line (if write then st_m else st_s);
+            o.level <- 2;
+            o.cycles <-
+              t.cfg.l1.latency + t.cfg.l2.latency
+              + (Option.get t.cfg.l3).latency
+          end
+          else begin
+            a.mem_accesses <- a.mem_accesses + 1;
+            let ev = Cache_sim.fill_packed l3 ~line ~state_int:st_s in
+            if ev >= 0 then begin
+              a.l3_evictions <- a.l3_evictions + 1;
+              if o.l3_victim < 0 then o.l3_victim <- ev;
+              if ev land 3 = st_m then begin
+                a.wb <- a.wb + 1;
+                o.writebacks <- o.writebacks + 1
+              end
+            end;
+            fill_l2 t o core line (if write then st_m else st_e);
+            fill_l1 t o core line (if write then st_m else st_e);
+            o.level <- 3;
+            o.cycles <-
+              t.cfg.l1.latency + t.cfg.l2.latency
+              + (Option.get t.cfg.l3).latency + t.cfg.mem_latency
+          end
+      | None ->
+          a.mem_accesses <- a.mem_accesses + 1;
+          fill_l2 t o core line (if write then st_m else st_e);
+          fill_l1 t o core line (if write then st_m else st_e);
+          o.level <- 3;
+          o.cycles <-
+            t.cfg.l1.latency + t.cfg.l2.latency + t.cfg.mem_latency
+    end
+  end;
+  a.total_cycles <- a.total_cycles + o.cycles;
+  o
+
+type summary = {
+  accesses : int;
+  reads : int;
+  writes : int;
+  l1_hits : int;
+  l2_accesses : int;
+  l2_hits : int;
+  l3_accesses : int;
+  l3_hits : int;
+  mem_accesses : int;
+  l1_evictions : int;
+  l2_evictions : int;
+  l3_evictions : int;
+  writebacks : int;
+  invalidations : int;
+  c2c_transfers : int;
+  total_cycles : int;
+}
+
+let summary t =
+  let a = t.a in
+  {
+    accesses = a.accesses;
+    reads = a.reads;
+    writes = a.writes;
+    l1_hits = a.l1_hits;
+    l2_accesses = a.l2_accesses;
+    l2_hits = a.l2_hits;
+    l3_accesses = a.l3_accesses;
+    l3_hits = a.l3_hits;
+    mem_accesses = a.mem_accesses;
+    l1_evictions = a.l1_evictions;
+    l2_evictions = a.l2_evictions;
+    l3_evictions = a.l3_evictions;
+    writebacks = a.wb;
+    invalidations = a.invals;
+    c2c_transfers = a.c2c;
+    total_cycles = a.total_cycles;
+  }

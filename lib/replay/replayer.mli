@@ -1,0 +1,108 @@
+(** Replay a real memory-access stream through an L1→L2→L3 hierarchy.
+
+    The replayer drives {!Mcsim.Cache_sim} instances — one L1 and L2 per
+    core (thread ids map onto cores round-robin), one shared L3 — with a
+    pluggable replacement policy per level, and reports a deterministic
+    per-access {!outcome}: the level that hit, the cycle cost, the victims
+    evicted by the fills, and the coherence actions taken.
+
+    {b Timing model.}  Latencies are additive: an access pays the latency
+    of every level it touches ([l1], [+l2] on an L1 miss, [+l3] on an L2
+    miss, [+mem_latency] on an L3 miss).  There is no contention or
+    overlap — this is the per-access cost model of trace-driven cache
+    analysis (CacheTrace-style), not the timed multicore engine
+    ({!Mcsim.Engine}), which remains the tool for throughput studies.
+
+    {b Coherence model.}  With [n_cores > 1], a write invalidates every
+    other core's copy and a read miss that finds a peer's dirty copy
+    downgrades it (counting a cache-to-cache transfer) and pushes the dirty
+    data down.  Dirty victims write back level by level; writebacks that
+    reach memory are counted.
+
+    Everything is sequential in trace order and purely deterministic: the
+    same trace and config produce byte-identical per-access output on every
+    run. *)
+
+type level = {
+  lines : int;  (** capacity in cache lines *)
+  assoc : int;
+  latency : int;  (** cycles *)
+  policy : Mcsim.Policy.t;
+}
+
+type config = {
+  l1 : level;  (** per core *)
+  l2 : level;  (** per core *)
+  l3 : level option;  (** shared *)
+  mem_latency : int;  (** cycles *)
+  line_bytes : int;  (** power of two *)
+  n_cores : int;
+}
+
+val default_config : config
+(** A Skylake-like desktop hierarchy: 32 KB / 8-way L1 (4 cycles),
+    1 MB / 16-way L2 (14), 8 MB / 16-way L3 (42), 200-cycle memory,
+    64-byte lines, one core, LRU everywhere. *)
+
+val with_policies :
+  l1:Mcsim.Policy.t -> l2:Mcsim.Policy.t -> l3:Mcsim.Policy.t ->
+  config -> config
+
+val with_preset : Mcsim.Policy.preset -> config -> config
+(** Applies the preset's per-level policy tuple, keeping the geometry. *)
+
+val of_machine :
+  ?policies:Mcsim.Engine.level_policies -> Mcsim.Machine.t -> config
+(** The hierarchy geometry of a simulator machine (L3 capacity summed over
+    its banks, L3 latency includes one crossbar traversal, memory latency
+    estimated from the DRAM timing), with the given policies (default
+    all-LRU).  Used by [llc_study --replay] to re-run the stacked-LLC
+    configurations on a real trace. *)
+
+type outcome = {
+  mutable level : int;  (** 0 = L1 hit, 1 = L2 hit, 2 = L3 hit, 3 = memory *)
+  mutable cycles : int;
+  mutable l1_victim : int;  (** packed [line*4+state]; -1 = none *)
+  mutable l2_victim : int;
+  mutable l3_victim : int;
+      (** at most one victim is recorded per level per access (a writeback
+          allocation can evict a second L3 line; counters count them all) *)
+  mutable writebacks : int;  (** dirty lines pushed to memory *)
+  mutable invalidations : int;  (** peer copies invalidated *)
+  mutable c2c : bool;  (** served or upgraded via a peer's dirty copy *)
+}
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] on a bad geometry (non-positive sizes,
+    [line_bytes] not a power of two, a Tree-PLRU level whose associativity
+    is not a power of two). *)
+
+val config : t -> config
+
+val step : t -> tid:int -> write:bool -> addr:int -> outcome
+(** Replays one access and returns the per-access outcome.  The returned
+    record is owned by [t] and overwritten by the next [step] — consume it
+    (or copy the fields) before stepping again.  Allocation-free. *)
+
+type summary = {
+  accesses : int;
+  reads : int;
+  writes : int;
+  l1_hits : int;
+  l2_accesses : int;
+  l2_hits : int;
+  l3_accesses : int;
+  l3_hits : int;
+  mem_accesses : int;
+  l1_evictions : int;
+  l2_evictions : int;
+  l3_evictions : int;
+  writebacks : int;
+  invalidations : int;
+  c2c_transfers : int;
+  total_cycles : int;
+}
+
+val summary : t -> summary

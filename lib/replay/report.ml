@@ -1,0 +1,157 @@
+let csv_header = "seq,tid,op,addr,level,cycles,victims,reason"
+
+let level_name = function
+  | 0 -> "L1"
+  | 1 -> "L2"
+  | 2 -> "L3"
+  | _ -> "MEM"
+
+let victim_addr line_bytes packed = (packed lsr 2) * line_bytes
+let victim_dirty packed = packed land 3 = 3
+
+(* reason: hit = served without filling; cold = filled into invalid ways
+   only; evict = at least one line was displaced. *)
+let reason (o : Replayer.outcome) =
+  if o.Replayer.level = 0 then "hit"
+  else if
+    o.Replayer.l1_victim < 0 && o.Replayer.l2_victim < 0
+    && o.Replayer.l3_victim < 0
+  then "cold"
+  else "evict"
+
+let append_victims b ~line_bytes (o : Replayer.outcome) =
+  let any = ref false in
+  let one lvl packed =
+    if packed >= 0 then begin
+      if !any then Buffer.add_char b ';';
+      any := true;
+      Printf.bprintf b "%s:0x%x:%c" lvl
+        (victim_addr line_bytes packed)
+        (if victim_dirty packed then 'd' else 'c')
+    end
+  in
+  one "L1" o.Replayer.l1_victim;
+  one "L2" o.Replayer.l2_victim;
+  one "L3" o.Replayer.l3_victim;
+  if not !any then Buffer.add_char b '-'
+
+let append_csv_row b ~seq ~tid ~write ~addr ~line_bytes
+    (o : Replayer.outcome) =
+  Printf.bprintf b "%d,%d,%c,0x%x,%s,%d," seq tid
+    (if write then 'W' else 'R')
+    addr
+    (level_name o.Replayer.level)
+    o.Replayer.cycles;
+  append_victims b ~line_bytes o;
+  Buffer.add_char b ',';
+  Buffer.add_string b (reason o);
+  Buffer.add_char b '\n'
+
+let append_jsonl_row b ~seq ~tid ~write ~addr ~line_bytes
+    (o : Replayer.outcome) =
+  Printf.bprintf b
+    {|{"seq":%d,"tid":%d,"op":"%c","addr":"0x%x","level":"%s","cycles":%d,"victims":[|}
+    seq tid
+    (if write then 'W' else 'R')
+    addr
+    (level_name o.Replayer.level)
+    o.Replayer.cycles;
+  let any = ref false in
+  let one lvl packed =
+    if packed >= 0 then begin
+      if !any then Buffer.add_char b ',';
+      any := true;
+      Printf.bprintf b {|{"level":"%s","addr":"0x%x","dirty":%b}|} lvl
+        (victim_addr line_bytes packed)
+        (victim_dirty packed)
+    end
+  in
+  one "L1" o.Replayer.l1_victim;
+  one "L2" o.Replayer.l2_victim;
+  one "L3" o.Replayer.l3_victim;
+  Printf.bprintf b {|],"reason":"%s"}|} (reason o);
+  Buffer.add_char b '\n'
+
+open Cacti_util
+
+let level_json (lv : Replayer.level) =
+  Jsonx.Obj
+    [
+      ("lines", Jsonx.Int lv.Replayer.lines);
+      ("assoc", Jsonx.Int lv.Replayer.assoc);
+      ("latency", Jsonx.Int lv.Replayer.latency);
+      ("policy", Jsonx.String (Mcsim.Policy.to_string lv.Replayer.policy));
+    ]
+
+let rate num den = if den = 0 then Jsonx.Null else Jsonx.num (float_of_int num /. float_of_int den)
+
+let summary_json ~(config : Replayer.config) (s : Replayer.summary) =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String "cacti-d/replay-summary/v1");
+      ( "config",
+        Jsonx.Obj
+          [
+            ("line_bytes", Jsonx.Int config.Replayer.line_bytes);
+            ("n_cores", Jsonx.Int config.Replayer.n_cores);
+            ("mem_latency", Jsonx.Int config.Replayer.mem_latency);
+            ("l1", level_json config.Replayer.l1);
+            ("l2", level_json config.Replayer.l2);
+            ( "l3",
+              match config.Replayer.l3 with
+              | Some lv -> level_json lv
+              | None -> Jsonx.Null );
+          ] );
+      ("accesses", Jsonx.Int s.Replayer.accesses);
+      ("reads", Jsonx.Int s.Replayer.reads);
+      ("writes", Jsonx.Int s.Replayer.writes);
+      ("l1_hits", Jsonx.Int s.Replayer.l1_hits);
+      ("l2_accesses", Jsonx.Int s.Replayer.l2_accesses);
+      ("l2_hits", Jsonx.Int s.Replayer.l2_hits);
+      ("l3_accesses", Jsonx.Int s.Replayer.l3_accesses);
+      ("l3_hits", Jsonx.Int s.Replayer.l3_hits);
+      ("mem_accesses", Jsonx.Int s.Replayer.mem_accesses);
+      ("l1_evictions", Jsonx.Int s.Replayer.l1_evictions);
+      ("l2_evictions", Jsonx.Int s.Replayer.l2_evictions);
+      ("l3_evictions", Jsonx.Int s.Replayer.l3_evictions);
+      ("writebacks", Jsonx.Int s.Replayer.writebacks);
+      ("invalidations", Jsonx.Int s.Replayer.invalidations);
+      ("c2c_transfers", Jsonx.Int s.Replayer.c2c_transfers);
+      ("total_cycles", Jsonx.Int s.Replayer.total_cycles);
+      ("l1_hit_rate", rate s.Replayer.l1_hits s.Replayer.accesses);
+      ("l2_hit_rate", rate s.Replayer.l2_hits s.Replayer.l2_accesses);
+      ("l3_hit_rate", rate s.Replayer.l3_hits s.Replayer.l3_accesses);
+      ( "avg_cycles",
+        rate s.Replayer.total_cycles s.Replayer.accesses );
+    ]
+
+let pct num den =
+  if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+
+let summary_human (s : Replayer.summary) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "accesses          %d (%d reads, %d writes)\n"
+    s.Replayer.accesses s.Replayer.reads s.Replayer.writes;
+  Printf.bprintf b "L1 hits           %d (%.2f%%)\n" s.Replayer.l1_hits
+    (pct s.Replayer.l1_hits s.Replayer.accesses);
+  Printf.bprintf b "L2 hits           %d / %d (%.2f%%)\n" s.Replayer.l2_hits
+    s.Replayer.l2_accesses
+    (pct s.Replayer.l2_hits s.Replayer.l2_accesses);
+  Printf.bprintf b "L3 hits           %d / %d (%.2f%%)\n" s.Replayer.l3_hits
+    s.Replayer.l3_accesses
+    (pct s.Replayer.l3_hits s.Replayer.l3_accesses);
+  Printf.bprintf b "memory accesses   %d\n" s.Replayer.mem_accesses;
+  Printf.bprintf b "evictions         L1 %d, L2 %d, L3 %d\n"
+    s.Replayer.l1_evictions s.Replayer.l2_evictions
+    s.Replayer.l3_evictions;
+  Printf.bprintf b "writebacks to mem %d\n" s.Replayer.writebacks;
+  if s.Replayer.invalidations > 0 || s.Replayer.c2c_transfers > 0 then
+    Printf.bprintf b "coherence         %d invalidations, %d c2c\n"
+      s.Replayer.invalidations s.Replayer.c2c_transfers;
+  Printf.bprintf b "total cycles      %d (%.2f avg/access)\n"
+    s.Replayer.total_cycles
+    (if s.Replayer.accesses = 0 then 0.
+     else
+       float_of_int s.Replayer.total_cycles
+       /. float_of_int s.Replayer.accesses);
+  Buffer.contents b

@@ -1,0 +1,109 @@
+(** Streaming I/O for real memory-access traces (trace format v2).
+
+    Two interchangeable encodings of the same record stream
+    [(tid, read|write, byte address)]:
+
+    {b Text} — the CacheTrace-style line format, one access per line:
+    {v
+    # comments and blank lines are ignored; '#' starts a trailing comment
+    R 0x1000
+    W 0x2a40 3        # optional thread-id column (default 0)
+    r 4096            # op is case-insensitive; addresses may be decimal
+    v}
+
+    {b Binary} — a length-prefixed fast path for multi-GB traces:
+    {v
+    magic   8 bytes   "CACTIRPB"
+    version u32 LE    1
+    chunk*  u32 LE n  record count; n = 0 terminates the stream
+            n records of 11 bytes each:
+              flags u8     bit 0 = write (other bits must be zero)
+              tid   u16 LE
+              addr  u64 LE (must be < 2^62)
+    v}
+
+    Both readers stream in fixed-size chunks, so a trace of any length is
+    parsed in constant memory; {!iter_channel} never allocates per record
+    beyond the closure call.  Addresses are byte addresses; thread ids are
+    bounded by 65535. *)
+
+exception Parse_error of { path : string; line : int; msg : string }
+(** Malformed input, typed: bad op/address/tid on a text line, bad magic,
+    version, flags, oversized chunk, truncation or trailing bytes in a
+    binary stream.  [line] is the 1-based text line, or the 1-based record
+    index (0 for framing problems) in a binary stream. *)
+
+type format = Text | Binary
+
+val format_to_string : format -> string
+
+val detect_file : string -> format
+(** Sniffs the first bytes of the file for the binary magic; anything else
+    is treated as text.  Raises [Sys_error] on I/O failure. *)
+
+val max_tid : int
+(** 65535 — the largest encodable thread id. *)
+
+val max_addr : int
+(** [2^62 - 1] — the largest encodable byte address. *)
+
+(** {1 Reading} *)
+
+val iter_channel :
+  path:string ->
+  format ->
+  in_channel ->
+  f:(tid:int -> write:bool -> addr:int -> unit) ->
+  int
+(** Streams every record through [f] in trace order and returns the record
+    count.  Raises {!Parse_error} on malformed input; [path] only labels
+    errors. *)
+
+val iter_file :
+  ?format:format ->
+  string ->
+  f:(tid:int -> write:bool -> addr:int -> unit) ->
+  int
+(** Opens, {!detect_file}s when [format] is omitted, iterates, closes
+    (also on exception). *)
+
+(** {1 In-memory traces}
+
+    For consumers that replay the same trace several times (the study's
+    config matrix, benchmarks): two flat int arrays, no per-record boxing. *)
+
+type packed = {
+  n : int;
+  addrs : int array;  (** byte addresses, [0 .. n-1] *)
+  meta : int array;  (** [(tid lsl 1) lor write], [0 .. n-1] *)
+}
+
+val load : ?format:format -> string -> packed
+val of_records : (int * bool * int) array -> packed
+(** [(tid, write, addr)] records, validated against the encodable bounds. *)
+
+val iter_packed :
+  packed -> f:(tid:int -> write:bool -> addr:int -> unit) -> unit
+
+(** {1 Writing} *)
+
+type writer
+
+val open_writer : format -> out_channel -> writer
+(** Binary: emits the header immediately.  Text: emits a comment header
+    line. *)
+
+val write_record : writer -> tid:int -> write:bool -> addr:int -> unit
+(** Raises [Invalid_argument] when [tid]/[addr] exceed the encodable
+    bounds. *)
+
+val close_writer : writer -> unit
+(** Flushes buffered records and, in binary, writes the zero-count
+    terminator.  Does not close the underlying channel. *)
+
+val convert :
+  src:string -> ?src_format:format -> dst:string -> dst_format:format ->
+  unit -> int
+(** Streams [src] into [dst] re-encoded, returning the record count.  The
+    conversion is lossless: converting back yields the identical record
+    sequence (the qcheck roundtrip property in [test/test_replay.ml]). *)

@@ -1,5 +1,6 @@
 (** Functional-with-state set-associative cache for the architectural
-    simulator: true LRU, write-back/write-allocate, MESI line states.
+    simulator: pluggable replacement ({!Policy} — true LRU by default),
+    write-back/write-allocate, MESI line states.
 
     Addresses are line indices (the byte address divided by the line size —
     the engine works in line units throughout).
@@ -7,7 +8,11 @@
     The per-access entry points come in two flavors: the boxed API
     ({!access}, {!fill}, {!probe}) used by tests and exploratory code, and
     the unboxed [_int]/[_packed] API the engine's hot loop uses, which
-    returns sentinel-encoded ints and allocates nothing. *)
+    returns sentinel-encoded ints and allocates nothing.  Replacement
+    metadata lives in pre-sized int arrays (per-way stamps/ages/bits and a
+    per-set word for the Tree-PLRU bits or the QLRU R1 pointer), so every
+    policy keeps the access path allocation-free; the default-LRU victim
+    scan is the historical code, bit-for-bit. *)
 
 type state = I | S | E | M
 
@@ -18,15 +23,19 @@ val state_of_int : int -> state
 
 type t
 
-val create : ?assoc:int -> lines:int -> unit -> t
+val create : ?assoc:int -> ?policy:Policy.t -> lines:int -> unit -> t
 (** [lines] is the capacity in cache lines; [assoc] defaults to 8.  [lines]
     must be divisible by [assoc]; the set count is rounded up to a power of
     two (capacity is preserved by widening associativity on the last
-    doubling if needed). *)
+    doubling if needed).  [policy] (default {!Policy.Lru}) selects the
+    replacement policy; [Tree_plru] additionally requires the (possibly
+    widened) associativity to be a power of two, else [Invalid_argument]. *)
 
 val lines : t -> int
 val assoc : t -> int
 val sets : t -> int
+
+val policy : t -> Policy.t
 
 type lookup = Hit of state | Miss
 
@@ -48,7 +57,8 @@ val access_int : t -> line:int -> write:bool -> int
 type eviction = { line : int; state : state }
 
 val fill : t -> line:int -> state:state -> eviction option
-(** Allocates [line] (LRU victim evicted, returned if it was valid).
+(** Allocates [line] (the policy's victim is evicted and returned if it was
+    valid; an invalid way absorbs the fill first under every policy).
     The line must not already be present. *)
 
 val fill_packed : t -> line:int -> state_int:int -> int
