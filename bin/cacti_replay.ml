@@ -60,7 +60,7 @@ let with_out_channel path f =
       Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
 
 let run_replay trace format cpu l1 l2 l3 cores line_bytes mem_latency
-    output out summary_file quiet _jobs =
+    output out summary_file quiet jobs =
   match resolve_policies cpu l1 l2 l3 with
   | Error d -> fail_diags [ d ] Cacti_util.Diag.exit_invalid_spec
   | Ok (p1, p2, p3) -> (
@@ -74,45 +74,63 @@ let run_replay trace format cpu l1 l2 l3 cores line_bytes mem_latency
           }
       in
       try
-        let r = Replayer.create cfg in
-        let buf = Buffer.create 65536 in
+        let render : Replayer.render option =
+          match output with
+          | Csv ->
+              Some
+                (fun buf ~seq ~tid ~write ~addr o ->
+                  Report.append_csv_row buf ~seq ~tid ~write ~addr
+                    ~line_bytes o)
+          | Jsonl ->
+              Some
+                (fun buf ~seq ~tid ~write ~addr o ->
+                  Report.append_jsonl_row buf ~seq ~tid ~write ~addr
+                    ~line_bytes o)
+          | No_output -> None
+        in
         let run_stream oc =
           if output = Csv then begin
-            Buffer.add_string buf Report.csv_header;
-            Buffer.add_char buf '\n'
+            output_string oc Report.csv_header;
+            output_char oc '\n'
           end;
-          let seq = ref 0 in
-          let step ~tid ~write ~addr =
-            let o = r |> fun r -> Replayer.step r ~tid ~write ~addr in
-            (match output with
-            | Csv ->
-                Report.append_csv_row buf ~seq:!seq ~tid ~write ~addr
-                  ~line_bytes o
-            | Jsonl ->
-                Report.append_jsonl_row buf ~seq:!seq ~tid ~write ~addr
-                  ~line_bytes o
-            | No_output -> ());
-            incr seq;
-            if Buffer.length buf >= 1 lsl 16 then begin
-              Buffer.output_buffer oc buf;
-              Buffer.clear buf
-            end
-          in
-          let n =
+          let emit s = output_string oc s in
+          let res =
             match trace with
             | "-" ->
-                Trace_io.iter_channel ~path:"<stdin>"
-                  (Option.value format ~default:Trace_io.Text)
-                  stdin ~f:step
-            | path -> Trace_io.iter_file ?format path ~f:step
+                (* stdin cannot be mapped or re-read: stream serially. *)
+                let r = Replayer.create cfg in
+                let buf = Buffer.create 65536 in
+                let seq = ref 0 in
+                let n =
+                  Trace_io.iter_channel ~path:"<stdin>"
+                    (Option.value format ~default:Trace_io.Text)
+                    stdin
+                    ~f:(fun ~tid ~write ~addr ->
+                      let o = Replayer.step r ~tid ~write ~addr in
+                      (match render with
+                      | Some rd ->
+                          rd buf ~seq:!seq ~tid ~write ~addr o;
+                          if Buffer.length buf >= 1 lsl 16 then begin
+                            emit (Buffer.contents buf);
+                            Buffer.clear buf
+                          end
+                      | None -> ());
+                      incr seq)
+                in
+                if Buffer.length buf > 0 then emit (Buffer.contents buf);
+                ignore (n : int);
+                (Replayer.summary r, [])
+            | path ->
+                (* Files replay sharded on the low set-index bits: output
+                   is byte-identical to serial for any --jobs. *)
+                let source = Trace_io.load_source ?format path in
+                Replayer.run_sharded ?jobs ?render ~emit cfg source
           in
-          Buffer.output_buffer oc buf;
-          Buffer.clear buf;
           flush oc;
-          n
+          res
         in
-        let n = with_out_channel out run_stream in
-        let s = Replayer.summary r in
+        let s, diags = with_out_channel out run_stream in
+        if diags <> [] then prerr_endline (Cacti_util.Diag.render diags);
         (match summary_file with
         | None -> ()
         | Some p ->
@@ -125,7 +143,7 @@ let run_replay trace format cpu l1 l2 l3 cores line_bytes mem_latency
             output_char oc '\n';
             close_out oc);
         if not quiet then begin
-          Printf.eprintf "replayed %d accesses\n" n;
+          Printf.eprintf "replayed %d accesses\n" s.Replayer.accesses;
           prerr_string (Report.summary_human s)
         end;
         Cacti_util.Diag.exit_ok
@@ -161,12 +179,14 @@ let run_convert src dst to_format =
           | Trace_io.Text -> Trace_io.Binary
           | Trace_io.Binary -> Trace_io.Text)
     in
-    let n = Trace_io.convert ~src ~src_format ~dst ~dst_format () in
-    Printf.printf "converted %d records (%s -> %s) into %s\n" n
-      (Trace_io.format_to_string src_format)
-      (Trace_io.format_to_string dst_format)
-      dst;
-    Cacti_util.Diag.exit_ok
+    match Trace_io.convert ~src ~src_format ~dst ~dst_format () with
+    | Error d -> fail_diags [ d ] Cacti_util.Diag.exit_invalid_spec
+    | Ok n ->
+        Printf.printf "converted %d records (%s -> %s) into %s\n" n
+          (Trace_io.format_to_string src_format)
+          (Trace_io.format_to_string dst_format)
+          dst;
+        Cacti_util.Diag.exit_ok
   with
   | Trace_io.Parse_error { path; line; msg } ->
       fail_diags
@@ -267,10 +287,13 @@ let run_cmd =
       & opt (some int) None
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
-            "Accepted for symmetry with the other tools.  Replay is \
-             strictly sequential in trace order (cache state makes \
-             accesses inherently dependent), so any value produces \
-             byte-identical output.")
+            "Worker domains for sharded replay (default: cores - 1).  \
+             File traces are partitioned on the set-index bits shared by \
+             every cache level, so results — summary and per-access \
+             stream — are byte-identical for any value.  Geometries \
+             whose line size or set counts are not powers of two fall \
+             back to serial replay with a warning; stdin always streams \
+             serially.")
   in
   let term =
     Term.(

@@ -94,9 +94,19 @@ type acc = {
   mutable total_cycles : int;
 }
 
+(* Latencies are hoisted out of [cfg] as cumulative per-level costs and
+   the core caches indexed with [Array.unsafe_get] ([core] is always
+   [tid mod n_cores]): [step] is the per-access hot loop of multi-hour
+   replays. *)
 type t = {
   cfg : config;
   line_shift : int;
+  n_cores : int;
+  multi : bool;  (** [n_cores > 1]: coherence work is needed at all *)
+  lat_l1 : int;  (** L1 hit cost *)
+  lat_l2 : int;  (** cumulative L2 hit cost (l1 + l2) *)
+  lat_l3 : int;  (** cumulative L3 hit cost (0 without an L3) *)
+  lat_mem : int;  (** cumulative full miss cost *)
   l1s : Cache_sim.t array;
   l2s : Cache_sim.t array;
   l3c : Cache_sim.t option;
@@ -109,7 +119,7 @@ let st_s = 1
 let st_e = 2
 let st_m = 3
 
-let create cfg =
+let create (cfg : config) =
   if cfg.n_cores <= 0 then invalid_arg "Replayer.create: n_cores";
   if cfg.mem_latency <= 0 then invalid_arg "Replayer.create: mem_latency";
   if cfg.line_bytes <= 0 || not (Cacti_util.Floatx.is_pow2 cfg.line_bytes)
@@ -117,9 +127,21 @@ let create cfg =
   let mk (lv : level) =
     Cache_sim.create ~assoc:lv.assoc ~policy:lv.policy ~lines:lv.lines ()
   in
+  let lat_l2 = cfg.l1.latency + cfg.l2.latency in
+  let lat_l3 =
+    match cfg.l3 with Some lv -> lat_l2 + lv.latency | None -> 0
+  in
   {
     cfg;
     line_shift = Cacti_util.Floatx.clog2 cfg.line_bytes;
+    n_cores = cfg.n_cores;
+    multi = cfg.n_cores > 1;
+    lat_l1 = cfg.l1.latency;
+    lat_l2;
+    lat_l3;
+    lat_mem =
+      (match cfg.l3 with Some _ -> lat_l3 | None -> lat_l2)
+      + cfg.mem_latency;
     l1s = Array.init cfg.n_cores (fun _ -> mk cfg.l1);
     l2s = Array.init cfg.n_cores (fun _ -> mk cfg.l2);
     l3c = Option.map mk cfg.l3;
@@ -163,32 +185,34 @@ let push_dirty_down t o line =
       o.writebacks <- o.writebacks + 1
 
 let fill_l2 t o core line state_int =
-  let ev = Cache_sim.fill_packed t.l2s.(core) ~line ~state_int in
+  let ev = Cache_sim.fill_packed (Array.unsafe_get t.l2s core) ~line ~state_int in
   if ev >= 0 then begin
     t.a.l2_evictions <- t.a.l2_evictions + 1;
     if o.l2_victim < 0 then o.l2_victim <- ev;
     let v = ev lsr 2 in
     (* inclusion: the L1 copy of an evicted L2 line dies with it *)
-    Cache_sim.set_state_int t.l1s.(core) ~line:v 0;
+    Cache_sim.set_state_int (Array.unsafe_get t.l1s core) ~line:v 0;
     if ev land 3 = st_m then push_dirty_down t o v
   end
 
 let fill_l1 t o core line state_int =
-  let ev = Cache_sim.fill_packed t.l1s.(core) ~line ~state_int in
+  let ev = Cache_sim.fill_packed (Array.unsafe_get t.l1s core) ~line ~state_int in
   if ev >= 0 then begin
     t.a.l1_evictions <- t.a.l1_evictions + 1;
     if o.l1_victim < 0 then o.l1_victim <- ev;
     if ev land 3 = st_m then
       (* write back into the L2 copy (inclusion guarantees presence) *)
-      Cache_sim.set_state_int t.l2s.(core) ~line:(ev lsr 2) st_m
+      Cache_sim.set_state_int (Array.unsafe_get t.l2s core) ~line:(ev lsr 2)
+        st_m
   end
 
 (* Invalidate every other core's copy (a write claiming exclusivity). *)
 let invalidate_others t o core line =
-  for c = 0 to t.cfg.n_cores - 1 do
-    if c <> core && Cache_sim.probe_int t.l2s.(c) line <> 0 then begin
-      Cache_sim.set_state_int t.l2s.(c) ~line 0;
-      Cache_sim.set_state_int t.l1s.(c) ~line 0;
+  for c = 0 to t.n_cores - 1 do
+    if c <> core && Cache_sim.probe_int (Array.unsafe_get t.l2s c) line <> 0
+    then begin
+      Cache_sim.set_state_int (Array.unsafe_get t.l2s c) ~line 0;
+      Cache_sim.set_state_int (Array.unsafe_get t.l1s c) ~line 0;
       t.a.invals <- t.a.invals + 1;
       o.invalidations <- o.invalidations + 1
     end
@@ -198,9 +222,10 @@ let invalidate_others t o core line =
 let dirty_owner t core line =
   let owner = ref (-1) in
   let c = ref 0 in
-  while !owner < 0 && !c < t.cfg.n_cores do
-    if !c <> core && Cache_sim.probe_int t.l2s.(!c) line = st_m then
-      owner := !c
+  while !owner < 0 && !c < t.n_cores do
+    if !c <> core
+       && Cache_sim.probe_int (Array.unsafe_get t.l2s !c) line = st_m
+    then owner := !c
     else incr c
   done;
   !owner
@@ -217,35 +242,34 @@ let step t ~tid ~write ~addr =
   o.invalidations <- 0;
   o.c2c <- false;
   let line = addr lsr t.line_shift in
-  let core = tid mod t.cfg.n_cores in
+  let core = tid mod t.n_cores in
   a.accesses <- a.accesses + 1;
   if write then a.writes <- a.writes + 1 else a.reads <- a.reads + 1;
-  let l1 = t.l1s.(core) and l2 = t.l2s.(core) in
+  let l1 = Array.unsafe_get t.l1s core and l2 = Array.unsafe_get t.l2s core in
   let s1 = Cache_sim.access_int l1 ~line ~write in
   if s1 >= 0 then begin
     a.l1_hits <- a.l1_hits + 1;
     if write then begin
       (* claiming exclusivity on a shared line invalidates peers *)
-      if s1 = st_s && t.cfg.n_cores > 1 then invalidate_others t o core line;
+      if s1 = st_s && t.multi then invalidate_others t o core line;
       if s1 <> st_m then Cache_sim.set_state_int l2 ~line st_m
     end;
     o.level <- 0;
-    o.cycles <- t.cfg.l1.latency
+    o.cycles <- t.lat_l1
   end
   else begin
     a.l2_accesses <- a.l2_accesses + 1;
     let s2 = Cache_sim.access_int l2 ~line ~write in
     if s2 >= 0 then begin
       a.l2_hits <- a.l2_hits + 1;
-      if write && s2 = st_s && t.cfg.n_cores > 1 then
-        invalidate_others t o core line;
+      if write && s2 = st_s && t.multi then invalidate_others t o core line;
       fill_l1 t o core line (if write then st_m else st_s);
       o.level <- 1;
-      o.cycles <- t.cfg.l1.latency + t.cfg.l2.latency
+      o.cycles <- t.lat_l2
     end
     else begin
       (* L2 miss: resolve coherence against peer caches first. *)
-      if t.cfg.n_cores > 1 then begin
+      if t.multi then begin
         let owner = dirty_owner t core line in
         if owner >= 0 then begin
           a.c2c <- a.c2c + 1;
@@ -269,9 +293,7 @@ let step t ~tid ~write ~addr =
             fill_l2 t o core line (if write then st_m else st_s);
             fill_l1 t o core line (if write then st_m else st_s);
             o.level <- 2;
-            o.cycles <-
-              t.cfg.l1.latency + t.cfg.l2.latency
-              + (Option.get t.cfg.l3).latency
+            o.cycles <- t.lat_l3
           end
           else begin
             a.mem_accesses <- a.mem_accesses + 1;
@@ -287,17 +309,14 @@ let step t ~tid ~write ~addr =
             fill_l2 t o core line (if write then st_m else st_e);
             fill_l1 t o core line (if write then st_m else st_e);
             o.level <- 3;
-            o.cycles <-
-              t.cfg.l1.latency + t.cfg.l2.latency
-              + (Option.get t.cfg.l3).latency + t.cfg.mem_latency
+            o.cycles <- t.lat_mem
           end
       | None ->
           a.mem_accesses <- a.mem_accesses + 1;
           fill_l2 t o core line (if write then st_m else st_e);
           fill_l1 t o core line (if write then st_m else st_e);
           o.level <- 3;
-          o.cycles <-
-            t.cfg.l1.latency + t.cfg.l2.latency + t.cfg.mem_latency
+          o.cycles <- t.lat_mem
     end
   end;
   a.total_cycles <- a.total_cycles + o.cycles;
@@ -322,6 +341,34 @@ type summary = {
   total_cycles : int;
 }
 
+let empty_summary =
+  {
+    accesses = 0; reads = 0; writes = 0; l1_hits = 0; l2_accesses = 0;
+    l2_hits = 0; l3_accesses = 0; l3_hits = 0; mem_accesses = 0;
+    l1_evictions = 0; l2_evictions = 0; l3_evictions = 0; writebacks = 0;
+    invalidations = 0; c2c_transfers = 0; total_cycles = 0;
+  }
+
+let add_summary x y =
+  {
+    accesses = x.accesses + y.accesses;
+    reads = x.reads + y.reads;
+    writes = x.writes + y.writes;
+    l1_hits = x.l1_hits + y.l1_hits;
+    l2_accesses = x.l2_accesses + y.l2_accesses;
+    l2_hits = x.l2_hits + y.l2_hits;
+    l3_accesses = x.l3_accesses + y.l3_accesses;
+    l3_hits = x.l3_hits + y.l3_hits;
+    mem_accesses = x.mem_accesses + y.mem_accesses;
+    l1_evictions = x.l1_evictions + y.l1_evictions;
+    l2_evictions = x.l2_evictions + y.l2_evictions;
+    l3_evictions = x.l3_evictions + y.l3_evictions;
+    writebacks = x.writebacks + y.writebacks;
+    invalidations = x.invalidations + y.invalidations;
+    c2c_transfers = x.c2c_transfers + y.c2c_transfers;
+    total_cycles = x.total_cycles + y.total_cycles;
+  }
+
 let summary t =
   let a = t.a in
   {
@@ -342,3 +389,197 @@ let summary t =
     c2c_transfers = a.c2c;
     total_cycles = a.total_cycles;
   }
+
+(* ---------------- set-sharded parallel replay ----------------
+
+   With power-of-two [line_bytes] and power-of-two set counts at every
+   level, an address's L1/L2/L3 set indices all embed the same low bits
+   of [addr lsr line_shift].  Partitioning the trace on those m bits
+   therefore hands each worker a disjoint slice of every level: a fill's
+   victim shares the inserted line's set index, inclusion kills and dirty
+   push-downs act on that same line, and peer invalidations / c2c probes
+   act on the missing line itself — so no shard ever touches another
+   shard's sets.  Replacement state is per-set for every policy (LRU's
+   global clock only ever compares stamps within one set, and the
+   per-set access order is preserved inside a shard), the timing model is
+   additive with no cross-access contention, and all counters are sums —
+   so the per-shard runs compose to bit-identical summaries, and merging
+   the per-access rows back in original trace order reproduces the serial
+   CSV/JSONL byte for byte. *)
+
+type render =
+  Buffer.t -> seq:int -> tid:int -> write:bool -> addr:int -> outcome -> unit
+
+let shard_plan cfg ~bits =
+  let unsupported fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Error
+          (Cacti_util.Diag.warning ~component:"replay"
+             ~reason:"shard_unsupported"
+             (msg ^ " — falling back to serial replay")))
+      fmt
+  in
+  if bits <= 0 then Ok 0
+  else if cfg.line_bytes <= 0 || not (Cacti_util.Floatx.is_pow2 cfg.line_bytes)
+  then unsupported "line_bytes %d is not a power of two" cfg.line_bytes
+  else begin
+    let level_bits name (lv : level) =
+      if lv.lines <= 0 || lv.assoc <= 0 || lv.lines mod lv.assoc <> 0 then
+        unsupported "%s geometry (%d lines, %d-way) has no integral set count"
+          name lv.lines lv.assoc
+      else begin
+        let sets = lv.lines / lv.assoc in
+        if not (Cacti_util.Floatx.is_pow2 sets) then
+          unsupported "%s set count %d is not a power of two" name sets
+        else Ok (Cacti_util.Floatx.clog2 sets)
+      end
+    in
+    let ( let* ) = Result.bind in
+    let* b1 = level_bits "L1" cfg.l1 in
+    let* b2 = level_bits "L2" cfg.l2 in
+    let* b3 =
+      match cfg.l3 with
+      | None -> Ok max_int
+      | Some lv -> level_bits "L3" lv
+    in
+    Ok (min (min bits Trace_io.max_shard_bits) (min b1 (min b2 b3)))
+  end
+
+let flush_bytes = 1 lsl 16
+
+(* The serial path, kept verbatim as the identity baseline: one replayer,
+   trace order, buffered row emission. *)
+let run_serial cfg source ~render ~emit =
+  let r = create cfg in
+  (match render with
+  | None ->
+      Trace_io.iter_source source ~f:(fun ~tid ~write ~addr ->
+          ignore (step r ~tid ~write ~addr : outcome))
+  | Some rd ->
+      let buf = Buffer.create flush_bytes in
+      let seq = ref 0 in
+      Trace_io.iter_source source ~f:(fun ~tid ~write ~addr ->
+          let o = step r ~tid ~write ~addr in
+          rd buf ~seq:!seq ~tid ~write ~addr o;
+          incr seq;
+          if Buffer.length buf >= flush_bytes then begin
+            emit (Buffer.contents buf);
+            Buffer.clear buf
+          end);
+      if Buffer.length buf > 0 then emit (Buffer.contents buf));
+  summary r
+
+let replay_shard r source (bk : Trace_io.buckets) ~shard =
+  match source with
+  | Trace_io.Packed tr ->
+      let idx = bk.Trace_io.seqs.(shard) in
+      let addrs = tr.Trace_io.addrs and meta = tr.Trace_io.meta in
+      for k = 0 to Array.length idx - 1 do
+        let i = Array.unsafe_get idx k in
+        let m = Array.unsafe_get meta i in
+        ignore
+          (step r ~tid:(m lsr 1) ~write:(m land 1 = 1)
+             ~addr:(Array.unsafe_get addrs i)
+            : outcome)
+      done
+  | Trace_io.Mapped mp ->
+      let offs = bk.Trace_io.offs.(shard) in
+      for k = 0 to Array.length offs - 1 do
+        let o = Array.unsafe_get offs k in
+        let m = Trace_io.off_meta mp o in
+        ignore
+          (step r ~tid:(m lsr 1) ~write:(m land 1 = 1)
+             ~addr:(Trace_io.off_addr mp o)
+            : outcome)
+      done
+
+let replay_shard_render r source (bk : Trace_io.buckets) ~shard rd buf =
+  match source with
+  | Trace_io.Packed tr ->
+      let idx = bk.Trace_io.seqs.(shard) in
+      let addrs = tr.Trace_io.addrs and meta = tr.Trace_io.meta in
+      for k = 0 to Array.length idx - 1 do
+        let i = Array.unsafe_get idx k in
+        let m = Array.unsafe_get meta i in
+        let tid = m lsr 1
+        and write = m land 1 = 1
+        and addr = Array.unsafe_get addrs i in
+        let o = step r ~tid ~write ~addr in
+        rd buf ~seq:i ~tid ~write ~addr o
+      done
+  | Trace_io.Mapped mp ->
+      let idx = bk.Trace_io.seqs.(shard) in
+      let offs = bk.Trace_io.offs.(shard) in
+      for k = 0 to Array.length offs - 1 do
+        let off = Array.unsafe_get offs k in
+        let m = Trace_io.off_meta mp off in
+        let tid = m lsr 1
+        and write = m land 1 = 1
+        and addr = Trace_io.off_addr mp off in
+        let o = step r ~tid ~write ~addr in
+        rd buf ~seq:(Array.unsafe_get idx k) ~tid ~write ~addr o
+      done
+
+(* Merge per-shard row buffers back into original trace order: record [i]'s
+   row is the next unconsumed row of shard [shard_of.(i)] (each shard
+   rendered its records in ascending [i], so a per-shard cursor suffices). *)
+let merge_rows (bk : Trace_io.buckets) outs n ~emit =
+  let ns = Array.length outs in
+  let cur = Array.make ns 0 in
+  let ob = Buffer.create flush_bytes in
+  for i = 0 to n - 1 do
+    let s = Char.code (Bytes.unsafe_get bk.Trace_io.shard_of i) in
+    let rows = Array.unsafe_get outs s in
+    let c = Array.unsafe_get cur s in
+    let j = String.index_from rows c '\n' in
+    Buffer.add_substring ob rows c (j - c + 1);
+    Array.unsafe_set cur s (j + 1);
+    if Buffer.length ob >= flush_bytes then begin
+      emit (Buffer.contents ob);
+      Buffer.clear ob
+    end
+  done;
+  if Buffer.length ob > 0 then emit (Buffer.contents ob)
+
+let run_sharded ?jobs ?bits ?render ?(emit = fun (_ : string) -> ()) cfg
+    source =
+  let jobs_n =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Cacti_util.Pool.default_jobs ()
+  in
+  let requested =
+    match bits with
+    | Some b -> b
+    | None -> Cacti_util.Floatx.clog2 (max 1 jobs_n)
+  in
+  let m, diags =
+    match shard_plan cfg ~bits:requested with
+    | Ok m -> (m, [])
+    | Error d -> (0, [ d ])
+  in
+  if m = 0 then (run_serial cfg source ~render ~emit, diags)
+  else begin
+    let ns = 1 lsl m in
+    let bk =
+      Trace_io.bucket source
+        ~line_shift:(Cacti_util.Floatx.clog2 cfg.line_bytes) ~bits:m
+    in
+    let sums = Array.make ns empty_summary in
+    let outs = Array.make ns "" in
+    let pool = Cacti_util.Pool.create ~jobs:jobs_n () in
+    Cacti_util.Pool.run_chunked ~chunk:1 pool ns (fun s ->
+        let r = create cfg in
+        (match render with
+        | None -> replay_shard r source bk ~shard:s
+        | Some rd ->
+            let buf = Buffer.create flush_bytes in
+            replay_shard_render r source bk ~shard:s rd buf;
+            outs.(s) <- Buffer.contents buf);
+        sums.(s) <- summary r);
+    (match render with
+    | None -> ()
+    | Some _ -> merge_rows bk outs (Trace_io.source_length source) ~emit);
+    (Array.fold_left add_summary empty_summary sums, diags)
+  end

@@ -106,3 +106,53 @@ type summary = {
 }
 
 val summary : t -> summary
+
+val empty_summary : summary
+val add_summary : summary -> summary -> summary
+(** Field-wise sum — every summary field is an additive counter, which is
+    what makes the sharded merge exact. *)
+
+(** {1 Set-sharded parallel replay}
+
+    With power-of-two [line_bytes] and power-of-two set counts at every
+    level, the L1/L2/L3 set indices of an address all embed the same low
+    bits of [addr / line_bytes].  Partitioning a trace on [m] of those
+    bits gives each worker a disjoint slice of every cache level — all
+    evictions, inclusion kills, writeback cascades, peer invalidations and
+    c2c transfers stay inside one shard — so per-shard replays compose to
+    {b bit-identical} summaries, and an original-index merge reproduces the
+    serial per-access stream byte for byte (see DESIGN.md). *)
+
+val shard_plan : config -> bits:int -> (int, Cacti_util.Diag.t) result
+(** The shard bit-count actually usable for [cfg]: [min] of the request,
+    every level's set bits, and {!Trace_io.max_shard_bits}.  [Ok 0] for
+    [bits <= 0] (serial).  [Error] (warning severity, reason
+    ["shard_unsupported"]) when [line_bytes] or any level's set count is
+    not a power of two — callers fall back to serial replay. *)
+
+type render =
+  Buffer.t -> seq:int -> tid:int -> write:bool -> addr:int -> outcome -> unit
+(** Renders one per-access row (newline-terminated) into the buffer; [seq]
+    is the original 0-based trace index.  [Report.append_csv_row] /
+    [append_jsonl_row] partially applied fit this shape. *)
+
+val run_sharded :
+  ?jobs:int ->
+  ?bits:int ->
+  ?render:render ->
+  ?emit:(string -> unit) ->
+  config ->
+  Trace_io.source ->
+  summary * Cacti_util.Diag.t list
+(** Replays the whole trace, sharded [2^bits] ways across a
+    [Cacti_util.Pool] of [jobs] domains ([bits] defaults to [clog2 jobs],
+    [jobs] to [Pool.default_jobs ()]).  Rendered rows are merged back into
+    original trace order and streamed through [emit] in ~64 KB slabs, so
+    output is byte-identical to a serial replay for {e any} [jobs]/[bits].
+    When the plan resolves to 0 bits (including the [shard_unsupported]
+    fallback, returned in the diag list) the serial path runs verbatim. *)
+
+val replay_shard : t -> Trace_io.source -> Trace_io.buckets -> shard:int -> unit
+(** Replays only the records of one shard into [t] (no rendering).
+    Building block for callers that schedule (config × shard) work items
+    on their own pool, e.g. [llc_study --replay]. *)

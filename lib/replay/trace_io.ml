@@ -171,6 +171,141 @@ let iter_file ?format path ~f =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> iter_channel ~path format ic ~f)
 
+(* ---------------- zero-copy mapped traces ---------------- *)
+
+type bigbytes =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type mapped = {
+  buf : bigbytes;
+  m_path : string;
+  m_n : int;
+  chunk_first : int array;
+      (** record index of chunk [c]'s first record; length [n_chunks + 1],
+          last entry = [m_n] *)
+  chunk_off : int array;  (** byte offset of chunk [c]'s first record *)
+}
+
+let mbyte (buf : bigbytes) o = Char.code (Bigarray.Array1.unsafe_get buf o)
+
+(* Bounds-checked u32 read used only while walking the chunk table. *)
+let mu32 path (buf : bigbytes) size pos what =
+  if pos + 4 > size then fail path 0 "truncated stream: missing %s" what;
+  mbyte buf pos
+  lor (mbyte buf (pos + 1) lsl 8)
+  lor (mbyte buf (pos + 2) lsl 16)
+  lor (mbyte buf (pos + 3) lsl 24)
+
+let map_binary path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let size, buf =
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        if size = 0 then fail path 0 "truncated stream: missing magic";
+        let g =
+          Unix.map_file fd Bigarray.char Bigarray.c_layout false [| size |]
+        in
+        (size, Bigarray.array1_of_genarray g))
+  in
+  let m = String.length magic in
+  if size < m then fail path 0 "truncated stream: missing magic";
+  for i = 0 to m - 1 do
+    if Bigarray.Array1.get buf i <> magic.[i] then
+      fail path 0 "bad magic (not a cacti-d binary trace)"
+  done;
+  let v = mu32 path buf size m "version" in
+  if v <> version then fail path 0 "unsupported binary trace version %d" v;
+  (* Walk the chunk headers (O(chunks), no record is touched) to index
+     every chunk's record range and byte offset. *)
+  let firsts = ref [] and offs = ref [] in
+  let rec walk pos first =
+    let n = mu32 path buf size pos "chunk header" in
+    if n = 0 then begin
+      if pos + 4 <> size then
+        fail path 0 "trailing bytes after the stream terminator";
+      first
+    end
+    else begin
+      if n > max_chunk_records then
+        fail path 0 "oversized chunk (%d records, max %d)" n max_chunk_records;
+      if pos + 4 + (n * record_bytes) > size then
+        fail path (first + 1) "truncated stream: incomplete chunk";
+      firsts := first :: !firsts;
+      offs := (pos + 4) :: !offs;
+      walk (pos + 4 + (n * record_bytes)) (first + n)
+    end
+  in
+  let m_n = walk (m + 4) 0 in
+  {
+    buf;
+    m_path = path;
+    m_n;
+    chunk_first = Array.of_list (List.rev (m_n :: !firsts));
+    chunk_off = Array.of_list (List.rev !offs);
+  }
+
+let mapped_length mp = mp.m_n
+
+(* Validate-and-decode the record at byte offset [o] (index [i] labels
+   errors), mirroring [iter_binary]'s diagnostics. *)
+let checked_flags mp i o =
+  let flags = mbyte mp.buf o in
+  if flags land lnot 1 <> 0 then
+    fail mp.m_path (i + 1) "invalid flag byte 0x%02x" flags;
+  flags
+
+let checked_addr mp i o =
+  let b7 = mbyte mp.buf (o + 10) in
+  if b7 land 0xC0 <> 0 then begin
+    (* out of [0, 2^62): render the full 64-bit value for the message *)
+    let a = ref 0L in
+    for k = 10 downto 3 do
+      a := Int64.logor (Int64.shift_left !a 8) (Int64.of_int (mbyte mp.buf (o + k)))
+    done;
+    fail mp.m_path (i + 1) "address 0x%Lx out of range [0, 2^62)" !a
+  end;
+  mbyte mp.buf (o + 3)
+  lor (mbyte mp.buf (o + 4) lsl 8)
+  lor (mbyte mp.buf (o + 5) lsl 16)
+  lor (mbyte mp.buf (o + 6) lsl 24)
+  lor (mbyte mp.buf (o + 7) lsl 32)
+  lor (mbyte mp.buf (o + 8) lsl 40)
+  lor (mbyte mp.buf (o + 9) lsl 48)
+  lor (b7 lsl 56)
+
+(* Unchecked accessors for replay hot loops: [o] must be a record offset
+   produced by {!bucket} (which validated the record). *)
+let off_meta mp o =
+  let tid = mbyte mp.buf (o + 1) lor (mbyte mp.buf (o + 2) lsl 8) in
+  (tid lsl 1) lor (mbyte mp.buf o land 1)
+
+let off_addr mp o =
+  mbyte mp.buf (o + 3)
+  lor (mbyte mp.buf (o + 4) lsl 8)
+  lor (mbyte mp.buf (o + 5) lsl 16)
+  lor (mbyte mp.buf (o + 6) lsl 24)
+  lor (mbyte mp.buf (o + 7) lsl 32)
+  lor (mbyte mp.buf (o + 8) lsl 40)
+  lor (mbyte mp.buf (o + 9) lsl 48)
+  lor (mbyte mp.buf (o + 10) lsl 56)
+
+let iter_mapped mp ~f =
+  for c = 0 to Array.length mp.chunk_off - 1 do
+    let first = mp.chunk_first.(c) in
+    let count = mp.chunk_first.(c + 1) - first in
+    let o = ref mp.chunk_off.(c) in
+    for k = 0 to count - 1 do
+      let i = first + k in
+      let flags = checked_flags mp i !o in
+      let addr = checked_addr mp i !o in
+      let tid = mbyte mp.buf (!o + 1) lor (mbyte mp.buf (!o + 2) lsl 8) in
+      f ~tid ~write:(flags land 1 = 1) ~addr;
+      o := !o + record_bytes
+    done
+  done
+
 (* ---------------- in-memory traces ---------------- *)
 
 type packed = { n : int; addrs : int array; meta : int array }
@@ -220,6 +355,99 @@ let iter_packed t ~f =
     let m = Array.unsafe_get t.meta i in
     f ~tid:(m lsr 1) ~write:(m land 1 = 1) ~addr:(Array.unsafe_get t.addrs i)
   done
+
+(* ---------------- sources and shard bucketing ---------------- *)
+
+type source = Packed of packed | Mapped of mapped
+
+let load_source ?format path =
+  let format =
+    match format with Some fmt -> fmt | None -> detect_file path
+  in
+  match format with
+  | Binary -> Mapped (map_binary path)
+  | Text -> Packed (load ~format path)
+
+let source_length = function Packed p -> p.n | Mapped m -> m.m_n
+
+let iter_source src ~f =
+  match src with Packed p -> iter_packed p ~f | Mapped m -> iter_mapped m ~f
+
+type buckets = {
+  b_bits : int;
+  shard_of : Bytes.t;  (** shard id of record [i] (merge walks this) *)
+  seqs : int array array;
+      (** per shard, ascending original record indices *)
+  offs : int array array;
+      (** per shard, the matching byte offsets ([Mapped] sources only;
+          [[||]]s for [Packed]) *)
+}
+
+let max_shard_bits = 8
+
+let bucket source ~line_shift ~bits =
+  if bits < 1 || bits > max_shard_bits then
+    invalid_arg "Trace_io.bucket: bits must be in 1..8";
+  let ns = 1 lsl bits in
+  let mask = ns - 1 in
+  let n = source_length source in
+  let shard_of = Bytes.create n in
+  let push tab len s v =
+    let a = tab.(s) in
+    let l = len.(s) in
+    let a =
+      if l = Array.length a then begin
+        let b = Array.make (2 * l) 0 in
+        Array.blit a 0 b 0 l;
+        tab.(s) <- b;
+        b
+      end
+      else a
+    in
+    Array.unsafe_set a l v;
+    len.(s) <- l + 1
+  in
+  let seqs = Array.init ns (fun _ -> Array.make 16 0) in
+  let seq_len = Array.make ns 0 in
+  match source with
+  | Packed tr ->
+      for i = 0 to n - 1 do
+        let s = (Array.unsafe_get tr.addrs i lsr line_shift) land mask in
+        Bytes.unsafe_set shard_of i (Char.unsafe_chr s);
+        push seqs seq_len s i
+      done;
+      {
+        b_bits = bits;
+        shard_of;
+        seqs = Array.init ns (fun s -> Array.sub seqs.(s) 0 seq_len.(s));
+        offs = Array.make ns [||];
+      }
+  | Mapped mp ->
+      let offs = Array.init ns (fun _ -> Array.make 16 0) in
+      let off_len = Array.make ns 0 in
+      (* One validating pass: record index and byte offset advance
+         together chunk by chunk. *)
+      for c = 0 to Array.length mp.chunk_off - 1 do
+        let first = mp.chunk_first.(c) in
+        let count = mp.chunk_first.(c + 1) - first in
+        let o = ref mp.chunk_off.(c) in
+        for k = 0 to count - 1 do
+          let i = first + k in
+          ignore (checked_flags mp i !o : int);
+          let addr = checked_addr mp i !o in
+          let s = (addr lsr line_shift) land mask in
+          Bytes.unsafe_set shard_of i (Char.unsafe_chr s);
+          push seqs seq_len s i;
+          push offs off_len s !o;
+          o := !o + record_bytes
+        done
+      done;
+      {
+        b_bits = bits;
+        shard_of;
+        seqs = Array.init ns (fun s -> Array.sub seqs.(s) 0 seq_len.(s));
+        offs = Array.init ns (fun s -> Array.sub offs.(s) 0 off_len.(s));
+      }
 
 (* ---------------- writers ---------------- *)
 
@@ -287,21 +515,28 @@ let close_writer w =
   end
 
 let convert ~src ?src_format ~dst ~dst_format () =
-  let src_format =
-    match src_format with Some fmt -> fmt | None -> detect_file src
-  in
-  let ic = open_in_bin src in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let oc = open_out_bin dst in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          let w = open_writer dst_format oc in
-          let n =
-            iter_channel ~path:src src_format ic ~f:(fun ~tid ~write ~addr ->
-                write_record w ~tid ~write ~addr)
-          in
-          close_writer w;
-          n))
+  let dir = Filename.dirname dst in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error
+      (Cacti_util.Diag.errorf ~component:"replay" ~reason:"output_dir_missing"
+         "cannot write %s: directory %s does not exist" dst dir)
+  else begin
+    let src_format =
+      match src_format with Some fmt -> fmt | None -> detect_file src
+    in
+    let ic = open_in_bin src in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let oc = open_out_bin dst in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            let w = open_writer dst_format oc in
+            let n =
+              iter_channel ~path:src src_format ic ~f:(fun ~tid ~write ~addr ->
+                  write_record w ~tid ~write ~addr)
+            in
+            close_writer w;
+            Ok n))
+  end

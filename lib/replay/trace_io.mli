@@ -85,6 +85,74 @@ val of_records : (int * bool * int) array -> packed
 val iter_packed :
   packed -> f:(tid:int -> write:bool -> addr:int -> unit) -> unit
 
+(** {1 Zero-copy mapped traces}
+
+    Binary trace files can be memory-mapped instead of stream-parsed: the
+    replay path then reads records straight out of the page cache with no
+    copy and no per-record channel I/O.  Only framing (magic, version,
+    chunk table) is validated at map time — O(chunks); record contents are
+    validated by the first full pass ({!iter_mapped} or {!bucket}). *)
+
+type mapped
+
+val map_binary : string -> mapped
+(** Maps a binary trace file ([Unix.map_file], read-only) and indexes its
+    chunk table.  Raises {!Parse_error} on bad magic/version, truncated or
+    oversized chunks, or trailing bytes; [Unix.Unix_error] if the file
+    cannot be opened. *)
+
+val mapped_length : mapped -> int
+(** Total record count (from the chunk table). *)
+
+val iter_mapped :
+  mapped -> f:(tid:int -> write:bool -> addr:int -> unit) -> unit
+(** Streams every record through [f] in trace order, validating flags and
+    address range exactly like the channel reader ({!Parse_error} labels
+    the 1-based record index). *)
+
+val off_meta : mapped -> int -> int
+(** [(tid lsl 1) lor write] of the record at a byte offset taken from
+    {!bucket}'s [offs].  Unchecked: offsets must come from {!bucket},
+    which validated the record. *)
+
+val off_addr : mapped -> int -> int
+(** Byte address of the record at a {!bucket} byte offset (unchecked, see
+    {!off_meta}). *)
+
+(** {1 Sources and shard bucketing} *)
+
+type source = Packed of packed | Mapped of mapped
+(** A replayable trace: either parsed into flat arrays or mapped
+    zero-copy.  {!load_source} picks [Mapped] for binary files. *)
+
+val load_source : ?format:format -> string -> source
+
+val source_length : source -> int
+
+val iter_source :
+  source -> f:(tid:int -> write:bool -> addr:int -> unit) -> unit
+
+type buckets = {
+  b_bits : int;
+  shard_of : Bytes.t;  (** shard id of record [i] (merge walks this) *)
+  seqs : int array array;
+      (** per shard, ascending original record indices *)
+  offs : int array array;
+      (** per shard, the matching byte offsets ([Mapped] sources only;
+          [[||]]s for [Packed]) *)
+}
+
+val max_shard_bits : int
+(** 8 — shard ids must fit a byte. *)
+
+val bucket : source -> line_shift:int -> bits:int -> buckets
+(** One pass over [source] assigning record [i] to shard
+    [(addr lsr line_shift) land (2^bits - 1)] and collecting each shard's
+    record indices (and, for [Mapped], byte offsets) in trace order.
+    For [Mapped] sources this pass also validates every record
+    ({!Parse_error} as in {!iter_mapped}).  [bits] must be in
+    [1 .. max_shard_bits]. *)
+
 (** {1 Writing} *)
 
 type writer
@@ -103,7 +171,10 @@ val close_writer : writer -> unit
 
 val convert :
   src:string -> ?src_format:format -> dst:string -> dst_format:format ->
-  unit -> int
+  unit -> (int, Cacti_util.Diag.t) result
 (** Streams [src] into [dst] re-encoded, returning the record count.  The
     conversion is lossless: converting back yields the identical record
-    sequence (the qcheck roundtrip property in [test/test_replay.ml]). *)
+    sequence (the qcheck roundtrip property in [test/test_replay.ml]).
+    Returns [Error] (reason ["output_dir_missing"]) when [dst]'s directory
+    does not exist instead of letting [open_out] raise a raw [Sys_error];
+    malformed {e input} still raises {!Parse_error}. *)

@@ -91,9 +91,12 @@ let find t line =
   let b = base t line in
   find_way t.ways line b (b + t.assoc - 1)
 
+(* [find] only returns -1 or an in-bounds way index, so the accessors below
+   index [ways]/[stamps] unsafely at it (this path runs once per replayed
+   access per level). *)
 let probe_int t line =
   let i = find t line in
-  if i < 0 then 0 else state_int_of t.ways.(i)
+  if i < 0 then 0 else state_int_of (Array.unsafe_get t.ways i)
 
 let probe t line = state_of_int (probe_int t line)
 
@@ -141,8 +144,9 @@ let qlru_age_others t b last skip =
   done
 
 let qlru_hit t b last i =
-  let a = t.stamps.(i) in
-  t.stamps.(i) <- (if a <= 1 then 0 else if a = 2 then t.q_h2 else t.q_h3);
+  let a = Array.unsafe_get t.stamps i in
+  Array.unsafe_set t.stamps i
+    (if a <= 1 then 0 else if a = 2 then t.q_h2 else t.q_h3);
   if t.q_u = 2 then qlru_age_others t b last i
 
 (* Victim in a full set: raise all ages by the same amount so the oldest
@@ -180,7 +184,7 @@ let qlru_victim t set b last =
   end
 
 let qlru_insert t b last i =
-  t.stamps.(i) <- t.q_m;
+  Array.unsafe_set t.stamps i t.q_m;
   if t.q_u >= 1 then qlru_age_others t b last i
 
 (* ---------------- MRU / MRU_N (kinds 3, 4) ----------------
@@ -224,7 +228,7 @@ let access_int t ~line ~write =
     (match t.kind with
     | 0 ->
         t.clock <- t.clock + 1;
-        t.stamps.(i) <- t.clock
+        Array.unsafe_set t.stamps i t.clock
     | 1 ->
         let set = line land t.set_mask in
         plru_point_away t set (i - (set * t.assoc))
@@ -234,10 +238,10 @@ let access_int t ~line ~write =
     | 3 ->
         let b = base t line in
         mru_mark_and_reset t b (b + t.assoc - 1) i
-    | _ -> t.stamps.(i) <- 1);
-    let w = t.ways.(i) in
+    | _ -> Array.unsafe_set t.stamps i 1);
+    let w = Array.unsafe_get t.ways i in
     let s = state_int_of w in
-    if write && s <> 3 then t.ways.(i) <- pack line 3;
+    if write && s <> 3 then Array.unsafe_set t.ways i (pack line 3);
     s
   end
 
@@ -306,12 +310,12 @@ let fill_packed t ~line ~state_int =
       end
     end
   in
-  let evicted = ways.(i) in
-  ways.(i) <- pack line state_int;
+  let evicted = Array.unsafe_get ways i in
+  Array.unsafe_set ways i (pack line state_int);
   (match t.kind with
   | 0 ->
       t.clock <- t.clock + 1;
-      stamps.(i) <- t.clock
+      Array.unsafe_set stamps i t.clock
   | 1 -> plru_point_away t (line land t.set_mask) (i - b)
   | 2 -> qlru_insert t b last i
   | _ -> mru_mark_and_reset t b last i);
@@ -325,7 +329,7 @@ let fill t ~line ~state =
 let set_state_int t ~line s =
   let i = find t line in
   if i >= 0 then
-    if s = 0 then t.ways.(i) <- invalid else t.ways.(i) <- pack line s
+    Array.unsafe_set t.ways i (if s = 0 then invalid else pack line s)
 
 let set_state t ~line s = set_state_int t ~line (state_to_int s)
 

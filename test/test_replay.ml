@@ -407,10 +407,106 @@ let prop_convert_roundtrip =
       close_out oc;
       let b = tmp_file ".crtb" in
       let c = tmp_file ".trc" in
-      let n1 = Trace_io.convert ~src:a ~dst:b ~dst_format:Trace_io.Binary () in
-      let n2 = Trace_io.convert ~src:b ~dst:c ~dst_format:Trace_io.Text () in
+      let count = function Ok n -> n | Error _ -> -1 in
+      let n1 =
+        count (Trace_io.convert ~src:a ~dst:b ~dst_format:Trace_io.Binary ())
+      in
+      let n2 =
+        count (Trace_io.convert ~src:b ~dst:c ~dst_format:Trace_io.Text ())
+      in
       let _, got = collect_iter (Trace_io.iter_file c) in
       n1 = List.length recs && n2 = n1 && got = recs)
+
+(* Satellite: a destination in a nonexistent directory is a typed Diag
+   refusal, not a raw Sys_error. *)
+let test_convert_output_dir () =
+  let src = tmp_file ".trc" in
+  write_file src "R 0x1000\n";
+  let dst =
+    Filename.concat
+      (Filename.concat (Filename.get_temp_dir_name ()) "no_such_dir_xyzzy")
+      "out.crtb"
+  in
+  match Trace_io.convert ~src ~dst ~dst_format:Trace_io.Binary () with
+  | Ok _ -> Alcotest.fail "missing output directory accepted"
+  | Error d ->
+      Alcotest.(check string) "reason" "output_dir_missing"
+        d.Cacti_util.Diag.reason;
+      Alcotest.(check bool) "severity" true
+        (d.Cacti_util.Diag.severity = Cacti_util.Diag.Error)
+
+(* ---------------------- zero-copy mapped traces -------------------- *)
+
+let write_binary_trace recs =
+  let path = tmp_file ".crtb" in
+  let oc = open_out_bin path in
+  let w = Trace_io.open_writer Trace_io.Binary oc in
+  Array.iter
+    (fun (tid, write, addr) -> Trace_io.write_record w ~tid ~write ~addr)
+    recs;
+  Trace_io.close_writer w;
+  close_out oc;
+  path
+
+let test_map_binary () =
+  (* more records than one writer chunk (65536), so the chunk table has
+     several entries *)
+  let n = 70_000 in
+  let recs =
+    Array.init n (fun i ->
+        (i land 0xFFFF, i land 1 = 0, (i * 2654435761) land 0xFFFFFFFF))
+  in
+  let path = write_binary_trace recs in
+  let mp = Trace_io.map_binary path in
+  Alcotest.(check int) "mapped_length" n (Trace_io.mapped_length mp);
+  let i = ref 0 in
+  Trace_io.iter_mapped mp ~f:(fun ~tid ~write ~addr ->
+      let etid, ewrite, eaddr = recs.(!i) in
+      if tid <> etid || write <> ewrite || addr <> eaddr then
+        Alcotest.failf "record %d differs" !i;
+      incr i);
+  Alcotest.(check int) "iterated all" n !i;
+  (* empty trace maps fine *)
+  let empty = write_binary_trace [||] in
+  Alcotest.(check int) "empty" 0
+    (Trace_io.mapped_length (Trace_io.map_binary empty))
+
+let test_map_malformed () =
+  let magic = "CACTIRPB" in
+  let version = "\x01\x00\x00\x00" in
+  let cases =
+    [
+      ("empty file", "");
+      ("bad magic", "CACTIRPX" ^ version);
+      ("bad version", magic ^ "\x02\x00\x00\x00");
+      ("truncated header", "CACTI");
+      ("missing terminator", magic ^ version);
+      ( "truncated record",
+        magic ^ version ^ "\x01\x00\x00\x00" ^ "\x00\x00\x00" );
+      ( "bad flags",
+        magic ^ version ^ "\x01\x00\x00\x00"
+        ^ "\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+        ^ "\x00\x00\x00\x00" );
+      ( "oversized address",
+        magic ^ version ^ "\x01\x00\x00\x00"
+        ^ "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\xFF"
+        ^ "\x00\x00\x00\x00" );
+      ("trailing bytes", magic ^ version ^ "\x00\x00\x00\x00" ^ "junk");
+    ]
+  in
+  List.iter
+    (fun (name, bytes) ->
+      let path = tmp_file ".crtb" in
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      match
+        let mp = Trace_io.map_binary path in
+        Trace_io.iter_mapped mp ~f:(fun ~tid:_ ~write:_ ~addr:_ -> ())
+      with
+      | exception Trace_io.Parse_error _ -> ()
+      | () -> Alcotest.failf "%s: accepted" name)
+    cases
 
 let prop_packed_roundtrip =
   QCheck.Test.make ~name:"of_records/iter_packed roundtrips" ~count:100
@@ -581,6 +677,145 @@ let test_replayer_bad_geometry () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "non-pow2 Tree-PLRU associativity accepted"
 
+(* ------------------------- sharded replay -------------------------- *)
+
+let with_policy p cores cfg =
+  let lv (l : Replayer.level) = { l with Replayer.policy = p } in
+  {
+    cfg with
+    Replayer.l1 = lv cfg.Replayer.l1;
+    l2 = lv cfg.Replayer.l2;
+    l3 = Option.map lv cfg.Replayer.l3;
+    n_cores = cores;
+  }
+
+let all_policies =
+  [
+    Mcsim.Policy.Lru;
+    Mcsim.Policy.Tree_plru;
+    Mcsim.Policy.Qlru { h2 = 1; h3 = 1; m = 1; r = 0; u = 0 };
+    Mcsim.Policy.Mru;
+    Mcsim.Policy.Mru_n;
+  ]
+
+let run_sharded_csv ~jobs ~bits cfg source =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b Report.csv_header;
+  Buffer.add_char b '\n';
+  let render buf ~seq ~tid ~write ~addr o =
+    Report.append_csv_row buf ~seq ~tid ~write ~addr
+      ~line_bytes:cfg.Replayer.line_bytes o
+  in
+  let s, diags =
+    Replayer.run_sharded ~jobs ~bits ~render ~emit:(Buffer.add_string b) cfg
+      source
+  in
+  (Buffer.contents b, s, diags)
+
+let test_shard_plan () =
+  (* small_config: 4 / 4 / 8 sets, so at most 2 shared set-index bits *)
+  (match Replayer.shard_plan small_config ~bits:8 with
+  | Ok m -> Alcotest.(check int) "clamped to min level set bits" 2 m
+  | Error d -> Alcotest.failf "unexpected: %s" d.Cacti_util.Diag.reason);
+  (match Replayer.shard_plan small_config ~bits:1 with
+  | Ok m -> Alcotest.(check int) "request honoured" 1 m
+  | Error _ -> Alcotest.fail "bits:1 rejected");
+  (match Replayer.shard_plan small_config ~bits:0 with
+  | Ok m -> Alcotest.(check int) "0 bits is serial" 0 m
+  | Error _ -> Alcotest.fail "bits:0 rejected");
+  let check_unsupported name cfg =
+    match Replayer.shard_plan cfg ~bits:2 with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error d ->
+        Alcotest.(check string) (name ^ " reason") "shard_unsupported"
+          d.Cacti_util.Diag.reason;
+        Alcotest.(check bool) (name ^ " is a warning") true
+          (d.Cacti_util.Diag.severity = Cacti_util.Diag.Warning)
+  in
+  check_unsupported "non-pow2 line_bytes"
+    { small_config with Replayer.line_bytes = 48 };
+  check_unsupported "non-pow2 set count"
+    {
+      small_config with
+      Replayer.l2 =
+        { Replayer.lines = 24; assoc = 4; latency = 14;
+          policy = Mcsim.Policy.Lru };
+    }
+
+(* A geometry the planner rejects still replays — serially, with the
+   typed warning surfaced — and matches the plain serial path exactly. *)
+let test_sharded_fallback () =
+  let cfg =
+    {
+      small_config with
+      Replayer.l2 =
+        { Replayer.lines = 24; assoc = 4; latency = 14;
+          policy = Mcsim.Policy.Lru };
+    }
+  in
+  let recs = synthetic_records 2_000 in
+  let serial_csv, serial_sum = replay_csv cfg recs in
+  let source = Trace_io.Packed (Trace_io.of_records recs) in
+  let csv, sum, diags = run_sharded_csv ~jobs:4 ~bits:2 cfg source in
+  Alcotest.(check bool) "fell back with a diagnostic" true
+    (List.exists
+       (fun d -> d.Cacti_util.Diag.reason = "shard_unsupported")
+       diags);
+  Alcotest.(check bool) "summary equals serial" true (sum = serial_sum);
+  Alcotest.(check string) "stream equals serial" serial_csv csv
+
+(* Sharded replay is bit-identical to serial for every policy kind and
+   core count, from both Packed (text) and Mapped (mmap) sources. *)
+let test_sharded_all_policies () =
+  let recs = synthetic_records 3_000 in
+  let path = write_binary_trace recs in
+  let mapped = Trace_io.load_source path in
+  let packed = Trace_io.Packed (Trace_io.of_records recs) in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun cores ->
+          let cfg = with_policy p cores small_config in
+          let name =
+            Printf.sprintf "%s/%d-core" (Mcsim.Policy.to_string p) cores
+          in
+          let serial_csv, serial_sum = replay_csv cfg recs in
+          List.iter
+            (fun source ->
+              let csv, sum, _ = run_sharded_csv ~jobs:4 ~bits:2 cfg source in
+              Alcotest.(check bool) (name ^ " summary") true
+                (sum = serial_sum);
+              Alcotest.(check string) (name ^ " stream") serial_csv csv)
+            [ packed; mapped ])
+        [ 1; 2; 4 ])
+    all_policies
+
+let prop_sharded_identity =
+  let gen =
+    QCheck.(
+      triple (int_range 0 4) (int_range 0 2)
+        (list_of_size (Gen.int_range 0 200)
+           (triple (int_range 0 7) bool (int_range 0 0xFFFFF))))
+  in
+  QCheck.Test.make
+    ~name:"sharded replay = serial (jobs x bits x policy x cores)" ~count:12
+    gen
+    (fun (pidx, cidx, recs) ->
+      let p = List.nth all_policies pidx in
+      let cores = [| 1; 2; 4 |].(cidx) in
+      let cfg = with_policy p cores small_config in
+      let recs = Array.of_list recs in
+      let serial_csv, serial_sum = replay_csv cfg recs in
+      let source = Trace_io.Packed (Trace_io.of_records recs) in
+      List.for_all
+        (fun jobs ->
+          List.for_all
+            (fun bits ->
+              let csv, sum, _ = run_sharded_csv ~jobs ~bits cfg source in
+              sum = serial_sum && String.equal csv serial_csv)
+            [ 0; 1; 2; 3 ])
+        [ 1; 2; 4 ])
+
 let () =
   Alcotest.run "replay"
     [
@@ -609,6 +844,11 @@ let () =
           Alcotest.test_case "text malformed" `Quick test_text_malformed;
           Alcotest.test_case "binary malformed" `Quick test_binary_malformed;
           Alcotest.test_case "format detection" `Quick test_detect;
+          Alcotest.test_case "mapped parity (multi-chunk)" `Quick
+            test_map_binary;
+          Alcotest.test_case "mapped malformed" `Quick test_map_malformed;
+          Alcotest.test_case "convert missing output dir" `Quick
+            test_convert_output_dir;
           QCheck_alcotest.to_alcotest
             (prop_writer_roundtrip Trace_io.Text "text writer roundtrips");
           QCheck_alcotest.to_alcotest
@@ -627,5 +867,14 @@ let () =
             test_replay_golden;
           Alcotest.test_case "bad geometry rejected" `Quick
             test_replayer_bad_geometry;
+        ] );
+      ( "sharded replay",
+        [
+          Alcotest.test_case "shard plan" `Quick test_shard_plan;
+          Alcotest.test_case "unsupported geometry falls back" `Quick
+            test_sharded_fallback;
+          Alcotest.test_case "all policies, all core counts" `Quick
+            test_sharded_all_policies;
+          QCheck_alcotest.to_alcotest prop_sharded_identity;
         ] );
     ]
